@@ -1,0 +1,73 @@
+//! **E9 — associativity ablation (§5.2):** DTB hit ratio at fixed capacity
+//! across associativity degrees 1, 2, 4, 8 and full.
+//!
+//! The paper adopts degree 4 because it "has been found to be nearly as
+//! effective as full associativity"; this experiment checks that claim for
+//! the DTB on our workloads.
+//!
+//! Run with `cargo run -p uhm-bench --bin assoc_ablation --release`.
+
+use dir::encode::SchemeKind;
+use memsim::Geometry;
+use psder::MAX_TRANSLATION_WORDS;
+use uhm::{Allocation, DtbConfig, Machine, Mode};
+use uhm_bench::workloads;
+
+fn config(capacity: usize, ways: usize) -> DtbConfig {
+    DtbConfig {
+        geometry: Geometry::new((capacity / ways).max(1), ways),
+        unit_words: MAX_TRANSLATION_WORDS,
+        allocation: Allocation::Fixed,
+        replacement: uhm::Replacement::Lru,
+    }
+}
+
+fn main() {
+    let capacity = 32;
+    let degrees: [usize; 5] = [1, 2, 4, 8, capacity];
+    println!("Associativity ablation at a fixed {capacity}-entry DTB\n");
+    println!(
+        "{:>14} | {}",
+        "workload",
+        degrees
+            .iter()
+            .map(|&w| if w == capacity {
+                format!("{:>8}", "full")
+            } else {
+                format!("{w:>8}-way")
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!("{}", "-".repeat(17 + 13 * degrees.len()));
+    let mut sums = vec![0.0; degrees.len()];
+    let mut count = 0usize;
+    for w in workloads() {
+        let machine = Machine::new(&w.base, SchemeKind::PairHuffman);
+        let mut cells = Vec::new();
+        for (i, &ways) in degrees.iter().enumerate() {
+            let r = machine
+                .run(&Mode::Dtb(config(capacity, ways)))
+                .expect("samples are trap-free");
+            let h = r.metrics.dtb.unwrap().hit_ratio();
+            sums[i] += h;
+            cells.push(format!("{h:>12.4}"));
+        }
+        count += 1;
+        println!("{:>14} | {}", w.name, cells.join(" "));
+    }
+    println!("{}", "-".repeat(17 + 13 * degrees.len()));
+    let means: Vec<String> = sums
+        .iter()
+        .map(|s| format!("{:>12.4}", s / count as f64))
+        .collect();
+    println!("{:>14} | {}", "mean h_D", means.join(" "));
+    println!("\nReading: on most workloads degree 4 is within a whisker of every other");
+    println!("degree, supporting §5.2's compromise. Where the working set exceeds the");
+    println!("DTB (queens, straightline), *lower* associativity can win: DIR addresses");
+    println!("are sequential, so modulo placement spreads a loop across all sets while");
+    println!("full-associative LRU exhibits classic loop thrashing (a loop one entry");
+    println!("larger than the buffer yields zero hits). The 1978 'degree 4 ≈ full'");
+    println!("evidence came from data caches; for an instruction-addressed DTB, modest");
+    println!("associativity is not merely cheaper — it is also safer.");
+}

@@ -1,0 +1,66 @@
+//! **E7 — the locality claim (§4):** DTB hit ratio and interpretation time
+//! versus DTB capacity, plus Denning working-set measurements of the DIR
+//! instruction traces that explain them.
+//!
+//! Run with `cargo run -p uhm-bench --bin dtb_sweep --release`.
+
+use dir::encode::SchemeKind;
+use memsim::workset;
+use uhm::sweep::capacity_sweep;
+use uhm::{Machine, Mode};
+use uhm_bench::workloads;
+
+fn main() {
+    let capacities = [4usize, 8, 16, 32, 64, 128, 256];
+    println!("DTB capacity sweep (PairHuffman static DIR, degree-4 sets)\n");
+    println!(
+        "{:>14} {:>7} | {}",
+        "workload",
+        "",
+        capacities
+            .iter()
+            .map(|c| format!("{c:>7}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!("{}", "-".repeat(26 + 8 * capacities.len()));
+    for w in workloads() {
+        let points = capacity_sweep(&w.base, SchemeKind::PairHuffman, &capacities);
+        let hit_rows: Vec<String> = points
+            .iter()
+            .map(|p| format!("{:>7.3}", p.stats.hit_ratio()))
+            .collect();
+        let t_rows: Vec<String> = points
+            .iter()
+            .map(|p| format!("{:>7.2}", p.time_per_instruction))
+            .collect();
+        println!("{:>14} {:>7} | {}", w.name, "h_D", hit_rows.join(" "));
+        println!("{:>14} {:>7} | {}", "", "T2", t_rows.join(" "));
+    }
+
+    println!("\nWorking-set evidence (Denning window over the DIR trace)\n");
+    println!(
+        "{:>14} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "refs", "unique", "ws(100)", "ws(1000)", "lru64"
+    );
+    for w in workloads() {
+        let mut machine = Machine::new(&w.base, SchemeKind::Packed);
+        machine.set_trace(true);
+        let r = machine.run(&Mode::Interpreter).expect("samples are trap-free");
+        let trace: Vec<u64> = r
+            .metrics
+            .trace
+            .unwrap()
+            .into_iter()
+            .map(u64::from)
+            .collect();
+        let rep = workset::LocalityReport::measure(&trace);
+        println!(
+            "{:>14} {:>10} {:>8} {:>8.1} {:>8.1} {:>8.3}",
+            w.name, rep.references, rep.unique, rep.ws100, rep.ws1000, rep.lru64
+        );
+    }
+    println!("\nThe small working sets relative to static program size are exactly the");
+    println!("locality the paper's §4 invokes: a modest DTB captures almost all");
+    println!("executed instructions, except on the adversarial straight-line workload.");
+}

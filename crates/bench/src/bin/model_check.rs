@@ -1,0 +1,45 @@
+//! **Model validation:** the Section-7 analytic model, fed with parameters
+//! *measured* from the simulator, must predict each machine's simulated
+//! average interpretation time. This closes the loop the paper left open
+//! ("the evaluation of F1 and F2 is hampered by the lack of suitable
+//! statistics").
+//!
+//! Run with `cargo run -p uhm-bench --bin model_check --release`.
+
+use dir::encode::SchemeKind;
+use uhm::model::{ModeKind, Params};
+use uhm::{CostModel, DtbConfig};
+use uhm_bench::{run_three, workloads};
+
+fn main() {
+    println!("Analytic model vs cycle-accurate simulation (PairHuffman, 64-entry DTB)\n");
+    println!(
+        "{:>14} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6}",
+        "workload", "T1 sim", "T1 mod", "err%", "T2 sim", "T2 mod", "err%", "T3 sim", "T3 mod",
+        "err%"
+    );
+    println!("{}", "-".repeat(98));
+    let costs = CostModel::default();
+    let mut max_err: f64 = 0.0;
+    for w in workloads() {
+        let (interp, dtb, cache) =
+            run_three(&w.base, SchemeKind::PairHuffman, DtbConfig::with_capacity(64));
+        let p = Params::from_reports(&costs, &interp, &dtb, &cache);
+        let mut cells = Vec::new();
+        for (report, kind) in [
+            (&interp, ModeKind::Interpreter),
+            (&dtb, ModeKind::Dtb),
+            (&cache, ModeKind::ICache),
+        ] {
+            let sim = report.metrics.time_per_instruction();
+            let model = p.predict(&kind);
+            let err = 100.0 * (model - sim) / sim;
+            max_err = max_err.max(err.abs());
+            cells.push(format!("{sim:>8.2} {model:>8.2} {err:>6.2}"));
+        }
+        println!("{:>14} | {}", w.name, cells.join(" | "));
+    }
+    println!("\nmax |error| = {max_err:.2}%");
+    println!("Residual error comes from correlation the mean-value model ignores:");
+    println!("which instructions miss the DTB is not independent of their d and s2.");
+}

@@ -1,0 +1,67 @@
+//! **Replacement-policy ablation (§5.2):** the paper's replacement array
+//! implements true LRU ("the one selected for replacement is that which
+//! was used least recently"). This experiment quantifies what the recency
+//! tracking buys over FIFO and random replacement at several DTB
+//! capacities.
+//!
+//! Run with `cargo run -p uhm-bench --bin replacement_ablation --release`.
+
+use dir::encode::SchemeKind;
+use memsim::Geometry;
+use psder::MAX_TRANSLATION_WORDS;
+use uhm::{Allocation, DtbConfig, Machine, Mode, Replacement};
+use uhm_bench::workloads;
+
+fn config(capacity: usize, replacement: Replacement) -> DtbConfig {
+    DtbConfig {
+        geometry: Geometry::new((capacity / 4).max(1), 4),
+        unit_words: MAX_TRANSLATION_WORDS,
+        allocation: Allocation::Fixed,
+        replacement,
+    }
+}
+
+fn main() {
+    let policies = [
+        ("lru", Replacement::Lru),
+        ("fifo", Replacement::Fifo),
+        ("random", Replacement::Random { seed: 0x5EED }),
+    ];
+    println!("Replacement-policy ablation (degree-4 sets, PairHuffman static DIR)\n");
+    for capacity in [16usize, 32, 64] {
+        println!("== {capacity}-entry DTB: hit ratio h_D ==");
+        println!(
+            "{:>14} | {:>8} {:>8} {:>8}",
+            "workload", "lru", "fifo", "random"
+        );
+        println!("{}", "-".repeat(45));
+        let mut sums = [0.0f64; 3];
+        let mut n = 0;
+        for w in workloads() {
+            let machine = Machine::new(&w.base, SchemeKind::PairHuffman);
+            let mut cells = Vec::new();
+            for (i, (_, policy)) in policies.iter().enumerate() {
+                let r = machine
+                    .run(&Mode::Dtb(config(capacity, *policy)))
+                    .expect("samples are trap-free");
+                let h = r.metrics.dtb.unwrap().hit_ratio();
+                sums[i] += h;
+                cells.push(format!("{h:>8.4}"));
+            }
+            n += 1;
+            println!("{:>14} | {}", w.name, cells.join(" "));
+        }
+        println!("{}", "-".repeat(45));
+        println!(
+            "{:>14} | {:>8.4} {:>8.4} {:>8.4}\n",
+            "mean",
+            sums[0] / n as f64,
+            sums[1] / n as f64,
+            sums[2] / n as f64
+        );
+    }
+    println!("Reading: the policies are close when the working set fits (all ≈ 1) or");
+    println!("drowns the buffer (all ≈ 0); LRU's recency tracking earns its keep in");
+    println!("the transition region — and random occasionally beats both on cyclic");
+    println!("reference patterns where deterministic policies thrash in lock-step.");
+}

@@ -1,0 +1,109 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of Rau
+//! (1978) — see DESIGN.md's experiment index — and prints a plain-text
+//! table to stdout. This library holds the workload plumbing they share.
+
+use dir::encode::SchemeKind;
+use dir::program::Program;
+use uhm::{DtbConfig, Machine, Mode, Report};
+
+/// A compiled workload at both semantic tiers.
+pub struct Workload {
+    /// Sample name.
+    pub name: &'static str,
+    /// Base-tier (stack) DIR program.
+    pub base: Program,
+    /// Fused-tier DIR program.
+    pub fused: Program,
+}
+
+/// Compiles every sample at both semantic tiers.
+pub fn workloads() -> Vec<Workload> {
+    hlr::programs::ALL
+        .iter()
+        .map(|s| {
+            let base = dir::compiler::compile(&s.compile().expect("samples compile"));
+            let (fused, _) = dir::fuse::fuse(&base);
+            Workload {
+                name: s.name,
+                base,
+                fused,
+            }
+        })
+        .collect()
+}
+
+/// A small representative subset for the slower sweeps.
+pub fn core_workloads() -> Vec<Workload> {
+    let keep = ["sieve", "fib_rec", "gcd_chain", "queens", "straightline"];
+    workloads()
+        .into_iter()
+        .filter(|w| keep.contains(&w.name))
+        .collect()
+}
+
+/// Runs a program in all three machine modes under one scheme, returning
+/// `(interpreter, dtb, icache)` reports.
+///
+/// The i-cache geometry is matched to the DTB's level-1 footprint in
+/// words, honouring the paper's "roughly the same resources" comparison.
+pub fn run_three(
+    program: &Program,
+    scheme: SchemeKind,
+    dtb: DtbConfig,
+) -> (Report, Report, Report) {
+    let machine = Machine::new(program, scheme);
+    let interp = machine.run(&Mode::Interpreter).expect("samples are trap-free");
+    let dtb_report = machine.run(&Mode::Dtb(dtb)).expect("samples are trap-free");
+    let cache_words = dtb.buffer_words();
+    // One cache line per level-2 word; equal word count = equal capacity.
+    let ways = 4;
+    let sets = (cache_words / ways).max(1);
+    let icache = machine
+        .run(&Mode::ICache {
+            geometry: memsim::Geometry::new(sets, ways),
+        })
+        .expect("samples are trap-free");
+    (interp, dtb_report, icache)
+}
+
+/// Prints a formatted row of floats.
+pub fn print_row(label: &str, values: &[f64]) {
+    print!("{label:>14}");
+    for v in values {
+        print!(" {v:>9.2}");
+    }
+    println!();
+}
+
+/// Prints a rule line sized for `n` value columns.
+pub fn print_rule(n: usize) {
+    println!("{}", "-".repeat(14 + 10 * n));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_and_validate() {
+        for w in workloads() {
+            w.base.validate().unwrap();
+            w.fused.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn core_subset_is_nonempty() {
+        assert!(core_workloads().len() >= 4);
+    }
+
+    #[test]
+    fn run_three_agrees_across_modes() {
+        let w = &workloads()[2]; // fib_iter: cheap
+        let (a, b, c) = run_three(&w.base, SchemeKind::Packed, DtbConfig::with_capacity(64));
+        assert_eq!(a.output, b.output);
+        assert_eq!(b.output, c.output);
+    }
+}

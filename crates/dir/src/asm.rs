@@ -1,0 +1,478 @@
+//! Textual assembler and disassembler for DIR programs.
+//!
+//! The disassembled form is a stable, line-oriented syntax that round-trips
+//! exactly (`assemble(disassemble(p)) == p`), useful for golden tests,
+//! debugging the compiler and fusion passes, and writing DIR programs by
+//! hand in tests.
+//!
+//! ```text
+//! .globals 3
+//! .entry main
+//! ; prelude
+//!     push_const 5
+//!     store_global 0
+//!     call main
+//!     halt
+//! .proc main args=0 frame=2 returns=false
+//!     push_local 0
+//!     ...
+//!     return
+//! .end
+//! ```
+
+use std::collections::HashMap;
+
+use crate::isa::{AluOp, Inst, ALU_OPS};
+use crate::program::{ProcInfo, Program};
+
+/// Renders a program to assembler text.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".globals {}\n", program.globals_size));
+    out.push_str(&format!(
+        ".entry {}\n",
+        program.procs[program.entry_proc as usize].name
+    ));
+    let prelude_end = program
+        .procs
+        .iter()
+        .map(|p| p.entry)
+        .min()
+        .unwrap_or(program.code.len() as u32);
+    out.push_str("; prelude\n");
+    for i in 0..prelude_end {
+        out.push_str(&format!("    {}\n", format_inst(&program.code[i as usize])));
+    }
+    let mut procs: Vec<&ProcInfo> = program.procs.iter().collect();
+    procs.sort_by_key(|p| p.entry);
+    for p in procs {
+        out.push_str(&format!(
+            ".proc {} args={} frame={} returns={}\n",
+            p.name, p.n_args, p.frame_size, p.returns_value
+        ));
+        for i in p.entry..p.end {
+            out.push_str(&format!("    {}\n", format_inst(&program.code[i as usize])));
+        }
+        out.push_str(".end\n");
+    }
+    out
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Mod => "mod",
+        AluOp::Eq => "eq",
+        AluOp::Ne => "ne",
+        AluOp::Lt => "lt",
+        AluOp::Le => "le",
+        AluOp::Gt => "gt",
+        AluOp::Ge => "ge",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+    }
+}
+
+fn alu_by_name(name: &str) -> Option<AluOp> {
+    ALU_OPS.into_iter().find(|&op| alu_name(op) == name)
+}
+
+/// Formats one instruction in assembler syntax.
+pub fn format_inst(inst: &Inst) -> String {
+    match *inst {
+        Inst::PushConst(v) => format!("push_const {v}"),
+        Inst::PushLocal(s) => format!("push_local {s}"),
+        Inst::PushGlobal(s) => format!("push_global {s}"),
+        Inst::StoreLocal(s) => format!("store_local {s}"),
+        Inst::StoreGlobal(s) => format!("store_global {s}"),
+        Inst::LoadArrLocal { base, len } => format!("load_arr_local {base} {len}"),
+        Inst::LoadArrGlobal { base, len } => format!("load_arr_global {base} {len}"),
+        Inst::StoreArrLocal { base, len } => format!("store_arr_local {base} {len}"),
+        Inst::StoreArrGlobal { base, len } => format!("store_arr_global {base} {len}"),
+        Inst::Pop => "pop".to_string(),
+        Inst::Bin(op) => format!("bin {}", alu_name(op)),
+        Inst::Neg => "neg".to_string(),
+        Inst::Not => "not".to_string(),
+        Inst::Jump(t) => format!("jump {t}"),
+        Inst::JumpIfFalse(t) => format!("jump_if_false {t}"),
+        Inst::JumpIfTrue(t) => format!("jump_if_true {t}"),
+        Inst::Call(p) => format!("call_idx {p}"),
+        Inst::Return => "return".to_string(),
+        Inst::Halt => "halt".to_string(),
+        Inst::Write => "write".to_string(),
+        Inst::BinLocals { op, a, b, dst } => {
+            format!("bin_locals {} {a} {b} {dst}", alu_name(op))
+        }
+        Inst::IncLocal { slot, imm } => format!("inc_local {slot} {imm}"),
+        Inst::SetLocalConst { slot, imm } => format!("set_local_const {slot} {imm}"),
+        Inst::CmpConstBr {
+            op,
+            slot,
+            imm,
+            target,
+        } => format!("cmp_const_br {} {slot} {imm} {target}", alu_name(op)),
+        Inst::CmpLocalsBr { op, a, b, target } => {
+            format!("cmp_locals_br {} {a} {b} {target}", alu_name(op))
+        }
+    }
+}
+
+/// An error raised by the assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "assembly error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Parses assembler text back into a program. `call <name>` (by procedure
+/// name) is accepted in addition to `call_idx <n>`.
+///
+/// # Errors
+///
+/// Returns the first syntax or reference error with its line number.
+pub fn assemble(text: &str) -> Result<Program, AsmError> {
+    let err = |line: usize, message: String| AsmError { line, message };
+    let mut globals_size = 0u32;
+    let mut entry_name: Option<String> = None;
+    let mut code: Vec<Inst> = Vec::new();
+    let mut procs: Vec<ProcInfo> = Vec::new();
+    let mut current: Option<usize> = None;
+    // Named calls patched after the procedure table is complete.
+    let mut named_calls: Vec<(usize, String, usize)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("non-empty line");
+        let rest: Vec<&str> = parts.collect();
+        match head {
+            ".globals" => {
+                globals_size = parse_num(&rest, 0, lineno)?;
+            }
+            ".entry" => {
+                entry_name = Some(
+                    rest.first()
+                        .ok_or_else(|| err(lineno, ".entry needs a name".into()))?
+                        .to_string(),
+                );
+            }
+            ".proc" => {
+                if current.is_some() {
+                    return Err(err(lineno, "nested .proc".into()));
+                }
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err(lineno, ".proc needs a name".into()))?
+                    .to_string();
+                let mut n_args = 0;
+                let mut frame_size = 0;
+                let mut returns_value = false;
+                for kv in &rest[1..] {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| err(lineno, format!("bad attribute `{kv}`")))?;
+                    match k {
+                        "args" => {
+                            n_args = v
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad args `{v}`")))?
+                        }
+                        "frame" => {
+                            frame_size = v
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad frame `{v}`")))?
+                        }
+                        "returns" => {
+                            returns_value = v
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad returns `{v}`")))?
+                        }
+                        other => return Err(err(lineno, format!("unknown attribute `{other}`"))),
+                    }
+                }
+                current = Some(procs.len());
+                procs.push(ProcInfo {
+                    name,
+                    entry: code.len() as u32,
+                    end: code.len() as u32,
+                    n_args,
+                    frame_size,
+                    returns_value,
+                });
+            }
+            ".end" => {
+                let idx = current
+                    .take()
+                    .ok_or_else(|| err(lineno, ".end without .proc".into()))?;
+                procs[idx].end = code.len() as u32;
+            }
+            "call" => {
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err(lineno, "call needs a procedure name".into()))?
+                    .to_string();
+                named_calls.push((code.len(), name, lineno));
+                code.push(Inst::Call(u32::MAX));
+            }
+            mnemonic => {
+                code.push(parse_inst(mnemonic, &rest, lineno)?);
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(err(text.lines().count(), "missing .end".into()));
+    }
+
+    let by_name: HashMap<&str, u32> = procs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), i as u32))
+        .collect();
+    for (at, name, lineno) in named_calls {
+        let idx = *by_name
+            .get(name.as_str())
+            .ok_or_else(|| err(lineno, format!("unknown procedure `{name}`")))?;
+        code[at] = Inst::Call(idx);
+    }
+    let entry_name =
+        entry_name.ok_or_else(|| err(1, "missing .entry directive".into()))?;
+    let entry_proc = *by_name
+        .get(entry_name.as_str())
+        .ok_or_else(|| err(1, format!("entry procedure `{entry_name}` not defined")))?;
+
+    Ok(Program {
+        code,
+        procs,
+        entry_proc,
+        globals_size,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(
+    rest: &[&str],
+    index: usize,
+    line: usize,
+) -> Result<T, AsmError> {
+    rest.get(index)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("expected numeric operand {index}"),
+        })
+}
+
+fn parse_alu(rest: &[&str], line: usize) -> Result<AluOp, AsmError> {
+    rest.first()
+        .and_then(|s| alu_by_name(s))
+        .ok_or_else(|| AsmError {
+            line,
+            message: "expected an alu operation".into(),
+        })
+}
+
+fn parse_inst(mnemonic: &str, rest: &[&str], line: usize) -> Result<Inst, AsmError> {
+    Ok(match mnemonic {
+        "push_const" => Inst::PushConst(parse_num(rest, 0, line)?),
+        "push_local" => Inst::PushLocal(parse_num(rest, 0, line)?),
+        "push_global" => Inst::PushGlobal(parse_num(rest, 0, line)?),
+        "store_local" => Inst::StoreLocal(parse_num(rest, 0, line)?),
+        "store_global" => Inst::StoreGlobal(parse_num(rest, 0, line)?),
+        "load_arr_local" => Inst::LoadArrLocal {
+            base: parse_num(rest, 0, line)?,
+            len: parse_num(rest, 1, line)?,
+        },
+        "load_arr_global" => Inst::LoadArrGlobal {
+            base: parse_num(rest, 0, line)?,
+            len: parse_num(rest, 1, line)?,
+        },
+        "store_arr_local" => Inst::StoreArrLocal {
+            base: parse_num(rest, 0, line)?,
+            len: parse_num(rest, 1, line)?,
+        },
+        "store_arr_global" => Inst::StoreArrGlobal {
+            base: parse_num(rest, 0, line)?,
+            len: parse_num(rest, 1, line)?,
+        },
+        "pop" => Inst::Pop,
+        "bin" => Inst::Bin(parse_alu(rest, line)?),
+        "neg" => Inst::Neg,
+        "not" => Inst::Not,
+        "jump" => Inst::Jump(parse_num(rest, 0, line)?),
+        "jump_if_false" => Inst::JumpIfFalse(parse_num(rest, 0, line)?),
+        "jump_if_true" => Inst::JumpIfTrue(parse_num(rest, 0, line)?),
+        "call_idx" => Inst::Call(parse_num(rest, 0, line)?),
+        "return" => Inst::Return,
+        "halt" => Inst::Halt,
+        "write" => Inst::Write,
+        "bin_locals" => Inst::BinLocals {
+            op: parse_alu(rest, line)?,
+            a: parse_num(rest, 1, line)?,
+            b: parse_num(rest, 2, line)?,
+            dst: parse_num(rest, 3, line)?,
+        },
+        "inc_local" => Inst::IncLocal {
+            slot: parse_num(rest, 0, line)?,
+            imm: parse_num(rest, 1, line)?,
+        },
+        "set_local_const" => Inst::SetLocalConst {
+            slot: parse_num(rest, 0, line)?,
+            imm: parse_num(rest, 1, line)?,
+        },
+        "cmp_const_br" => Inst::CmpConstBr {
+            op: parse_alu(rest, line)?,
+            slot: parse_num(rest, 1, line)?,
+            imm: parse_num(rest, 2, line)?,
+            target: parse_num(rest, 3, line)?,
+        },
+        "cmp_locals_br" => Inst::CmpLocalsBr {
+            op: parse_alu(rest, line)?,
+            a: parse_num(rest, 1, line)?,
+            b: parse_num(rest, 2, line)?,
+            target: parse_num(rest, 3, line)?,
+        },
+        other => {
+            return Err(AsmError {
+                line,
+                message: format!("unknown mnemonic `{other}`"),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+
+    #[test]
+    fn round_trip_all_samples() {
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            let text = disassemble(&p);
+            let back = assemble(&text).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert_eq!(back, p, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn round_trip_fused_samples() {
+        for s in hlr::programs::ALL {
+            let (p, _) = crate::fuse::fuse(&compile(&s.compile().unwrap()));
+            let back = assemble(&disassemble(&p)).unwrap();
+            assert_eq!(back, p, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn every_mnemonic_round_trips() {
+        use crate::isa::AluOp;
+        let insts = [
+            Inst::PushConst(-9),
+            Inst::LoadArrGlobal { base: 1, len: 2 },
+            Inst::Bin(AluOp::Mod),
+            Inst::CmpLocalsBr {
+                op: AluOp::Ge,
+                a: 0,
+                b: 1,
+                target: 3,
+            },
+            Inst::SetLocalConst { slot: 2, imm: -5 },
+        ];
+        for inst in insts {
+            let text = format_inst(&inst);
+            let mut parts = text.split_whitespace();
+            let head = parts.next().unwrap();
+            let rest: Vec<&str> = parts.collect();
+            assert_eq!(parse_inst(head, &rest, 1).unwrap(), inst, "{text}");
+        }
+    }
+
+    #[test]
+    fn hand_written_program_assembles_and_runs() {
+        let text = "
+            .globals 1
+            .entry main
+            ; prelude
+                call main
+                halt
+            .proc main args=0 frame=1
+                push_const 6
+                store_local 0
+                push_local 0
+                push_const 7
+                bin mul
+                write
+                return
+            .end
+        ";
+        let p = assemble(text).unwrap();
+        p.validate().unwrap();
+        assert_eq!(crate::exec::run(&p).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn named_calls_resolve_forward() {
+        let text = "
+            .globals 0
+            .entry main
+                call main
+                halt
+            .proc main args=0 frame=0 returns=false
+                call helper
+                return
+            .end
+            .proc helper args=0 frame=0
+                write
+                return
+            .end
+        ";
+        // `write` pops — stack underflow at run time, but assembly works.
+        let p = assemble(text).unwrap();
+        assert_eq!(p.code[2], Inst::Call(1));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble(".globals 0\n.entry main\nbogus_op 1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus_op"));
+
+        let e = assemble(".globals x\n").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = assemble(".globals 0\n.entry main\ncall nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn missing_end_detected() {
+        let e = assemble(".globals 0\n.entry m\n.proc m args=0 frame=0\nreturn\n").unwrap_err();
+        assert!(e.message.contains("missing .end"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            ".globals 0\n.entry m\n\n; nothing\ncall m ; to main\nhalt\n.proc m args=0 frame=0\nreturn\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(p.code.len(), 3);
+    }
+}

@@ -1,0 +1,219 @@
+//! Bit-granular reader/writer used by all encoded representations.
+//!
+//! The paper's encodings pack fields that "span the boundaries of the units
+//! of memory access"; this module provides exactly that: an MSB-first bit
+//! stream over a byte buffer.
+
+/// Appends bit fields to a byte buffer, MSB-first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Total bits written.
+    len: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Writes the low `width` bits of `value`, MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits.
+    pub fn write(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = (self.len / 8) as usize;
+            if byte_idx == self.buf.len() {
+                self.buf.push(0);
+            }
+            let bit_idx = 7 - (self.len % 8) as u32;
+            self.buf[byte_idx] |= (bit as u8) << bit_idx;
+            self.len += 1;
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write(bit as u64, 1);
+    }
+
+    /// Finishes writing, returning the buffer and the exact bit length.
+    pub fn finish(self) -> (Vec<u8>, u64) {
+        (self.buf, self.len)
+    }
+}
+
+/// Reads bit fields from a byte buffer, MSB-first.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: u64,
+    len: u64,
+}
+
+/// An attempt to read past the end of a bit stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitsExhausted;
+
+impl std::fmt::Display for BitsExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "read past end of bit stream")
+    }
+}
+
+impl std::error::Error for BitsExhausted {}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `len` bits of `buf`, starting at bit 0.
+    pub fn new(buf: &'a [u8], len: u64) -> Self {
+        BitReader { buf, pos: 0, len }
+    }
+
+    /// Creates a reader positioned at bit offset `at`.
+    pub fn at(buf: &'a [u8], len: u64, at: u64) -> Self {
+        BitReader { buf, pos: at, len }
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reads `width` bits, MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsExhausted`] if fewer than `width` bits remain.
+    pub fn read(&mut self, width: u32) -> Result<u64, BitsExhausted> {
+        assert!(width <= 64, "width {width} > 64");
+        if self.pos + width as u64 > self.len {
+            return Err(BitsExhausted);
+        }
+        let mut out = 0u64;
+        for _ in 0..width {
+            let byte = self.buf[(self.pos / 8) as usize];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsExhausted`] at end of stream.
+    pub fn read_bit(&mut self) -> Result<bool, BitsExhausted> {
+        Ok(self.read(1)? == 1)
+    }
+}
+
+/// Number of bits needed to represent values in `0..=max` (at least 1).
+pub fn bits_for(max: u64) -> u32 {
+    (64 - max.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xDEADBEEF, 32);
+        w.write(1, 1);
+        w.write(0, 5);
+        w.write(u64::MAX, 64);
+        let (buf, len) = w.finish();
+        assert_eq!(len, 3 + 32 + 1 + 5 + 64);
+        let mut r = BitReader::new(&buf, len);
+        assert_eq!(r.read(3).unwrap(), 0b101);
+        assert_eq!(r.read(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read(1).unwrap(), 1);
+        assert_eq!(r.read(5).unwrap(), 0);
+        assert_eq!(r.read(64).unwrap(), u64::MAX);
+        assert!(r.read(1).is_err());
+    }
+
+    #[test]
+    fn fields_span_byte_boundaries() {
+        let mut w = BitWriter::new();
+        w.write(0b1111111, 7);
+        w.write(0b10, 2); // crosses byte 0 -> 1
+        let (buf, len) = w.finish();
+        assert_eq!(len, 9);
+        assert_eq!(buf.len(), 2);
+        let mut r = BitReader::new(&buf, len);
+        assert_eq!(r.read(7).unwrap(), 0b1111111);
+        assert_eq!(r.read(2).unwrap(), 0b10);
+    }
+
+    #[test]
+    fn reader_at_offset() {
+        let mut w = BitWriter::new();
+        w.write(0b1010, 4);
+        w.write(0b11, 2);
+        let (buf, len) = w.finish();
+        let mut r = BitReader::at(&buf, len, 4);
+        assert_eq!(r.read(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn write_rejects_oversized_value() {
+        let mut w = BitWriter::new();
+        w.write(8, 3);
+    }
+
+    #[test]
+    fn bits_for_bounds() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        for i in 0..10 {
+            w.write_bit(i % 3 == 0);
+        }
+        let (buf, len) = w.finish();
+        let mut r = BitReader::new(&buf, len);
+        for i in 0..10 {
+            assert_eq!(r.read_bit().unwrap(), i % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn position_tracks_reads() {
+        let mut w = BitWriter::new();
+        w.write(0xAB, 8);
+        let (buf, len) = w.finish();
+        let mut r = BitReader::new(&buf, len);
+        assert_eq!(r.position(), 0);
+        r.read(3).unwrap();
+        assert_eq!(r.position(), 3);
+    }
+}

@@ -1,0 +1,369 @@
+//! Control-flow analysis over DIR programs: instruction-level successor
+//! computation, basic blocks, reachability, and a dead-code elimination
+//! pass.
+//!
+//! DCE matters to the representation studies: unreachable code inflates
+//! the static program (hurting every encoding equally) without ever
+//! entering the DTB, so eliminating it isolates the *dynamic* effects the
+//! paper's model is about.
+
+use std::collections::HashMap;
+
+use crate::isa::Inst;
+use crate::program::{ProcInfo, Program};
+
+/// Successor instruction indices of the instruction at `index`.
+///
+/// `Call` contributes both the callee entry and the fall-through (the
+/// return continuation); `Return` and `Halt` have no successors.
+pub fn successors(program: &Program, index: u32) -> Vec<u32> {
+    let inst = program.code[index as usize];
+    let next = index + 1;
+    match inst {
+        Inst::Jump(t) => vec![t],
+        Inst::JumpIfFalse(t) | Inst::JumpIfTrue(t) => vec![t, next],
+        Inst::CmpConstBr { target, .. } | Inst::CmpLocalsBr { target, .. } => {
+            vec![target, next]
+        }
+        Inst::Call(p) => vec![program.procs[p as usize].entry, next],
+        Inst::Return | Inst::Halt => vec![],
+        _ => vec![next],
+    }
+}
+
+/// A basic block: a maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction.
+    pub end: u32,
+    /// Indices into [`Cfg::blocks`] of successor blocks (intra-procedural;
+    /// calls are treated as fall-through).
+    pub succs: Vec<usize>,
+}
+
+/// The basic-block graph of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Blocks in address order.
+    pub blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// Builds the basic-block graph. Block leaders are: instruction 0,
+    /// procedure entries, branch targets, and the instructions following
+    /// branches and returns.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.code.len();
+        let mut leader = vec![false; n + 1];
+        leader[0] = true;
+        for p in &program.procs {
+            leader[p.entry as usize] = true;
+        }
+        for (i, inst) in program.code.iter().enumerate() {
+            if let Some(t) = inst.target() {
+                leader[t as usize] = true;
+            }
+            match inst.opcode() {
+                crate::isa::Opcode::Jump
+                | crate::isa::Opcode::JumpIfFalse
+                | crate::isa::Opcode::JumpIfTrue
+                | crate::isa::Opcode::CmpConstBr
+                | crate::isa::Opcode::CmpLocalsBr
+                | crate::isa::Opcode::Return
+                | crate::isa::Opcode::Halt
+                    if i + 1 < n => {
+                        leader[i + 1] = true;
+                    }
+                _ => {}
+            }
+        }
+        let starts: Vec<u32> = (0..n as u32).filter(|&i| leader[i as usize]).collect();
+        let block_of: HashMap<u32, usize> = starts
+            .iter()
+            .enumerate()
+            .map(|(b, &s)| (s, b))
+            .collect();
+        let blocks = starts
+            .iter()
+            .enumerate()
+            .map(|(b, &start)| {
+                let end = starts.get(b + 1).copied().unwrap_or(n as u32);
+                let last = program.code[end as usize - 1];
+                // Intra-procedural edges: calls fall through, returns end.
+                let mut succs = Vec::new();
+                match last {
+                    Inst::Jump(t) => succs.push(block_of[&t]),
+                    Inst::JumpIfFalse(t) | Inst::JumpIfTrue(t) => {
+                        succs.push(block_of[&t]);
+                        if (end as usize) < n {
+                            succs.push(block_of[&end]);
+                        }
+                    }
+                    Inst::CmpConstBr { target, .. } | Inst::CmpLocalsBr { target, .. } => {
+                        succs.push(block_of[&target]);
+                        if (end as usize) < n {
+                            succs.push(block_of[&end]);
+                        }
+                    }
+                    Inst::Return | Inst::Halt => {}
+                    _ => {
+                        if (end as usize) < n {
+                            succs.push(block_of[&end]);
+                        }
+                    }
+                }
+                Block { start, end, succs }
+            })
+            .collect();
+        Cfg { blocks }
+    }
+
+    /// The block containing instruction `index`, if any.
+    pub fn block_of(&self, index: u32) -> Option<&Block> {
+        self.blocks
+            .iter()
+            .find(|b| b.start <= index && index < b.end)
+    }
+}
+
+/// Computes instruction-level reachability from the prelude (instruction
+/// 0), following branches and calls.
+pub fn reachable(program: &Program) -> Vec<bool> {
+    let mut seen = vec![false; program.code.len()];
+    if program.code.is_empty() {
+        return seen;
+    }
+    let mut work = vec![0u32];
+    while let Some(i) = work.pop() {
+        if std::mem::replace(&mut seen[i as usize], true) {
+            continue;
+        }
+        for s in successors(program, i) {
+            if !seen[s as usize] {
+                work.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Statistics from a dead-code elimination run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DceStats {
+    /// Instructions before.
+    pub before: usize,
+    /// Instructions after.
+    pub after: usize,
+    /// Whole procedures removed (never called).
+    pub procs_removed: usize,
+}
+
+/// Removes unreachable instructions and uncalled procedures, renumbering
+/// branch targets and callee indices.
+///
+/// The result passes [`Program::validate`] and is semantically identical
+/// to the input (unreachable code cannot execute).
+pub fn dce(program: &Program) -> (Program, DceStats) {
+    let live = reachable(program);
+    // A procedure is kept iff its entry is reachable.
+    let mut proc_map: HashMap<u32, u32> = HashMap::new();
+    let mut kept_procs: Vec<&ProcInfo> = Vec::new();
+    for (i, p) in program.procs.iter().enumerate() {
+        if live[p.entry as usize] {
+            proc_map.insert(i as u32, kept_procs.len() as u32);
+            kept_procs.push(p);
+        }
+    }
+
+    // Renumber instructions.
+    let mut index_map = vec![u32::MAX; program.code.len() + 1];
+    let mut new_code: Vec<Inst> = Vec::new();
+    for (i, &inst) in program.code.iter().enumerate() {
+        index_map[i] = new_code.len() as u32;
+        if live[i] {
+            new_code.push(inst);
+        }
+    }
+    index_map[program.code.len()] = new_code.len() as u32;
+
+    let remapped: Vec<Inst> = new_code
+        .into_iter()
+        .map(|inst| {
+            let inst = inst.map_target(|t| index_map[t as usize]);
+            match inst {
+                Inst::Call(p) => Inst::Call(proc_map[&p]),
+                other => other,
+            }
+        })
+        .collect();
+
+    let procs: Vec<ProcInfo> = kept_procs
+        .iter()
+        .map(|p| ProcInfo {
+            name: p.name.clone(),
+            entry: index_map[p.entry as usize],
+            end: index_map[p.end as usize],
+            n_args: p.n_args,
+            frame_size: p.frame_size,
+            returns_value: p.returns_value,
+        })
+        .collect();
+
+    let stats = DceStats {
+        before: program.code.len(),
+        after: remapped.len(),
+        procs_removed: program.procs.len() - procs.len(),
+    };
+    let entry_proc = proc_map[&program.entry_proc];
+    (
+        Program {
+            code: remapped,
+            procs,
+            entry_proc,
+            globals_size: program.globals_size,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::exec;
+
+    fn compile_src(src: &str) -> Program {
+        compile(&hlr::compile(src).unwrap())
+    }
+
+    #[test]
+    fn cfg_blocks_partition_the_program() {
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            let cfg = Cfg::build(&p);
+            let mut at = 0u32;
+            for b in &cfg.blocks {
+                assert_eq!(b.start, at, "{}", s.name);
+                assert!(b.end > b.start);
+                at = b.end;
+            }
+            assert_eq!(at as usize, p.code.len());
+        }
+    }
+
+    #[test]
+    fn block_lookup_finds_owner() {
+        let p = compile_src("proc main() begin if true then write 1; else write 2; end");
+        let cfg = Cfg::build(&p);
+        for i in 0..p.code.len() as u32 {
+            let b = cfg.block_of(i).unwrap();
+            assert!(b.start <= i && i < b.end);
+        }
+        assert!(cfg.block_of(p.code.len() as u32).is_none());
+    }
+
+    #[test]
+    fn loop_cfg_has_a_back_edge() {
+        let p = compile_src("proc main() begin int i := 0; while i < 3 do i := i + 1; end");
+        let cfg = Cfg::build(&p);
+        let has_back_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(b, block)| block.succs.iter().any(|&s| s <= b));
+        assert!(has_back_edge);
+    }
+
+    #[test]
+    fn everything_reachable_in_clean_programs() {
+        let p = compile_src("proc main() begin write 1; end");
+        assert!(reachable(&p).iter().all(|&r| r));
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable_and_removed() {
+        let p = compile_src(
+            "proc f() -> int begin return 1; write 99; end
+             proc main() begin write f(); end",
+        );
+        let live = reachable(&p);
+        assert!(live.iter().any(|&r| !r), "the dead write must be detected");
+        let (clean, stats) = dce(&p);
+        clean.validate().unwrap();
+        assert!(stats.after < stats.before);
+        assert_eq!(exec::run(&clean).unwrap(), exec::run(&p).unwrap());
+    }
+
+    #[test]
+    fn uncalled_procedures_are_removed() {
+        let p = compile_src(
+            "proc unused(int z) -> int begin return z * z; end
+             proc main() begin write 5; end",
+        );
+        let (clean, stats) = dce(&p);
+        clean.validate().unwrap();
+        assert_eq!(stats.procs_removed, 1);
+        assert_eq!(clean.procs.len(), 1);
+        assert_eq!(clean.procs[0].name, "main");
+        assert_eq!(exec::run(&clean).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn call_indices_renumber_after_removal() {
+        let p = compile_src(
+            "proc dead() begin skip; end
+             proc live() -> int begin return 7; end
+             proc main() begin write live(); end",
+        );
+        let (clean, _) = dce(&p);
+        clean.validate().unwrap();
+        assert_eq!(exec::run(&clean).unwrap(), vec![7]);
+        // entry_proc renumbered from 2 to 1.
+        assert_eq!(clean.entry_proc, 1);
+    }
+
+    #[test]
+    fn dce_preserves_semantics_on_all_samples() {
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            let (clean, _) = dce(&p);
+            clean.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert_eq!(
+                exec::run(&clean).unwrap(),
+                exec::run(&p).unwrap(),
+                "{}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn dce_composes_with_fusion() {
+        let p = compile_src(
+            "proc dead() begin write 0; end
+             proc main() begin
+                int i := 0;
+                while i < 10 do i := i + 1;
+                write i;
+             end",
+        );
+        let (clean, _) = dce(&p);
+        let (fused, _) = crate::fuse::fuse(&clean);
+        fused.validate().unwrap();
+        assert_eq!(exec::run(&fused).unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn dce_is_idempotent() {
+        let p = compile_src(
+            "proc dead() begin skip; end proc main() begin write 3; end",
+        );
+        let (once, _) = dce(&p);
+        let (twice, stats) = dce(&once);
+        assert_eq!(once, twice);
+        assert_eq!(stats.procs_removed, 0);
+        assert_eq!(stats.before, stats.after);
+    }
+}

@@ -1,0 +1,467 @@
+//! Compiles resolved HLR programs ([`hlr::hir`]) into DIR programs.
+//!
+//! This is the paper's "compile the HLR into an intermediate level"
+//! translation: names were already bound to slots by semantic analysis, so
+//! this pass unravels the hierarchical expression structure into postfix
+//! order (Polish-notation style) and lowers structured control flow onto
+//! conditional branches in the flat DIR address space.
+
+use hlr::ast::UnOp;
+use hlr::hir;
+
+use crate::isa::{AluOp, Inst};
+use crate::program::{ProcInfo, Program};
+
+/// Compiles a resolved program into a base-tier DIR program.
+///
+/// The output always passes [`Program::validate`]; the compiler's test
+/// suite asserts this for every sample and for randomly generated programs.
+///
+/// # Example
+///
+/// ```
+/// let hir = hlr::compile("proc main() begin write 1 + 2; end")?;
+/// let prog = dir::compiler::compile(&hir);
+/// prog.validate().unwrap();
+/// # Ok::<(), hlr::Error>(())
+/// ```
+pub fn compile(program: &hir::Program) -> Program {
+    let mut c = Compiler {
+        code: Vec::new(),
+        program,
+    };
+
+    // Prelude: global initialisers, call main, halt. The prelude runs in a
+    // zero-size frame, which is sound because global initialisers can only
+    // reference globals (enforced by semantic analysis).
+    let mut prelude_ctx = ProcCtx::new(0);
+    for stmt in &program.global_init {
+        c.stmt(stmt, &mut prelude_ctx);
+    }
+    let call_at = c.emit(Inst::Call(program.entry as u32));
+    debug_assert!(call_at > 0 || program.global_init.is_empty());
+    c.emit(Inst::Halt);
+
+    let mut procs = Vec::new();
+    for (i, p) in program.procs.iter().enumerate() {
+        let entry = c.code.len() as u32;
+        let mut ctx = ProcCtx::new(p.frame_size);
+        for stmt in &p.body {
+            c.stmt(stmt, &mut ctx);
+        }
+        // Implicit return at the end: functions return 0.
+        if p.ret.is_some() {
+            c.emit(Inst::PushConst(0));
+        }
+        c.emit(Inst::Return);
+        let end = c.code.len() as u32;
+        procs.push(ProcInfo {
+            name: p.name.clone(),
+            entry,
+            end,
+            n_args: p.n_params,
+            frame_size: p.frame_size + ctx.max_temps,
+            returns_value: p.ret.is_some(),
+        });
+        debug_assert_eq!(i, procs.len() - 1);
+    }
+
+    Program {
+        code: c.code,
+        procs,
+        entry_proc: program.entry as u32,
+        globals_size: program.globals_size,
+    }
+}
+
+/// Per-procedure compilation state: a stack allocator for temporaries
+/// placed above the HLR-visible frame slots.
+struct ProcCtx {
+    base: u32,
+    temps_in_use: u32,
+    max_temps: u32,
+}
+
+impl ProcCtx {
+    fn new(frame_size: u32) -> Self {
+        ProcCtx {
+            base: frame_size,
+            temps_in_use: 0,
+            max_temps: 0,
+        }
+    }
+
+    fn alloc_temp(&mut self) -> u32 {
+        let slot = self.base + self.temps_in_use;
+        self.temps_in_use += 1;
+        self.max_temps = self.max_temps.max(self.temps_in_use);
+        slot
+    }
+
+    fn free_temp(&mut self) {
+        debug_assert!(self.temps_in_use > 0);
+        self.temps_in_use -= 1;
+    }
+}
+
+struct Compiler<'p> {
+    code: Vec<Inst>,
+    #[allow(dead_code)] // kept for future cross-procedure optimisations
+    program: &'p hir::Program,
+}
+
+impl<'p> Compiler<'p> {
+    fn emit(&mut self, inst: Inst) -> usize {
+        self.code.push(inst);
+        self.code.len() - 1
+    }
+
+    /// Emits a branch with a placeholder target, returning its index for
+    /// later patching.
+    fn emit_branch(&mut self, make: impl Fn(u32) -> Inst) -> usize {
+        self.emit(make(u32::MAX))
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        self.code[at] = self.code[at].map_target(|_| target);
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn push_var(&mut self, var: hir::VarRef) {
+        match var {
+            hir::VarRef::Global { slot } => self.emit(Inst::PushGlobal(slot)),
+            hir::VarRef::Local { slot } => self.emit(Inst::PushLocal(slot)),
+        };
+    }
+
+    fn store_var(&mut self, var: hir::VarRef) {
+        match var {
+            hir::VarRef::Global { slot } => self.emit(Inst::StoreGlobal(slot)),
+            hir::VarRef::Local { slot } => self.emit(Inst::StoreLocal(slot)),
+        };
+    }
+
+    fn expr(&mut self, e: &hir::Expr) {
+        match e {
+            hir::Expr::Int(v) => {
+                self.emit(Inst::PushConst(*v));
+            }
+            hir::Expr::Bool(b) => {
+                self.emit(Inst::PushConst(*b as i64));
+            }
+            hir::Expr::Load(var) => self.push_var(*var),
+            hir::Expr::LoadIndexed { arr, index } => {
+                self.expr(index);
+                self.emit(if arr.global {
+                    Inst::LoadArrGlobal {
+                        base: arr.base,
+                        len: arr.len,
+                    }
+                } else {
+                    Inst::LoadArrLocal {
+                        base: arr.base,
+                        len: arr.len,
+                    }
+                });
+            }
+            hir::Expr::Call { proc, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Inst::Call(*proc as u32));
+            }
+            hir::Expr::Binary { op, lhs, rhs } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                self.emit(Inst::Bin(AluOp::from_binop(*op)));
+            }
+            hir::Expr::Unary { op, operand } => {
+                self.expr(operand);
+                self.emit(match op {
+                    UnOp::Neg => Inst::Neg,
+                    UnOp::Not => Inst::Not,
+                });
+            }
+        }
+    }
+
+    fn body(&mut self, stmts: &[hir::Stmt], ctx: &mut ProcCtx) {
+        for s in stmts {
+            self.stmt(s, ctx);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &hir::Stmt, ctx: &mut ProcCtx) {
+        match stmt {
+            hir::Stmt::Store { var, value } => {
+                self.expr(value);
+                self.store_var(*var);
+            }
+            hir::Stmt::StoreIndexed { arr, index, value } => {
+                self.expr(index);
+                self.expr(value);
+                self.emit(if arr.global {
+                    Inst::StoreArrGlobal {
+                        base: arr.base,
+                        len: arr.len,
+                    }
+                } else {
+                    Inst::StoreArrLocal {
+                        base: arr.base,
+                        len: arr.len,
+                    }
+                });
+            }
+            hir::Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond);
+                let to_else = self.emit_branch(Inst::JumpIfFalse);
+                self.body(then_branch, ctx);
+                if else_branch.is_empty() {
+                    let end = self.here();
+                    self.patch(to_else, end);
+                } else {
+                    let to_end = self.emit_branch(Inst::Jump);
+                    let else_at = self.here();
+                    self.patch(to_else, else_at);
+                    self.body(else_branch, ctx);
+                    let end = self.here();
+                    self.patch(to_end, end);
+                }
+            }
+            hir::Stmt::While { cond, body } => {
+                let head = self.here();
+                self.expr(cond);
+                let to_end = self.emit_branch(Inst::JumpIfFalse);
+                self.body(body, ctx);
+                self.emit(Inst::Jump(head));
+                let end = self.here();
+                self.patch(to_end, end);
+            }
+            hir::Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                // limit is evaluated once into a compiler temporary.
+                let limit = ctx.alloc_temp();
+                self.expr(from);
+                self.store_var(*var);
+                self.expr(to);
+                self.emit(Inst::StoreLocal(limit));
+                let head = self.here();
+                self.push_var(*var);
+                self.emit(Inst::PushLocal(limit));
+                self.emit(Inst::Bin(AluOp::Le));
+                let to_end = self.emit_branch(Inst::JumpIfFalse);
+                self.body(body, ctx);
+                self.push_var(*var);
+                self.emit(Inst::PushConst(1));
+                self.emit(Inst::Bin(AluOp::Add));
+                self.store_var(*var);
+                self.emit(Inst::Jump(head));
+                let end = self.here();
+                self.patch(to_end, end);
+                ctx.free_temp();
+            }
+            hir::Stmt::Block(stmts) => self.body(stmts, ctx),
+            hir::Stmt::CallStmt {
+                proc,
+                args,
+                has_result,
+            } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Inst::Call(*proc as u32));
+                if *has_result {
+                    self.emit(Inst::Pop);
+                }
+            }
+            hir::Stmt::Return(value) => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+                self.emit(Inst::Return);
+            }
+            hir::Stmt::Write(value) => {
+                self.expr(value);
+                self.emit(Inst::Write);
+            }
+            hir::Stmt::Skip => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Opcode;
+
+    fn compile_src(src: &str) -> Program {
+        compile(&hlr::compile(src).unwrap())
+    }
+
+    #[test]
+    fn output_always_validates_for_samples() {
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn output_validates_for_generated_programs() {
+        for seed in 0..30 {
+            let ast = hlr::generate::program(seed, &hlr::generate::Config::default());
+            let hir = hlr::sema::analyze(&ast).unwrap();
+            compile(&hir)
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn prelude_calls_entry_then_halts() {
+        let p = compile_src("proc main() begin skip; end");
+        assert_eq!(p.code[0], Inst::Call(0));
+        assert_eq!(p.code[1], Inst::Halt);
+    }
+
+    #[test]
+    fn global_init_precedes_call() {
+        let p = compile_src("int g := 5; proc main() begin skip; end");
+        assert_eq!(p.code[0], Inst::PushConst(5));
+        assert_eq!(p.code[1], Inst::StoreGlobal(0));
+        assert_eq!(p.code[2], Inst::Call(0));
+    }
+
+    #[test]
+    fn expression_is_postfix() {
+        let p = compile_src("proc main() begin write 1 + 2 * 3; end");
+        let main = &p.procs[0];
+        let body = &p.code[main.entry as usize..main.end as usize];
+        assert_eq!(
+            &body[..5],
+            &[
+                Inst::PushConst(1),
+                Inst::PushConst(2),
+                Inst::PushConst(3),
+                Inst::Bin(AluOp::Mul),
+                Inst::Bin(AluOp::Add),
+            ]
+        );
+    }
+
+    #[test]
+    fn if_without_else_branches_past_then() {
+        let p = compile_src("proc main() begin if true then write 1; write 2; end");
+        let main = &p.procs[0];
+        let code = &p.code[main.entry as usize..main.end as usize];
+        // [PushConst 1(true), JumpIfFalse end_then, PushConst 1, Write, PushConst 2, Write, Return]
+        match code[1] {
+            Inst::JumpIfFalse(t) => assert_eq!(t, main.entry + 4),
+            other => panic!("expected JumpIfFalse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_loop_jumps_back_to_head() {
+        let p = compile_src(
+            "proc main() begin int i := 0; while i < 3 do i := i + 1; end",
+        );
+        let main = &p.procs[0];
+        let code = &p.code[main.entry as usize..main.end as usize];
+        let head_rel = 2; // after the init store
+        let jump_back = code
+            .iter()
+            .find_map(|i| match i {
+                Inst::Jump(t) => Some(*t),
+                _ => None,
+            })
+            .expect("loop must contain a back jump");
+        assert_eq!(jump_back, main.entry + head_rel);
+    }
+
+    #[test]
+    fn for_loop_allocates_limit_temp() {
+        let p = compile_src(
+            "proc main() begin int i; for i := 0 to 9 do skip; end",
+        );
+        // One HLR slot (i) + one limit temporary.
+        assert_eq!(p.procs[0].frame_size, 2);
+    }
+
+    #[test]
+    fn nested_for_loops_stack_temps() {
+        let p = compile_src(
+            "proc main() begin
+                int i; int j;
+                for i := 0 to 3 do for j := 0 to 3 do skip;
+             end",
+        );
+        // Two HLR slots + two simultaneous limit temps.
+        assert_eq!(p.procs[0].frame_size, 4);
+    }
+
+    #[test]
+    fn sequential_for_loops_reuse_temp() {
+        let p = compile_src(
+            "proc main() begin
+                int i;
+                for i := 0 to 3 do skip;
+                for i := 0 to 5 do skip;
+             end",
+        );
+        assert_eq!(p.procs[0].frame_size, 2);
+    }
+
+    #[test]
+    fn function_without_return_pushes_zero() {
+        let p = compile_src(
+            "proc f() -> int begin skip; end proc main() begin write f(); end",
+        );
+        let f = &p.procs[0];
+        let code = &p.code[f.entry as usize..f.end as usize];
+        assert_eq!(code, &[Inst::PushConst(0), Inst::Return]);
+    }
+
+    #[test]
+    fn call_statement_pops_unused_result() {
+        let p = compile_src(
+            "proc f() -> int begin return 1; end proc main() begin call f(); end",
+        );
+        let main = &p.procs[1];
+        let code = &p.code[main.entry as usize..main.end as usize];
+        assert_eq!(code[0], Inst::Call(0));
+        assert_eq!(code[1], Inst::Pop);
+    }
+
+    #[test]
+    fn no_placeholder_targets_remain() {
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            for (i, inst) in p.code.iter().enumerate() {
+                if let Some(t) = inst.target() {
+                    assert_ne!(t, u32::MAX, "{}: unpatched branch at {i}", s.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opcode_histogram_is_plausible_for_sieve() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let h = p.opcode_histogram();
+        assert!(h[Opcode::StoreArrGlobal as usize] > 0);
+        assert!(h[Opcode::LoadArrGlobal as usize] > 0);
+        assert!(h[Opcode::JumpIfFalse as usize] > 0);
+    }
+}

@@ -1,0 +1,620 @@
+//! The encoding dimension of the representation space (paper §3.2).
+//!
+//! Five schemes of increasing sophistication encode the same DIR program:
+//!
+//! | Scheme | Paper's description | Decode cost driver |
+//! |---|---|---|
+//! | [`ByteAligned`] | "unencoded" fields on byte boundaries | one read per field |
+//! | [`Packed`] | packed fields spanning memory-unit boundaries | extract + mask per field |
+//! | [`Contextual`] | field sizes limited by scope/contour information | width lookup + extract + mask |
+//! | [`HuffmanScheme`] | frequency-based (Huffman) opcode encoding | tree walk, 2 ops per code bit |
+//! | [`PairHuffman`] | pair-frequency encoding, one tree per predecessor | tree select + tree walk |
+//!
+//! All schemes share the *(opcode, fields)* view of [`crate::isa`], so they
+//! encode any instruction the ISA can express. Program size is the bit
+//! length of the stream; decoder-side tables (field-width tables, decode
+//! trees) are accounted separately in [`Image::side_table_bits`] — they
+//! enlarge the *interpreter*, not the program, exactly as the paper
+//! distinguishes.
+//!
+//! ## Addresses
+//!
+//! The DIR address of an instruction is its index in the code array; the
+//! image records each instruction's bit offset so fetch costs can be
+//! charged in memory words. (A production encoding would use bit offsets as
+//! addresses directly; the index<->offset table models that address
+//! arithmetic and is not charged to program size.)
+
+mod byte;
+mod contextual;
+mod huffman_scheme;
+mod packed;
+mod pair;
+mod value_huffman;
+
+pub use byte::ByteAligned;
+pub use contextual::Contextual;
+pub use huffman_scheme::HuffmanScheme;
+pub use packed::Packed;
+pub use pair::PairHuffman;
+pub use value_huffman::ValueHuffman;
+
+use crate::bitstream::{bits_for, BitsExhausted};
+use crate::isa::{DecodeError, FieldKind, Inst, FIELD_KINDS};
+use crate::program::Program;
+
+/// Identifies an encoding scheme, ordered by increasing degree of encoding
+/// (the horizontal axis of the paper's Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchemeKind {
+    /// Byte-aligned, unencoded fields.
+    ByteAligned,
+    /// Bit-packed fields with program-wide widths.
+    Packed,
+    /// Bit-packed fields with per-procedure (contour) widths.
+    Contextual,
+    /// Huffman-coded opcodes over contextual fields.
+    Huffman,
+    /// Predecessor-conditioned Huffman opcodes over contextual fields.
+    PairHuffman,
+    /// Pair-coded opcodes plus frequency-coded operand values — the far
+    /// right of the encoding axis.
+    ValueHuffman,
+}
+
+impl SchemeKind {
+    /// All schemes in increasing encoding degree.
+    pub fn all() -> [SchemeKind; 6] {
+        [
+            SchemeKind::ByteAligned,
+            SchemeKind::Packed,
+            SchemeKind::Contextual,
+            SchemeKind::Huffman,
+            SchemeKind::PairHuffman,
+            SchemeKind::ValueHuffman,
+        ]
+    }
+
+    /// Short label for benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::ByteAligned => "byte",
+            SchemeKind::Packed => "packed",
+            SchemeKind::Contextual => "contextual",
+            SchemeKind::Huffman => "huffman",
+            SchemeKind::PairHuffman => "pair",
+            SchemeKind::ValueHuffman => "valuehuff",
+        }
+    }
+
+    /// Encodes `program` under this scheme.
+    pub fn encode(self, program: &Program) -> Image {
+        match self {
+            SchemeKind::ByteAligned => ByteAligned.encode(program),
+            SchemeKind::Packed => Packed.encode(program),
+            SchemeKind::Contextual => Contextual.encode(program),
+            SchemeKind::Huffman => HuffmanScheme.encode(program),
+            SchemeKind::PairHuffman => PairHuffman.encode(program),
+            SchemeKind::ValueHuffman => ValueHuffman.encode(program),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An encoding scheme: a bidirectional mapping between a [`Program`] and a
+/// bit image.
+pub trait Scheme {
+    /// The scheme's identity.
+    fn kind(&self) -> SchemeKind;
+
+    /// Encodes a whole program.
+    fn encode(&self, program: &Program) -> Image;
+}
+
+/// A decoded instruction together with its modelled decode cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The instruction.
+    pub inst: Inst,
+    /// Modelled decode cost in host instructions — the paper's parameter
+    /// `d`, measured rather than assumed.
+    pub cost: u32,
+    /// Encoded width of this instruction in bits.
+    pub bits: u64,
+}
+
+/// An error while decoding from an [`Image`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// Instruction index out of range.
+    BadIndex(u32),
+    /// The bit stream ended prematurely (image corrupt).
+    Exhausted,
+    /// The decoded parts did not form a valid instruction.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::BadIndex(i) => write!(f, "instruction index {i} out of range"),
+            ImageError::Exhausted => write!(f, "bit stream exhausted"),
+            ImageError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<BitsExhausted> for ImageError {
+    fn from(_: BitsExhausted) -> Self {
+        ImageError::Exhausted
+    }
+}
+
+impl From<DecodeError> for ImageError {
+    fn from(e: DecodeError) -> Self {
+        ImageError::Decode(e)
+    }
+}
+
+/// An encoded program image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// The scheme that produced this image.
+    pub kind: SchemeKind,
+    /// The encoded bit stream.
+    pub bytes: Vec<u8>,
+    /// Exact length of the stream in bits (the program's static size).
+    pub bit_len: u64,
+    /// Bit offset of each instruction (index = DIR address).
+    pub offsets: Vec<u64>,
+    /// Bits of decoder-side tables (width tables, Huffman trees): charged
+    /// to interpreter size, not program size.
+    pub side_table_bits: u64,
+    pub(crate) decoder: DecoderData,
+}
+
+/// Scheme-specific state needed to decode an image.
+#[derive(Debug, Clone)]
+pub(crate) enum DecoderData {
+    Byte,
+    Packed(FieldWidths),
+    Contextual(ContextTables),
+    Huffman {
+        tree: crate::huffman::Tree,
+        tables: ContextTables,
+    },
+    Pair {
+        /// One escape-coded codebook per predecessor opcode, plus a
+        /// start-of-region codebook at index [`crate::isa::OPCODE_COUNT`].
+        ctx: Vec<pair::CtxCode>,
+        /// The unconditioned fallback tree reached through ESCAPE codes.
+        global: crate::huffman::Tree,
+        /// Static predecessor opcode per instruction (`OPCODE_COUNT` for
+        /// region starts). Reconstructible by sequential decode, so not
+        /// charged to program size; see the module docs.
+        preds: Vec<u8>,
+        tables: ContextTables,
+    },
+    ValueHuffman {
+        /// Per-predecessor opcode codebooks (as in `Pair`).
+        ctx: Vec<pair::CtxCode>,
+        /// Fallback opcode tree.
+        global: crate::huffman::Tree,
+        /// Static predecessor opcodes (see `Pair`).
+        preds: Vec<u8>,
+        tables: ContextTables,
+        /// One value codebook per field kind.
+        values: Vec<value_huffman::ValueCode>,
+    },
+}
+
+impl Image {
+    /// Number of instructions in the image.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Returns `true` when the image holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Program size in bits (excluding decoder-side tables).
+    pub fn program_bits(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Average encoded instruction width in bits.
+    pub fn mean_inst_bits(&self) -> f64 {
+        if self.offsets.is_empty() {
+            0.0
+        } else {
+            self.bit_len as f64 / self.offsets.len() as f64
+        }
+    }
+
+    /// Number of `word_bits`-sized memory words touched when fetching
+    /// instruction `index` — the paper's per-instruction `s2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `word_bits` is zero.
+    pub fn fetch_words(&self, index: u32, word_bits: u32) -> u32 {
+        let start = self.offsets[index as usize];
+        let end = self
+            .offsets
+            .get(index as usize + 1)
+            .copied()
+            .unwrap_or(self.bit_len);
+        let end = end.max(start + 1);
+        let first = start / word_bits as u64;
+        let last = (end - 1) / word_bits as u64;
+        (last - first + 1) as u32
+    }
+
+    /// Decodes the instruction at `index`, reporting the modelled decode
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] on a bad index or a corrupt stream.
+    pub fn decode(&self, index: u32) -> Result<Decoded, ImageError> {
+        let offset = *self
+            .offsets
+            .get(index as usize)
+            .ok_or(ImageError::BadIndex(index))?;
+        let mut reader =
+            crate::bitstream::BitReader::at(&self.bytes, self.bit_len, offset);
+        let decoded = match &self.decoder {
+            DecoderData::Byte => byte::decode(&mut reader)?,
+            DecoderData::Packed(widths) => packed::decode(&mut reader, widths)?,
+            DecoderData::Contextual(tables) => contextual::decode(&mut reader, tables, index)?,
+            DecoderData::Huffman { tree, tables } => {
+                huffman_scheme::decode(&mut reader, tree, tables, index)?
+            }
+            DecoderData::Pair {
+                ctx,
+                global,
+                preds,
+                tables,
+            } => pair::decode(&mut reader, ctx, global, preds, tables, index)?,
+            DecoderData::ValueHuffman {
+                ctx,
+                global,
+                preds,
+                tables,
+                values,
+            } => value_huffman::decode(&mut reader, ctx, global, preds, tables, values, index)?,
+        };
+        Ok(Decoded {
+            bits: reader.position() - offset,
+            ..decoded
+        })
+    }
+
+    /// Decodes the whole image back to the instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode failure.
+    pub fn decode_all(&self) -> Result<Vec<Inst>, ImageError> {
+        (0..self.len() as u32)
+            .map(|i| self.decode(i).map(|d| d.inst))
+            .collect()
+    }
+
+    /// Mean decode cost over all instructions (static average of the
+    /// paper's parameter `d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is corrupt (encoders always produce decodable
+    /// images).
+    pub fn mean_decode_cost(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = (0..self.len() as u32)
+            .map(|i| self.decode(i).expect("self-produced image decodes").cost as u64)
+            .sum();
+        total as f64 / self.len() as f64
+    }
+}
+
+/// Program-wide (or per-region) field widths, indexed by
+/// [`FieldKind::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldWidths {
+    /// Width in bits per field kind.
+    pub widths: [u32; FIELD_KINDS.len()],
+}
+
+impl FieldWidths {
+    /// Width for one field kind.
+    pub fn width(&self, kind: FieldKind) -> u32 {
+        self.widths[kind.index()]
+    }
+
+    /// Computes widths wide enough for every field value in
+    /// `insts`, with targets made region-relative when `rel_base` is set.
+    pub fn measure<'a>(
+        insts: impl Iterator<Item = &'a Inst>,
+        rel_base: Option<u32>,
+    ) -> FieldWidths {
+        let mut max = [0u64; FIELD_KINDS.len()];
+        for inst in insts {
+            let kinds = inst.opcode().field_kinds();
+            for (kind, value) in kinds.iter().zip(inst.fields()) {
+                let v = match (kind, rel_base) {
+                    (FieldKind::Target, Some(base)) => value - base as u64,
+                    _ => value,
+                };
+                let i = kind.index();
+                max[i] = max[i].max(v);
+            }
+        }
+        let mut widths = [0u32; FIELD_KINDS.len()];
+        for (w, &m) in widths.iter_mut().zip(&max) {
+            *w = bits_for(m);
+        }
+        FieldWidths { widths }
+    }
+
+    /// Bits needed to store this width table (6 bits per entry suffice for
+    /// widths up to 64).
+    pub fn table_bits(&self) -> u64 {
+        FIELD_KINDS.len() as u64 * 6
+    }
+}
+
+/// Per-region (prelude + procedures) context tables for the contextual and
+/// frequency schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextTables {
+    /// `(start, end, widths, target_base)` per region, in address order.
+    pub regions: Vec<Region>,
+}
+
+/// One contour region of the program with its field widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First instruction index of the region.
+    pub start: u32,
+    /// One past the last instruction.
+    pub end: u32,
+    /// Field widths within the region.
+    pub widths: FieldWidths,
+    /// Base subtracted from target fields (region-relative branches).
+    pub target_base: u32,
+}
+
+impl ContextTables {
+    /// Builds per-region tables for `program`: the prelude and each
+    /// procedure form one region each (the contours the paper's contextual
+    /// encoding keys on).
+    pub fn build(program: &Program) -> ContextTables {
+        let mut regions = Vec::new();
+        let prelude_end = program
+            .procs
+            .iter()
+            .map(|p| p.entry)
+            .min()
+            .unwrap_or(program.code.len() as u32);
+        let mut bounds: Vec<(u32, u32)> = vec![(0, prelude_end)];
+        let mut procs: Vec<(u32, u32)> = program.procs.iter().map(|p| (p.entry, p.end)).collect();
+        procs.sort_unstable();
+        bounds.extend(procs);
+        for (start, end) in bounds {
+            if start == end {
+                continue;
+            }
+            let widths = FieldWidths::measure(
+                program.code[start as usize..end as usize].iter(),
+                Some(start),
+            );
+            regions.push(Region {
+                start,
+                end,
+                widths,
+                target_base: start,
+            });
+        }
+        ContextTables { regions }
+    }
+
+    /// Finds the region containing instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` belongs to no region (cannot happen for images
+    /// built by [`ContextTables::build`]).
+    pub fn region_of(&self, index: u32) -> &Region {
+        let at = self
+            .regions
+            .partition_point(|r| r.end <= index)
+            .min(self.regions.len() - 1);
+        let r = &self.regions[at];
+        assert!(
+            r.start <= index && index < r.end,
+            "instruction {index} outside all regions"
+        );
+        r
+    }
+
+    /// Total bits of all width tables plus region bounds (two 32-bit words
+    /// per region), charged to the interpreter.
+    pub fn table_bits(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.widths.table_bits() + 64)
+            .sum()
+    }
+}
+
+/// Convenience: encodes `program` under every scheme.
+pub fn encode_all(program: &Program) -> Vec<Image> {
+    SchemeKind::all()
+        .into_iter()
+        .map(|k| k.encode(program))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::fuse::fuse;
+
+    fn sample_programs() -> Vec<Program> {
+        let mut out = Vec::new();
+        for s in hlr::programs::ALL {
+            let base = compile(&s.compile().unwrap());
+            let (fused, _) = fuse(&base);
+            out.push(base);
+            out.push(fused);
+        }
+        out
+    }
+
+    #[test]
+    fn every_scheme_round_trips_every_sample() {
+        for p in sample_programs() {
+            for kind in SchemeKind::all() {
+                let image = kind.encode(&p);
+                let back = image
+                    .decode_all()
+                    .unwrap_or_else(|e| panic!("{kind}: {e}"));
+                assert_eq!(back, p.code, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_degree_shrinks_programs() {
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            let sizes: Vec<u64> = SchemeKind::all()
+                .iter()
+                .map(|k| k.encode(&p).program_bits())
+                .collect();
+            // byte > packed >= contextual > huffman. Contextual only ties
+            // packed on single-procedure programs whose region widths equal
+            // the program-wide widths.
+            assert!(sizes[0] > sizes[1], "{}: byte {} <= packed {}", s.name, sizes[0], sizes[1]);
+            assert!(
+                sizes[1] >= sizes[2],
+                "{}: packed {} < contextual {}",
+                s.name,
+                sizes[1],
+                sizes[2]
+            );
+            assert!(
+                sizes[2] > sizes[3],
+                "{}: contextual {} <= huffman {}",
+                s.name,
+                sizes[2],
+                sizes[3]
+            );
+        }
+        // On multi-procedure programs the contour information buys real
+        // bits: strict inequality.
+        for s in [&hlr::programs::QUEENS, &hlr::programs::GCD_CHAIN] {
+            let p = compile(&s.compile().unwrap());
+            let packed = SchemeKind::Packed.encode(&p).program_bits();
+            let ctx = SchemeKind::Contextual.encode(&p).program_bits();
+            assert!(ctx < packed, "{}: {} vs {}", s.name, ctx, packed);
+        }
+    }
+
+    #[test]
+    fn decode_costs_grow_with_encoding_degree() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let costs: Vec<f64> = SchemeKind::all()
+            .iter()
+            .map(|k| k.encode(&p).mean_decode_cost())
+            .collect();
+        assert!(costs[0] < costs[1]);
+        assert!(costs[1] < costs[2]);
+        assert!(costs[2] < costs[3]);
+    }
+
+    #[test]
+    fn offsets_are_monotone_and_dense() {
+        let p = compile(&hlr::programs::MATMUL.compile().unwrap());
+        for kind in SchemeKind::all() {
+            let image = kind.encode(&p);
+            assert_eq!(image.len(), p.code.len());
+            for w in image.offsets.windows(2) {
+                assert!(w[0] < w[1], "{kind}: offsets not strictly increasing");
+            }
+            assert!(*image.offsets.last().unwrap() < image.bit_len);
+        }
+    }
+
+    #[test]
+    fn fetch_words_counts_straddles() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let image = SchemeKind::Packed.encode(&p);
+        let mut total = 0u32;
+        for i in 0..image.len() as u32 {
+            let w = image.fetch_words(i, 32);
+            assert!(w >= 1);
+            total += w;
+        }
+        assert!(total as u64 >= image.bit_len / 32);
+    }
+
+    #[test]
+    fn bad_index_is_an_error() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let image = SchemeKind::ByteAligned.encode(&p);
+        assert!(matches!(
+            image.decode(image.len() as u32),
+            Err(ImageError::BadIndex(_))
+        ));
+    }
+
+    #[test]
+    fn side_tables_grow_with_sophistication() {
+        let p = compile(&hlr::programs::QUEENS.compile().unwrap());
+        let images = encode_all(&p);
+        assert_eq!(images[0].side_table_bits, 0); // byte-aligned needs none
+        assert!(images[2].side_table_bits > images[1].side_table_bits);
+        assert!(images[4].side_table_bits > images[3].side_table_bits);
+    }
+
+    #[test]
+    fn huffman_beats_packed_by_a_wilner_margin() {
+        // Wilner reports 25-75% memory reduction from encoding; check the
+        // full-encoding scheme against the byte-aligned baseline.
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            let byte = SchemeKind::ByteAligned.encode(&p).program_bits() as f64;
+            let pair = SchemeKind::PairHuffman.encode(&p).program_bits() as f64;
+            let reduction = 1.0 - pair / byte;
+            assert!(
+                reduction > 0.25,
+                "{}: only {:.0}% reduction",
+                s.name,
+                reduction * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn region_lookup_finds_owner() {
+        let p = compile(&hlr::programs::GCD_CHAIN.compile().unwrap());
+        let tables = ContextTables::build(&p);
+        for r in &tables.regions {
+            assert_eq!(tables.region_of(r.start).start, r.start);
+            assert_eq!(tables.region_of(r.end - 1).start, r.start);
+        }
+    }
+}

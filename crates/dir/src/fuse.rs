@@ -1,0 +1,350 @@
+//! Peephole fusion: raises the semantic level of a DIR program.
+//!
+//! Section 3.2 of the paper observes that the level of a DIR can be raised
+//! by "increasing the complexity and variety of the opcodes, addressing
+//! modes and branch instructions". This pass performs exactly that move:
+//! frequent stack-instruction sequences are coalesced into single two- and
+//! three-address instructions (the fused tier of [`crate::isa`]), producing
+//! a representation that is both *smaller* (fewer instructions) and *faster
+//! to steer* (fewer dispatches) — the upward direction of Figure 1.
+//!
+//! Fusion windows never span a branch target, a procedure boundary or a
+//! call, so control transfers always land on instruction heads; branch
+//! targets are renumbered afterwards.
+
+use std::collections::HashSet;
+
+use crate::isa::{AluOp, Inst};
+use crate::program::{ProcInfo, Program};
+
+/// Statistics from a fusion run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Instructions before fusion.
+    pub before: usize,
+    /// Instructions after fusion.
+    pub after: usize,
+    /// Fused instructions emitted.
+    pub fused: usize,
+}
+
+impl FuseStats {
+    /// Fraction of instructions eliminated, in [0, 1).
+    pub fn reduction(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            1.0 - self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Applies the fusion pass, returning the higher-level program and
+/// statistics.
+///
+/// The result is semantically identical to the input (the test suite
+/// verifies this differentially) and passes [`Program::validate`].
+///
+/// # Example
+///
+/// ```
+/// let hir = hlr::compile("proc main() begin int i := 0; while i < 9 do i := i + 1; end")?;
+/// let base = dir::compiler::compile(&hir);
+/// let (fused, stats) = dir::fuse::fuse(&base);
+/// assert!(stats.after < stats.before);
+/// assert_eq!(dir::exec::run(&fused).unwrap(), dir::exec::run(&base).unwrap());
+/// # Ok::<(), hlr::Error>(())
+/// ```
+pub fn fuse(program: &Program) -> (Program, FuseStats) {
+    // Instruction heads that control can reach non-sequentially: branch
+    // targets and procedure entries. Fusion windows must not cover one
+    // except as their first instruction.
+    let mut heads: HashSet<u32> = program.code.iter().filter_map(|i| i.target()).collect();
+    for p in &program.procs {
+        heads.insert(p.entry);
+    }
+
+    let mut new_code: Vec<Inst> = Vec::with_capacity(program.code.len());
+    // Map from old instruction index to new index, for target rewriting.
+    // Mid-window indices keep `u32::MAX`; no branch may point at them.
+    let mut index_map = vec![u32::MAX; program.code.len() + 1];
+    let mut fused_count = 0usize;
+
+    // Region boundaries: prelude plus each procedure, in address order.
+    let mut boundaries: Vec<(u32, u32)> = Vec::new();
+    let prelude_end = program
+        .procs
+        .iter()
+        .map(|p| p.entry)
+        .min()
+        .unwrap_or(program.code.len() as u32);
+    boundaries.push((0, prelude_end));
+    let mut procs_sorted: Vec<&ProcInfo> = program.procs.iter().collect();
+    procs_sorted.sort_by_key(|p| p.entry);
+    for p in &procs_sorted {
+        boundaries.push((p.entry, p.end));
+    }
+
+    let mut proc_entries = vec![(0u32, 0u32); program.procs.len()];
+
+    for &(start, end) in &boundaries {
+        let mut i = start as usize;
+        while i < end as usize {
+            let window_ok = |len: usize| -> bool {
+                i + len <= end as usize
+                    && (1..len).all(|k| !heads.contains(&((i + k) as u32)))
+            };
+            let fused = try_fuse(&program.code[i..end as usize], &window_ok);
+            index_map[i] = new_code.len() as u32;
+            match fused {
+                Some((inst, len)) => {
+                    new_code.push(inst);
+                    fused_count += 1;
+                    i += len;
+                }
+                None => {
+                    new_code.push(program.code[i]);
+                    i += 1;
+                }
+            }
+        }
+        index_map[end as usize] = new_code.len() as u32;
+    }
+
+    // Record new procedure ranges (procs are contiguous regions).
+    for (pi, p) in program.procs.iter().enumerate() {
+        proc_entries[pi] = (index_map[p.entry as usize], index_map[p.end as usize]);
+    }
+
+    // Rewrite branch targets through the map.
+    let remapped: Vec<Inst> = new_code
+        .into_iter()
+        .map(|inst| {
+            inst.map_target(|t| {
+                let n = index_map[t as usize];
+                debug_assert_ne!(n, u32::MAX, "branch into fused window interior");
+                n
+            })
+        })
+        .collect();
+
+    let procs = program
+        .procs
+        .iter()
+        .zip(&proc_entries)
+        .map(|(p, &(entry, end))| ProcInfo {
+            name: p.name.clone(),
+            entry,
+            end,
+            n_args: p.n_args,
+            frame_size: p.frame_size,
+            returns_value: p.returns_value,
+        })
+        .collect();
+
+    let stats = FuseStats {
+        before: program.code.len(),
+        after: remapped.len(),
+        fused: fused_count,
+    };
+    (
+        Program {
+            code: remapped,
+            procs,
+            entry_proc: program.entry_proc,
+            globals_size: program.globals_size,
+        },
+        stats,
+    )
+}
+
+/// Attempts to match a fusion pattern at the start of `code`, returning the
+/// fused instruction and the window length.
+fn try_fuse(code: &[Inst], window_ok: &dyn Fn(usize) -> bool) -> Option<(Inst, usize)> {
+    // Length-4 patterns first (most savings).
+    if window_ok(4) && code.len() >= 4 {
+        match (code[0], code[1], code[2], code[3]) {
+            // local := local op local
+            (Inst::PushLocal(a), Inst::PushLocal(b), Inst::Bin(op), Inst::StoreLocal(dst)) => {
+                return Some((Inst::BinLocals { op, a, b, dst }, 4));
+            }
+            // slot := slot +/- k  (increment form)
+            (Inst::PushLocal(s), Inst::PushConst(k), Inst::Bin(op), Inst::StoreLocal(dst))
+                if s == dst && matches!(op, AluOp::Add | AluOp::Sub) =>
+            {
+                let imm = if op == AluOp::Add { k } else { k.wrapping_neg() };
+                return Some((Inst::IncLocal { slot: s, imm }, 4));
+            }
+            // if !(local op k) goto t
+            (Inst::PushLocal(slot), Inst::PushConst(imm), Inst::Bin(op), Inst::JumpIfFalse(t)) => {
+                return Some((
+                    Inst::CmpConstBr {
+                        op,
+                        slot,
+                        imm,
+                        target: t,
+                    },
+                    4,
+                ));
+            }
+            // if !(local op local) goto t
+            (Inst::PushLocal(a), Inst::PushLocal(b), Inst::Bin(op), Inst::JumpIfFalse(t)) => {
+                return Some((Inst::CmpLocalsBr { op, a, b, target: t }, 4));
+            }
+            _ => {}
+        }
+    }
+    // Length-2 pattern.
+    if window_ok(2) && code.len() >= 2 {
+        if let (Inst::PushConst(imm), Inst::StoreLocal(slot)) = (code[0], code[1]) {
+            return Some((Inst::SetLocalConst { slot, imm }, 2));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::exec;
+
+    fn both(src: &str) -> (Program, Program, FuseStats) {
+        let hir = hlr::compile(src).unwrap();
+        let base = compile(&hir);
+        let (fused, stats) = fuse(&base);
+        (base, fused, stats)
+    }
+
+    #[test]
+    fn fused_programs_validate_and_agree_on_samples() {
+        for s in hlr::programs::ALL {
+            let base = compile(&s.compile().unwrap());
+            let (fused, stats) = fuse(&base);
+            fused.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(stats.after <= stats.before, "{}", s.name);
+            assert_eq!(
+                exec::run(&fused).unwrap(),
+                exec::run(&base).unwrap(),
+                "{}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn fused_programs_agree_on_generated_programs() {
+        for seed in 0..40 {
+            let ast = hlr::generate::program(seed, &hlr::generate::Config::default());
+            let hir = hlr::sema::analyze(&ast).unwrap();
+            let base = compile(&hir);
+            let (fused, _) = fuse(&base);
+            fused
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(
+                exec::run(&fused).unwrap(),
+                exec::run(&base).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn loop_increment_is_fused() {
+        let (_, fused, stats) = both(
+            "proc main() begin int i := 0; while i < 10 do i := i + 1; end",
+        );
+        assert!(stats.fused >= 2, "expected inc + cmp fusion, got {stats:?}");
+        assert!(fused
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::IncLocal { imm: 1, .. })));
+        assert!(fused
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::CmpConstBr { .. })));
+    }
+
+    #[test]
+    fn subtraction_increment_negates() {
+        let (_, fused, _) = both(
+            "proc main() begin int i := 10; while i > 0 do i := i - 1; end",
+        );
+        assert!(fused
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::IncLocal { imm: -1, .. })));
+    }
+
+    #[test]
+    fn three_address_fusion() {
+        let (_, fused, _) = both(
+            "proc main() begin int a := 1; int b := 2; int c; c := a * b; write c; end",
+        );
+        assert!(fused
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::BinLocals { op: AluOp::Mul, .. })));
+        assert!(fused
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::SetLocalConst { .. })));
+    }
+
+    #[test]
+    fn fusion_respects_branch_targets() {
+        // The `while` head is a branch target between PushLocal and the
+        // comparison; fusion must not swallow it.
+        let (base, fused, _) = both(
+            "proc main() begin
+                int i := 0;
+                int s := 0;
+                while i < 100 do begin
+                    s := s + i;
+                    i := i + 1;
+                end
+                write s;
+             end",
+        );
+        assert_eq!(exec::run(&fused).unwrap(), exec::run(&base).unwrap());
+        assert_eq!(exec::run(&fused).unwrap(), vec![4950]);
+    }
+
+    #[test]
+    fn reduction_is_substantial_on_loopy_code() {
+        let (_, _, stats) = both(
+            "proc main() begin
+                int i; int s := 0;
+                for i := 0 to 99 do s := s + i;
+                write s;
+             end",
+        );
+        assert!(
+            stats.reduction() > 0.25,
+            "expected >25% reduction, got {:.2}",
+            stats.reduction()
+        );
+    }
+
+    #[test]
+    fn idempotent_on_already_fused_code() {
+        let (_, fused, _) = both("proc main() begin int i := 0; i := i + 1; write i; end");
+        let (again, stats2) = fuse(&fused);
+        assert_eq!(again.code, fused.code);
+        assert_eq!(stats2.fused, 0);
+    }
+
+    #[test]
+    fn globals_are_not_fused() {
+        let (_, fused, _) = both(
+            "int g; proc main() begin g := g + 1; write g; end",
+        );
+        // Global increments stay as stack sequences (fused tier is
+        // frame-addressed only).
+        assert!(!fused
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::IncLocal { .. })));
+    }
+}

@@ -1,0 +1,302 @@
+//! Canonical Huffman coding over small symbol alphabets.
+//!
+//! Implements the "sophisticated encoding of the Huffman type" from the
+//! paper's Section 3.2: symbols that occur often in the *static* program
+//! representation get short codes. Decoding walks a binary tree bit by bit;
+//! [`Tree::decode`] reports the number of bits consumed so that the decode
+//! cost model can charge the paper's "two instructions per level of
+//! decoding".
+
+use crate::bitstream::{BitReader, BitWriter, BitsExhausted};
+
+/// A Huffman codebook for symbols `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    /// `codes[s]` is the (code, width) for symbol `s`; zero-frequency
+    /// symbols still receive a code so that any program can be encoded.
+    codes: Vec<(u64, u32)>,
+    /// Flattened decode tree: nodes of `(left, right)`, negative values are
+    /// `-(symbol + 1)` leaves, non-negative are node indices. Node 0 is the
+    /// root.
+    nodes: Vec<(i32, i32)>,
+}
+
+impl Tree {
+    /// Builds a codebook from symbol frequencies.
+    ///
+    /// Zero frequencies are bumped to one so every symbol remains
+    /// encodable (the paper's encodings must handle any legal program, not
+    /// just those seen when gathering statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs` is empty.
+    pub fn from_frequencies(freqs: &[u64]) -> Tree {
+        assert!(!freqs.is_empty(), "alphabet must be non-empty");
+        let n = freqs.len();
+        if n == 1 {
+            // Degenerate alphabet: one symbol, one-bit code.
+            return Tree {
+                codes: vec![(0, 1)],
+                nodes: vec![(-1, -1)],
+            };
+        }
+        // Huffman's algorithm with a simple sorted work list (alphabets here
+        // are tiny, so O(n^2) is irrelevant).
+        #[derive(Debug)]
+        enum Node {
+            Leaf(usize),
+            Internal(Box<Node>, Box<Node>),
+        }
+        let mut work: Vec<(u64, u64, Node)> = freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f.max(1), i as u64, Node::Leaf(i)))
+            .collect();
+        let mut tiebreak = n as u64;
+        while work.len() > 1 {
+            // Stable selection: lowest frequency, then lowest tiebreak, so
+            // the tree is deterministic.
+            work.sort_by_key(|&(f, t, _)| (f, t));
+            let (f1, _, n1) = work.remove(0);
+            let (f2, _, n2) = work.remove(0);
+            work.push((f1 + f2, tiebreak, Node::Internal(Box::new(n1), Box::new(n2))));
+            tiebreak += 1;
+        }
+        let root = work.pop().expect("work list non-empty").2;
+
+        let mut codes = vec![(0u64, 0u32); n];
+        let mut nodes: Vec<(i32, i32)> = Vec::new();
+
+        fn build(
+            node: &Node,
+            code: u64,
+            depth: u32,
+            codes: &mut [(u64, u32)],
+            nodes: &mut Vec<(i32, i32)>,
+        ) -> i32 {
+            match node {
+                Node::Leaf(sym) => {
+                    codes[*sym] = (code, depth.max(1));
+                    -((*sym as i32) + 1)
+                }
+                Node::Internal(l, r) => {
+                    let idx = nodes.len();
+                    nodes.push((0, 0));
+                    let li = build(l, code << 1, depth + 1, codes, nodes);
+                    let ri = build(r, (code << 1) | 1, depth + 1, codes, nodes);
+                    nodes[idx] = (li, ri);
+                    idx as i32
+                }
+            }
+        }
+        build(&root, 0, 0, &mut codes, &mut nodes);
+        Tree { codes, nodes }
+    }
+
+    /// Number of symbols in the alphabet.
+    pub fn alphabet_len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// The code width in bits for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    pub fn width(&self, symbol: usize) -> u32 {
+        self.codes[symbol].1
+    }
+
+    /// Writes the code for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    pub fn encode(&self, symbol: usize, out: &mut BitWriter) {
+        let (code, width) = self.codes[symbol];
+        out.write(code, width);
+    }
+
+    /// Reads one symbol, returning `(symbol, bits_consumed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsExhausted`] if the stream ends mid-code.
+    pub fn decode(&self, input: &mut BitReader<'_>) -> Result<(usize, u32), BitsExhausted> {
+        // Degenerate single-symbol alphabet still consumes its 1-bit code.
+        if self.codes.len() == 1 {
+            input.read(1)?;
+            return Ok((0, 1));
+        }
+        let mut node = 0i32;
+        let mut bits = 0u32;
+        loop {
+            let bit = input.read_bit()?;
+            bits += 1;
+            let (l, r) = self.nodes[node as usize];
+            let next = if bit { r } else { l };
+            if next < 0 {
+                return Ok(((-next - 1) as usize, bits));
+            }
+            node = next;
+        }
+    }
+
+    /// Approximate size in bits of the decode structure, charged to the
+    /// interpreter under the encoding-size accounting (two 16-bit links per
+    /// node).
+    pub fn table_bits(&self) -> u64 {
+        self.nodes.len() as u64 * 32
+    }
+
+    /// Expected code width in bits under the given frequency distribution.
+    pub fn expected_width(&self, freqs: &[u64]) -> f64 {
+        let total: u64 = freqs.iter().map(|&f| f.max(1)).sum();
+        self.codes
+            .iter()
+            .zip(freqs)
+            .map(|(&(_, w), &f)| w as f64 * f.max(1) as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Shannon entropy (bits/symbol) of a frequency distribution, the lower
+/// bound on any prefix code's expected width.
+pub fn entropy(freqs: &[u64]) -> f64 {
+    let total: u64 = freqs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    freqs
+        .iter()
+        .filter(|&&f| f > 0)
+        .map(|&f| {
+            let p = f as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(freqs: &[u64], symbols: &[usize]) {
+        let tree = Tree::from_frequencies(freqs);
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            tree.encode(s, &mut w);
+        }
+        let (buf, len) = w.finish();
+        let mut r = BitReader::new(&buf, len);
+        for &s in symbols {
+            let (got, bits) = tree.decode(&mut r).unwrap();
+            assert_eq!(got, s);
+            assert_eq!(bits, tree.width(s));
+        }
+        assert_eq!(r.position(), len);
+    }
+
+    #[test]
+    fn skewed_distribution_round_trips() {
+        round_trip(&[100, 10, 5, 1], &[0, 1, 2, 3, 0, 0, 1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn frequent_symbols_get_short_codes() {
+        let tree = Tree::from_frequencies(&[1000, 10, 10, 10]);
+        assert!(tree.width(0) < tree.width(1));
+        assert_eq!(tree.width(0), 1);
+    }
+
+    #[test]
+    fn uniform_distribution_is_balanced() {
+        let tree = Tree::from_frequencies(&[5, 5, 5, 5]);
+        for s in 0..4 {
+            assert_eq!(tree.width(s), 2);
+        }
+    }
+
+    #[test]
+    fn zero_frequency_symbols_remain_encodable() {
+        round_trip(&[100, 0, 0, 50], &[1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        round_trip(&[7], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn two_symbol_alphabet() {
+        let tree = Tree::from_frequencies(&[1, 1]);
+        assert_eq!(tree.width(0), 1);
+        assert_eq!(tree.width(1), 1);
+        round_trip(&[1, 1], &[0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn expected_width_at_least_entropy() {
+        let freqs = [50u64, 30, 12, 5, 2, 1];
+        let tree = Tree::from_frequencies(&freqs);
+        let h = entropy(&freqs);
+        let w = tree.expected_width(&freqs);
+        assert!(w >= h - 1e-9, "expected width {w} below entropy {h}");
+        assert!(w <= h + 1.0, "Huffman is within 1 bit of entropy");
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs = [13u64, 7, 7, 3, 2, 1, 1, 1];
+        let tree = Tree::from_frequencies(&freqs);
+        let kraft: f64 = (0..freqs.len())
+            .map(|s| 2f64.powi(-(tree.width(s) as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft sum {kraft}");
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let freqs = [40u64, 20, 10, 8, 4, 2, 1];
+        let tree = Tree::from_frequencies(&freqs);
+        let codes: Vec<(u64, u32)> = (0..freqs.len())
+            .map(|s| (tree.codes[s].0, tree.width(s)))
+            .collect();
+        for (i, &(ca, wa)) in codes.iter().enumerate() {
+            for (j, &(cb, wb)) in codes.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if wa <= wb {
+                    assert_ne!(cb >> (wb - wa), ca, "code {i} is a prefix of {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_mid_stream_error() {
+        let tree = Tree::from_frequencies(&[1, 1, 1, 1, 1]);
+        let buf = [0u8];
+        // Claim only 1 bit available; deep codes need more.
+        let mut r = BitReader::new(&buf, 1);
+        // Either decodes a 1-bit symbol or errors; must not panic. With 5
+        // uniform symbols no code is 1 bit, so this errors.
+        assert!(tree.decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Tree::from_frequencies(&[3, 3, 2, 2, 1]);
+        let b = Tree::from_frequencies(&[3, 3, 2, 2, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_bits_positive() {
+        let tree = Tree::from_frequencies(&[1, 2, 3]);
+        assert!(tree.table_bits() > 0);
+    }
+}

@@ -1,0 +1,307 @@
+//! The flat DIR program: a code array plus a procedure table.
+
+use crate::isa::{Inst, Opcode};
+
+/// Metadata for one procedure in a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcInfo {
+    /// Source-level name, for listings.
+    pub name: String,
+    /// Instruction index of the first instruction.
+    pub entry: u32,
+    /// One past the last instruction of this procedure.
+    pub end: u32,
+    /// Number of arguments popped by `Call`.
+    pub n_args: u32,
+    /// Frame slots to allocate on `Call` (includes compiler temporaries).
+    pub frame_size: u32,
+    /// Whether the procedure pushes a result before returning.
+    pub returns_value: bool,
+}
+
+/// A compiled DIR program.
+///
+/// Instruction indices into [`Program::code`] form the *DIR address space*:
+/// they key the dynamic translation buffer and are the operands of branch
+/// instructions. Index 0 begins the prelude, which initialises globals,
+/// calls the entry procedure and halts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The flat code array. The prelude occupies `0..procs[0].entry`.
+    pub code: Vec<Inst>,
+    /// Procedure table, in declaration order.
+    pub procs: Vec<ProcInfo>,
+    /// Index of the entry procedure (`main`).
+    pub entry_proc: u32,
+    /// Number of slots in the global area.
+    pub globals_size: u32,
+}
+
+/// A structural defect found by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Instruction index of the defect (or `code.len()` for global defects).
+    pub at: usize,
+    /// Description of the defect.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid DIR program at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Program {
+    /// Returns the procedure containing instruction `index`, if any (the
+    /// prelude belongs to no procedure).
+    pub fn proc_of(&self, index: u32) -> Option<&ProcInfo> {
+        self.procs
+            .iter()
+            .find(|p| p.entry <= index && index < p.end)
+    }
+
+    /// Static instruction count.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Returns `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Checks structural well-formedness: branch targets and callees in
+    /// range, frame slots within the owning procedure's frame, and every
+    /// procedure region closed (no fall-through past `end`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let err = |at: usize, message: String| Err(ValidateError { at, message });
+        if self.entry_proc as usize >= self.procs.len() {
+            return err(self.code.len(), "entry procedure out of range".into());
+        }
+        for (pi, p) in self.procs.iter().enumerate() {
+            if p.entry > p.end || p.end as usize > self.code.len() {
+                return err(
+                    p.entry as usize,
+                    format!("procedure {} has invalid code range", p.name),
+                );
+            }
+            if p.n_args > p.frame_size {
+                return err(
+                    p.entry as usize,
+                    format!("procedure {} has more args than frame slots", p.name),
+                );
+            }
+            for qi in 0..pi {
+                let q = &self.procs[qi];
+                if p.entry < q.end && q.entry < p.end {
+                    return err(
+                        p.entry as usize,
+                        format!("procedures {} and {} overlap", q.name, p.name),
+                    );
+                }
+            }
+        }
+        for (i, inst) in self.code.iter().enumerate() {
+            let frame_size = self.proc_of(i as u32).map(|p| p.frame_size).unwrap_or(0);
+            let check_slot = |slot: u32, count: u32, what: &str| -> Result<(), ValidateError> {
+                if slot >= count {
+                    Err(ValidateError {
+                        at: i,
+                        message: format!("{what} slot {slot} out of range (< {count})"),
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            if let Some(t) = inst.target() {
+                if t as usize >= self.code.len() {
+                    return err(i, format!("branch target {t} out of range"));
+                }
+            }
+            match *inst {
+                Inst::PushLocal(s) | Inst::StoreLocal(s) => {
+                    check_slot(s, frame_size, "frame")?;
+                }
+                Inst::PushGlobal(s) | Inst::StoreGlobal(s) => {
+                    check_slot(s, self.globals_size, "global")?;
+                }
+                Inst::LoadArrLocal { base, len } | Inst::StoreArrLocal { base, len }
+                    if base + len > frame_size => {
+                        return err(i, format!("frame array {base}+{len} out of range"));
+                    }
+                Inst::LoadArrGlobal { base, len } | Inst::StoreArrGlobal { base, len }
+                    if base + len > self.globals_size => {
+                        return err(i, format!("global array {base}+{len} out of range"));
+                    }
+                Inst::Call(p)
+                    if p as usize >= self.procs.len() => {
+                        return err(i, format!("callee {p} out of range"));
+                    }
+                Inst::BinLocals { a, b, dst, .. } => {
+                    check_slot(a, frame_size, "frame")?;
+                    check_slot(b, frame_size, "frame")?;
+                    check_slot(dst, frame_size, "frame")?;
+                }
+                Inst::IncLocal { slot, .. } | Inst::SetLocalConst { slot, .. } => {
+                    check_slot(slot, frame_size, "frame")?;
+                }
+                Inst::CmpConstBr { slot, .. } => {
+                    check_slot(slot, frame_size, "frame")?;
+                }
+                Inst::CmpLocalsBr { a, b, .. } => {
+                    check_slot(a, frame_size, "frame")?;
+                    check_slot(b, frame_size, "frame")?;
+                }
+                _ => {}
+            }
+        }
+        // Every procedure must end with an instruction that cannot fall
+        // through into the next region.
+        for p in &self.procs {
+            if p.entry == p.end {
+                return err(p.entry as usize, format!("procedure {} is empty", p.name));
+            }
+            let last = self.code[p.end as usize - 1];
+            if !matches!(last.opcode(), Opcode::Return | Opcode::Jump | Opcode::Halt) {
+                return err(
+                    p.end as usize - 1,
+                    format!("procedure {} can fall through its end", p.name),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts static occurrences of each opcode.
+    pub fn opcode_histogram(&self) -> [u64; crate::isa::OPCODE_COUNT] {
+        let mut h = [0u64; crate::isa::OPCODE_COUNT];
+        for inst in &self.code {
+            h[inst.opcode() as usize] += 1;
+        }
+        h
+    }
+}
+
+impl std::fmt::Display for Program {
+    /// Renders an assembler-style listing.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "; DIR program: {} instructions, {} procedures, {} globals",
+            self.code.len(),
+            self.procs.len(),
+            self.globals_size
+        )?;
+        for (i, inst) in self.code.iter().enumerate() {
+            if let Some(p) = self.procs.iter().find(|p| p.entry as usize == i) {
+                writeln!(
+                    f,
+                    "{}: ; frame={} args={}",
+                    p.name, p.frame_size, p.n_args
+                )?;
+            }
+            writeln!(f, "  {i:5}  {inst:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::AluOp;
+
+    fn tiny() -> Program {
+        Program {
+            code: vec![
+                Inst::Call(0), // prelude
+                Inst::Halt,
+                Inst::PushConst(2), // main
+                Inst::PushConst(3),
+                Inst::Bin(AluOp::Add),
+                Inst::Write,
+                Inst::Return,
+            ],
+            procs: vec![ProcInfo {
+                name: "main".into(),
+                entry: 2,
+                end: 7,
+                n_args: 0,
+                frame_size: 0,
+                returns_value: false,
+            }],
+            entry_proc: 0,
+            globals_size: 0,
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn detects_out_of_range_target() {
+        let mut p = tiny();
+        p.code[0] = Inst::Jump(99);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn detects_bad_slot() {
+        let mut p = tiny();
+        p.code[2] = Inst::PushLocal(0); // frame_size is 0
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn detects_bad_callee() {
+        let mut p = tiny();
+        p.code[0] = Inst::Call(3);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn detects_fall_through() {
+        let mut p = tiny();
+        p.code[6] = Inst::Pop;
+        let e = p.validate().unwrap_err();
+        assert!(e.message.contains("fall through"));
+    }
+
+    #[test]
+    fn detects_empty_proc() {
+        let mut p = tiny();
+        p.procs[0].end = p.procs[0].entry;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn proc_of_finds_owner() {
+        let p = tiny();
+        assert_eq!(p.proc_of(3).unwrap().name, "main");
+        assert!(p.proc_of(0).is_none()); // prelude
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let p = tiny();
+        let h = p.opcode_histogram();
+        assert_eq!(h[Opcode::PushConst as usize], 2);
+        assert_eq!(h[Opcode::Halt as usize], 1);
+    }
+
+    #[test]
+    fn listing_contains_proc_names() {
+        let text = tiny().to_string();
+        assert!(text.contains("main:"));
+        assert!(text.contains("PushConst"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Static representation statistics: the measurements behind Figure 1 and
+//! the encoding studies.
+
+use crate::encode::{Image, SchemeKind};
+use crate::huffman::entropy;
+use crate::isa::{FieldKind, Opcode, FIELD_KINDS, OPCODES, OPCODE_COUNT};
+use crate::program::Program;
+
+/// Static statistics of one DIR program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticStats {
+    /// Instruction count.
+    pub instructions: usize,
+    /// Static opcode histogram.
+    pub opcode_counts: [u64; OPCODE_COUNT],
+    /// Shannon entropy of the opcode distribution (bits/opcode).
+    pub opcode_entropy: f64,
+    /// Total operand fields per kind.
+    pub field_counts: [u64; FIELD_KINDS.len()],
+    /// Mean operand fields per instruction.
+    pub mean_fields: f64,
+}
+
+impl StaticStats {
+    /// Gathers statistics from a program.
+    pub fn collect(program: &Program) -> StaticStats {
+        let opcode_counts = program.opcode_histogram();
+        let mut field_counts = [0u64; FIELD_KINDS.len()];
+        let mut total_fields = 0u64;
+        for inst in &program.code {
+            for kind in inst.opcode().field_kinds() {
+                field_counts[kind.index()] += 1;
+                total_fields += 1;
+            }
+        }
+        StaticStats {
+            instructions: program.code.len(),
+            opcode_counts,
+            opcode_entropy: entropy(&opcode_counts),
+            field_counts,
+            mean_fields: if program.code.is_empty() {
+                0.0
+            } else {
+                total_fields as f64 / program.code.len() as f64
+            },
+        }
+    }
+
+    /// The `n` most frequent opcodes with their counts, descending.
+    pub fn top_opcodes(&self, n: usize) -> Vec<(Opcode, u64)> {
+        let mut pairs: Vec<(Opcode, u64)> = OPCODES
+            .iter()
+            .map(|&op| (op, self.opcode_counts[op as usize]))
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(n);
+        pairs
+    }
+
+    /// Count of operand fields of one kind.
+    pub fn fields_of(&self, kind: FieldKind) -> u64 {
+        self.field_counts[kind.index()]
+    }
+}
+
+/// Size/decode-cost summary of one encoded image, for representation-space
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageSummary {
+    /// The encoding scheme.
+    pub scheme: SchemeKind,
+    /// Program size in bits.
+    pub program_bits: u64,
+    /// Decoder-side table size in bits.
+    pub side_table_bits: u64,
+    /// Mean encoded instruction width in bits.
+    pub mean_inst_bits: f64,
+    /// Mean modelled decode cost per instruction (`d`).
+    pub mean_decode_cost: f64,
+}
+
+impl ImageSummary {
+    /// Summarises an image.
+    pub fn of(image: &Image) -> ImageSummary {
+        ImageSummary {
+            scheme: image.kind,
+            program_bits: image.program_bits(),
+            side_table_bits: image.side_table_bits,
+            mean_inst_bits: image.mean_inst_bits(),
+            mean_decode_cost: image.mean_decode_cost(),
+        }
+    }
+
+    /// Size reduction of this image relative to a baseline size in bits.
+    pub fn reduction_vs(&self, baseline_bits: u64) -> f64 {
+        1.0 - self.program_bits as f64 / baseline_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::encode::encode_all;
+
+    #[test]
+    fn collect_counts_match_program() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let st = StaticStats::collect(&p);
+        assert_eq!(st.instructions, p.code.len());
+        assert_eq!(
+            st.opcode_counts.iter().sum::<u64>() as usize,
+            p.code.len()
+        );
+        assert!(st.opcode_entropy > 1.0);
+        assert!(st.mean_fields > 0.0);
+    }
+
+    #[test]
+    fn top_opcodes_is_sorted_descending() {
+        let p = compile(&hlr::programs::MATMUL.compile().unwrap());
+        let st = StaticStats::collect(&p);
+        let top = st.top_opcodes(5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn image_summaries_track_the_tradeoff() {
+        let p = compile(&hlr::programs::QUEENS.compile().unwrap());
+        let summaries: Vec<ImageSummary> =
+            encode_all(&p).iter().map(ImageSummary::of).collect();
+        let byte = &summaries[0];
+        let pair = &summaries[4];
+        assert!(pair.reduction_vs(byte.program_bits) > 0.25);
+        assert!(pair.mean_decode_cost > byte.mean_decode_cost);
+    }
+
+    #[test]
+    fn fields_of_accessor() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let st = StaticStats::collect(&p);
+        assert!(st.fields_of(FieldKind::GlobalSlot) > 0);
+        assert!(st.fields_of(FieldKind::Target) > 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The abstract syntax tree produced by the [`parser`](crate::parser).
+//!
+//! Names are unresolved strings; the [`sema`](crate::sema) pass turns this
+//! into the resolved [`hir`](crate::hir) form in which every name has been
+//! bound to a (scope, slot) pair — the "binding" step of Rau's framework.
+
+use crate::types::Type;
+use crate::Span;
+
+/// A complete parsed program: a sequence of global variable declarations and
+/// procedure declarations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Global variables, in declaration order.
+    pub globals: Vec<VarDecl>,
+    /// Procedures, in declaration order.
+    pub procs: Vec<ProcDecl>,
+}
+
+/// A variable declaration: `int x := 3;`, `bool b;` or `int a[10];`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Declared name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional scalar initialiser (arrays cannot be initialised inline).
+    pub init: Option<Expr>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// A procedure declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcDecl {
+    /// Procedure name (the program entry point is `main`).
+    pub name: String,
+    /// Formal parameters (scalars only, passed by value).
+    pub params: Vec<Param>,
+    /// Optional scalar return type; `None` for proper procedures.
+    pub ret: Option<Type>,
+    /// The body block.
+    pub body: Block,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type (must be scalar).
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `begin ... end` block: local declarations followed by statements.
+///
+/// Each block is a *contour* in the sense of Johnston's contour model, which
+/// the paper invokes when describing contextual encodings: the set of names
+/// visible at a program point is bounded by the enclosing contours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Local declarations at the head of the block.
+    pub decls: Vec<VarDecl>,
+    /// The statements of the block.
+    pub stmts: Vec<Stmt>,
+    /// Source location of the whole block.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `x := e;`
+    Assign {
+        /// Target variable name.
+        name: String,
+        /// Assigned value.
+        value: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `a[i] := e;`
+    AssignIndexed {
+        /// Target array name.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// Assigned value.
+        value: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `if c then s [else s]`
+    If {
+        /// Condition (must be boolean).
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Box<Stmt>,
+        /// Optional else-branch.
+        else_branch: Option<Box<Stmt>>,
+        /// Location.
+        span: Span,
+    },
+    /// `while c do s`
+    While {
+        /// Loop condition (must be boolean).
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `for i := a to b do s` — inclusive upper bound, ascending.
+    For {
+        /// Induction variable (must be a declared `int`).
+        var: String,
+        /// Initial value.
+        from: Expr,
+        /// Final value (inclusive).
+        to: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// A nested `begin ... end` block.
+    Block(Block),
+    /// `call p(args);` — a call whose result (if any) is discarded.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `return;` or `return e;`
+    Return {
+        /// Returned value for function procedures.
+        value: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `write e;` — appends the value to the program output.
+    Write {
+        /// Written value.
+        value: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `skip;` — no operation.
+    Skip {
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source span of this statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::AssignIndexed { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Write { span, .. }
+            | Stmt::Skip { span } => *span,
+            Stmt::Block(b) => b.span,
+        }
+    }
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero is a runtime trap)
+    Div,
+    /// `%` (remainder; by zero is a runtime trap)
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (strict, both sides evaluated)
+    And,
+    /// `or` (strict, both sides evaluated)
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` if this operator takes integer operands.
+    pub fn takes_ints(self) -> bool {
+        !matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// Returns `true` if this operator produces a boolean result.
+    pub fn produces_bool(self) -> bool {
+        !matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+}
+
+impl std::fmt::Display for BinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// Array element `a[i]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Function call `f(args)` used as a value.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s) | Expr::Bool(_, s) | Expr::Var(_, s) => *s,
+            Expr::Index { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Add.takes_ints());
+        assert!(!BinOp::Add.produces_bool());
+        assert!(BinOp::Lt.takes_ints());
+        assert!(BinOp::Lt.produces_bool());
+        assert!(!BinOp::And.takes_ints());
+        assert!(BinOp::And.produces_bool());
+    }
+
+    #[test]
+    fn expr_span_accessors() {
+        let e = Expr::Int(1, Span::new(2, 3));
+        assert_eq!(e.span(), Span::new(2, 3));
+        let b = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Int(1, Span::new(0, 1))),
+            rhs: Box::new(Expr::Int(2, Span::new(2, 3))),
+            span: Span::new(0, 3),
+        };
+        assert_eq!(b.span(), Span::new(0, 3));
+    }
+
+    #[test]
+    fn stmt_span_accessors() {
+        let s = Stmt::Skip {
+            span: Span::new(5, 10),
+        };
+        assert_eq!(s.span(), Span::new(5, 10));
+    }
+
+    #[test]
+    fn binop_display() {
+        assert_eq!(BinOp::Ne.to_string(), "<>");
+        assert_eq!(BinOp::And.to_string(), "and");
+    }
+}

@@ -1,0 +1,174 @@
+//! Error types shared by the lexer, parser and semantic analyser.
+
+use crate::Span;
+
+/// A convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An error produced while processing RAUL source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Which pipeline stage rejected the input.
+    pub stage: Stage,
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Source location of the offending construct.
+    pub span: Span,
+}
+
+/// The pipeline stage that produced an [`Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution and type checking.
+    Sema,
+}
+
+impl Error {
+    /// Creates a lexical error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        Error {
+            stage: Stage::Lex,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a parse error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        Error {
+            stage: Stage::Parse,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a semantic error.
+    pub fn sema(message: impl Into<String>, span: Span) -> Self {
+        Error {
+            stage: Stage::Sema,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl Error {
+    /// Renders the error with source context: the offending line, a caret
+    /// marker under the span, and 1-based line/column coordinates.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let err = hlr::compile("proc main() begin write nope; end").unwrap_err();
+    /// let text = err.render("proc main() begin write nope; end");
+    /// assert!(text.contains("line 1"));
+    /// assert!(text.contains("^^^^"));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let (line_no, col, line_text) = locate(source, self.span.start);
+        let width = (self.span.end.saturating_sub(self.span.start)).max(1);
+        // Clamp the caret run to the end of the line.
+        let width = width.min(line_text.len().saturating_sub(col) + 1).max(1);
+        let stage = match self.stage {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Sema => "sema",
+        };
+        format!(
+            "{stage} error at line {line_no}, column {}: {}
+     |
+{line_no:4} | {line_text}
+     | {}{}
+",
+            col + 1,
+            self.message,
+            " ".repeat(col),
+            "^".repeat(width),
+        )
+    }
+}
+
+/// Finds the 1-based line number, 0-based column, and line text containing
+/// byte offset `at`.
+fn locate(source: &str, at: usize) -> (usize, usize, String) {
+    let at = at.min(source.len());
+    let mut line_start = 0usize;
+    let mut line_no = 1usize;
+    for (i, b) in source.bytes().enumerate() {
+        if i >= at {
+            break;
+        }
+        if b == b'\n' {
+            line_start = i + 1;
+            line_no += 1;
+        }
+    }
+    let line_end = source[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(source.len());
+    (
+        line_no,
+        at - line_start,
+        source[line_start..line_end].to_string(),
+    )
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = match self.stage {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Sema => "sema",
+        };
+        write!(f, "{} error at {}: {}", stage, self.span, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_span() {
+        let e = Error::parse("expected `;`", Span::new(4, 5));
+        assert_eq!(e.to_string(), "parse error at 4..5: expected `;`");
+    }
+
+    #[test]
+    fn render_points_at_the_problem() {
+        let src = "proc main() begin\n    write nope;\nend";
+        let err = crate::compile(src).unwrap_err();
+        let text = err.render(src);
+        assert!(text.contains("line 2"), "{text}");
+        assert!(text.contains("write nope;"), "{text}");
+        assert!(text.contains("^^^^"), "{text}");
+    }
+
+    #[test]
+    fn render_survives_out_of_range_span() {
+        let e = Error::sema("synthetic", Span::new(500, 510));
+        let text = e.render("short");
+        assert!(text.contains("synthetic"));
+    }
+
+    #[test]
+    fn render_first_line() {
+        let src = "int @;";
+        let err = crate::compile(src).unwrap_err();
+        let text = err.render(src);
+        assert!(text.contains("line 1, column 5"), "{text}");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,514 @@
+//! Reference evaluator for resolved programs.
+//!
+//! This is the "interpret the HLR directly" strategy from the paper's
+//! Section 1.1 (one of the three ways to support a high-level language).
+//! In this reproduction it serves two purposes:
+//!
+//! 1. It defines the *ground-truth semantics* of RAUL: every lower-level
+//!    execution path (pure DIR interpreter, DTB machine, i-cache machine)
+//!    must produce exactly the same output, and the test suites check this
+//!    differentially on both hand-written and randomly generated programs.
+//! 2. It gives the experiments a "semantic level = HLR" data point.
+//!
+//! Arithmetic is wrapping 64-bit; division and remainder by zero, and
+//! out-of-bounds array accesses, are runtime errors (the DIR machine traps
+//! identically).
+
+use crate::ast::{BinOp, UnOp};
+use crate::hir::{ArrRef, Expr, Program, Stmt, VarRef};
+
+/// Resource limits for an evaluation, preventing runaway generated programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of statements + expressions evaluated.
+    pub max_steps: u64,
+    /// Maximum procedure-call depth.
+    pub max_depth: u32,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_steps: 50_000_000,
+            max_depth: 10_000,
+        }
+    }
+}
+
+/// A runtime error raised by the evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Array index outside `0..len`.
+    IndexOutOfBounds {
+        /// The offending index value.
+        index: i64,
+        /// The array length.
+        len: u32,
+    },
+    /// The step limit was exhausted.
+    StepLimit,
+    /// The call-depth limit was exhausted.
+    DepthLimit,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::DivByZero => write!(f, "division by zero"),
+            EvalError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for array of length {len}")
+            }
+            EvalError::StepLimit => write!(f, "step limit exceeded"),
+            EvalError::DepthLimit => write!(f, "call depth limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates a program with default [`Limits`], returning its output.
+///
+/// # Errors
+///
+/// See [`EvalError`].
+///
+/// # Example
+///
+/// ```
+/// let p = hlr::compile("proc main() begin write 2 + 3; end")?;
+/// assert_eq!(hlr::eval::run(&p).unwrap(), vec![5]);
+/// # Ok::<(), hlr::Error>(())
+/// ```
+pub fn run(program: &Program) -> Result<Vec<i64>, EvalError> {
+    run_with_limits(program, Limits::default())
+}
+
+/// Evaluates a program under explicit [`Limits`].
+///
+/// # Errors
+///
+/// See [`EvalError`].
+pub fn run_with_limits(program: &Program, limits: Limits) -> Result<Vec<i64>, EvalError> {
+    let mut ev = Evaluator {
+        program,
+        globals: vec![0; program.globals_size as usize],
+        output: Vec::new(),
+        steps: 0,
+        limits,
+    };
+    let mut no_frame = Vec::new();
+    for stmt in &program.global_init {
+        ev.stmt(stmt, &mut no_frame, 0)?;
+    }
+    ev.call(program.entry, Vec::new(), 0)?;
+    Ok(ev.output)
+}
+
+/// Signals early exit from a statement sequence.
+enum Flow {
+    Normal,
+    Return(i64),
+}
+
+struct Evaluator<'p> {
+    program: &'p Program,
+    globals: Vec<i64>,
+    output: Vec<i64>,
+    steps: u64,
+    limits: Limits,
+}
+
+impl<'p> Evaluator<'p> {
+    fn tick(&mut self) -> Result<(), EvalError> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            Err(EvalError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn call(&mut self, proc: usize, args: Vec<i64>, depth: u32) -> Result<i64, EvalError> {
+        if depth >= self.limits.max_depth {
+            return Err(EvalError::DepthLimit);
+        }
+        let p = &self.program.procs[proc];
+        let mut frame = vec![0i64; p.frame_size as usize];
+        frame[..args.len()].copy_from_slice(&args);
+        for stmt in &p.body {
+            if let Flow::Return(v) = self.stmt(stmt, &mut frame, depth)? {
+                return Ok(v);
+            }
+        }
+        // Falling off the end of a function returns 0; of a proper
+        // procedure, the value is ignored by the caller.
+        Ok(0)
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, frame: &mut Vec<i64>, depth: u32) -> Result<Flow, EvalError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Store { var, value } => {
+                let v = self.expr(value, frame, depth)?;
+                self.store(*var, frame, v);
+            }
+            Stmt::StoreIndexed { arr, index, value } => {
+                let i = self.expr(index, frame, depth)?;
+                let v = self.expr(value, frame, depth)?;
+                let slot = self.element_slot(*arr, i)?;
+                if arr.global {
+                    self.globals[slot] = v;
+                } else {
+                    frame[slot] = v;
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.expr(cond, frame, depth)?;
+                let body = if c != 0 { then_branch } else { else_branch };
+                for s in body {
+                    if let Flow::Return(v) = self.stmt(s, frame, depth)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.expr(cond, frame, depth)? != 0 {
+                    for s in body {
+                        if let Flow::Return(v) = self.stmt(s, frame, depth)? {
+                            return Ok(Flow::Return(v));
+                        }
+                    }
+                    self.tick()?;
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let mut i = self.expr(from, frame, depth)?;
+                let hi = self.expr(to, frame, depth)?;
+                while i <= hi {
+                    self.store(*var, frame, i);
+                    for s in body {
+                        if let Flow::Return(v) = self.stmt(s, frame, depth)? {
+                            return Ok(Flow::Return(v));
+                        }
+                    }
+                    // The DIR lowering re-reads the variable, so mutation of
+                    // the induction variable inside the body is honoured.
+                    i = self.load(*var, frame).wrapping_add(1);
+                    self.tick()?;
+                }
+            }
+            Stmt::Block(body) => {
+                for s in body {
+                    if let Flow::Return(v) = self.stmt(s, frame, depth)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+            }
+            Stmt::CallStmt { proc, args, .. } => {
+                let argv = self.eval_args(args, frame, depth)?;
+                self.call(*proc, argv, depth + 1)?;
+            }
+            Stmt::Return(value) => {
+                let v = match value {
+                    Some(e) => self.expr(e, frame, depth)?,
+                    None => 0,
+                };
+                return Ok(Flow::Return(v));
+            }
+            Stmt::Write(value) => {
+                let v = self.expr(value, frame, depth)?;
+                self.output.push(v);
+            }
+            Stmt::Skip => {}
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn eval_args(
+        &mut self,
+        args: &[Expr],
+        frame: &mut Vec<i64>,
+        depth: u32,
+    ) -> Result<Vec<i64>, EvalError> {
+        args.iter()
+            .map(|a| self.expr(a, frame, depth))
+            .collect()
+    }
+
+    fn load(&self, var: VarRef, frame: &[i64]) -> i64 {
+        match var {
+            VarRef::Global { slot } => self.globals[slot as usize],
+            VarRef::Local { slot } => frame[slot as usize],
+        }
+    }
+
+    fn store(&mut self, var: VarRef, frame: &mut [i64], value: i64) {
+        match var {
+            VarRef::Global { slot } => self.globals[slot as usize] = value,
+            VarRef::Local { slot } => frame[slot as usize] = value,
+        }
+    }
+
+    fn element_slot(&self, arr: ArrRef, index: i64) -> Result<usize, EvalError> {
+        if index < 0 || index >= arr.len as i64 {
+            return Err(EvalError::IndexOutOfBounds {
+                index,
+                len: arr.len,
+            });
+        }
+        Ok((arr.base + index as u32) as usize)
+    }
+
+    fn expr(&mut self, e: &Expr, frame: &mut Vec<i64>, depth: u32) -> Result<i64, EvalError> {
+        self.tick()?;
+        match e {
+            Expr::Int(v) => Ok(*v),
+            Expr::Bool(b) => Ok(*b as i64),
+            Expr::Load(var) => Ok(self.load(*var, frame)),
+            Expr::LoadIndexed { arr, index } => {
+                let i = self.expr(index, frame, depth)?;
+                let slot = self.element_slot(*arr, i)?;
+                Ok(if arr.global {
+                    self.globals[slot]
+                } else {
+                    frame[slot]
+                })
+            }
+            Expr::Call { proc, args } => {
+                let argv = self.eval_args(args, frame, depth)?;
+                self.call(*proc, argv, depth + 1)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.expr(lhs, frame, depth)?;
+                let b = self.expr(rhs, frame, depth)?;
+                apply_binop(*op, a, b)
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.expr(operand, frame, depth)?;
+                Ok(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i64,
+                })
+            }
+        }
+    }
+}
+
+/// Applies a binary operator with RAUL semantics (wrapping arithmetic,
+/// 0/1 booleans, trapping division).
+///
+/// This function is shared conceptually with the DIR machine's ALU; the
+/// `uhm` crate's micro-ALU implements identical semantics and the test
+/// suites verify the two agree.
+///
+/// # Errors
+///
+/// Returns [`EvalError::DivByZero`] for `/` or `%` with a zero divisor.
+pub fn apply_binop(op: BinOp, a: i64, b: i64) -> Result<i64, EvalError> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(EvalError::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return Err(EvalError::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::And => ((a != 0) && (b != 0)) as i64,
+        BinOp::Or => ((a != 0) || (b != 0)) as i64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn out(src: &str) -> Vec<i64> {
+        run(&compile(src).unwrap()).unwrap()
+    }
+
+    fn err(src: &str) -> EvalError {
+        run(&compile(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn arithmetic_and_write() {
+        assert_eq!(out("proc main() begin write 2 + 3 * 4; end"), vec![14]);
+        assert_eq!(out("proc main() begin write 7 / 2; end"), vec![3]);
+        assert_eq!(out("proc main() begin write -7 % 3; end"), vec![-1]);
+        assert_eq!(out("proc main() begin write -(3 - 5); end"), vec![2]);
+    }
+
+    #[test]
+    fn booleans_written_as_bits() {
+        assert_eq!(
+            out("proc main() begin write true; write false; write not false; end"),
+            vec![1, 0, 1]
+        );
+        assert_eq!(
+            out("proc main() begin write 1 < 2 and 2 < 1 or true; end"),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let src = "proc main() begin
+            int i := 0; int s := 0;
+            while i < 10 do begin s := s + i; i := i + 1; end
+            write s;
+        end";
+        assert_eq!(out(src), vec![45]);
+    }
+
+    #[test]
+    fn for_loop_inclusive() {
+        assert_eq!(
+            out("proc main() begin int i; int s := 0; for i := 1 to 4 do s := s + i; write s; end"),
+            vec![10]
+        );
+    }
+
+    #[test]
+    fn for_loop_descending_range_skipped() {
+        assert_eq!(
+            out("proc main() begin int i; for i := 3 to 1 do write i; write 99; end"),
+            vec![99]
+        );
+    }
+
+    #[test]
+    fn arrays_and_bounds() {
+        let src = "proc main() begin
+            int a[3]; int i;
+            for i := 0 to 2 do a[i] := i * i;
+            write a[0] + a[1] + a[2];
+        end";
+        assert_eq!(out(src), vec![5]);
+        assert_eq!(
+            err("proc main() begin int a[3]; write a[3]; end"),
+            EvalError::IndexOutOfBounds { index: 3, len: 3 }
+        );
+        assert_eq!(
+            err("proc main() begin int a[3]; a[-1] := 0; skip; end"),
+            EvalError::IndexOutOfBounds { index: -1, len: 3 }
+        );
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        assert_eq!(err("proc main() begin write 1 / 0; end"), EvalError::DivByZero);
+        assert_eq!(err("proc main() begin write 1 % 0; end"), EvalError::DivByZero);
+    }
+
+    #[test]
+    fn recursion_fibonacci() {
+        let src = "proc fib(int n) -> int begin
+            if n < 2 then return n;
+            return fib(n - 1) + fib(n - 2);
+        end
+        proc main() begin write fib(10); end";
+        assert_eq!(out(src), vec![55]);
+    }
+
+    #[test]
+    fn globals_shared_across_calls() {
+        let src = "int counter := 0;
+        proc bump() begin counter := counter + 1; end
+        proc main() begin call bump(); call bump(); write counter; end";
+        assert_eq!(out(src), vec![2]);
+    }
+
+    #[test]
+    fn function_falls_off_end_returns_zero() {
+        let src = "proc f() -> int begin skip; end proc main() begin write f(); end";
+        assert_eq!(out(src), vec![0]);
+    }
+
+    #[test]
+    fn early_return_from_nested_loop() {
+        let src = "proc find(int needle) -> int begin
+            int i;
+            for i := 0 to 9 do begin
+                if i = needle then return i * 100;
+            end
+            return -1;
+        end
+        proc main() begin write find(4); write find(50); end";
+        assert_eq!(out(src), vec![400, -1]);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let src = "proc main() begin
+            write 9223372036854775807 + 1;
+        end";
+        assert_eq!(out(src), vec![i64::MIN]);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let p = compile("proc main() begin while true do skip; end").unwrap();
+        let r = run_with_limits(
+            &p,
+            Limits {
+                max_steps: 1000,
+                max_depth: 10,
+            },
+        );
+        assert_eq!(r.unwrap_err(), EvalError::StepLimit);
+    }
+
+    #[test]
+    fn depth_limit_stops_infinite_recursion() {
+        let p = compile(
+            "proc f() begin call f(); end proc main() begin call f(); end",
+        )
+        .unwrap();
+        let r = run_with_limits(
+            &p,
+            Limits {
+                max_steps: 1_000_000,
+                max_depth: 64,
+            },
+        );
+        assert_eq!(r.unwrap_err(), EvalError::DepthLimit);
+    }
+
+    #[test]
+    fn induction_variable_mutation_is_honoured() {
+        let src = "proc main() begin
+            int i;
+            for i := 0 to 9 do begin
+                write i;
+                i := i + 1;
+            end
+        end";
+        assert_eq!(out(src), vec![0, 2, 4, 6, 8]);
+    }
+}

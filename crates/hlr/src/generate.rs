@@ -1,0 +1,652 @@
+//! Seeded random RAUL program generator.
+//!
+//! Used by property tests and benchmarks for *differential testing*: every
+//! generated program terminates and is trap-free **by construction**, so all
+//! execution engines (reference evaluator, pure DIR interpreter, DTB
+//! machine, i-cache machine) must produce identical output on it.
+//!
+//! Safety-by-construction rules:
+//!
+//! * loops are `for` loops with constant bounds, or counted `while` loops
+//!   whose counter is *protected* (never assigned inside the body);
+//! * procedure calls only target lower-numbered procedures, so the call
+//!   graph is a DAG and recursion is impossible;
+//! * `/` and `%` only appear with non-zero constant divisors;
+//! * array indices are either in-range constants or `i % len` with a
+//!   protected, non-negative loop counter `i`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ast::*;
+use crate::types::Type;
+use crate::Span;
+
+/// Tuning knobs for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of helper procedures besides `main`.
+    pub n_procs: usize,
+    /// Statements per procedure body.
+    pub stmts_per_proc: usize,
+    /// Maximum expression depth.
+    pub max_expr_depth: u32,
+    /// Maximum statement nesting depth.
+    pub max_stmt_depth: u32,
+    /// Upper bound for loop trip counts.
+    pub max_trip: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n_procs: 3,
+            stmts_per_proc: 8,
+            max_expr_depth: 3,
+            max_stmt_depth: 3,
+            max_trip: 6,
+        }
+    }
+}
+
+/// Generates a random, terminating, trap-free program from `seed`.
+///
+/// The result always parses and passes semantic analysis, which the
+/// generator's own tests assert for many seeds.
+///
+/// # Example
+///
+/// ```
+/// let ast = hlr::generate::program(42, &hlr::generate::Config::default());
+/// let hir = hlr::sema::analyze(&ast).expect("generated programs are valid");
+/// hlr::eval::run(&hir).expect("generated programs are trap-free");
+/// ```
+pub fn program(seed: u64, config: &Config) -> Program {
+    Gen {
+        rng: StdRng::seed_from_u64(seed),
+        config: *config,
+        fresh: 0,
+    }
+    .program()
+}
+
+/// A variable visible to the generator.
+#[derive(Debug, Clone)]
+struct GVar {
+    name: String,
+    ty: Type,
+    /// Protected variables (loop counters) may be read but not assigned.
+    protected: bool,
+}
+
+/// Generation context for one procedure body.
+struct Scope {
+    vars: Vec<GVar>,
+    /// Procedures callable from here: indices < current proc index.
+    callable: usize,
+    /// Current loop nesting depth; calls are only generated at depth 0 so
+    /// that total work stays polynomial in the configuration.
+    loop_depth: u32,
+}
+
+struct Gen {
+    rng: StdRng,
+    config: Config,
+    fresh: u32,
+}
+
+/// Signatures of the helper procedures, decided up front.
+#[derive(Debug, Clone)]
+struct GSig {
+    name: String,
+    params: Vec<Type>,
+    ret: Option<Type>,
+}
+
+const SPAN: Span = Span { start: 0, end: 0 };
+
+impl Gen {
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}", self.fresh)
+    }
+
+    fn program(&mut self) -> Program {
+        // Decide signatures first so calls can be generated anywhere.
+        let mut sigs = Vec::new();
+        for i in 0..self.config.n_procs {
+            let n_params = self.rng.gen_range(0..=2);
+            let params = (0..n_params)
+                .map(|_| {
+                    if self.rng.gen_bool(0.8) {
+                        Type::Int
+                    } else {
+                        Type::Bool
+                    }
+                })
+                .collect();
+            let ret = if self.rng.gen_bool(0.6) {
+                Some(Type::Int)
+            } else {
+                None
+            };
+            sigs.push(GSig {
+                name: format!("p{i}"),
+                params,
+                ret,
+            });
+        }
+
+        // A couple of globals, including one array.
+        let globals = vec![
+            VarDecl {
+                name: "g0".into(),
+                ty: Type::Int,
+                init: Some(Expr::Int(self.rng.gen_range(-50..50), SPAN)),
+                span: SPAN,
+            },
+            VarDecl {
+                name: "g1".into(),
+                ty: Type::Int,
+                init: None,
+                span: SPAN,
+            },
+            VarDecl {
+                name: "garr".into(),
+                ty: Type::IntArray(8),
+                init: None,
+                span: SPAN,
+            },
+        ];
+
+        let mut procs = Vec::new();
+        for (i, sig) in sigs.iter().enumerate() {
+            procs.push(self.proc_decl(i, sig, &sigs));
+        }
+        procs.push(self.main_decl(&sigs));
+
+        Program { globals, procs }
+    }
+
+    fn base_scope(&self, callable: usize) -> Scope {
+        Scope {
+            loop_depth: 0,
+            vars: vec![
+                GVar {
+                    name: "g0".into(),
+                    ty: Type::Int,
+                    protected: false,
+                },
+                GVar {
+                    name: "g1".into(),
+                    ty: Type::Int,
+                    protected: false,
+                },
+                GVar {
+                    name: "garr".into(),
+                    ty: Type::IntArray(8),
+                    protected: false,
+                },
+            ],
+            callable,
+        }
+    }
+
+    fn proc_decl(&mut self, index: usize, sig: &GSig, sigs: &[GSig]) -> ProcDecl {
+        let mut scope = self.base_scope(index);
+        let params: Vec<Param> = sig
+            .params
+            .iter()
+            .enumerate()
+            .map(|(j, &ty)| {
+                let name = format!("a{j}");
+                scope.vars.push(GVar {
+                    name: name.clone(),
+                    ty,
+                    protected: false,
+                });
+                Param {
+                    name,
+                    ty,
+                    span: SPAN,
+                }
+            })
+            .collect();
+        let mut body = self.body(&mut scope, sigs, self.config.stmts_per_proc, 0);
+        if sig.ret.is_some() {
+            body.stmts.push(Stmt::Return {
+                value: Some(self.expr(&scope, sigs, Type::Int, 0)),
+                span: SPAN,
+            });
+        }
+        ProcDecl {
+            name: sig.name.clone(),
+            params,
+            ret: sig.ret,
+            body,
+            span: SPAN,
+        }
+    }
+
+    fn main_decl(&mut self, sigs: &[GSig]) -> ProcDecl {
+        let mut scope = self.base_scope(sigs.len());
+        let mut body = self.body(&mut scope, sigs, self.config.stmts_per_proc, 0);
+        // Always observe some state so differential tests compare real data.
+        body.stmts.push(Stmt::Write {
+            value: Expr::Var("g0".into(), SPAN),
+            span: SPAN,
+        });
+        body.stmts.push(Stmt::Write {
+            value: Expr::Var("g1".into(), SPAN),
+            span: SPAN,
+        });
+        body.stmts.push(Stmt::Write {
+            value: Expr::Index {
+                name: "garr".into(),
+                index: Box::new(Expr::Int(3, SPAN)),
+                span: SPAN,
+            },
+            span: SPAN,
+        });
+        ProcDecl {
+            name: "main".into(),
+            params: Vec::new(),
+            ret: None,
+            body,
+            span: SPAN,
+        }
+    }
+
+    fn body(&mut self, scope: &mut Scope, sigs: &[GSig], n_stmts: usize, depth: u32) -> Block {
+        let mark = scope.vars.len();
+        let mut decls = Vec::new();
+        // A few fresh locals.
+        for _ in 0..self.rng.gen_range(1..=2) {
+            let name = self.fresh_name("v");
+            let ty = if self.rng.gen_bool(0.85) {
+                Type::Int
+            } else {
+                Type::Bool
+            };
+            let init = Some(self.expr(scope, sigs, ty, 0));
+            decls.push(VarDecl {
+                name: name.clone(),
+                ty,
+                init,
+                span: SPAN,
+            });
+            scope.vars.push(GVar {
+                name,
+                ty,
+                protected: false,
+            });
+        }
+        let mut stmts = Vec::new();
+        for _ in 0..n_stmts {
+            stmts.push(self.stmt(scope, sigs, depth));
+        }
+        scope.vars.truncate(mark);
+        Block {
+            decls,
+            stmts,
+            span: SPAN,
+        }
+    }
+
+    fn stmt(&mut self, scope: &mut Scope, sigs: &[GSig], depth: u32) -> Stmt {
+        let max_depth = self.config.max_stmt_depth;
+        let choice = if depth >= max_depth {
+            self.rng.gen_range(0..4) // leaf statements only
+        } else {
+            self.rng.gen_range(0..9)
+        };
+        match choice {
+            // Leaf statements.
+            0 | 1 => {
+                // Scalar assignment to an unprotected variable.
+                if let Some(v) = self.pick_scalar(scope, None, false) {
+                    let value = self.expr(scope, sigs, v.1, 0);
+                    Stmt::Assign {
+                        name: v.0,
+                        value,
+                        span: SPAN,
+                    }
+                } else {
+                    Stmt::Skip { span: SPAN }
+                }
+            }
+            2 => {
+                // Array store with a safe constant index.
+                let index = Expr::Int(self.rng.gen_range(0..8), SPAN);
+                let value = self.expr(scope, sigs, Type::Int, 0);
+                Stmt::AssignIndexed {
+                    name: "garr".into(),
+                    index,
+                    value,
+                    span: SPAN,
+                }
+            }
+            3 => Stmt::Write {
+                value: self.expr(scope, sigs, Type::Int, 0),
+                span: SPAN,
+            },
+            // Structured statements.
+            4 | 5 => {
+                let cond = self.expr(scope, sigs, Type::Bool, 0);
+                let then_branch = Box::new(Stmt::Block(self.body(scope, sigs, 2, depth + 1)));
+                let else_branch = if self.rng.gen_bool(0.5) {
+                    Some(Box::new(Stmt::Block(self.body(scope, sigs, 2, depth + 1))))
+                } else {
+                    None
+                };
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span: SPAN,
+                }
+            }
+            6 => {
+                // Bounded for loop with a protected counter.
+                let var = self.fresh_name("i");
+                let trip = self.rng.gen_range(1..=self.config.max_trip) as i64;
+                scope.vars.push(GVar {
+                    name: var.clone(),
+                    ty: Type::Int,
+                    protected: true,
+                });
+                scope.loop_depth += 1;
+                let body = Box::new(Stmt::Block(self.body(scope, sigs, 2, depth + 1)));
+                scope.loop_depth -= 1;
+                scope.vars.pop();
+                // Counter must be declared: wrap in a block declaring it.
+                Stmt::Block(Block {
+                    decls: vec![VarDecl {
+                        name: var.clone(),
+                        ty: Type::Int,
+                        init: None,
+                        span: SPAN,
+                    }],
+                    stmts: vec![Stmt::For {
+                        var,
+                        from: Expr::Int(0, SPAN),
+                        to: Expr::Int(trip - 1, SPAN),
+                        body,
+                        span: SPAN,
+                    }],
+                    span: SPAN,
+                })
+            }
+            7 => {
+                // Counted while loop: `int c := k; while c > 0 do { ...; c := c - 1; }`
+                let var = self.fresh_name("c");
+                let trip = self.rng.gen_range(1..=self.config.max_trip) as i64;
+                scope.vars.push(GVar {
+                    name: var.clone(),
+                    ty: Type::Int,
+                    protected: true,
+                });
+                scope.loop_depth += 1;
+                let mut inner = self.body(scope, sigs, 2, depth + 1);
+                scope.loop_depth -= 1;
+                scope.vars.pop();
+                inner.stmts.push(Stmt::Assign {
+                    name: var.clone(),
+                    value: Expr::Binary {
+                        op: BinOp::Sub,
+                        lhs: Box::new(Expr::Var(var.clone(), SPAN)),
+                        rhs: Box::new(Expr::Int(1, SPAN)),
+                        span: SPAN,
+                    },
+                    span: SPAN,
+                });
+                Stmt::Block(Block {
+                    decls: vec![VarDecl {
+                        name: var.clone(),
+                        ty: Type::Int,
+                        init: Some(Expr::Int(trip, SPAN)),
+                        span: SPAN,
+                    }],
+                    stmts: vec![Stmt::While {
+                        cond: Expr::Binary {
+                            op: BinOp::Gt,
+                            lhs: Box::new(Expr::Var(var, SPAN)),
+                            rhs: Box::new(Expr::Int(0, SPAN)),
+                            span: SPAN,
+                        },
+                        body: Box::new(Stmt::Block(inner)),
+                        span: SPAN,
+                    }],
+                    span: SPAN,
+                })
+            }
+            _ => {
+                // Call a lower-numbered procedure, if any exists; never
+                // inside a loop (keeps generated work bounded).
+                if scope.callable == 0 || scope.loop_depth > 0 {
+                    return Stmt::Skip { span: SPAN };
+                }
+                let target = self.rng.gen_range(0..scope.callable);
+                let sig = sigs[target].clone();
+                let args = sig
+                    .params
+                    .iter()
+                    .map(|&ty| self.expr(scope, sigs, ty, 0))
+                    .collect();
+                Stmt::Call {
+                    name: sig.name,
+                    args,
+                    span: SPAN,
+                }
+            }
+        }
+    }
+
+    /// Picks a scalar variable of type `want` (or any scalar if `None`).
+    /// When `allow_protected` is false, loop counters are excluded.
+    fn pick_scalar(
+        &mut self,
+        scope: &Scope,
+        want: Option<Type>,
+        allow_protected: bool,
+    ) -> Option<(String, Type)> {
+        let candidates: Vec<_> = scope
+            .vars
+            .iter()
+            .filter(|v| v.ty.is_scalar())
+            .filter(|v| allow_protected || !v.protected)
+            .filter(|v| want.is_none_or(|t| v.ty == t))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let v = candidates[self.rng.gen_range(0..candidates.len())];
+        Some((v.name.clone(), v.ty))
+    }
+
+    fn expr(&mut self, scope: &Scope, sigs: &[GSig], ty: Type, depth: u32) -> Expr {
+        if depth >= self.config.max_expr_depth {
+            return self.leaf(scope, ty);
+        }
+        match ty {
+            Type::Int => match self.rng.gen_range(0..8) {
+                0 | 1 => self.leaf(scope, ty),
+                2..=4 => {
+                    let op = match self.rng.gen_range(0..5) {
+                        0 => BinOp::Add,
+                        1 => BinOp::Sub,
+                        2 => BinOp::Mul,
+                        3 => BinOp::Div,
+                        _ => BinOp::Mod,
+                    };
+                    let lhs = Box::new(self.expr(scope, sigs, Type::Int, depth + 1));
+                    let rhs = if matches!(op, BinOp::Div | BinOp::Mod) {
+                        // Non-zero constant divisor keeps the program trap-free.
+                        Box::new(Expr::Int(self.rng.gen_range(1..20), SPAN))
+                    } else {
+                        Box::new(self.expr(scope, sigs, Type::Int, depth + 1))
+                    };
+                    Expr::Binary {
+                        op,
+                        lhs,
+                        rhs,
+                        span: SPAN,
+                    }
+                }
+                5 => Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(self.expr(scope, sigs, Type::Int, depth + 1)),
+                    span: SPAN,
+                },
+                6 => {
+                    // Array read with a safe constant index.
+                    Expr::Index {
+                        name: "garr".into(),
+                        index: Box::new(Expr::Int(self.rng.gen_range(0..8), SPAN)),
+                        span: SPAN,
+                    }
+                }
+                _ => {
+                    // Call an int-returning lower procedure if possible;
+                    // never inside a loop (keeps generated work bounded).
+                    if scope.loop_depth > 0 {
+                        return self.leaf(scope, ty);
+                    }
+                    let candidates: Vec<usize> = (0..scope.callable)
+                        .filter(|&i| sigs[i].ret == Some(Type::Int))
+                        .collect();
+                    if candidates.is_empty() {
+                        return self.leaf(scope, ty);
+                    }
+                    let target = candidates[self.rng.gen_range(0..candidates.len())];
+                    let sig = sigs[target].clone();
+                    let args = sig
+                        .params
+                        .iter()
+                        .map(|&pty| self.expr(scope, sigs, pty, depth + 1))
+                        .collect();
+                    Expr::Call {
+                        name: sig.name,
+                        args,
+                        span: SPAN,
+                    }
+                }
+            },
+            Type::Bool => match self.rng.gen_range(0..6) {
+                0 => self.leaf(scope, ty),
+                1..=3 => {
+                    let op = match self.rng.gen_range(0..6) {
+                        0 => BinOp::Eq,
+                        1 => BinOp::Ne,
+                        2 => BinOp::Lt,
+                        3 => BinOp::Le,
+                        4 => BinOp::Gt,
+                        _ => BinOp::Ge,
+                    };
+                    Expr::Binary {
+                        op,
+                        lhs: Box::new(self.expr(scope, sigs, Type::Int, depth + 1)),
+                        rhs: Box::new(self.expr(scope, sigs, Type::Int, depth + 1)),
+                        span: SPAN,
+                    }
+                }
+                4 => {
+                    let op = if self.rng.gen_bool(0.5) {
+                        BinOp::And
+                    } else {
+                        BinOp::Or
+                    };
+                    Expr::Binary {
+                        op,
+                        lhs: Box::new(self.expr(scope, sigs, Type::Bool, depth + 1)),
+                        rhs: Box::new(self.expr(scope, sigs, Type::Bool, depth + 1)),
+                        span: SPAN,
+                    }
+                }
+                _ => Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(self.expr(scope, sigs, Type::Bool, depth + 1)),
+                    span: SPAN,
+                },
+            },
+            Type::IntArray(_) => unreachable!("arrays are never expression-typed"),
+        }
+    }
+
+    fn leaf(&mut self, scope: &Scope, ty: Type) -> Expr {
+        // Prefer a variable when one of the right type is in scope.
+        let gen_leaf = |g: &mut Gen| match ty {
+            Type::Int => Expr::Int(g.rng.gen_range(-100..100), SPAN),
+            Type::Bool => Expr::Bool(g.rng.gen_bool(0.5), SPAN),
+            Type::IntArray(_) => unreachable!(),
+        };
+        if self.rng.gen_bool(0.6) {
+            if let Some((name, _)) = self.pick_scalar(scope, Some(ty), true) {
+                return Expr::Var(name, SPAN);
+            }
+        }
+        gen_leaf(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval, sema};
+
+    #[test]
+    fn generated_programs_are_valid_and_terminate() {
+        for seed in 0..50 {
+            let ast = program(seed, &Config::default());
+            let hir = sema::analyze(&ast)
+                .unwrap_or_else(|e| panic!("seed {seed}: sema failed: {e}"));
+            let limits = eval::Limits {
+                max_steps: 20_000_000,
+                max_depth: 100,
+            };
+            eval::run_with_limits(&hir, limits)
+                .unwrap_or_else(|e| panic!("seed {seed}: eval failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_programs_pretty_print_and_reparse() {
+        for seed in 0..10 {
+            let ast = program(seed, &Config::default());
+            let text = crate::pretty::print(&ast);
+            let reparsed = crate::parser::parse(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{text}"));
+            let h1 = sema::analyze(&ast).unwrap();
+            let h2 = sema::analyze(&reparsed).unwrap();
+            assert_eq!(
+                eval::run(&h1).unwrap(),
+                eval::run(&h2).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = program(7, &Config::default());
+        let b = program(7, &Config::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = program(1, &Config::default());
+        let b = program(2, &Config::default());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn larger_configs_generate_more_procs() {
+        let cfg = Config {
+            n_procs: 6,
+            ..Config::default()
+        };
+        let ast = program(3, &cfg);
+        assert_eq!(ast.procs.len(), 7); // 6 helpers + main
+    }
+}

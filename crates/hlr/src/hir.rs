@@ -1,0 +1,219 @@
+//! The resolved, typed intermediate form produced by [`sema`](crate::sema).
+//!
+//! In Rau's terms this is the output of the first, permanent binding step:
+//! every symbolic name has been bound to a numeric (scope, slot) pair, the
+//! associative-memory assumption of the HLR has been discharged, and the
+//! hierarchical syntax is ready to be unravelled into a sequential DIR.
+
+use crate::ast::{BinOp, UnOp};
+use crate::types::Type;
+
+/// A resolved program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Number of value slots in the global area.
+    pub globals_size: u32,
+    /// Procedures, in declaration order.
+    pub procs: Vec<Proc>,
+    /// Index into [`Program::procs`] of the entry procedure (`main`).
+    pub entry: usize,
+    /// Statements that initialise global variables, executed before `main`.
+    pub global_init: Vec<Stmt>,
+}
+
+impl Program {
+    /// Returns the procedure with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn proc(&self, index: usize) -> &Proc {
+        &self.procs[index]
+    }
+}
+
+/// A resolved procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proc {
+    /// Source name, retained for diagnostics and listings.
+    pub name: String,
+    /// Number of parameters (always the first slots of the frame).
+    pub n_params: u32,
+    /// Total frame slots (parameters + all locals, with stack-disciplined
+    /// slot reuse between sibling contours).
+    pub frame_size: u32,
+    /// Return type, if this is a function procedure.
+    pub ret: Option<Type>,
+    /// The resolved body.
+    pub body: Vec<Stmt>,
+    /// Number of contours (nested blocks) in the body, for encoding
+    /// statistics.
+    pub contour_count: u32,
+    /// Maximum number of slots simultaneously visible in any contour —
+    /// bounds the operand-field width a contextual encoding needs.
+    pub max_visible_slots: u32,
+}
+
+/// A resolved scalar variable reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarRef {
+    /// A slot in the global area.
+    Global {
+        /// Slot index within the global area.
+        slot: u32,
+    },
+    /// A slot in the current procedure's frame.
+    Local {
+        /// Slot index within the frame.
+        slot: u32,
+    },
+}
+
+/// A resolved array reference: a contiguous run of slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrRef {
+    /// Whether the array lives in the global area or the frame.
+    pub global: bool,
+    /// First slot of the array.
+    pub base: u32,
+    /// Number of elements.
+    pub len: u32,
+}
+
+/// A resolved expression, annotated with its type by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer constant.
+    Int(i64),
+    /// Boolean constant.
+    Bool(bool),
+    /// Read a scalar variable.
+    Load(VarRef),
+    /// Read `arr[index]` with a bounds check at run time.
+    LoadIndexed {
+        /// The array.
+        arr: ArrRef,
+        /// Index expression (int).
+        index: Box<Expr>,
+    },
+    /// Call a function procedure and use its result.
+    Call {
+        /// Callee index into [`Program::procs`].
+        proc: usize,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+}
+
+/// A resolved statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var := value`.
+    Store {
+        /// Destination.
+        var: VarRef,
+        /// Source expression.
+        value: Expr,
+    },
+    /// `arr[index] := value` with a bounds check.
+    StoreIndexed {
+        /// Destination array.
+        arr: ArrRef,
+        /// Index expression.
+        index: Expr,
+        /// Source expression.
+        value: Expr,
+    },
+    /// Two-way branch.
+    If {
+        /// Boolean condition.
+        cond: Expr,
+        /// Taken when the condition is true.
+        then_branch: Vec<Stmt>,
+        /// Taken when the condition is false.
+        else_branch: Vec<Stmt>,
+    },
+    /// Pre-tested loop.
+    While {
+        /// Boolean condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Counted ascending loop with inclusive bound.
+    For {
+        /// Induction variable (int).
+        var: VarRef,
+        /// Initial value.
+        from: Expr,
+        /// Final value, evaluated once before the loop.
+        to: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A lowered `begin ... end` block; declarations have already become
+    /// explicit stores, so only the grouping remains.
+    Block(Vec<Stmt>),
+    /// Call a procedure for effect; any result is discarded.
+    CallStmt {
+        /// Callee index.
+        proc: usize,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Whether the callee returns a value that must be popped.
+        has_result: bool,
+    },
+    /// Return from the current procedure.
+    Return(Option<Expr>),
+    /// Append a value to the program output.
+    Write(Expr),
+    /// No operation.
+    Skip,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varref_is_copy_and_hash() {
+        fn assert_traits<T: Copy + std::hash::Hash + Eq>() {}
+        assert_traits::<VarRef>();
+        assert_traits::<ArrRef>();
+    }
+
+    #[test]
+    fn program_proc_accessor() {
+        let p = Program {
+            globals_size: 0,
+            procs: vec![Proc {
+                name: "main".into(),
+                n_params: 0,
+                frame_size: 0,
+                ret: None,
+                body: vec![],
+                contour_count: 1,
+                max_visible_slots: 0,
+            }],
+            entry: 0,
+            global_init: vec![],
+        };
+        assert_eq!(p.proc(0).name, "main");
+    }
+}

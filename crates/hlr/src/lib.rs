@@ -1,0 +1,137 @@
+//! # RAUL — a high-level representation (HLR) for the UHM reproduction
+//!
+//! This crate implements the *high-level representation* tier of Rau (1978),
+//! "Levels of Representation of Programs and the Architecture of Universal
+//! Host Machines". The paper characterises an HLR as a block-structured,
+//! ALGOL-like language with hierarchical syntax, symbolic names and scope
+//! rules (the *contour model*). RAUL is exactly that: a small ALGOL-60-like
+//! language with nested blocks, procedures, integer and boolean scalars and
+//! integer arrays.
+//!
+//! The crate provides:
+//!
+//! * [`lexer`] and [`parser`] — source text to [`ast::Program`];
+//! * [`sema`] — name resolution (contour-model scoping), type checking, and
+//!   slot assignment, producing a resolved [`hir::Program`];
+//! * [`programs`] — a library of sample workloads used throughout the
+//!   reproduction's experiments;
+//! * [`generate`] — a seeded random program generator used by property tests
+//!   and the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use hlr::compile;
+//!
+//! let src = r#"
+//!     proc main() begin
+//!         int i := 0;
+//!         int sum := 0;
+//!         while i < 10 do begin
+//!             sum := sum + i;
+//!             i := i + 1;
+//!         end
+//!         write sum;
+//!     end
+//! "#;
+//! let program = compile(src).expect("valid RAUL program");
+//! assert_eq!(program.procs.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod fold;
+pub mod generate;
+pub mod hir;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod programs;
+pub mod sema;
+pub mod token;
+pub mod types;
+
+pub use error::{Error, Result};
+pub use types::Type;
+
+/// A half-open byte range into the source text, used for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Parses and semantically analyses RAUL source text in one step.
+///
+/// This is the main entry point for downstream crates: it runs the lexer,
+/// parser and semantic analyser and returns the resolved [`hir::Program`]
+/// ready for compilation to a DIR.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error encountered.
+///
+/// # Example
+///
+/// ```
+/// let p = hlr::compile("proc main() begin write 42; end")?;
+/// assert_eq!(p.entry, 0);
+/// # Ok::<(), hlr::Error>(())
+/// ```
+pub fn compile(source: &str) -> Result<hir::Program> {
+    let ast = parser::parse(source)?;
+    sema::analyze(&ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+    }
+
+    #[test]
+    fn compile_smoke() {
+        let p = compile("proc main() begin write 1; end").unwrap();
+        assert_eq!(p.procs.len(), 1);
+    }
+
+    #[test]
+    fn compile_reports_parse_errors() {
+        assert!(compile("proc main( begin end").is_err());
+    }
+}

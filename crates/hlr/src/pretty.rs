@@ -1,0 +1,309 @@
+//! Pretty-printer for RAUL ASTs.
+//!
+//! Useful for debugging the [`generate`](crate::generate) module (every
+//! generated program can be rendered back to parseable source) and for
+//! measuring HLR static size in the Figure-1 representation-space study:
+//! the byte length of the pretty-printed source is the "HLR size" datum.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a program back to parseable RAUL source.
+///
+/// The output round-trips: `parse(print(parse(src)))` yields the same AST
+/// up to spans.
+///
+/// # Example
+///
+/// ```
+/// let ast = hlr::parser::parse("proc main() begin write 1 + 2; end")?;
+/// let text = hlr::pretty::print(&ast);
+/// let again = hlr::parser::parse(&text)?;
+/// assert_eq!(again.procs.len(), 1);
+/// # Ok::<(), hlr::Error>(())
+/// ```
+pub fn print(program: &Program) -> String {
+    let mut p = Printer::default();
+    for g in &program.globals {
+        p.var_decl(g);
+        p.out.push('\n');
+    }
+    for proc in &program.procs {
+        p.proc_decl(proc);
+        p.out.push('\n');
+    }
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line_start(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn var_decl(&mut self, d: &VarDecl) {
+        self.line_start();
+        match d.ty {
+            crate::types::Type::Int => {
+                let _ = write!(self.out, "int {}", d.name);
+            }
+            crate::types::Type::Bool => {
+                let _ = write!(self.out, "bool {}", d.name);
+            }
+            crate::types::Type::IntArray(n) => {
+                let _ = write!(self.out, "int {}[{n}]", d.name);
+            }
+        }
+        if let Some(init) = &d.init {
+            self.out.push_str(" := ");
+            self.expr(init);
+        }
+        self.out.push(';');
+    }
+
+    fn proc_decl(&mut self, p: &ProcDecl) {
+        self.line_start();
+        let _ = write!(self.out, "proc {}(", p.name);
+        for (i, param) in p.params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let _ = write!(self.out, "{} {}", param.ty, param.name);
+        }
+        self.out.push(')');
+        if let Some(ret) = p.ret {
+            let _ = write!(self.out, " -> {ret}");
+        }
+        self.out.push('\n');
+        self.block(&p.body);
+        self.out.push('\n');
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.line_start();
+        self.out.push_str("begin\n");
+        self.indent += 1;
+        for d in &b.decls {
+            self.var_decl(d);
+            self.out.push('\n');
+        }
+        for s in &b.stmts {
+            self.stmt(s);
+            self.out.push('\n');
+        }
+        self.indent -= 1;
+        self.line_start();
+        self.out.push_str("end");
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { name, value, .. } => {
+                self.line_start();
+                let _ = write!(self.out, "{name} := ");
+                self.expr(value);
+                self.out.push(';');
+            }
+            Stmt::AssignIndexed {
+                name, index, value, ..
+            } => {
+                self.line_start();
+                let _ = write!(self.out, "{name}[");
+                self.expr(index);
+                self.out.push_str("] := ");
+                self.expr(value);
+                self.out.push(';');
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.line_start();
+                self.out.push_str("if ");
+                self.expr(cond);
+                self.out.push_str(" then\n");
+                self.indent += 1;
+                self.stmt(then_branch);
+                self.indent -= 1;
+                if let Some(e) = else_branch {
+                    self.out.push('\n');
+                    self.line_start();
+                    self.out.push_str("else\n");
+                    self.indent += 1;
+                    self.stmt(e);
+                    self.indent -= 1;
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.line_start();
+                self.out.push_str("while ");
+                self.expr(cond);
+                self.out.push_str(" do\n");
+                self.indent += 1;
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                self.line_start();
+                let _ = write!(self.out, "for {var} := ");
+                self.expr(from);
+                self.out.push_str(" to ");
+                self.expr(to);
+                self.out.push_str(" do\n");
+                self.indent += 1;
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::Block(b) => self.block(b),
+            Stmt::Call { name, args, .. } => {
+                self.line_start();
+                let _ = write!(self.out, "call {name}(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push_str(");");
+            }
+            Stmt::Return { value, .. } => {
+                self.line_start();
+                self.out.push_str("return");
+                if let Some(v) = value {
+                    self.out.push(' ');
+                    self.expr(v);
+                }
+                self.out.push(';');
+            }
+            Stmt::Write { value, .. } => {
+                self.line_start();
+                self.out.push_str("write ");
+                self.expr(value);
+                self.out.push(';');
+            }
+            Stmt::Skip { .. } => {
+                self.line_start();
+                self.out.push_str("skip;");
+            }
+        }
+    }
+
+    /// Prints an expression fully parenthesised so that precedence never
+    /// changes on re-parse.
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(v, _) => {
+                // Negative literals cannot be re-lexed as a single token;
+                // parenthesise the unary minus form.
+                if *v < 0 {
+                    let _ = write!(self.out, "(-{})", v.unsigned_abs());
+                } else {
+                    let _ = write!(self.out, "{v}");
+                }
+            }
+            Expr::Bool(b, _) => {
+                let _ = write!(self.out, "{b}");
+            }
+            Expr::Var(name, _) => self.out.push_str(name),
+            Expr::Index { name, index, .. } => {
+                let _ = write!(self.out, "{name}[");
+                self.expr(index);
+                self.out.push(']');
+            }
+            Expr::Call { name, args, .. } => {
+                let _ = write!(self.out, "{name}(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                self.out.push('(');
+                self.expr(lhs);
+                let _ = write!(self.out, " {op} ");
+                self.expr(rhs);
+                self.out.push(')');
+            }
+            Expr::Unary { op, operand, .. } => {
+                self.out.push('(');
+                match op {
+                    UnOp::Neg => self.out.push('-'),
+                    UnOp::Not => self.out.push_str("not "),
+                }
+                self.expr(operand);
+                self.out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips spans so that ASTs can be compared structurally after a
+    /// print/parse round trip.
+    fn reparse(src: &str) -> String {
+        let ast = parse(src).unwrap();
+        print(&ast)
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let src = r#"
+            int g := 3;
+            int buf[4];
+            proc add(int a, int b) -> int begin return a + b; end
+            proc main() begin
+                int i;
+                for i := 0 to 3 do buf[i] := add(i, g);
+                if buf[0] = 3 and true then write 1; else write 0;
+                while g > 0 do begin g := g - 1; end
+                write -g;
+                skip;
+            end
+        "#;
+        let once = reparse(src);
+        let twice = reparse(&once);
+        assert_eq!(once, twice, "pretty output must be a fixed point");
+    }
+
+    #[test]
+    fn negative_literals_reparse() {
+        let once = reparse("proc main() begin write -5; end");
+        assert!(parse(&once).is_ok());
+    }
+
+    #[test]
+    fn parenthesisation_preserves_precedence() {
+        let src = "proc main() begin write (1 + 2) * 3; end";
+        let printed = reparse(src);
+        // Evaluate shape: must still be Mul at the top.
+        let ast = parse(&printed).unwrap();
+        match &ast.procs[0].body.stmts[0] {
+            Stmt::Write { value, .. } => {
+                assert!(matches!(value, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! A library of sample RAUL workloads.
+//!
+//! These stand in for the "representative programs" whose statistics the
+//! paper says would be needed for a quantitative evaluation (its Section 7
+//! laments "the lack of suitable statistics"). The set deliberately spans
+//! the behaviours that matter to a dynamic translation buffer:
+//!
+//! * tight loops with small working sets (`sieve`, `matmul`, `bubble_sort`)
+//!   — the DTB's best case, hit ratio near 1;
+//! * recursion (`fib_rec`, `ackermann`, `queens`) — deeper control locality;
+//! * straight-line, low-reuse code (`straightline`) — the DTB's worst case;
+//! * mixed integer kernels (`gcd_chain`, `collatz`, `primes`, `binsearch`).
+
+use crate::hir;
+use crate::{compile, Result};
+
+/// A named sample workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Short identifier used in benchmark output.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// RAUL source text.
+    pub source: &'static str,
+}
+
+impl Sample {
+    /// Compiles this sample to its resolved form.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in samples (the test suite compiles every
+    /// one); the `Result` guards against future edits.
+    pub fn compile(&self) -> Result<hir::Program> {
+        compile(self.source)
+    }
+}
+
+/// Sieve of Eratosthenes counting primes below 100.
+pub const SIEVE: Sample = Sample {
+    name: "sieve",
+    description: "sieve of Eratosthenes, primes below 100",
+    source: r#"
+        int flags[100];
+        proc main() begin
+            int i; int j; int count := 0;
+            for i := 2 to 99 do flags[i] := 1;
+            for i := 2 to 99 do begin
+                if flags[i] = 1 then begin
+                    j := i + i;
+                    while j < 100 do begin
+                        flags[j] := 0;
+                        j := j + i;
+                    end
+                end
+            end
+            for i := 2 to 99 do begin
+                if flags[i] = 1 then count := count + 1;
+            end
+            write count;
+        end
+    "#,
+};
+
+/// 8x8 integer matrix multiply; writes a checksum.
+pub const MATMUL: Sample = Sample {
+    name: "matmul",
+    description: "8x8 integer matrix multiply with checksum",
+    source: r#"
+        int a[64]; int b[64]; int c[64];
+        proc main() begin
+            int i; int j; int k; int acc; int sum := 0;
+            for i := 0 to 63 do begin
+                a[i] := i % 7 + 1;
+                b[i] := i % 5 + 1;
+            end
+            for i := 0 to 7 do begin
+                for j := 0 to 7 do begin
+                    acc := 0;
+                    for k := 0 to 7 do begin
+                        acc := acc + a[i * 8 + k] * b[k * 8 + j];
+                    end
+                    c[i * 8 + j] := acc;
+                end
+            end
+            for i := 0 to 63 do sum := sum + c[i];
+            write sum;
+        end
+    "#,
+};
+
+/// Iterative Fibonacci of 30.
+pub const FIB_ITER: Sample = Sample {
+    name: "fib_iter",
+    description: "iterative Fibonacci(30)",
+    source: r#"
+        proc main() begin
+            int a := 0; int b := 1; int i; int t;
+            for i := 1 to 30 do begin
+                t := a + b;
+                a := b;
+                b := t;
+            end
+            write a;
+        end
+    "#,
+};
+
+/// Recursive Fibonacci of 15.
+pub const FIB_REC: Sample = Sample {
+    name: "fib_rec",
+    description: "recursive Fibonacci(15)",
+    source: r#"
+        proc fib(int n) -> int begin
+            if n < 2 then return n;
+            return fib(n - 1) + fib(n - 2);
+        end
+        proc main() begin
+            write fib(15);
+        end
+    "#,
+};
+
+/// Bubble sort of a 24-element pseudo-random array; writes min, median, max.
+pub const BUBBLE_SORT: Sample = Sample {
+    name: "bubble_sort",
+    description: "bubble sort of 24 pseudo-random values",
+    source: r#"
+        int a[24];
+        proc main() begin
+            int i; int j; int t; int seed := 12345;
+            for i := 0 to 23 do begin
+                seed := (seed * 1103515245 + 12345) % 2147483648;
+                if seed < 0 then seed := -seed;
+                a[i] := seed % 1000;
+            end
+            for i := 0 to 22 do begin
+                for j := 0 to 22 - i do begin
+                    if a[j] > a[j + 1] then begin
+                        t := a[j];
+                        a[j] := a[j + 1];
+                        a[j + 1] := t;
+                    end
+                end
+            end
+            write a[0];
+            write a[12];
+            write a[23];
+        end
+    "#,
+};
+
+/// Ackermann(2, 3) by the textbook recursion.
+pub const ACKERMANN: Sample = Sample {
+    name: "ackermann",
+    description: "Ackermann(2, 3)",
+    source: r#"
+        proc ack(int m, int n) -> int begin
+            if m = 0 then return n + 1;
+            if n = 0 then return ack(m - 1, 1);
+            return ack(m - 1, ack(m, n - 1));
+        end
+        proc main() begin
+            write ack(2, 3);
+        end
+    "#,
+};
+
+/// Sum of gcd(i, 36) for i in 1..=60 by Euclid's algorithm.
+pub const GCD_CHAIN: Sample = Sample {
+    name: "gcd_chain",
+    description: "sum of gcd(i, 36) for i in 1..=60",
+    source: r#"
+        proc gcd(int a, int b) -> int begin
+            int t;
+            while b <> 0 do begin
+                t := a % b;
+                a := b;
+                b := t;
+            end
+            return a;
+        end
+        proc main() begin
+            int i; int s := 0;
+            for i := 1 to 60 do s := s + gcd(i, 36);
+            write s;
+        end
+    "#,
+};
+
+/// Longest Collatz chain length for starting points below 200.
+pub const COLLATZ: Sample = Sample {
+    name: "collatz",
+    description: "longest Collatz chain below 200",
+    source: r#"
+        proc chain(int n) -> int begin
+            int len := 1;
+            while n <> 1 do begin
+                if n % 2 = 0 then n := n / 2;
+                else n := 3 * n + 1;
+                len := len + 1;
+            end
+            return len;
+        end
+        proc main() begin
+            int i; int best := 0; int len;
+            for i := 1 to 199 do begin
+                len := chain(i);
+                if len > best then best := len;
+            end
+            write best;
+        end
+    "#,
+};
+
+/// Count of primes below 500 by trial division.
+pub const PRIMES: Sample = Sample {
+    name: "primes",
+    description: "count primes below 500 by trial division",
+    source: r#"
+        proc is_prime(int n) -> bool begin
+            int d := 2;
+            if n < 2 then return false;
+            while d * d <= n do begin
+                if n % d = 0 then return false;
+                d := d + 1;
+            end
+            return true;
+        end
+        proc main() begin
+            int i; int count := 0;
+            for i := 2 to 499 do begin
+                if is_prime(i) then count := count + 1;
+            end
+            write count;
+        end
+    "#,
+};
+
+/// Binary search over a sorted 32-element array; writes found positions.
+pub const BINSEARCH: Sample = Sample {
+    name: "binsearch",
+    description: "binary search over 32 sorted values",
+    source: r#"
+        int a[32];
+        proc search(int key) -> int begin
+            int lo := 0; int hi := 31; int mid;
+            while lo <= hi do begin
+                mid := (lo + hi) / 2;
+                if a[mid] = key then return mid;
+                if a[mid] < key then lo := mid + 1;
+                else hi := mid - 1;
+            end
+            return -1;
+        end
+        proc main() begin
+            int i; int hits := 0;
+            for i := 0 to 31 do a[i] := i * 3;
+            for i := 0 to 95 do begin
+                if search(i) >= 0 then hits := hits + 1;
+            end
+            write hits;
+        end
+    "#,
+};
+
+/// N-queens solution count for N = 6 (recursive backtracking).
+pub const QUEENS: Sample = Sample {
+    name: "queens",
+    description: "6-queens solution count",
+    source: r#"
+        int col[6];
+        int solutions := 0;
+        proc safe(int row) -> bool begin
+            int r := 0;
+            while r < row do begin
+                if col[r] = col[row] then return false;
+                if col[r] - col[row] = row - r then return false;
+                if col[row] - col[r] = row - r then return false;
+                r := r + 1;
+            end
+            return true;
+        end
+        proc place(int row) begin
+            int c;
+            if row = 6 then begin
+                solutions := solutions + 1;
+                return;
+            end
+            for c := 0 to 5 do begin
+                col[row] := c;
+                if safe(row) then call place(row + 1);
+            end
+        end
+        proc main() begin
+            call place(0);
+            write solutions;
+        end
+    "#,
+};
+
+/// A long straight-line computation with almost no reuse: the DTB's
+/// adversarial case (every instruction is translated, then never reused).
+pub const STRAIGHTLINE: Sample = Sample {
+    name: "straightline",
+    description: "straight-line low-reuse arithmetic (DTB adversarial case)",
+    source: r#"
+        proc main() begin
+            int x := 1;
+            x := x * 3 + 1; x := x * 7 - 2; x := x % 1000 + 17; x := x * 11 - 5;
+            x := x % 917 + 13; x := x * 5 + 3; x := x * 13 - 7; x := x % 811 + 29;
+            x := x * 17 + 1; x := x * 3 - 11; x := x % 701 + 31; x := x * 7 + 9;
+            x := x % 613 + 37; x := x * 19 - 3; x := x * 3 + 21; x := x % 503 + 41;
+            x := x * 23 + 5; x := x * 5 - 13; x := x % 419 + 43; x := x * 29 + 7;
+            x := x % 311 + 47; x := x * 31 - 17; x := x * 7 + 33; x := x % 211 + 53;
+            x := x * 37 + 11; x := x * 3 - 19; x := x % 109 + 59; x := x * 41 + 13;
+            write x;
+        end
+    "#,
+};
+
+/// A mixed workload: per-iteration branching over three small kernels.
+pub const MIXED: Sample = Sample {
+    name: "mixed",
+    description: "phase-changing mix of three kernels",
+    source: r#"
+        int acc := 0;
+        proc phase_a(int n) begin
+            int i;
+            for i := 0 to n do acc := acc + i * i;
+        end
+        proc phase_b(int n) begin
+            int i := n;
+            while i > 0 do begin
+                acc := acc + i % 3;
+                i := i - 1;
+            end
+        end
+        proc phase_c(int n) -> int begin
+            if n <= 1 then return 1;
+            return n * phase_c(n - 2);
+        end
+        proc main() begin
+            int round;
+            for round := 0 to 9 do begin
+                call phase_a(20);
+                call phase_b(30);
+                acc := acc + phase_c(9) % 97;
+            end
+            write acc;
+        end
+    "#,
+};
+
+/// Towers of Hanoi: counts moves for 10 discs (deep homogeneous
+/// recursion; the canonical high-reuse call pattern).
+pub const HANOI: Sample = Sample {
+    name: "hanoi",
+    description: "towers of Hanoi move count, 10 discs",
+    source: r#"
+        int moves := 0;
+        proc hanoi(int n, int src, int dst, int via) begin
+            if n = 0 then return;
+            call hanoi(n - 1, src, via, dst);
+            moves := moves + 1;
+            call hanoi(n - 1, via, dst, src);
+        end
+        proc main() begin
+            call hanoi(10, 1, 3, 2);
+            write moves;
+        end
+    "#,
+};
+
+/// Permutation counting by Heap's algorithm over a 6-element array
+/// (recursion with array mutation and backtracking).
+pub const PERM: Sample = Sample {
+    name: "perm",
+    description: "Heap's algorithm permutation count, n = 6",
+    source: r#"
+        int a[6];
+        int count := 0;
+        proc swap(int i, int j) begin
+            int t;
+            t := a[i];
+            a[i] := a[j];
+            a[j] := t;
+        end
+        proc permute(int k) begin
+            int i;
+            if k = 1 then begin
+                count := count + 1;
+                return;
+            end
+            for i := 0 to k - 1 do begin
+                call permute(k - 1);
+                if k % 2 = 0 then call swap(i, k - 1);
+                else call swap(0, k - 1);
+            end
+        end
+        proc main() begin
+            int i;
+            for i := 0 to 5 do a[i] := i;
+            call permute(6);
+            write count;
+        end
+    "#,
+};
+
+/// Strided dot products over two 48-element vectors (regular array
+/// traffic with three stride patterns).
+pub const DOT: Sample = Sample {
+    name: "dot",
+    description: "strided dot products over 48-element vectors",
+    source: r#"
+        int u[48];
+        int v[48];
+        proc dot_stride(int stride) -> int begin
+            int i := 0;
+            int acc := 0;
+            while i < 48 do begin
+                acc := acc + u[i] * v[i];
+                i := i + stride;
+            end
+            return acc;
+        end
+        proc main() begin
+            int i;
+            for i := 0 to 47 do begin
+                u[i] := i % 9 - 4;
+                v[i] := i % 7 - 3;
+            end
+            write dot_stride(1);
+            write dot_stride(2);
+            write dot_stride(3);
+        end
+    "#,
+};
+
+/// Fisher-Yates-style shuffle driven by an LCG, then a checksum walk
+/// (data-dependent array indexing).
+pub const SHUFFLE: Sample = Sample {
+    name: "shuffle",
+    description: "LCG-driven shuffle of 32 elements with checksum",
+    source: r#"
+        int a[32];
+        int seed := 99991;
+        proc next_rand(int bound) -> int begin
+            seed := (seed * 1103515245 + 12345) % 2147483648;
+            if seed < 0 then seed := -seed;
+            return seed % bound;
+        end
+        proc main() begin
+            int i; int j; int t; int sum := 0;
+            for i := 0 to 31 do a[i] := i;
+            i := 31;
+            while i > 0 do begin
+                j := next_rand(i + 1);
+                t := a[i];
+                a[i] := a[j];
+                a[j] := t;
+                i := i - 1;
+            end
+            for i := 0 to 31 do sum := sum + a[i] * i;
+            write sum;
+        end
+    "#,
+};
+
+/// All built-in samples, in a stable order.
+pub const ALL: &[Sample] = &[
+    SIEVE,
+    MATMUL,
+    FIB_ITER,
+    FIB_REC,
+    BUBBLE_SORT,
+    ACKERMANN,
+    GCD_CHAIN,
+    COLLATZ,
+    PRIMES,
+    BINSEARCH,
+    QUEENS,
+    STRAIGHTLINE,
+    MIXED,
+    HANOI,
+    PERM,
+    DOT,
+    SHUFFLE,
+];
+
+/// Looks up a sample by name.
+pub fn by_name(name: &str) -> Option<Sample> {
+    ALL.iter().copied().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+
+    #[test]
+    fn all_samples_compile() {
+        for s in ALL {
+            s.compile().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn all_samples_run_under_reference_evaluator() {
+        for s in ALL {
+            let p = s.compile().unwrap();
+            let out = eval::run(&p).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(!out.is_empty(), "{} produced no output", s.name);
+        }
+    }
+
+    #[test]
+    fn known_outputs() {
+        let cases: &[(&Sample, &[i64])] = &[
+            (&SIEVE, &[25]),
+            (&FIB_ITER, &[832040]),
+            (&FIB_REC, &[610]),
+            (&ACKERMANN, &[9]),
+            (&QUEENS, &[4]),
+            (&PRIMES, &[95]),
+            (&BINSEARCH, &[32]),
+            (&COLLATZ, &[125]),
+            (&HANOI, &[1023]),
+            (&PERM, &[720]),
+        ];
+        for (s, want) in cases {
+            let p = s.compile().unwrap();
+            let got = eval::run(&p).unwrap();
+            assert_eq!(&got, want, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_each_sample() {
+        for s in ALL {
+            assert_eq!(by_name(s.name).unwrap().name, s.name);
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ALL.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

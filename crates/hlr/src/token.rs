@@ -1,0 +1,232 @@
+//! Lexical tokens of RAUL.
+
+use crate::Span;
+
+/// A lexical token together with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Location in the source text.
+    pub span: Span,
+}
+
+/// The kinds of token produced by the [`lexer`](crate::lexer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal, e.g. `42`.
+    Int(i64),
+    /// An identifier, e.g. `count`.
+    Ident(String),
+
+    // Keywords.
+    /// `proc`
+    Proc,
+    /// `begin`
+    Begin,
+    /// `end`
+    End,
+    /// `int`
+    KwInt,
+    /// `bool`
+    KwBool,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `call`
+    Call,
+    /// `return`
+    Return,
+    /// `write`
+    Write,
+    /// `skip`
+    Skip,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:=`
+    Assign,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if `word` is a reserved word.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "proc" => TokenKind::Proc,
+            "begin" => TokenKind::Begin,
+            "end" => TokenKind::End,
+            "int" => TokenKind::KwInt,
+            "bool" => TokenKind::KwBool,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "do" => TokenKind::Do,
+            "for" => TokenKind::For,
+            "to" => TokenKind::To,
+            "call" => TokenKind::Call,
+            "return" => TokenKind::Return,
+            "write" => TokenKind::Write,
+            "skip" => TokenKind::Skip,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical source spelling of a fixed token, or a placeholder for
+    /// variable tokens.
+    fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Proc => "proc",
+            TokenKind::Begin => "begin",
+            TokenKind::End => "end",
+            TokenKind::KwInt => "int",
+            TokenKind::KwBool => "bool",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::Do => "do",
+            TokenKind::For => "for",
+            TokenKind::To => "to",
+            TokenKind::Call => "call",
+            TokenKind::Return => "return",
+            TokenKind::Write => "write",
+            TokenKind::Skip => "skip",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::And => "and",
+            TokenKind::Or => "or",
+            TokenKind::Not => "not",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Assign => ":=",
+            TokenKind::Arrow => "->",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Eq => "=",
+            TokenKind::Ne => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Int(_) | TokenKind::Ident(_) | TokenKind::Eof => "?",
+        }
+    }
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for word in [
+            "proc", "begin", "end", "int", "bool", "if", "then", "else", "while", "do", "for",
+            "to", "call", "return", "write", "skip", "true", "false", "and", "or", "not",
+        ] {
+            let tok = TokenKind::keyword(word).expect(word);
+            assert_eq!(tok.lexeme(), word);
+        }
+    }
+
+    #[test]
+    fn non_keyword_is_none() {
+        assert_eq!(TokenKind::keyword("main"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn describe_variable_tokens() {
+        assert_eq!(TokenKind::Int(7).describe(), "integer `7`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+        assert_eq!(TokenKind::Assign.describe(), "`:=`");
+    }
+}

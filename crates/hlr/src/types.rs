@@ -1,0 +1,68 @@
+//! The RAUL type system: integer and boolean scalars plus integer arrays.
+
+/// A RAUL type.
+///
+/// RAUL is deliberately small: the paper's arguments concern representation
+/// levels, not type-system power, so scalars and fixed-size integer arrays
+/// suffice to exercise operand addressing, contour-scoped name binding and
+/// the array-indexing semantic routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean, represented as 0/1 at the DIR level.
+    Bool,
+    /// Fixed-size array of integers; the payload is the element count.
+    IntArray(u32),
+}
+
+impl Type {
+    /// Returns `true` for scalar (non-array) types.
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Type::Int | Type::Bool)
+    }
+
+    /// Number of value slots this type occupies in a frame or the global
+    /// area.
+    pub fn slot_count(self) -> u32 {
+        match self {
+            Type::Int | Type::Bool => 1,
+            Type::IntArray(n) => n,
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+            Type::IntArray(n) => write!(f, "int[{n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_classification() {
+        assert!(Type::Int.is_scalar());
+        assert!(Type::Bool.is_scalar());
+        assert!(!Type::IntArray(4).is_scalar());
+    }
+
+    #[test]
+    fn slot_counts() {
+        assert_eq!(Type::Int.slot_count(), 1);
+        assert_eq!(Type::Bool.slot_count(), 1);
+        assert_eq!(Type::IntArray(16).slot_count(), 16);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::IntArray(3).to_string(), "int[3]");
+    }
+}

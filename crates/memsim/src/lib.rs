@@ -1,0 +1,24 @@
+//! # uhm-memsim — memory-hierarchy substrate
+//!
+//! The memory subsystems Rau (1978) assumes: a two-level store with the
+//! Section-7 cost parameters ([`hierarchy`]), set-associative LRU caches
+//! used both as the T3 baseline instruction cache and as the DTB address
+//! array ([`cache`]), and Denning working-set / LRU stack-distance analysis
+//! of reference traces ([`workset`]) backing the paper's locality argument.
+//!
+//! # Example
+//!
+//! ```
+//! use memsim::cache::{Access, Geometry, SetAssocCache};
+//!
+//! let mut cache = SetAssocCache::new(Geometry::new(64, 4));
+//! assert!(matches!(cache.access(0x1234), Access::Miss { .. }));
+//! assert_eq!(cache.access(0x1234), Access::Hit);
+//! ```
+
+pub mod cache;
+pub mod hierarchy;
+pub mod workset;
+
+pub use cache::{Access, CacheStats, Geometry, SetAssocCache};
+pub use hierarchy::{Level, MemoryCosts, ReferenceCounter};

@@ -1,0 +1,220 @@
+//! Working-set and stack-distance analysis of reference traces.
+//!
+//! Section 4 of the paper rests the DTB on the "principle of locality" and
+//! Denning's working-set model: over any interval, most references fall on
+//! a small subset of the address space. This module measures that property
+//! on concrete instruction traces, providing the empirical hit-ratio
+//! foundation the paper could only cite.
+
+use std::collections::HashMap;
+
+/// Average working-set size over a trace for one window length, per
+/// Denning's definition: the mean number of distinct addresses referenced
+/// in the window `(t - tau, t]`.
+pub fn working_set_size(trace: &[u64], tau: usize) -> f64 {
+    if trace.is_empty() || tau == 0 {
+        return 0.0;
+    }
+    // Sliding window with occurrence counts.
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    let mut total = 0u64;
+    for t in 0..trace.len() {
+        *counts.entry(trace[t]).or_insert(0) += 1;
+        if t >= tau {
+            let old = trace[t - tau];
+            let c = counts.get_mut(&old).expect("address in window");
+            *c -= 1;
+            if *c == 0 {
+                counts.remove(&old);
+            }
+        }
+        total += counts.len() as u64;
+    }
+    total as f64 / trace.len() as f64
+}
+
+/// LRU stack distance of every reference: the number of *distinct*
+/// addresses referenced since the previous reference to the same address
+/// (`None` for first references).
+///
+/// The distance equals the minimum fully-associative LRU capacity for
+/// which the reference hits, so the histogram of distances yields the
+/// entire hit-ratio-versus-capacity curve in one pass.
+pub fn stack_distances(trace: &[u64]) -> Vec<Option<usize>> {
+    // Move-to-front list; alphabets in this workload are small, so the
+    // O(n·u) scan is fine.
+    let mut stack: Vec<u64> = Vec::new();
+    let mut out = Vec::with_capacity(trace.len());
+    for &addr in trace {
+        match stack.iter().position(|&a| a == addr) {
+            Some(pos) => {
+                out.push(Some(pos));
+                stack.remove(pos);
+                stack.insert(0, addr);
+            }
+            None => {
+                out.push(None);
+                stack.insert(0, addr);
+            }
+        }
+    }
+    out
+}
+
+/// Hit ratio of a fully associative LRU cache of each given capacity, via
+/// the stack-distance histogram.
+pub fn lru_hit_ratios(trace: &[u64], capacities: &[usize]) -> Vec<f64> {
+    if trace.is_empty() {
+        return capacities.iter().map(|_| 0.0).collect();
+    }
+    let distances = stack_distances(trace);
+    // histogram[d] = number of references at stack distance d.
+    let mut histogram: Vec<u64> = Vec::new();
+    for d in distances.into_iter().flatten() {
+        if d >= histogram.len() {
+            histogram.resize(d + 1, 0);
+        }
+        histogram[d] += 1;
+    }
+    // Prefix sums: hits(capacity C) = sum of histogram[0..C].
+    let mut prefix = vec![0u64; histogram.len() + 1];
+    for (i, &h) in histogram.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + h;
+    }
+    let n = trace.len() as f64;
+    capacities
+        .iter()
+        .map(|&c| {
+            let hits = prefix[c.min(histogram.len())];
+            hits as f64 / n
+        })
+        .collect()
+}
+
+/// Summary locality statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityReport {
+    /// Trace length.
+    pub references: usize,
+    /// Distinct addresses.
+    pub unique: usize,
+    /// Mean working-set size at a window of 100 references.
+    pub ws100: f64,
+    /// Mean working-set size at a window of 1000 references.
+    pub ws1000: f64,
+    /// Hit ratio of a 64-entry fully associative LRU cache.
+    pub lru64: f64,
+}
+
+impl LocalityReport {
+    /// Builds the report for a trace.
+    pub fn measure(trace: &[u64]) -> LocalityReport {
+        let unique = {
+            let mut v: Vec<u64> = trace.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        LocalityReport {
+            references: trace.len(),
+            unique,
+            ws100: working_set_size(trace, 100),
+            ws1000: working_set_size(trace, 1000),
+            lru64: lru_hit_ratios(trace, &[64])[0],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_of_constant_trace_is_one() {
+        let trace = vec![5u64; 100];
+        assert!((working_set_size(&trace, 10) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn working_set_grows_with_window() {
+        let trace: Vec<u64> = (0..1000).map(|i| i % 50).collect();
+        let w10 = working_set_size(&trace, 10);
+        let w100 = working_set_size(&trace, 100);
+        assert!(w10 < w100);
+        assert!(w100 <= 50.0);
+    }
+
+    #[test]
+    fn working_set_window_larger_than_distinct_saturates() {
+        let trace: Vec<u64> = (0..400).map(|i| i % 4).collect();
+        let ws = working_set_size(&trace, 100);
+        assert!(ws > 3.5 && ws <= 4.0);
+    }
+
+    #[test]
+    fn stack_distance_basics() {
+        let d = stack_distances(&[1, 2, 1, 2, 3, 1]);
+        assert_eq!(
+            d,
+            vec![None, None, Some(1), Some(1), None, Some(2)]
+        );
+    }
+
+    #[test]
+    fn lru_hit_ratio_matches_simulated_cache() {
+        use crate::cache::{Access, Geometry, SetAssocCache};
+        let trace: Vec<u64> = (0..2000).map(|i| (i * i + i / 7) % 37).collect();
+        for cap in [4usize, 8, 16, 32] {
+            let analytic = lru_hit_ratios(&trace, &[cap])[0];
+            let mut cache = SetAssocCache::new(Geometry::fully_associative(cap));
+            let mut hits = 0u64;
+            for &a in &trace {
+                if cache.access(a) == Access::Hit {
+                    hits += 1;
+                }
+            }
+            let simulated = hits as f64 / trace.len() as f64;
+            assert!(
+                (analytic - simulated).abs() < 1e-9,
+                "cap {cap}: {analytic} vs {simulated}"
+            );
+        }
+    }
+
+    #[test]
+    fn hit_ratio_is_monotone_in_capacity() {
+        let trace: Vec<u64> = (0..5000).map(|i| (i * 13 + i % 11) % 97).collect();
+        let ratios = lru_hit_ratios(&trace, &[1, 2, 4, 8, 16, 32, 64, 128]);
+        for w in ratios.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn loop_trace_hits_once_capacity_covers_loop() {
+        // A loop over 10 addresses repeated 100 times.
+        let trace: Vec<u64> = (0..1000).map(|i| i % 10).collect();
+        let ratios = lru_hit_ratios(&trace, &[9, 10]);
+        // Capacity 9 thrashes under LRU (classic pathological case);
+        // capacity 10 captures everything but cold misses.
+        assert!(ratios[0] < 0.01);
+        assert!(ratios[1] > 0.98);
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let trace: Vec<u64> = (0..3000).map(|i| i % 20).collect();
+        let r = LocalityReport::measure(&trace);
+        assert_eq!(r.references, 3000);
+        assert_eq!(r.unique, 20);
+        assert!(r.lru64 > 0.99);
+        assert!(r.ws100 <= 20.0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        assert_eq!(working_set_size(&[], 10), 0.0);
+        assert!(stack_distances(&[]).is_empty());
+        assert_eq!(lru_hit_ratios(&[], &[4]), vec![0.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # uhm-psder — the procedurally structured DER
+//!
+//! The *PSDER* tier of Rau (1978): semantically identical to the DIR but
+//! directly executable, expressed as short steering sequences (CALL / PUSH
+//! / POP / INTERP, module [`short`]) that invoke generalised semantic
+//! routines written in long-format horizontal microinstructions
+//! ([`micro`], [`routines`]).
+//!
+//! [`translator`] holds the almost-one-to-one DIR→PSDER templates used by
+//! the dynamic translator and the pure interpreter alike; [`engine`] is the
+//! shared architectural state (operand stack, return-address stack, frames,
+//! register file); [`interp`] is a cost-free reference interpreter that the
+//! `uhm` crate's cycle-accounted machines are differentially tested
+//! against.
+//!
+//! # Example
+//!
+//! ```
+//! let hir = hlr::compile("proc main() begin write 40 + 2; end")?;
+//! let prog = dir::compiler::compile(&hir);
+//! assert_eq!(psder::interp::run(&prog).unwrap(), vec![42]);
+//! # Ok::<(), hlr::Error>(())
+//! ```
+
+pub mod engine;
+pub mod micro;
+pub mod interp;
+pub mod listing;
+pub mod routines;
+pub mod short;
+pub mod translator;
+pub mod verify;
+
+pub use engine::{Engine, MicroEffect, ShortEffect};
+pub use routines::RoutineLib;
+pub use short::{InterpMode, PopMode, PushMode, RoutineId, ShortInstr};
+pub use translator::{translate, MAX_TRANSLATION_WORDS};

@@ -1,0 +1,207 @@
+//! Long-format horizontal microinstructions: the machine language of IU1.
+//!
+//! Section 6.2 contrasts the two instruction units: IU2's instructions are
+//! "of a short, vertical format" while IU1's "must exercise detailed
+//! control over the configuration of the data paths \[and\] could be of a
+//! long, horizontal format". A [`MicroWord`] is one such long instruction:
+//! up to [`MicroWord::WIDTH`] micro-operations issued in the same cycle
+//! (the paper's §6.1 "high parallelism so that performance may be
+//! preserved despite ... a primitive functional capability").
+//!
+//! Every word costs one level-1 cycle (`t1`); the ops within a word take
+//! effect in listed order, modelling chained functional units along the
+//! restructured data path.
+
+use dir::AluOp;
+
+/// A scratch register of the micro-engine's register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// General register A (first ALU input by convention).
+    A = 0,
+    /// General register B (second ALU input by convention).
+    B = 1,
+    /// General register C.
+    C = 2,
+    /// General register D.
+    D = 3,
+    /// Result register R.
+    R = 4,
+}
+
+/// Number of registers in the file.
+pub const REG_COUNT: usize = 5;
+
+/// One micro-operation: a single functional-unit activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Pop the operand stack into a register.
+    Pop(Reg),
+    /// Push a register onto the operand stack.
+    Push(Reg),
+    /// `dst := a op b`; traps on division by zero.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Left input.
+        a: Reg,
+        /// Right input.
+        b: Reg,
+        /// Destination.
+        dst: Reg,
+    },
+    /// `dst := -src` (wrapping).
+    NegOp {
+        /// Input.
+        src: Reg,
+        /// Destination.
+        dst: Reg,
+    },
+    /// `dst := (src == 0)` as 0/1.
+    NotOp {
+        /// Input.
+        src: Reg,
+        /// Destination.
+        dst: Reg,
+    },
+    /// `dst := if cond == 0 { if_zero } else { if_nonzero }`.
+    SelectZero {
+        /// Condition register.
+        cond: Reg,
+        /// Chosen when the condition is zero.
+        if_zero: Reg,
+        /// Chosen otherwise.
+        if_nonzero: Reg,
+        /// Destination.
+        dst: Reg,
+    },
+    /// Traps with an index-out-of-bounds error unless `0 <= idx < len`.
+    CheckIdx {
+        /// Register holding the index.
+        idx: Reg,
+        /// Register holding the length.
+        len: Reg,
+    },
+    /// `dst := frame[addr]`.
+    LoadFrame {
+        /// Register holding the slot number.
+        addr: Reg,
+        /// Destination.
+        dst: Reg,
+    },
+    /// `frame[addr] := src`.
+    StoreFrame {
+        /// Register holding the slot number.
+        addr: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// `dst := globals[addr]`.
+    LoadGlobal {
+        /// Register holding the slot number.
+        addr: Reg,
+        /// Destination.
+        dst: Reg,
+    },
+    /// `globals[addr] := src`.
+    StoreGlobal {
+        /// Register holding the slot number.
+        addr: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// Append a register to the program output.
+    Output(Reg),
+    /// Push a register onto the DIR-level return-address stack (the
+    /// hardware stack the paper says the CALL instruction "benefits
+    /// greatly" from).
+    PushRa(Reg),
+    /// Pop the return-address stack into a register.
+    PopRa(Reg),
+    /// Allocate the frame for procedure number `proc`, popping its
+    /// arguments from the operand stack into the new frame's first slots.
+    NewFrame {
+        /// Register holding the procedure index.
+        proc: Reg,
+    },
+    /// Release the current frame.
+    DropFrame,
+    /// `dst := ` entry DIR address of procedure number `proc`.
+    EntryOf {
+        /// Register holding the procedure index.
+        proc: Reg,
+        /// Destination.
+        dst: Reg,
+    },
+    /// Stop the machine.
+    HaltOp,
+}
+
+/// One long-format instruction: up to [`MicroWord::WIDTH`] micro-ops
+/// issued in a single cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicroWord {
+    ops: Vec<MicroOp>,
+}
+
+impl MicroWord {
+    /// Maximum micro-ops per word (the horizontal issue width).
+    pub const WIDTH: usize = 3;
+
+    /// Creates a word from its ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MicroWord::WIDTH`] ops are supplied, or none.
+    pub fn new(ops: Vec<MicroOp>) -> MicroWord {
+        assert!(!ops.is_empty(), "a micro word must do something");
+        assert!(
+            ops.len() <= Self::WIDTH,
+            "micro word exceeds issue width {}",
+            Self::WIDTH
+        );
+        MicroWord { ops }
+    }
+
+    /// The ops of this word, in issue order.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+}
+
+/// Builds a micro word; panics at construction time if over-wide.
+#[macro_export]
+macro_rules! mword {
+    ($($op:expr),+ $(,)?) => {
+        $crate::micro::MicroWord::new(vec![$($op),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_width_enforced() {
+        let w = mword![MicroOp::Pop(Reg::A), MicroOp::Push(Reg::A)];
+        assert_eq!(w.ops().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width")]
+    fn over_wide_word_rejected() {
+        MicroWord::new(vec![
+            MicroOp::Pop(Reg::A),
+            MicroOp::Pop(Reg::B),
+            MicroOp::Pop(Reg::C),
+            MicroOp::Pop(Reg::D),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must do something")]
+    fn empty_word_rejected() {
+        MicroWord::new(vec![]);
+    }
+}

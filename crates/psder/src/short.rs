@@ -1,0 +1,176 @@
+//! The short-format instruction set executed by IU2 out of the dynamic
+//! translation buffer.
+//!
+//! Section 6.2: "the instruction set recognized by IU2 includes CALL, PUSH
+//! and POP instructions ... the most important short format instruction is
+//! the INTERP instruction", and "the short format instructions come in
+//! different flavors to permit the operand specification to be immediate,
+//! direct or indirect". Here PUSH/POP carry immediate and direct (frame or
+//! global slot) modes; INTERP comes in the immediate and stack flavors the
+//! paper describes.
+
+use dir::AluOp;
+
+/// Operand flavour of a `PUSH` short instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PushMode {
+    /// Push the literal value (immediate mode).
+    Imm(i64),
+    /// Push the contents of a frame slot (direct mode).
+    Local(u32),
+    /// Push the contents of a global slot (direct mode).
+    Global(u32),
+}
+
+/// Operand flavour of a `POP` short instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PopMode {
+    /// Discard the popped value.
+    Discard,
+    /// Store the popped value into a frame slot.
+    Local(u32),
+    /// Store the popped value into a global slot.
+    Global(u32),
+}
+
+/// Operand flavour of the `INTERP` instruction: "the INTERP instruction,
+/// therefore, must come in two flavors depending on whether the operand is
+/// specified immediately or left on the stack".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterpMode {
+    /// The next DIR address is an immediate operand.
+    Imm(u32),
+    /// The next DIR address is popped from the operand stack.
+    Stack,
+}
+
+/// A short-format (vertical) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShortInstr {
+    /// Push a value onto the operand stack.
+    Push(PushMode),
+    /// Pop a value from the operand stack.
+    Pop(PopMode),
+    /// Call a semantic routine; control passes to IU1 until it returns.
+    Call(RoutineId),
+    /// Transfer control to the PSDER translation of the next DIR
+    /// instruction, exercising the DTB.
+    Interp(InterpMode),
+}
+
+impl ShortInstr {
+    /// Returns the routine invoked by this instruction, if it is a CALL.
+    pub fn routine(self) -> Option<RoutineId> {
+        match self {
+            ShortInstr::Call(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Identifies a semantic routine in the [`routine
+/// library`](crate::routines::RoutineLib).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutineId {
+    /// Binary ALU operation: pops `b` then `a`, pushes `a op b`.
+    Bin(AluOp),
+    /// Arithmetic negation of the top of stack.
+    NegR,
+    /// Logical negation of the top of stack.
+    NotR,
+    /// Bounds-checked array load from the frame.
+    LoadArrLocal,
+    /// Bounds-checked array load from the global area.
+    LoadArrGlobal,
+    /// Bounds-checked array store into the frame.
+    StoreArrLocal,
+    /// Bounds-checked array store into the global area.
+    StoreArrGlobal,
+    /// Two-way select: pops fall-through and taken addresses, then the
+    /// condition; pushes the chosen address for `INTERP stack`.
+    Select,
+    /// Fused compare-and-branch: pops next, target, operand `b`, operand
+    /// `a`; pushes `target` when `a op b` is false, else `next`.
+    CmpBr(AluOp),
+    /// DIR-level procedure call: builds the callee frame, saves the return
+    /// DIR address on the return-address stack, pushes the callee entry.
+    DirCall,
+    /// DIR-level return: drops the frame, pushes the saved return address.
+    DirRet,
+    /// Pops and appends to the program output.
+    WriteR,
+    /// Stops the machine.
+    HaltR,
+}
+
+/// Number of distinct routines in the library.
+pub const ROUTINE_COUNT: usize = 13 * 2 + 11;
+
+impl RoutineId {
+    /// Dense index of this routine within the library table.
+    pub fn index(self) -> usize {
+        match self {
+            RoutineId::Bin(op) => op as usize,
+            RoutineId::CmpBr(op) => 13 + op as usize,
+            RoutineId::NegR => 26,
+            RoutineId::NotR => 27,
+            RoutineId::LoadArrLocal => 28,
+            RoutineId::LoadArrGlobal => 29,
+            RoutineId::StoreArrLocal => 30,
+            RoutineId::StoreArrGlobal => 31,
+            RoutineId::Select => 32,
+            RoutineId::DirCall => 33,
+            RoutineId::DirRet => 34,
+            RoutineId::WriteR => 35,
+            RoutineId::HaltR => 36,
+        }
+    }
+
+    /// All routines, in index order.
+    pub fn all() -> Vec<RoutineId> {
+        let mut v = Vec::with_capacity(ROUTINE_COUNT);
+        for op in dir::isa::ALU_OPS {
+            v.push(RoutineId::Bin(op));
+        }
+        for op in dir::isa::ALU_OPS {
+            v.push(RoutineId::CmpBr(op));
+        }
+        v.extend([
+            RoutineId::NegR,
+            RoutineId::NotR,
+            RoutineId::LoadArrLocal,
+            RoutineId::LoadArrGlobal,
+            RoutineId::StoreArrLocal,
+            RoutineId::StoreArrGlobal,
+            RoutineId::Select,
+            RoutineId::DirCall,
+            RoutineId::DirRet,
+            RoutineId::WriteR,
+            RoutineId::HaltR,
+        ]);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routine_indices_are_dense_and_unique() {
+        let all = RoutineId::all();
+        assert_eq!(all.len(), ROUTINE_COUNT);
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(r.index(), i, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn routine_accessor() {
+        assert_eq!(
+            ShortInstr::Call(RoutineId::WriteR).routine(),
+            Some(RoutineId::WriteR)
+        );
+        assert_eq!(ShortInstr::Pop(PopMode::Discard).routine(), None);
+    }
+}

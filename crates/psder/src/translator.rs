@@ -1,0 +1,290 @@
+//! The DIR → PSDER translation templates.
+//!
+//! This mapping is the heart of dynamic translation: each DIR instruction
+//! becomes a short sequence of IU2 instructions that steer control to the
+//! semantic routines and pass parameters, ending with the INTERP that
+//! chains to the next DIR instruction (§6.2). The mapping is "almost
+//! one-to-one", which is why the paper argues the dynamic translator is
+//! barely more complex than an interpreter.
+//!
+//! The same templates serve three consumers:
+//!
+//! * the **dynamic translator** fills DTB allocation units with them;
+//! * the **pure interpreter** executes them directly after decoding,
+//!   without storing them anywhere;
+//! * the **cost model** measures `s1` (short words per DIR instruction)
+//!   and `g` (generation cost) from them.
+
+use dir::isa::Inst;
+
+use crate::short::{InterpMode, PopMode, PushMode, RoutineId, ShortInstr};
+
+/// Translates one DIR instruction into its PSDER sequence.
+///
+/// `next` is the DIR address of the fall-through successor (`pc + 1`),
+/// embedded in the trailing INTERP where the successor is statically known.
+/// `Halt` ends the machine and has no successor.
+pub fn translate(inst: Inst, next: u32) -> Vec<ShortInstr> {
+    use ShortInstr::*;
+    let interp_next = Interp(InterpMode::Imm(next));
+    match inst {
+        Inst::PushConst(v) => vec![Push(PushMode::Imm(v)), interp_next],
+        Inst::PushLocal(s) => vec![Push(PushMode::Local(s)), interp_next],
+        Inst::PushGlobal(s) => vec![Push(PushMode::Global(s)), interp_next],
+        Inst::StoreLocal(s) => vec![Pop(PopMode::Local(s)), interp_next],
+        Inst::StoreGlobal(s) => vec![Pop(PopMode::Global(s)), interp_next],
+        Inst::LoadArrLocal { base, len } => vec![
+            Push(PushMode::Imm(base as i64)),
+            Push(PushMode::Imm(len as i64)),
+            Call(RoutineId::LoadArrLocal),
+            interp_next,
+        ],
+        Inst::LoadArrGlobal { base, len } => vec![
+            Push(PushMode::Imm(base as i64)),
+            Push(PushMode::Imm(len as i64)),
+            Call(RoutineId::LoadArrGlobal),
+            interp_next,
+        ],
+        Inst::StoreArrLocal { base, len } => vec![
+            Push(PushMode::Imm(base as i64)),
+            Push(PushMode::Imm(len as i64)),
+            Call(RoutineId::StoreArrLocal),
+            interp_next,
+        ],
+        Inst::StoreArrGlobal { base, len } => vec![
+            Push(PushMode::Imm(base as i64)),
+            Push(PushMode::Imm(len as i64)),
+            Call(RoutineId::StoreArrGlobal),
+            interp_next,
+        ],
+        Inst::Pop => vec![Pop(PopMode::Discard), interp_next],
+        Inst::Bin(op) => vec![Call(RoutineId::Bin(op)), interp_next],
+        Inst::Neg => vec![Call(RoutineId::NegR), interp_next],
+        Inst::Not => vec![Call(RoutineId::NotR), interp_next],
+        Inst::Jump(t) => vec![Interp(InterpMode::Imm(t))],
+        // Condition is on the stack; push taken/fall-through in the order
+        // the Select routine expects (if_zero first).
+        Inst::JumpIfFalse(t) => vec![
+            Push(PushMode::Imm(t as i64)),
+            Push(PushMode::Imm(next as i64)),
+            Call(RoutineId::Select),
+            Interp(InterpMode::Stack),
+        ],
+        Inst::JumpIfTrue(t) => vec![
+            Push(PushMode::Imm(next as i64)),
+            Push(PushMode::Imm(t as i64)),
+            Call(RoutineId::Select),
+            Interp(InterpMode::Stack),
+        ],
+        Inst::Call(p) => vec![
+            Push(PushMode::Imm(p as i64)),
+            Push(PushMode::Imm(next as i64)),
+            Call(RoutineId::DirCall),
+            Interp(InterpMode::Stack),
+        ],
+        Inst::Return => vec![Call(RoutineId::DirRet), Interp(InterpMode::Stack)],
+        Inst::Halt => vec![Call(RoutineId::HaltR)],
+        Inst::Write => vec![Call(RoutineId::WriteR), interp_next],
+        // Fused tier: direct-mode pushes/pops reuse the base routines.
+        Inst::BinLocals { op, a, b, dst } => vec![
+            Push(PushMode::Local(a)),
+            Push(PushMode::Local(b)),
+            Call(RoutineId::Bin(op)),
+            Pop(PopMode::Local(dst)),
+            interp_next,
+        ],
+        Inst::IncLocal { slot, imm } => vec![
+            Push(PushMode::Local(slot)),
+            Push(PushMode::Imm(imm)),
+            Call(RoutineId::Bin(dir::AluOp::Add)),
+            Pop(PopMode::Local(slot)),
+            interp_next,
+        ],
+        Inst::SetLocalConst { slot, imm } => vec![
+            Push(PushMode::Imm(imm)),
+            Pop(PopMode::Local(slot)),
+            interp_next,
+        ],
+        Inst::CmpConstBr {
+            op,
+            slot,
+            imm,
+            target,
+        } => vec![
+            Push(PushMode::Local(slot)),
+            Push(PushMode::Imm(imm)),
+            Push(PushMode::Imm(target as i64)),
+            Push(PushMode::Imm(next as i64)),
+            Call(RoutineId::CmpBr(op)),
+            Interp(InterpMode::Stack),
+        ],
+        Inst::CmpLocalsBr { op, a, b, target } => vec![
+            Push(PushMode::Local(a)),
+            Push(PushMode::Local(b)),
+            Push(PushMode::Imm(target as i64)),
+            Push(PushMode::Imm(next as i64)),
+            Call(RoutineId::CmpBr(op)),
+            Interp(InterpMode::Stack),
+        ],
+    }
+}
+
+/// The longest translation any instruction can produce, in short words —
+/// the lower bound for a DTB allocation unit that never overflows.
+pub const MAX_TRANSLATION_WORDS: usize = 6;
+
+/// Summary of a translation for the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslationShape {
+    /// Short words emitted (the paper's per-instruction `s1`).
+    pub words: u32,
+    /// Semantic-routine calls within the sequence.
+    pub calls: u32,
+}
+
+/// Computes the shape of an instruction's translation without building it.
+pub fn shape(inst: Inst) -> TranslationShape {
+    let t = translate(inst, 0);
+    TranslationShape {
+        words: t.len() as u32,
+        calls: t.iter().filter(|s| s.routine().is_some()).count() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dir::AluOp;
+
+    #[test]
+    fn no_translation_exceeds_the_allocation_bound() {
+        // Cover every opcode through representative instructions.
+        let reps = vec![
+            Inst::PushConst(1),
+            Inst::PushLocal(0),
+            Inst::PushGlobal(0),
+            Inst::StoreLocal(0),
+            Inst::StoreGlobal(0),
+            Inst::LoadArrLocal { base: 0, len: 1 },
+            Inst::LoadArrGlobal { base: 0, len: 1 },
+            Inst::StoreArrLocal { base: 0, len: 1 },
+            Inst::StoreArrGlobal { base: 0, len: 1 },
+            Inst::Pop,
+            Inst::Bin(AluOp::Add),
+            Inst::Neg,
+            Inst::Not,
+            Inst::Jump(0),
+            Inst::JumpIfFalse(0),
+            Inst::JumpIfTrue(0),
+            Inst::Call(0),
+            Inst::Return,
+            Inst::Halt,
+            Inst::Write,
+            Inst::BinLocals {
+                op: AluOp::Add,
+                a: 0,
+                b: 0,
+                dst: 0,
+            },
+            Inst::IncLocal { slot: 0, imm: 1 },
+            Inst::SetLocalConst { slot: 0, imm: 0 },
+            Inst::CmpConstBr {
+                op: AluOp::Lt,
+                slot: 0,
+                imm: 0,
+                target: 0,
+            },
+            Inst::CmpLocalsBr {
+                op: AluOp::Lt,
+                a: 0,
+                b: 0,
+                target: 0,
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for inst in reps {
+            seen.insert(inst.opcode());
+            let t = translate(inst, 42);
+            assert!(
+                t.len() <= MAX_TRANSLATION_WORDS,
+                "{inst:?} -> {} words",
+                t.len()
+            );
+            assert!(!t.is_empty());
+        }
+        assert_eq!(seen.len(), dir::isa::OPCODE_COUNT);
+    }
+
+    #[test]
+    fn every_translation_ends_in_interp_or_halt() {
+        for inst in [
+            Inst::PushConst(7),
+            Inst::Bin(AluOp::Mul),
+            Inst::Jump(3),
+            Inst::Return,
+            Inst::Call(0),
+        ] {
+            let t = translate(inst, 9);
+            match t.last().unwrap() {
+                ShortInstr::Interp(_) => {}
+                other => panic!("{inst:?} ends with {other:?}"),
+            }
+        }
+        let halt = translate(Inst::Halt, 9);
+        assert_eq!(halt, vec![ShortInstr::Call(RoutineId::HaltR)]);
+    }
+
+    #[test]
+    fn statically_known_successors_use_immediate_interp() {
+        let t = translate(Inst::PushConst(1), 17);
+        assert_eq!(*t.last().unwrap(), ShortInstr::Interp(InterpMode::Imm(17)));
+        let t = translate(Inst::Jump(99), 17);
+        assert_eq!(t, vec![ShortInstr::Interp(InterpMode::Imm(99))]);
+    }
+
+    #[test]
+    fn computed_successors_use_stack_interp() {
+        for inst in [
+            Inst::JumpIfFalse(3),
+            Inst::JumpIfTrue(3),
+            Inst::Call(0),
+            Inst::Return,
+        ] {
+            let t = translate(inst, 9);
+            assert_eq!(*t.last().unwrap(), ShortInstr::Interp(InterpMode::Stack));
+        }
+    }
+
+    #[test]
+    fn jump_flavours_swap_select_operands() {
+        let f = translate(Inst::JumpIfFalse(3), 9);
+        let t = translate(Inst::JumpIfTrue(3), 9);
+        assert_eq!(f[0], ShortInstr::Push(PushMode::Imm(3)));
+        assert_eq!(f[1], ShortInstr::Push(PushMode::Imm(9)));
+        assert_eq!(t[0], ShortInstr::Push(PushMode::Imm(9)));
+        assert_eq!(t[1], ShortInstr::Push(PushMode::Imm(3)));
+    }
+
+    #[test]
+    fn mean_s1_is_near_the_papers_three() {
+        // Average translation length over a realistic program should be in
+        // the neighbourhood of the paper's assumed s1 = 3.
+        let hir = hlr::programs::SIEVE.compile().unwrap();
+        let p = dir::compiler::compile(&hir);
+        let total: usize = p.code.iter().map(|&i| translate(i, 0).len()).sum();
+        let mean = total as f64 / p.code.len() as f64;
+        assert!((1.5..4.0).contains(&mean), "mean s1 = {mean}");
+    }
+
+    #[test]
+    fn shape_matches_translate() {
+        let s = shape(Inst::CmpLocalsBr {
+            op: AluOp::Le,
+            a: 0,
+            b: 1,
+            target: 4,
+        });
+        assert_eq!(s.words, 6);
+        assert_eq!(s.calls, 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Static verification of the PSDER level: stack-effect balance.
+//!
+//! Every semantic routine and every translation template has a *net
+//! operand-stack effect* that must compose correctly: when a DIR
+//! instruction's PSDER sequence finishes, the operand stack must hold
+//! exactly what the DIR instruction's own stack semantics dictate.
+//! Mismatches here are the classic interpreter bug class (an operand left
+//! behind corrupts every later computation); this module proves the
+//! invariant statically for the whole routine library and all translation
+//! templates, and the test suite runs it as a gate.
+
+use dir::isa::{Inst, Opcode};
+
+use crate::micro::MicroOp;
+use crate::routines::RoutineLib;
+use crate::short::{InterpMode, RoutineId, ShortInstr};
+use crate::translator::translate;
+
+/// Net operand-stack effect (pushes − pops) of one micro-op, ignoring
+/// machine-state side channels.
+fn micro_effect(op: &MicroOp) -> i32 {
+    match op {
+        MicroOp::Pop(_) => -1,
+        MicroOp::Push(_) => 1,
+        // NewFrame pops the callee's arguments; its effect is
+        // argument-dependent and handled by the caller of `routine_effect`.
+        MicroOp::NewFrame { .. } => 0,
+        _ => 0,
+    }
+}
+
+/// Net operand-stack effect of a routine, excluding argument consumption
+/// by `NewFrame` (reported separately as `pops_args`).
+pub fn routine_effect(lib: &RoutineLib, id: RoutineId) -> RoutineEffect {
+    let mut net = 0i32;
+    let mut pops_args = false;
+    for word in lib.words(id) {
+        for op in word.ops() {
+            net += micro_effect(op);
+            if matches!(op, MicroOp::NewFrame { .. }) {
+                pops_args = true;
+            }
+        }
+    }
+    RoutineEffect { net, pops_args }
+}
+
+/// The statically computed stack effect of a routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutineEffect {
+    /// Pushes minus pops, excluding `NewFrame` argument consumption.
+    pub net: i32,
+    /// Whether the routine builds a frame (popping `n_args` operands).
+    pub pops_args: bool,
+}
+
+/// The expected net stack effect of executing one DIR instruction's whole
+/// PSDER sequence (relative to the stack *before* the sequence, with the
+/// instruction's own inputs already on the stack), excluding call-argument
+/// consumption and excluding the value produced by a `Call` (pushed by the
+/// callee's `Return`, not by this sequence).
+fn expected_sequence_effect(inst: Inst) -> i32 {
+    match inst.opcode() {
+        // Consume their stack inputs, push one result.
+        Opcode::Bin => -1,              // pops 2, pushes 1
+        Opcode::Neg | Opcode::Not => 0, // pops 1, pushes 1
+        Opcode::LoadArrLocal | Opcode::LoadArrGlobal => 0, // pops index, pushes elem
+        Opcode::StoreArrLocal | Opcode::StoreArrGlobal => -2, // pops index+value
+        Opcode::PushConst | Opcode::PushLocal | Opcode::PushGlobal => 1,
+        Opcode::StoreLocal | Opcode::StoreGlobal | Opcode::Pop => -1,
+        Opcode::Write => -1,
+        Opcode::Jump | Opcode::Halt => 0,
+        Opcode::JumpIfFalse | Opcode::JumpIfTrue => -1, // pops the condition
+        // Call: args are popped by NewFrame (excluded); nothing else left.
+        Opcode::Call => 0,
+        // Return: pushes the saved DIR address, consumed by INTERP-stack.
+        Opcode::Return => 0,
+        Opcode::BinLocals | Opcode::IncLocal | Opcode::SetLocalConst => 0,
+        Opcode::CmpConstBr | Opcode::CmpLocalsBr => 0,
+    }
+}
+
+/// A stack-balance violation found by [`check_all`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BalanceError {
+    /// The offending instruction shape.
+    pub inst: Inst,
+    /// Expected net effect.
+    pub expected: i32,
+    /// Computed net effect.
+    pub got: i32,
+}
+
+impl std::fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stack imbalance for {:?}: expected net {}, got {}",
+            self.inst, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for BalanceError {}
+
+/// Computes the net stack effect of a full translation sequence: IU2
+/// pushes/pops plus every called routine's effect, with INTERP-stack
+/// popping its target.
+pub fn sequence_effect(lib: &RoutineLib, sequence: &[ShortInstr]) -> i32 {
+    let mut net = 0i32;
+    for s in sequence {
+        match s {
+            ShortInstr::Push(_) => net += 1,
+            ShortInstr::Pop(_) => net -= 1,
+            ShortInstr::Call(id) => net += routine_effect(lib, *id).net,
+            ShortInstr::Interp(InterpMode::Imm(_)) => {}
+            ShortInstr::Interp(InterpMode::Stack) => net -= 1,
+        }
+    }
+    net
+}
+
+/// Checks stack balance of every opcode's translation template against its
+/// DIR stack semantics.
+///
+/// # Errors
+///
+/// Returns every violation found (empty means the PSDER level is balanced).
+pub fn check_all(lib: &RoutineLib) -> Result<(), Vec<BalanceError>> {
+    let reps: Vec<Inst> = vec![
+        Inst::PushConst(1),
+        Inst::PushLocal(0),
+        Inst::PushGlobal(0),
+        Inst::StoreLocal(0),
+        Inst::StoreGlobal(0),
+        Inst::LoadArrLocal { base: 0, len: 1 },
+        Inst::LoadArrGlobal { base: 0, len: 1 },
+        Inst::StoreArrLocal { base: 0, len: 1 },
+        Inst::StoreArrGlobal { base: 0, len: 1 },
+        Inst::Pop,
+        Inst::Bin(dir::AluOp::Add),
+        Inst::Neg,
+        Inst::Not,
+        Inst::Jump(0),
+        Inst::JumpIfFalse(0),
+        Inst::JumpIfTrue(0),
+        Inst::Call(0),
+        Inst::Return,
+        Inst::Halt,
+        Inst::Write,
+        Inst::BinLocals {
+            op: dir::AluOp::Add,
+            a: 0,
+            b: 0,
+            dst: 0,
+        },
+        Inst::IncLocal { slot: 0, imm: 1 },
+        Inst::SetLocalConst { slot: 0, imm: 0 },
+        Inst::CmpConstBr {
+            op: dir::AluOp::Lt,
+            slot: 0,
+            imm: 0,
+            target: 0,
+        },
+        Inst::CmpLocalsBr {
+            op: dir::AluOp::Lt,
+            a: 0,
+            b: 0,
+            target: 0,
+        },
+    ];
+    let mut errors = Vec::new();
+    for inst in reps {
+        let sequence = translate(inst, 1);
+        let got = sequence_effect(lib, &sequence);
+        let expected = expected_sequence_effect(inst);
+        if got != expected {
+            errors.push(BalanceError {
+                inst,
+                expected,
+                got,
+            });
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_entire_psder_level_is_stack_balanced() {
+        let lib = RoutineLib::new();
+        if let Err(errors) = check_all(&lib) {
+            for e in &errors {
+                eprintln!("{e}");
+            }
+            panic!("{} stack-balance violations", errors.len());
+        }
+    }
+
+    #[test]
+    fn individual_routine_effects() {
+        let lib = RoutineLib::new();
+        assert_eq!(
+            routine_effect(&lib, RoutineId::Bin(dir::AluOp::Add)),
+            RoutineEffect {
+                net: -1,
+                pops_args: false
+            }
+        );
+        assert_eq!(routine_effect(&lib, RoutineId::WriteR).net, -1);
+        assert_eq!(routine_effect(&lib, RoutineId::Select).net, -2); // 3 pops, 1 push
+        let call = routine_effect(&lib, RoutineId::DirCall);
+        assert_eq!(call.net, -1); // pops proc+next, pushes entry
+        assert!(call.pops_args);
+        assert_eq!(routine_effect(&lib, RoutineId::DirRet).net, 1);
+    }
+
+    #[test]
+    fn sequence_effect_counts_interp_stack() {
+        let lib = RoutineLib::new();
+        let seq = translate(Inst::JumpIfFalse(3), 4);
+        // cond on stack before; 2 pushes, Select (-2), INTERP-stack (-1).
+        assert_eq!(sequence_effect(&lib, &seq), -1);
+    }
+
+    #[test]
+    fn balance_error_formats() {
+        let e = BalanceError {
+            inst: Inst::Pop,
+            expected: -1,
+            got: 0,
+        };
+        assert!(e.to_string().contains("expected net -1"));
+    }
+}

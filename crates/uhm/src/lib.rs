@@ -1,0 +1,49 @@
+//! # uhm — the universal host machine with dynamic translation
+//!
+//! The primary contribution of Rau (1978): a universal host machine whose
+//! working set of DIR instructions is kept, dynamically translated into a
+//! directly executable PSDER form, in a **dynamic translation buffer**.
+//!
+//! * [`dtb`] — the DTB's four arrays (associative tags, address array,
+//!   replacement array, buffer array) with fixed or overflow allocation;
+//! * [`machine`] — the three Section-7 machine configurations (pure
+//!   interpreter, DTB, instruction cache) with full cycle accounting over
+//!   the same execution engine, so all modes are semantically identical;
+//! * [`model`] — the Section-7 analytic model, the paper's published
+//!   Tables 2/3, and parameter extraction from measured runs;
+//! * [`config`], [`metrics`] — cost knobs and the measured Section-7
+//!   parameters (`d`, `g`, `x`, `s1`, `s2`, `h_D`, `h_c`).
+//!
+//! # Example
+//!
+//! ```
+//! use dir::encode::SchemeKind;
+//! use uhm::{DtbConfig, Machine, Mode};
+//!
+//! let hir = hlr::compile(
+//!     "proc main() begin int i := 0; while i < 50 do i := i + 1; write i; end",
+//! )?;
+//! let prog = dir::compiler::compile(&hir);
+//! let machine = Machine::new(&prog, SchemeKind::Huffman);
+//!
+//! let interp = machine.run(&Mode::Interpreter).unwrap();
+//! let dtb = machine.run(&Mode::Dtb(DtbConfig::with_capacity(64))).unwrap();
+//! assert_eq!(interp.output, dtb.output);
+//! // Dynamic translation pays off once the loop re-executes instructions.
+//! assert!(dtb.metrics.time_per_instruction() < interp.metrics.time_per_instruction());
+//! # Ok::<(), hlr::Error>(())
+//! ```
+
+pub mod config;
+pub mod dtb;
+pub mod machine;
+pub mod metrics;
+pub mod model;
+pub mod profile;
+pub mod sweep;
+
+pub use config::{CostModel, Limits};
+pub use dtb::{Allocation, Dtb, DtbConfig, DtbStats, Replacement};
+pub use machine::{Machine, Mode};
+pub use metrics::{CycleBreakdown, Metrics, Report};
+pub use model::Params;

@@ -1,0 +1,605 @@
+//! The universal host machine in its three Section-7 configurations.
+//!
+//! All three share the [`psder::Engine`] architectural state, the semantic
+//! [`RoutineLib`] and the encoded DIR image; they differ only in the fetch
+//! path of DIR instructions:
+//!
+//! * [`Mode::Interpreter`] — the conventional UHM (T1): every DIR
+//!   instruction is fetched from level 2 and decoded, every time.
+//! * [`Mode::Dtb`] — the paper's proposal (T2): the INTERP instruction
+//!   presents the DIR address to the DTB; hits execute the stored PSDER
+//!   translation, misses trap to the dynamic translation routine.
+//! * [`Mode::ICache`] — the resource-matched baseline (T3): level-2 words
+//!   are cached, but every instruction is still decoded.
+
+use dir::encode::{Image, SchemeKind};
+use dir::exec::Trap;
+use dir::program::Program;
+use memsim::{Access, Geometry, SetAssocCache};
+use psder::engine::{Engine, MicroEffect, ShortEffect};
+use psder::{RoutineLib, ShortInstr};
+
+use crate::config::{CostModel, Limits};
+use crate::dtb::{Dtb, DtbConfig};
+use crate::metrics::{Metrics, Report};
+
+/// The machine configuration to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mode {
+    /// Conventional UHM: fetch + decode every DIR instruction (T1).
+    Interpreter,
+    /// UHM with a dynamic translation buffer (T2).
+    Dtb(DtbConfig),
+    /// UHM with an instruction cache over level-2 words (T3).
+    ICache {
+        /// Geometry of the word cache.
+        geometry: Geometry,
+    },
+    /// UHM with two levels of dynamic translation (§4: "it is possible
+    /// that a number of levels of dynamic translation will be required"):
+    /// a small, fast first-level DTB backed by a larger, slower
+    /// second-level translation store. First-level misses that hit the
+    /// second level *promote* the stored translation instead of
+    /// re-translating.
+    TwoLevelDtb {
+        /// The small, fast first-level DTB (accessed at `τ_D`).
+        l1: DtbConfig,
+        /// The larger second-level store (accessed at `tau_dtb2`).
+        l2: DtbConfig,
+    },
+}
+
+/// A universal host machine bound to one encoded program.
+#[derive(Debug)]
+pub struct Machine {
+    program: Program,
+    image: Image,
+    lib: RoutineLib,
+    costs: CostModel,
+    limits: Limits,
+    trace: bool,
+}
+
+impl Machine {
+    /// Creates a machine for `program`, encoding it under `scheme` with
+    /// default costs and limits.
+    pub fn new(program: &Program, scheme: SchemeKind) -> Machine {
+        Machine::with(program, scheme, CostModel::default(), Limits::default())
+    }
+
+    /// Creates a machine with explicit cost model and limits.
+    pub fn with(
+        program: &Program,
+        scheme: SchemeKind,
+        costs: CostModel,
+        limits: Limits,
+    ) -> Machine {
+        Machine {
+            program: program.clone(),
+            image: scheme.encode(program),
+            lib: RoutineLib::new(),
+            costs,
+            limits,
+            trace: false,
+        }
+    }
+
+    /// Enables recording of the dynamic DIR-address trace in reports.
+    pub fn set_trace(&mut self, trace: bool) -> &mut Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The encoded image this machine executes from.
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// Runs the program under `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`Trap`]s as [`dir::exec::run`]; all modes trap
+    /// identically on identical programs.
+    pub fn run(&self, mode: &Mode) -> Result<Report, Trap> {
+        let mut run = Run {
+            machine: self,
+            engine: Engine::new(&self.program, self.limits.max_depth),
+            metrics: Metrics {
+                trace: self.trace.then(Vec::new),
+                ..Metrics::default()
+            },
+            dtb: match mode {
+                Mode::Dtb(cfg) => Some(Dtb::new(*cfg)),
+                Mode::TwoLevelDtb { l1, .. } => Some(Dtb::new(*l1)),
+                _ => None,
+            },
+            dtb2: match mode {
+                Mode::TwoLevelDtb { l2, .. } => Some(Dtb::new(*l2)),
+                _ => None,
+            },
+            icache: match mode {
+                Mode::ICache { geometry } => Some(SetAssocCache::new(*geometry)),
+                _ => None,
+            },
+        };
+        run.execute(mode)?;
+        let mut metrics = run.metrics;
+        metrics.dtb = run.dtb.as_ref().map(|d| d.stats());
+        metrics.dtb2 = run.dtb2.as_ref().map(|d| d.stats());
+        metrics.icache = run.icache.as_ref().map(|c| c.stats());
+        Ok(Report {
+            output: run.engine.into_output(),
+            metrics,
+        })
+    }
+}
+
+struct Run<'m> {
+    machine: &'m Machine,
+    engine: Engine,
+    metrics: Metrics,
+    dtb: Option<Dtb>,
+    dtb2: Option<Dtb>,
+    icache: Option<SetAssocCache<()>>,
+}
+
+/// Where one DIR instruction's execution leads.
+enum Next {
+    Goto(u32),
+    Halt,
+}
+
+impl<'m> Run<'m> {
+    fn costs(&self) -> &CostModel {
+        &self.machine.costs
+    }
+
+    /// Fetches and decodes the DIR instruction at `pc` from level 2 (or
+    /// through the i-cache when present), charging fetch and decode cycles.
+    fn fetch_decode(&mut self, pc: u32) -> Result<dir::Inst, Trap> {
+        let image = &self.machine.image;
+        let word_bits = self.costs().word_bits;
+        let words = image.fetch_words(pc, word_bits);
+        self.metrics.l2_words += words as u64;
+        let (tau_d, t2) = (self.costs().mem.tau_d, self.costs().mem.t2);
+        match &mut self.icache {
+            Some(cache) => {
+                // Cache individual level-2 words of the instruction stream.
+                let first = image.offsets[pc as usize] / word_bits as u64;
+                for w in 0..words as u64 {
+                    match cache.access(first + w) {
+                        Access::Hit => {
+                            self.metrics.cycles.fetch_cache += tau_d;
+                        }
+                        Access::Miss { .. } => {
+                            self.metrics.cycles.fetch_cache += t2;
+                        }
+                    }
+                }
+            }
+            None => {
+                self.metrics.cycles.fetch_l2 += words as u64 * self.costs().mem.t2;
+            }
+        }
+        let decoded = image
+            .decode(pc)
+            .map_err(|_| Trap::Malformed("undecodable instruction"))?;
+        self.metrics.decoded += 1;
+        self.metrics.cycles.decode +=
+            self.costs().scaled_decode(decoded.cost as u64) * self.costs().mem.t1;
+        Ok(decoded.inst)
+    }
+
+    /// Executes one short instruction, running any called routine to
+    /// completion on IU1. Returns the INTERP target if this word ended the
+    /// sequence.
+    fn exec_short(&mut self, word: ShortInstr) -> Result<Option<Next>, Trap> {
+        match self.engine.exec_short(word)? {
+            ShortEffect::Continue => Ok(None),
+            ShortEffect::CallRoutine(id) => {
+                for w in self.machine.lib.words(id) {
+                    self.metrics.routine_words += 1;
+                    self.metrics.cycles.semantic += self.costs().mem.t1;
+                    if self.engine.exec_word(w)? == MicroEffect::Halt {
+                        return Ok(Some(Next::Halt));
+                    }
+                }
+                Ok(None)
+            }
+            ShortEffect::Interp(addr) => Ok(Some(Next::Goto(addr))),
+        }
+    }
+
+    /// Runs a translation that is *not* resident in the DTB (interpreter
+    /// and i-cache modes, or an uncacheable overflow): IU2 steering words
+    /// execute from level-1 interpreter code at `t1` each.
+    fn run_inline(&mut self, sequence: &[ShortInstr]) -> Result<Next, Trap> {
+        for &word in sequence {
+            self.metrics.short_words += 1;
+            self.metrics.cycles.steering += self.costs().mem.t1;
+            if let Some(next) = self.exec_short(word)? {
+                return Ok(next);
+            }
+        }
+        Err(Trap::Malformed("sequence ended without INTERP"))
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Result<(), Trap> {
+        let mut pc: u32 = 0;
+        let mut steps: u64 = 0;
+        loop {
+            steps += 1;
+            if steps > self.machine.limits.max_steps {
+                return Err(Trap::StepLimit);
+            }
+            self.metrics.instructions += 1;
+            if let Some(t) = self.metrics.trace.as_mut() {
+                t.push(pc);
+            }
+            if pc as usize >= self.machine.image.len() {
+                return Err(Trap::Malformed("pc out of range"));
+            }
+
+            let next = match mode {
+                Mode::Interpreter | Mode::ICache { .. } => {
+                    let inst = self.fetch_decode(pc)?;
+                    let sequence = psder::translate(inst, pc + 1);
+                    self.run_inline(&sequence)?
+                }
+                Mode::Dtb(_) => self.step_dtb(pc)?,
+                Mode::TwoLevelDtb { .. } => self.step_two_level(pc)?,
+            };
+            match next {
+                Next::Goto(addr) => pc = addr,
+                Next::Halt => return Ok(()),
+            }
+        }
+    }
+
+    /// One DIR instruction under the DTB: the INTERP flow of Figure 4.
+    fn step_dtb(&mut self, pc: u32) -> Result<Next, Trap> {
+        // INTERP presents the DIR address to the associative address array.
+        self.metrics.cycles.lookup += self.costs().mem.tau_d;
+        let dtb = self.dtb.as_mut().expect("dtb mode");
+        let handle = match dtb.lookup(pc) {
+            Some(h) => h,
+            None => {
+                // Miss: trap to the dynamic translation routine (via
+                // DTRPOINT): fetch the DIR instruction, decode it, generate
+                // the PSDER translation, store it at the location chosen by
+                // the replacement logic.
+                let inst = self.fetch_decode(pc)?;
+                let sequence = psder::translate(inst, pc + 1);
+                let gen = sequence.len() as u64 * self.costs().gen_per_word;
+                let store = sequence.len() as u64 * self.costs().store_per_word;
+                self.metrics.cycles.generate += gen * self.costs().mem.t1;
+                self.metrics.cycles.store += store * self.costs().mem.t1;
+                let dtb = self.dtb.as_mut().expect("dtb mode");
+                match dtb.fill(pc, &sequence) {
+                    Some(h) => h,
+                    None => {
+                        // Overflow area exhausted: execute without caching.
+                        return self.run_inline(&sequence);
+                    }
+                }
+            }
+        };
+        // Execute the PSDER translation out of the buffer array, one short
+        // word per τ_D.
+        let len = self.dtb.as_ref().expect("dtb mode").len(handle);
+        for i in 0..len {
+            let word = self.dtb.as_ref().expect("dtb mode").word(handle, i);
+            self.metrics.short_words += 1;
+            self.metrics.cycles.fetch_dtb += self.costs().mem.tau_d;
+            if let Some(next) = self.exec_short(word)? {
+                return Ok(next);
+            }
+        }
+        Err(Trap::Malformed("translation ended without INTERP"))
+    }
+
+    /// One DIR instruction under two-level dynamic translation.
+    ///
+    /// L1 miss + L2 hit promotes the translation (a copy, cheaper than
+    /// re-translating); L1 and L2 miss runs the full dynamic translation
+    /// routine and fills both levels.
+    fn step_two_level(&mut self, pc: u32) -> Result<Next, Trap> {
+        let (tau_d, tau2) = (self.costs().mem.tau_d, self.costs().tau_dtb2);
+        self.metrics.cycles.lookup += tau_d;
+        let l1_handle = self.dtb.as_mut().expect("two-level mode").lookup(pc);
+        let handle = match l1_handle {
+            Some(h) => h,
+            None => {
+                // Probe the second-level store.
+                self.metrics.cycles.lookup2 += tau2;
+                let l2_hit = self.dtb2.as_mut().expect("two-level mode").lookup(pc);
+                let sequence: Vec<ShortInstr> = match l2_hit {
+                    Some(h2) => {
+                        // Promote: read each word from L2 (tau_dtb2) and
+                        // store it into L1 (store_per_word each).
+                        let dtb2 = self.dtb2.as_ref().expect("two-level mode");
+                        let len = dtb2.len(h2);
+                        let words: Vec<ShortInstr> =
+                            (0..len).map(|i| dtb2.word(h2, i)).collect();
+                        self.metrics.cycles.promote +=
+                            len as u64 * (tau2 + self.costs().store_per_word);
+                        words
+                    }
+                    None => {
+                        // Full translation, then fill L2 as well.
+                        let inst = self.fetch_decode(pc)?;
+                        let sequence = psder::translate(inst, pc + 1);
+                        let gen = sequence.len() as u64 * self.costs().gen_per_word;
+                        let store = sequence.len() as u64
+                            * self.costs().store_per_word
+                            * 2; // stored at both levels
+                        self.metrics.cycles.generate += gen * self.costs().mem.t1;
+                        self.metrics.cycles.store += store * self.costs().mem.t1;
+                        self.dtb2
+                            .as_mut()
+                            .expect("two-level mode")
+                            .fill(pc, &sequence);
+                        sequence
+                    }
+                };
+                match self.dtb.as_mut().expect("two-level mode").fill(pc, &sequence) {
+                    Some(h) => h,
+                    None => return self.run_inline(&sequence),
+                }
+            }
+        };
+        let len = self.dtb.as_ref().expect("two-level mode").len(handle);
+        for i in 0..len {
+            let word = self.dtb.as_ref().expect("two-level mode").word(handle, i);
+            self.metrics.short_words += 1;
+            self.metrics.cycles.fetch_dtb += tau_d;
+            if let Some(next) = self.exec_short(word)? {
+                return Ok(next);
+            }
+        }
+        Err(Trap::Malformed("translation ended without INTERP"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dir::compiler::compile;
+
+    fn modes() -> Vec<Mode> {
+        vec![
+            Mode::Interpreter,
+            Mode::Dtb(DtbConfig::with_capacity(64)),
+            Mode::ICache {
+                geometry: Geometry::new(16, 4),
+            },
+        ]
+    }
+
+    #[test]
+    fn all_modes_agree_with_the_reference_on_samples() {
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            let want = dir::exec::run(&p).unwrap();
+            let m = Machine::new(&p, SchemeKind::Packed);
+            for mode in modes() {
+                let r = m.run(&mode).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+                assert_eq!(r.output, want, "{} under {mode:?}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_schemes_execute_identically() {
+        let p = compile(&hlr::programs::GCD_CHAIN.compile().unwrap());
+        let want = dir::exec::run(&p).unwrap();
+        for scheme in SchemeKind::all() {
+            let m = Machine::new(&p, scheme);
+            for mode in modes() {
+                assert_eq!(m.run(&mode).unwrap().output, want, "{scheme} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_generated_programs() {
+        for seed in 0..15 {
+            let ast = hlr::generate::program(seed, &hlr::generate::Config::default());
+            let hir = hlr::sema::analyze(&ast).unwrap();
+            let p = compile(&hir);
+            let want = dir::exec::run(&p).unwrap();
+            let m = Machine::new(&p, SchemeKind::Huffman);
+            for mode in modes() {
+                assert_eq!(m.run(&mode).unwrap().output, want, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn traps_are_identical_across_modes() {
+        for src in [
+            "proc main() begin write 1 / 0; end",
+            "proc main() begin int a[3]; write a[5]; end",
+        ] {
+            let p = compile(&hlr::compile(src).unwrap());
+            let want = dir::exec::run(&p).unwrap_err();
+            let m = Machine::new(&p, SchemeKind::Packed);
+            for mode in modes() {
+                assert_eq!(m.run(&mode).unwrap_err(), want, "{src} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dtb_beats_interpreter_on_loopy_code() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let m = Machine::new(&p, SchemeKind::Huffman);
+        let t1 = m.run(&Mode::Interpreter).unwrap().metrics.time_per_instruction();
+        let t2 = m
+            .run(&Mode::Dtb(DtbConfig::with_capacity(256)))
+            .unwrap()
+            .metrics
+            .time_per_instruction();
+        assert!(
+            t2 < t1,
+            "DTB ({t2:.2}) must beat the interpreter ({t1:.2}) on sieve"
+        );
+    }
+
+    #[test]
+    fn dtb_hit_ratio_is_high_in_loops() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let m = Machine::new(&p, SchemeKind::Packed);
+        let r = m.run(&Mode::Dtb(DtbConfig::with_capacity(256))).unwrap();
+        let h = r.metrics.dtb.unwrap().hit_ratio();
+        assert!(h > 0.9, "hit ratio {h}");
+    }
+
+    #[test]
+    fn interpreter_decodes_every_instruction() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let m = Machine::new(&p, SchemeKind::Packed);
+        let r = m.run(&Mode::Interpreter).unwrap();
+        assert_eq!(r.metrics.decoded, r.metrics.instructions);
+        assert!(r.metrics.dtb.is_none());
+    }
+
+    #[test]
+    fn dtb_decodes_only_misses() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let m = Machine::new(&p, SchemeKind::Packed);
+        let r = m.run(&Mode::Dtb(DtbConfig::with_capacity(256))).unwrap();
+        let dtb = r.metrics.dtb.unwrap();
+        assert_eq!(r.metrics.decoded, dtb.misses - dtb.uncached);
+        assert!(r.metrics.decoded < r.metrics.instructions / 2);
+    }
+
+    #[test]
+    fn icache_short_fetches_hit_after_warmup() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let m = Machine::new(&p, SchemeKind::Packed);
+        let r = m
+            .run(&Mode::ICache {
+                geometry: Geometry::new(64, 4),
+            })
+            .unwrap();
+        let c = r.metrics.icache.unwrap();
+        assert!(c.hit_ratio() > 0.9, "icache hit ratio {}", c.hit_ratio());
+    }
+
+    #[test]
+    fn trace_collection_matches_instruction_count() {
+        let p = compile(&hlr::programs::GCD_CHAIN.compile().unwrap());
+        let mut m = Machine::new(&p, SchemeKind::Packed);
+        m.set_trace(true);
+        let r = m.run(&Mode::Interpreter).unwrap();
+        let trace = r.metrics.trace.unwrap();
+        assert_eq!(trace.len() as u64, r.metrics.instructions);
+        assert_eq!(trace[0], 0);
+    }
+
+    #[test]
+    fn step_limit_applies() {
+        let p = compile(&hlr::compile("proc main() begin while true do skip; end").unwrap());
+        let m = Machine::with(
+            &p,
+            SchemeKind::Packed,
+            CostModel::default(),
+            Limits {
+                max_steps: 1000,
+                max_depth: 16,
+            },
+        );
+        for mode in modes() {
+            assert_eq!(m.run(&mode).unwrap_err(), Trap::StepLimit, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn measured_parameters_are_plausible() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let m = Machine::new(&p, SchemeKind::PairHuffman);
+        let r = m.run(&Mode::Interpreter).unwrap();
+        let d = r.metrics.mean_decode();
+        let x = r.metrics.mean_semantic();
+        let s1 = r.metrics.mean_s1();
+        assert!((4.0..40.0).contains(&d), "d = {d}");
+        assert!((0.5..10.0).contains(&x), "x = {x}");
+        assert!((1.5..4.5).contains(&s1), "s1 = {s1}");
+    }
+
+    #[test]
+    fn tiny_dtb_thrashes_but_stays_correct() {
+        let p = compile(&hlr::programs::QUEENS.compile().unwrap());
+        let want = dir::exec::run(&p).unwrap();
+        let m = Machine::new(&p, SchemeKind::Packed);
+        let cfg = DtbConfig {
+            geometry: Geometry::new(1, 2),
+            unit_words: psder::MAX_TRANSLATION_WORDS,
+            allocation: crate::dtb::Allocation::Fixed,
+            replacement: crate::dtb::Replacement::Lru,
+        };
+        let r = m.run(&Mode::Dtb(cfg)).unwrap();
+        assert_eq!(r.output, want);
+        assert!(r.metrics.dtb.unwrap().hit_ratio() < 0.6);
+    }
+
+    #[test]
+    fn two_level_dtb_agrees_and_promotes() {
+        let p = compile(&hlr::programs::QUEENS.compile().unwrap());
+        let want = dir::exec::run(&p).unwrap();
+        let m = Machine::new(&p, SchemeKind::PairHuffman);
+        let mode = Mode::TwoLevelDtb {
+            l1: DtbConfig::with_capacity(8),
+            l2: DtbConfig::with_capacity(256),
+        };
+        let r = m.run(&mode).unwrap();
+        assert_eq!(r.output, want);
+        let l1 = r.metrics.dtb.unwrap();
+        let l2 = r.metrics.dtb2.unwrap();
+        // L1 misses that hit L2 were promoted, not re-translated: the
+        // decode count equals L2 misses (each instruction translated once
+        // per L2 residency), far below L1 misses.
+        assert_eq!(r.metrics.decoded, l2.misses - l2.uncached);
+        assert!(l2.misses < l1.misses / 2);
+        assert!(r.metrics.cycles.promote > 0);
+    }
+
+    #[test]
+    fn two_level_beats_single_small_dtb_when_working_set_overflows_l1() {
+        let p = compile(&hlr::programs::QUEENS.compile().unwrap());
+        let m = Machine::new(&p, SchemeKind::PairHuffman);
+        let small = DtbConfig::with_capacity(8);
+        let t_small = m.run(&Mode::Dtb(small)).unwrap().metrics.time_per_instruction();
+        let t_two = m
+            .run(&Mode::TwoLevelDtb {
+                l1: small,
+                l2: DtbConfig::with_capacity(256),
+            })
+            .unwrap()
+            .metrics
+            .time_per_instruction();
+        assert!(
+            t_two < t_small,
+            "two-level ({t_two:.2}) must beat the lone small DTB ({t_small:.2})"
+        );
+    }
+
+    #[test]
+    fn overflow_allocation_stays_correct_under_pressure() {
+        let p = compile(&hlr::programs::QUEENS.compile().unwrap());
+        let want = dir::exec::run(&p).unwrap();
+        let m = Machine::new(&p, SchemeKind::Packed);
+        let cfg = DtbConfig {
+            geometry: Geometry::new(8, 2),
+            unit_words: 2,
+            allocation: crate::dtb::Allocation::Overflow { blocks: 4 },
+            replacement: crate::dtb::Replacement::Lru,
+        };
+        let r = m.run(&Mode::Dtb(cfg)).unwrap();
+        assert_eq!(r.output, want);
+        let stats = r.metrics.dtb.unwrap();
+        assert!(stats.uncached > 0, "pressure must force uncached runs");
+    }
+}

@@ -1,0 +1,56 @@
+//! DTB exploration: watch the INTERP flow of Figure 4 at work — lookup,
+//! miss, dynamic translation, replacement — while sweeping buffer capacity
+//! on a recursive workload.
+//!
+//! Run with `cargo run --example dtb_exploration --release`.
+
+use dir::encode::SchemeKind;
+use uhm::{DtbConfig, Machine, Mode};
+
+fn main() {
+    let sample = hlr::programs::QUEENS;
+    println!("Workload: {} — {}\n", sample.name, sample.description);
+    let hir = sample.compile().expect("sample compiles");
+    let program = dir::compiler::compile(&hir);
+    let machine = Machine::new(&program, SchemeKind::PairHuffman);
+
+    let interp = machine.run(&Mode::Interpreter).expect("trap-free");
+    println!(
+        "Static program: {} DIR instructions; dynamic: {} executed",
+        program.len(),
+        interp.metrics.instructions
+    );
+    println!(
+        "Conventional interpreter: {:.2} cycles/instruction (decodes all {} of them)\n",
+        interp.metrics.time_per_instruction(),
+        interp.metrics.decoded
+    );
+
+    println!(
+        "{:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "entries", "h_D", "hits", "misses", "evictions", "decoded", "T2"
+    );
+    for cap in [4usize, 8, 16, 32, 64, 128, 256] {
+        let report = machine
+            .run(&Mode::Dtb(DtbConfig::with_capacity(cap)))
+            .expect("trap-free");
+        assert_eq!(report.output, interp.output, "all modes agree");
+        let dtb = report.metrics.dtb.expect("dtb mode");
+        println!(
+            "{:>9} {:>9.3} {:>9} {:>9} {:>10} {:>10} {:>10.2}",
+            cap,
+            dtb.hit_ratio(),
+            dtb.hits,
+            dtb.misses,
+            dtb.evictions,
+            report.metrics.decoded,
+            report.metrics.time_per_instruction()
+        );
+    }
+    println!("\nEach miss walks Figure 4: the INTERP address misses the associative");
+    println!("array, the dynamic translation routine fetches and decodes the DIR");
+    println!("instruction, generates its PSDER form, stores it at the way chosen by");
+    println!("the LRU replacement array, and control enters the fresh translation.");
+    println!("As capacity covers the working set, decodes collapse from one-per-");
+    println!("execution to one-per-(re)entry — the entire point of the paper.");
+}

@@ -1,0 +1,54 @@
+//! Encoding lab: one program through all five encodings of §3.2, with the
+//! size/decode-cost trade-off made visible, plus a peek at the fused
+//! (higher semantic level) tier.
+//!
+//! Run with `cargo run --example encoding_lab`.
+
+use dir::encode::SchemeKind;
+use dir::stats::{ImageSummary, StaticStats};
+
+fn main() {
+    let sample = hlr::programs::SIEVE;
+    println!("Workload: {} — {}\n", sample.name, sample.description);
+    let hir = sample.compile().expect("sample compiles");
+    let base = dir::compiler::compile(&hir);
+    let (fused, fstats) = dir::fuse::fuse(&base);
+
+    let stats = StaticStats::collect(&base);
+    println!(
+        "Stack-tier DIR: {} instructions, opcode entropy {:.2} bits",
+        stats.instructions, stats.opcode_entropy
+    );
+    println!(
+        "Fused tier: {} instructions ({:.0}% smaller), {} fused ops\n",
+        fstats.after,
+        fstats.reduction() * 100.0,
+        fstats.fused
+    );
+
+    for (tier, prog) in [("stack", &base), ("fused", &fused)] {
+        println!("== {tier} tier ==");
+        println!(
+            "{:>12} {:>10} {:>12} {:>10} {:>12}",
+            "scheme", "prog bits", "bits/instr", "decode d", "side bits"
+        );
+        for kind in SchemeKind::all() {
+            let image = kind.encode(prog);
+            // Every encoding must round-trip exactly.
+            assert_eq!(image.decode_all().expect("decodes"), prog.code);
+            let s = ImageSummary::of(&image);
+            println!(
+                "{:>12} {:>10} {:>12.1} {:>10.1} {:>12}",
+                kind.label(),
+                s.program_bits,
+                s.mean_inst_bits,
+                s.mean_decode_cost,
+                s.side_table_bits
+            );
+        }
+        println!();
+    }
+    println!("Rightward moves shrink the program and grow the decode cost and the");
+    println!("interpreter-side tables; upward (fused) moves shrink both. This is");
+    println!("Figure 1 of the paper, measured.");
+}

@@ -1,0 +1,77 @@
+//! Quickstart: compile a RAUL program down the whole representation
+//! hierarchy and run it on the three machine configurations.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use dir::encode::SchemeKind;
+use uhm::{DtbConfig, Machine, Mode};
+
+fn main() {
+    // 1. A high-level representation (HLR): block-structured source.
+    let source = r#"
+        # Sum the squares of the first 100 integers.
+        proc square(int n) -> int begin
+            return n * n;
+        end
+        proc main() begin
+            int i;
+            int total := 0;
+            for i := 1 to 100 do total := total + square(i);
+            write total;
+        end
+    "#;
+
+    // 2. Bind names and types (the compiler's permanent binding step).
+    let hir = hlr::compile(source).expect("valid RAUL");
+
+    // 3. Compile to the directly interpretable representation (DIR).
+    let program = dir::compiler::compile(&hir);
+    println!(
+        "DIR program: {} instructions, {} procedures",
+        program.len(),
+        program.procs.len()
+    );
+
+    // 4. Encode the static form compactly (the paper's encoding dimension).
+    let image = SchemeKind::Huffman.encode(&program);
+    println!(
+        "Static size: {} bits Huffman-encoded (vs {} byte-aligned)",
+        image.program_bits(),
+        SchemeKind::ByteAligned.encode(&program).program_bits()
+    );
+
+    // 5. Execute on the universal host machine, three ways.
+    let machine = Machine::new(&program, SchemeKind::Huffman);
+    let modes = [
+        ("conventional interpreter (T1)", Mode::Interpreter),
+        (
+            "dynamic translation buffer (T2)",
+            Mode::Dtb(DtbConfig::with_capacity(64)),
+        ),
+        (
+            "instruction cache (T3)",
+            Mode::ICache {
+                geometry: memsim::Geometry::new(32, 4),
+            },
+        ),
+    ];
+    println!();
+    for (label, mode) in modes {
+        let report = machine.run(&mode).expect("program is trap-free");
+        println!(
+            "{label:>34}: output = {:?}, {:.2} cycles/DIR instruction",
+            report.output,
+            report.metrics.time_per_instruction()
+        );
+        if let Some(dtb) = report.metrics.dtb {
+            println!(
+                "{:>34}  (DTB hit ratio {:.3}, {} translations filled)",
+                "",
+                dtb.hit_ratio(),
+                dtb.misses
+            );
+        }
+    }
+    println!("\nSame output everywhere; the DTB machine avoids redundant decoding by");
+    println!("keeping the loop's working set in its directly executable form.");
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every experiment output of the reproduction into results/.
+# Usage: scripts/regenerate.sh [results-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-results}"
+mkdir -p "$out"
+bins=(table1 table2 table3 fig1_space encoding_report dtb_sweep model_check \
+      assoc_ablation alloc_ablation replacement_ablation two_level decode_aids)
+for b in "${bins[@]}"; do
+    echo "== $b =="
+    cargo run -q -p uhm-bench --bin "$b" --release | tee "$out/$b.txt"
+done
+echo "All outputs written to $out/"

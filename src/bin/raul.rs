@@ -1,0 +1,345 @@
+//! `raul` — the command-line driver for the UHM reproduction.
+//!
+//! ```text
+//! raul check   <file>                    parse + type-check, rendered errors
+//! raul run     <file> [options]          execute on a machine configuration
+//! raul disasm  <file> [--fold] [--fuse]  DIR assembler listing
+//! raul encode  <file> [--fuse]           static-size report per scheme
+//! raul profile <file>                    execution hot spots and coverage
+//!
+//! run options:
+//!   --mode interp|dtb|icache|two-level   (default: dtb)
+//!   --scheme byte|packed|contextual|huffman|pair|valuehuff (default: huffman)
+//!   --dtb-entries N                      (default: 64)
+//!   --fold                               constant-fold before compiling
+//!   --fuse                               raise the semantic level
+//!   --stats                              print cycle metrics
+//! ```
+
+use std::process::ExitCode;
+
+use dir::encode::SchemeKind;
+use uhm::{DtbConfig, Machine, Mode};
+
+/// Parsed command-line request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cli {
+    command: Command,
+    path: String,
+    mode: ModeArg,
+    scheme: SchemeKind,
+    dtb_entries: usize,
+    fold: bool,
+    fuse: bool,
+    stats: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Check,
+    Run,
+    Disasm,
+    Encode,
+    Profile,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeArg {
+    Interp,
+    Dtb,
+    ICache,
+    TwoLevel,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        Some("check") => Command::Check,
+        Some("run") => Command::Run,
+        Some("disasm") => Command::Disasm,
+        Some("encode") => Command::Encode,
+        Some("profile") => Command::Profile,
+        Some(other) => return Err(format!("unknown command `{other}`")),
+        None => return Err("missing command (check|run|disasm|encode|profile)".into()),
+    };
+    let path = it
+        .next()
+        .ok_or_else(|| "missing <file> argument".to_string())?
+        .clone();
+    let mut cli = Cli {
+        command,
+        path,
+        mode: ModeArg::Dtb,
+        scheme: SchemeKind::Huffman,
+        dtb_entries: 64,
+        fold: false,
+        fuse: false,
+        stats: false,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--mode" => {
+                cli.mode = match it.next().map(String::as_str) {
+                    Some("interp") => ModeArg::Interp,
+                    Some("dtb") => ModeArg::Dtb,
+                    Some("icache") => ModeArg::ICache,
+                    Some("two-level") => ModeArg::TwoLevel,
+                    other => return Err(format!("bad --mode {other:?}")),
+                };
+            }
+            "--scheme" => {
+                let name = it.next().ok_or("missing --scheme value")?;
+                cli.scheme = SchemeKind::all()
+                    .into_iter()
+                    .find(|s| s.label() == name)
+                    .ok_or_else(|| format!("unknown scheme `{name}`"))?;
+            }
+            "--dtb-entries" => {
+                cli.dtb_entries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --dtb-entries value")?;
+            }
+            "--fold" => cli.fold = true,
+            "--fuse" => cli.fuse = true,
+            "--stats" => cli.stats = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Compiles a source file through the requested pipeline stages.
+fn build_program(cli: &Cli, source: &str) -> Result<dir::Program, String> {
+    let mut hir = hlr::compile(source).map_err(|e| e.render(source))?;
+    if cli.fold {
+        let (folded, stats) = hlr::fold::fold(&hir);
+        eprintln!(
+            "fold: {} exprs, {} branches, {} loops",
+            stats.folded_exprs, stats.pruned_branches, stats.removed_loops
+        );
+        hir = folded;
+    }
+    let mut program = dir::compiler::compile(&hir);
+    if cli.fuse {
+        let (fused, stats) = dir::fuse::fuse(&program);
+        eprintln!(
+            "fuse: {} -> {} instructions ({:.0}% smaller)",
+            stats.before,
+            stats.after,
+            stats.reduction() * 100.0
+        );
+        program = fused;
+    }
+    program.validate().map_err(|e| e.to_string())?;
+    Ok(program)
+}
+
+fn machine_mode(cli: &Cli) -> Mode {
+    match cli.mode {
+        ModeArg::Interp => Mode::Interpreter,
+        ModeArg::Dtb => Mode::Dtb(DtbConfig::with_capacity(cli.dtb_entries)),
+        ModeArg::ICache => Mode::ICache {
+            geometry: memsim::Geometry::new((cli.dtb_entries / 4).max(1), 4),
+        },
+        ModeArg::TwoLevel => Mode::TwoLevelDtb {
+            l1: DtbConfig::with_capacity(cli.dtb_entries),
+            l2: DtbConfig::with_capacity(cli.dtb_entries * 8),
+        },
+    }
+}
+
+fn execute(cli: &Cli, source: &str) -> Result<(), String> {
+    match cli.command {
+        Command::Check => {
+            let hir = hlr::compile(source).map_err(|e| e.render(source))?;
+            println!(
+                "ok: {} procedures, {} global slots",
+                hir.procs.len(),
+                hir.globals_size
+            );
+            Ok(())
+        }
+        Command::Run => {
+            let program = build_program(cli, source)?;
+            let mut machine = Machine::new(&program, cli.scheme);
+            machine.set_trace(false);
+            let report = machine
+                .run(&machine_mode(cli))
+                .map_err(|t| format!("trap: {t}"))?;
+            for v in &report.output {
+                println!("{v}");
+            }
+            if cli.stats {
+                let m = &report.metrics;
+                eprintln!(
+                    "instructions: {}  cycles: {}  T: {:.2}",
+                    m.instructions,
+                    m.cycles.total(),
+                    m.time_per_instruction()
+                );
+                if let Some(dtb) = m.dtb {
+                    eprintln!(
+                        "dtb: h_D = {:.4} ({} hits / {} misses, {} evictions)",
+                        dtb.hit_ratio(),
+                        dtb.hits,
+                        dtb.misses,
+                        dtb.evictions
+                    );
+                }
+                if let Some(c) = m.icache {
+                    eprintln!("icache: h_c = {:.4}", c.hit_ratio());
+                }
+            }
+            Ok(())
+        }
+        Command::Disasm => {
+            let program = build_program(cli, source)?;
+            print!("{}", dir::asm::disassemble(&program));
+            Ok(())
+        }
+        Command::Encode => {
+            let program = build_program(cli, source)?;
+            println!(
+                "{:>12} {:>10} {:>12} {:>10} {:>12}",
+                "scheme", "prog bits", "bits/instr", "decode d", "side bits"
+            );
+            for kind in SchemeKind::all() {
+                let image = kind.encode(&program);
+                println!(
+                    "{:>12} {:>10} {:>12.1} {:>10.1} {:>12}",
+                    kind.label(),
+                    image.program_bits(),
+                    image.mean_inst_bits(),
+                    image.mean_decode_cost(),
+                    image.side_table_bits
+                );
+            }
+            Ok(())
+        }
+        Command::Profile => {
+            let program = build_program(cli, source)?;
+            let mut machine = Machine::new(&program, cli.scheme);
+            machine.set_trace(true);
+            let report = machine
+                .run(&Mode::Interpreter)
+                .map_err(|t| format!("trap: {t}"))?;
+            let trace = report.metrics.trace.expect("tracing enabled");
+            let profile = uhm::profile::Profile::from_trace(&program, &trace);
+            println!(
+                "{} static, {} dynamic, {} touched",
+                program.len(),
+                profile.total,
+                profile.touched()
+            );
+            for (name, count) in profile.by_procedure(&program) {
+                println!("{name:>16}: {count}");
+            }
+            println!("hottest:");
+            for (addr, count) in profile.hottest(10) {
+                println!(
+                    "  {addr:>5} {count:>9}x  {}",
+                    dir::asm::format_inst(&program.code[addr as usize])
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("raul: {e}");
+            eprintln!("usage: raul <check|run|disasm|encode|profile> <file> [options]");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&cli.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("raul: cannot read {}: {e}", cli.path);
+            return ExitCode::from(2);
+        }
+    };
+    match execute(&cli, &source) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let cli = parse_args(&args(
+            "run prog.raul --mode two-level --scheme pair --dtb-entries 32 --fuse --stats",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Run);
+        assert_eq!(cli.mode, ModeArg::TwoLevel);
+        assert_eq!(cli.scheme, SchemeKind::PairHuffman);
+        assert_eq!(cli.dtb_entries, 32);
+        assert!(cli.fuse && cli.stats && !cli.fold);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cli = parse_args(&args("run p.raul")).unwrap();
+        assert_eq!(cli.mode, ModeArg::Dtb);
+        assert_eq!(cli.scheme, SchemeKind::Huffman);
+        assert_eq!(cli.dtb_entries, 64);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args("bogus p.raul")).is_err());
+        assert!(parse_args(&args("run")).is_err());
+        assert!(parse_args(&args("run p.raul --scheme nope")).is_err());
+        assert!(parse_args(&args("run p.raul --dtb-entries x")).is_err());
+        assert!(parse_args(&args("run p.raul --whatever")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn execute_runs_a_program() {
+        let cli = parse_args(&args("run inline.raul --mode dtb")).unwrap();
+        // `execute` reads no files; feed source directly.
+        execute(&cli, "proc main() begin write 41 + 1; end").unwrap();
+    }
+
+    #[test]
+    fn execute_renders_compile_errors() {
+        let cli = parse_args(&args("check bad.raul")).unwrap();
+        let err = execute(&cli, "proc main() begin write nope; end").unwrap_err();
+        assert!(err.contains("unknown variable"));
+        assert!(err.contains('^'));
+    }
+
+    #[test]
+    fn disasm_and_encode_work() {
+        let src = "proc main() begin int i; for i := 0 to 3 do write i; end";
+        for cmd in ["disasm d.raul --fuse --fold", "encode e.raul"] {
+            let cli = parse_args(&args(cmd)).unwrap();
+            execute(&cli, src).unwrap();
+        }
+    }
+
+    #[test]
+    fn run_traps_are_reported() {
+        let cli = parse_args(&args("run t.raul")).unwrap();
+        let err = execute(&cli, "proc main() begin write 1 / 0; end").unwrap_err();
+        assert!(err.contains("division by zero"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # uhm-repro — facade crate
+//!
+//! Re-exports the whole reproduction of Rau (1978), *Levels of
+//! Representation of Programs and the Architecture of Universal Host
+//! Machines*, as one dependency. See the individual crates for the
+//! subsystems:
+//!
+//! * [`hlr`] — the RAUL high-level language (lexer, parser, sema, evaluator);
+//! * [`dir`] — the directly interpretable representation, its compiler and
+//!   the five encodings of Section 3.2;
+//! * [`psder`] — the procedurally structured DER: microinstructions,
+//!   semantic routines and the short-format IU2 instruction set;
+//! * [`memsim`] — the two-level memory hierarchy and set-associative caches;
+//! * [`uhm`] — the universal host machine with its dynamic translation
+//!   buffer, plus the Section 7 analytic model.
+//!
+//! The `examples/` directory of this package contains the runnable
+//! walkthroughs; `tests/` holds the cross-crate integration suite.
+
+pub use dir;
+pub use hlr;
+pub use memsim;
+pub use psder;
+pub use uhm;

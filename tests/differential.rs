@@ -1,0 +1,166 @@
+//! Property-based differential tests: on randomly generated (terminating,
+//! trap-free) RAUL programs, every execution level and every encoding must
+//! agree exactly.
+
+use dir::encode::SchemeKind;
+use proptest::prelude::*;
+use uhm::{DtbConfig, Machine, Mode};
+
+fn build(seed: u64) -> (hlr::hir::Program, dir::Program) {
+    let ast = hlr::generate::program(seed, &hlr::generate::Config::default());
+    let hir = hlr::sema::analyze(&ast).expect("generated programs are valid");
+    let program = dir::compiler::compile(&hir);
+    (hir, program)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// HLR evaluator ≡ DIR executor ≡ PSDER interpreter on random programs.
+    #[test]
+    fn execution_levels_agree(seed in any::<u64>()) {
+        let (hir, program) = build(seed);
+        let reference = hlr::eval::run(&hir).expect("trap-free by construction");
+        prop_assert_eq!(&dir::exec::run(&program).unwrap(), &reference);
+        prop_assert_eq!(&psder::interp::run(&program).unwrap(), &reference);
+    }
+
+    /// The assembler round-trips random compiled programs exactly.
+    #[test]
+    fn assembler_round_trips(seed in any::<u64>()) {
+        let (_, program) = build(seed);
+        let text = dir::asm::disassemble(&program);
+        let back = dir::asm::assemble(&text).expect("assembles");
+        prop_assert_eq!(back, program);
+    }
+
+    /// Fusion preserves semantics on random programs.
+    #[test]
+    fn fusion_preserves_semantics(seed in any::<u64>()) {
+        let (_, program) = build(seed);
+        let (fused, stats) = dir::fuse::fuse(&program);
+        fused.validate().expect("fused output validates");
+        prop_assert!(stats.after <= stats.before);
+        prop_assert_eq!(
+            dir::exec::run(&fused).unwrap(),
+            dir::exec::run(&program).unwrap()
+        );
+    }
+
+    /// Every encoding round-trips random programs, and sizes are ordered
+    /// byte ≥ packed ≥ contextual.
+    #[test]
+    fn encodings_round_trip(seed in any::<u64>()) {
+        let (_, program) = build(seed);
+        let mut sizes = Vec::new();
+        for scheme in SchemeKind::all() {
+            let image = scheme.encode(&program);
+            prop_assert_eq!(image.decode_all().unwrap(), program.code.clone());
+            sizes.push(image.program_bits());
+        }
+        prop_assert!(sizes[0] >= sizes[1]); // byte >= packed
+        prop_assert!(sizes[1] >= sizes[2]); // packed >= contextual
+    }
+}
+
+proptest! {
+    // Machine runs are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All three machine modes produce the reference output on random
+    /// programs, under a randomly sized DTB.
+    #[test]
+    fn machine_modes_agree(seed in any::<u64>(), cap_exp in 2u32..8) {
+        let (hir, program) = build(seed);
+        let reference = hlr::eval::run(&hir).expect("trap-free by construction");
+        let machine = Machine::new(&program, SchemeKind::PairHuffman);
+        let modes = [
+            Mode::Interpreter,
+            Mode::Dtb(DtbConfig::with_capacity(1 << cap_exp)),
+            Mode::ICache { geometry: memsim::Geometry::new(8, 4) },
+        ];
+        for mode in modes {
+            let report = machine.run(&mode).expect("trap-free");
+            prop_assert_eq!(&report.output, &reference);
+        }
+    }
+
+    /// The DTB never changes results regardless of geometry, unit size or
+    /// allocation policy.
+    #[test]
+    fn dtb_geometry_is_semantically_transparent(
+        seed in 0u64..1000,
+        sets in 1usize..8,
+        ways in 1usize..5,
+        overflow in prop::option::of(1usize..6),
+    ) {
+        let (_, program) = build(seed);
+        let reference = dir::exec::run(&program).unwrap();
+        let cfg = uhm::DtbConfig {
+            geometry: memsim::Geometry::new(sets, ways),
+            unit_words: match overflow {
+                Some(_) => 3,
+                None => psder::MAX_TRANSLATION_WORDS,
+            },
+            allocation: match overflow {
+                Some(blocks) => uhm::Allocation::Overflow { blocks },
+                None => uhm::Allocation::Fixed,
+            },
+            replacement: uhm::Replacement::Lru,
+        };
+        let machine = Machine::new(&program, SchemeKind::Packed);
+        let report = machine.run(&Mode::Dtb(cfg)).expect("trap-free");
+        prop_assert_eq!(&report.output, &reference);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bitstream round-trip on arbitrary (value, width) sequences.
+    #[test]
+    fn bitstream_round_trips(fields in prop::collection::vec((any::<u64>(), 1u32..=64), 1..50)) {
+        let mut w = dir::bitstream::BitWriter::new();
+        let masked: Vec<(u64, u32)> = fields
+            .iter()
+            .map(|&(v, width)| {
+                let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+                (v, width)
+            })
+            .collect();
+        for &(v, width) in &masked {
+            w.write(v, width);
+        }
+        let (buf, len) = w.finish();
+        let mut r = dir::bitstream::BitReader::new(&buf, len);
+        for &(v, width) in &masked {
+            prop_assert_eq!(r.read(width).unwrap(), v);
+        }
+    }
+
+    /// Huffman round-trip on arbitrary frequency tables and messages.
+    #[test]
+    fn huffman_round_trips(
+        freqs in prop::collection::vec(0u64..1000, 2..30),
+        message in prop::collection::vec(any::<prop::sample::Index>(), 0..100),
+    ) {
+        let tree = dir::huffman::Tree::from_frequencies(&freqs);
+        let symbols: Vec<usize> = message.iter().map(|i| i.index(freqs.len())).collect();
+        let mut w = dir::bitstream::BitWriter::new();
+        for &s in &symbols {
+            tree.encode(s, &mut w);
+        }
+        let (buf, len) = w.finish();
+        let mut r = dir::bitstream::BitReader::new(&buf, len);
+        for &s in &symbols {
+            let (got, _) = tree.decode(&mut r).unwrap();
+            prop_assert_eq!(got, s);
+        }
+    }
+
+    /// Zigzag coding round-trips all i64 values.
+    #[test]
+    fn zigzag_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(dir::isa::unzigzag(dir::isa::zigzag(v)), v);
+    }
+}

@@ -1,0 +1,74 @@
+//! Golden-file regression tests: the compiler's DIR output, the fusion
+//! pass and the semantic-routine library are pinned against checked-in
+//! listings. Any intentional change to code generation must update the
+//! fixtures under `tests/golden/` (regenerate with the snippets in each
+//! test's failure message).
+
+use std::fs;
+use std::path::Path;
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path:?}: {e}"))
+}
+
+fn assert_golden(actual: &str, fixture: &str) {
+    let expected = golden(fixture);
+    assert_eq!(
+        actual, expected,
+        "\n== output differs from tests/golden/{fixture} ==\n\
+         If the change is intentional, overwrite the fixture with the new\n\
+         output (the full actual text is in the assertion above).",
+    );
+}
+
+#[test]
+fn compiler_output_is_stable() {
+    for name in ["fib_rec", "gcd_chain"] {
+        let sample = hlr::programs::by_name(name).expect("sample exists");
+        let program = dir::compiler::compile(&sample.compile().expect("compiles"));
+        assert_golden(
+            &dir::asm::disassemble(&program),
+            &format!("{name}.dir.asm"),
+        );
+    }
+}
+
+#[test]
+fn fusion_output_is_stable() {
+    for name in ["fib_rec", "gcd_chain"] {
+        let sample = hlr::programs::by_name(name).expect("sample exists");
+        let base = dir::compiler::compile(&sample.compile().expect("compiles"));
+        let (fused, _) = dir::fuse::fuse(&base);
+        assert_golden(
+            &dir::asm::disassemble(&fused),
+            &format!("{name}.fused.asm"),
+        );
+    }
+}
+
+#[test]
+fn routine_library_is_stable() {
+    let lib = psder::RoutineLib::new();
+    assert_golden(&psder::listing::routine_listing(&lib), "routines.masm");
+}
+
+#[test]
+fn golden_programs_reassemble_and_run() {
+    // The fixtures are not just text: they assemble back into programs
+    // that validate and produce the reference outputs.
+    for (name, want) in [("fib_rec", vec![610i64]), ("gcd_chain", vec![266])] {
+        for suffix in ["dir", "fused"] {
+            let program = dir::asm::assemble(&golden(&format!("{name}.{suffix}.asm")))
+                .expect("fixtures assemble");
+            program.validate().expect("fixtures validate");
+            assert_eq!(
+                dir::exec::run(&program).expect("fixtures run"),
+                want,
+                "{name}.{suffix}"
+            );
+        }
+    }
+}

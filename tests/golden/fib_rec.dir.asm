@@ -1,0 +1,31 @@
+.globals 0
+.entry main
+; prelude
+    call_idx 1
+    halt
+.proc fib args=1 frame=1 returns=true
+    push_local 0
+    push_const 2
+    bin lt
+    jump_if_false 8
+    push_local 0
+    return
+    push_local 0
+    push_const 1
+    bin sub
+    call_idx 0
+    push_local 0
+    push_const 2
+    bin sub
+    call_idx 0
+    bin add
+    return
+    push_const 0
+    return
+.end
+.proc main args=0 frame=0 returns=false
+    push_const 15
+    call_idx 0
+    write
+    return
+.end

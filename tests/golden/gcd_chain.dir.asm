@@ -1,0 +1,50 @@
+.globals 0
+.entry main
+; prelude
+    call_idx 1
+    halt
+.proc gcd args=2 frame=3 returns=true
+    push_local 1
+    push_const 0
+    bin ne
+    jump_if_false 15
+    push_local 0
+    push_local 1
+    bin mod
+    store_local 2
+    push_local 1
+    store_local 0
+    push_local 2
+    store_local 1
+    jump 2
+    push_local 0
+    return
+    push_const 0
+    return
+.end
+.proc main args=0 frame=3 returns=false
+    push_const 0
+    store_local 1
+    push_const 1
+    store_local 0
+    push_const 60
+    store_local 2
+    push_local 0
+    push_local 2
+    bin le
+    jump_if_false 40
+    push_local 1
+    push_local 0
+    push_const 36
+    call_idx 0
+    bin add
+    store_local 1
+    push_local 0
+    push_const 1
+    bin add
+    store_local 0
+    jump 25
+    push_local 1
+    write
+    return
+.end

@@ -1,0 +1,35 @@
+.globals 0
+.entry main
+; prelude
+    call_idx 1
+    halt
+.proc gcd args=2 frame=3 returns=true
+    cmp_const_br ne 1 0 9
+    bin_locals mod 0 1 2
+    push_local 1
+    store_local 0
+    push_local 2
+    store_local 1
+    jump 2
+    push_local 0
+    return
+    push_const 0
+    return
+.end
+.proc main args=0 frame=3 returns=false
+    set_local_const 1 0
+    set_local_const 0 1
+    set_local_const 2 60
+    cmp_locals_br le 0 2 25
+    push_local 1
+    push_local 0
+    push_const 36
+    call_idx 0
+    bin add
+    store_local 1
+    inc_local 0 1
+    jump 16
+    push_local 1
+    write
+    return
+.end

@@ -1,0 +1,120 @@
+//! Validation of the Section-7 analytic model against the cycle-accurate
+//! simulation, and regression tests pinning the published tables.
+
+use dir::encode::SchemeKind;
+use uhm::model::{printed, published, ModeKind, Params};
+use uhm::{CostModel, DtbConfig, Machine, Mode};
+
+/// The printed closed forms reproduce every cell of the published Tables 2
+/// and 3 within rounding.
+#[test]
+fn published_tables_regenerate() {
+    for (i, &d) in published::D_VALUES.iter().enumerate() {
+        for (j, &x) in published::X_VALUES.iter().enumerate() {
+            assert!(
+                (printed::f1(d, x) - published::TABLE2[i][j]).abs() < 0.01,
+                "table 2 cell ({i},{j})"
+            );
+            assert!(
+                (printed::f2(d, x) - published::TABLE3[i][j]).abs() < 0.01,
+                "table 3 cell ({i},{j})"
+            );
+        }
+    }
+}
+
+/// The analytic model, parameterised entirely from measurements, predicts
+/// each machine's simulated time within 5%.
+#[test]
+fn model_predicts_simulation() {
+    let costs = CostModel::default();
+    for sample in [
+        &hlr::programs::SIEVE,
+        &hlr::programs::FIB_REC,
+        &hlr::programs::GCD_CHAIN,
+        &hlr::programs::STRAIGHTLINE,
+    ] {
+        let program = dir::compiler::compile(&sample.compile().expect("compiles"));
+        let machine = Machine::new(&program, SchemeKind::PairHuffman);
+        let dtb_cfg = DtbConfig::with_capacity(64);
+        let interp = machine.run(&Mode::Interpreter).expect("runs");
+        let dtb = machine.run(&Mode::Dtb(dtb_cfg)).expect("runs");
+        let cache = machine
+            .run(&Mode::ICache {
+                geometry: memsim::Geometry::new(96, 4),
+            })
+            .expect("runs");
+        let params = Params::from_reports(&costs, &interp, &dtb, &cache);
+        for (report, kind) in [
+            (&interp, ModeKind::Interpreter),
+            (&dtb, ModeKind::Dtb),
+            (&cache, ModeKind::ICache),
+        ] {
+            let sim = report.metrics.time_per_instruction();
+            let model = params.predict(&kind);
+            let err = (model - sim).abs() / sim;
+            assert!(
+                err < 0.05,
+                "{}: {kind:?} model {model:.2} vs sim {sim:.2} ({:.1}% off)",
+                sample.name,
+                err * 100.0
+            );
+        }
+    }
+}
+
+/// Monotonicity properties of the model that the paper relies on: F1 and
+/// F2 grow with `d` and shrink with `x` under both parameterisations.
+#[test]
+fn figures_of_merit_monotonicity() {
+    let ds = [5.0, 10.0, 20.0, 30.0, 40.0];
+    let xs = [2.0, 5.0, 10.0, 20.0, 40.0];
+    for w in ds.windows(2) {
+        assert!(printed::f1(w[1], 10.0) > printed::f1(w[0], 10.0));
+        assert!(printed::f2(w[1], 10.0) > printed::f2(w[0], 10.0));
+        let a = Params::paper_stated(w[0], 10.0);
+        let b = Params::paper_stated(w[1], 10.0);
+        assert!(b.f2() > a.f2());
+    }
+    for w in xs.windows(2) {
+        assert!(printed::f1(20.0, w[1]) < printed::f1(20.0, w[0]));
+        assert!(printed::f2(20.0, w[1]) < printed::f2(20.0, w[0]));
+        let a = Params::paper_stated(20.0, w[0]);
+        let b = Params::paper_stated(20.0, w[1]);
+        assert!(b.f2() < a.f2());
+    }
+}
+
+/// §7's closing caveat, reproduced: "the DTB is not particularly effective
+/// if the task of decoding is trivial or if the time spent in the semantic
+/// routines is much greater" — as d → 0 or x → ∞, F2 → small.
+#[test]
+fn dtb_benefit_vanishes_when_decode_is_trivial_or_x_dominates() {
+    let p_trivial_decode = Params::paper_stated(0.5, 10.0);
+    assert!(p_trivial_decode.f2() < 20.0);
+    let p_vector_machine = Params::paper_stated(10.0, 500.0);
+    assert!(p_vector_machine.f2() < 5.0);
+    // Whereas the sweet spot is large:
+    assert!(Params::paper_stated(30.0, 5.0).f2() > 50.0);
+}
+
+/// The measured hit ratio feeds the model: degrading h_D in the model
+/// tracks the simulated effect of shrinking the DTB.
+#[test]
+fn hit_ratio_degradation_tracks_capacity() {
+    let program = dir::compiler::compile(&hlr::programs::QUEENS.compile().expect("compiles"));
+    let machine = Machine::new(&program, SchemeKind::PairHuffman);
+    let mut previous_h = 1.1f64;
+    let mut previous_t = 0.0f64;
+    for cap in [256usize, 32, 4] {
+        let report = machine
+            .run(&Mode::Dtb(DtbConfig::with_capacity(cap)))
+            .expect("runs");
+        let h = report.metrics.dtb.unwrap().hit_ratio();
+        let t = report.metrics.time_per_instruction();
+        assert!(h < previous_h, "h_D must fall as capacity falls");
+        assert!(t > previous_t, "T2 must rise as capacity falls");
+        previous_h = h;
+        previous_t = t;
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end pipeline tests: HLR source → resolved HIR → DIR → encoded
+//! images → all three machine configurations, asserting byte-identical
+//! semantics at every level.
+
+use dir::encode::SchemeKind;
+use uhm::{DtbConfig, Machine, Mode};
+
+/// All execution levels and machine modes agree on every sample program.
+#[test]
+fn full_stack_agreement_on_all_samples() {
+    for sample in hlr::programs::ALL {
+        let hir = sample.compile().expect("sample compiles");
+        let reference = hlr::eval::run(&hir).expect("reference runs");
+
+        for (tier, program) in [
+            ("stack", dir::compiler::compile(&hir)),
+            ("fused", dir::fuse::fuse(&dir::compiler::compile(&hir)).0),
+        ] {
+            program.validate().expect("valid DIR");
+            assert_eq!(
+                dir::exec::run(&program).expect("dir exec"),
+                reference,
+                "{}/{tier}: dir executor",
+                sample.name
+            );
+            assert_eq!(
+                psder::interp::run(&program).expect("psder interp"),
+                reference,
+                "{}/{tier}: psder interpreter",
+                sample.name
+            );
+            let machine = Machine::new(&program, SchemeKind::Huffman);
+            for mode in [
+                Mode::Interpreter,
+                Mode::Dtb(DtbConfig::with_capacity(64)),
+                Mode::ICache {
+                    geometry: memsim::Geometry::new(16, 4),
+                },
+            ] {
+                let report = machine.run(&mode).expect("machine runs");
+                assert_eq!(
+                    report.output, reference,
+                    "{}/{tier}: machine {mode:?}",
+                    sample.name
+                );
+            }
+        }
+    }
+}
+
+/// Every encoding scheme feeds the machine identically.
+#[test]
+fn machines_are_scheme_independent() {
+    let hir = hlr::programs::COLLATZ.compile().expect("compiles");
+    let program = dir::compiler::compile(&hir);
+    let reference = dir::exec::run(&program).expect("runs");
+    for scheme in SchemeKind::all() {
+        let machine = Machine::new(&program, scheme);
+        let report = machine
+            .run(&Mode::Dtb(DtbConfig::with_capacity(32)))
+            .expect("runs");
+        assert_eq!(report.output, reference, "{scheme}");
+    }
+}
+
+/// Encoded images of every sample, at both tiers, under every scheme,
+/// decode back to the exact instruction sequence.
+#[test]
+fn all_images_round_trip() {
+    for sample in hlr::programs::ALL {
+        let hir = sample.compile().expect("compiles");
+        let base = dir::compiler::compile(&hir);
+        let (fused, _) = dir::fuse::fuse(&base);
+        for program in [&base, &fused] {
+            for scheme in SchemeKind::all() {
+                let image = scheme.encode(program);
+                assert_eq!(
+                    image.decode_all().expect("decodes"),
+                    program.code,
+                    "{}: {scheme}",
+                    sample.name
+                );
+            }
+        }
+    }
+}
+
+/// Runtime traps surface identically at every level and in every mode.
+#[test]
+fn traps_are_uniform_across_the_stack() {
+    let cases = [
+        ("proc main() begin write 10 / (5 - 5); end", "div"),
+        ("proc main() begin int a[4]; write a[4]; end", "oob high"),
+        ("proc main() begin int a[4]; a[0 - 1] := 1; skip; end", "oob low"),
+        ("proc main() begin write 7 % 0; end", "rem"),
+    ];
+    for (src, label) in cases {
+        let hir = hlr::compile(src).expect("compiles");
+        let expected: dir::exec::Trap = hlr::eval::run(&hir).expect_err("traps").into();
+        let program = dir::compiler::compile(&hir);
+        assert_eq!(dir::exec::run(&program).expect_err("traps"), expected, "{label}");
+        assert_eq!(
+            psder::interp::run(&program).expect_err("traps"),
+            expected,
+            "{label}"
+        );
+        let machine = Machine::new(&program, SchemeKind::Packed);
+        for mode in [Mode::Interpreter, Mode::Dtb(DtbConfig::with_capacity(16))] {
+            assert_eq!(
+                machine.run(&mode).expect_err("traps"),
+                expected,
+                "{label} {mode:?}"
+            );
+        }
+    }
+}
+
+/// The facade crate re-exports the whole stack.
+#[test]
+fn facade_reexports_work() {
+    let hir = uhm_repro::hlr::compile("proc main() begin write 9; end").expect("compiles");
+    let program = uhm_repro::dir::compiler::compile(&hir);
+    assert_eq!(uhm_repro::dir::exec::run(&program).expect("runs"), vec![9]);
+}
