@@ -1,57 +1,47 @@
-//! Criterion benchmarks of the DTB data structure in isolation: lookup
-//! and fill paths under hit- and miss-heavy address streams.
+//! Benchmarks of the DTB data structure in isolation: lookup and fill
+//! paths under hit- and miss-heavy address streams.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use psder::{PushMode, ShortInstr};
 use std::hint::black_box;
 use uhm::{Dtb, DtbConfig};
+use uhm_bench::timing::Harness;
 
 fn translation() -> Vec<ShortInstr> {
-    (0..4)
-        .map(|i| ShortInstr::Push(PushMode::Imm(i)))
-        .collect()
+    (0..4).map(|i| ShortInstr::Push(PushMode::Imm(i))).collect()
 }
 
-fn bench_hit_path(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("dtb_bench");
+
     let mut dtb = Dtb::new(DtbConfig::with_capacity(256));
     let t = translation();
     for addr in 0..256u32 {
         dtb.fill(addr, &t);
     }
     let mut i = 0u32;
-    c.bench_function("dtb_lookup_hit", |b| {
-        b.iter(|| {
-            i = (i + 1) % 256;
-            black_box(dtb.lookup(black_box(i)))
-        })
+    h.bench("dtb_lookup_hit", || {
+        i = (i + 1) % 256;
+        black_box(dtb.lookup(black_box(i)))
     });
-}
 
-fn bench_miss_fill_path(c: &mut Criterion) {
     let mut dtb = Dtb::new(DtbConfig::with_capacity(64));
-    let t = translation();
     let mut addr = 0u32;
-    c.bench_function("dtb_miss_fill", |b| {
-        b.iter(|| {
-            addr = addr.wrapping_add(97); // always a fresh address
-            if dtb.lookup(black_box(addr)).is_none() {
-                black_box(dtb.fill(addr, &t));
-            }
-        })
+    h.bench("dtb_miss_fill", || {
+        addr = addr.wrapping_add(97); // always a fresh address
+        if dtb.lookup(black_box(addr)).is_none() {
+            black_box(dtb.fill(addr, &t));
+        }
     });
-}
 
-fn bench_translate(c: &mut Criterion) {
     let inst = dir::Inst::CmpConstBr {
         op: dir::AluOp::Lt,
         slot: 1,
         imm: 100,
         target: 17,
     };
-    c.bench_function("translate_template", |b| {
-        b.iter(|| black_box(psder::translate(black_box(inst), 18)))
+    h.bench("translate_template", || {
+        black_box(psder::translate(black_box(inst), 18))
     });
-}
 
-criterion_group!(benches, bench_hit_path, bench_miss_fill_path, bench_translate);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,56 +1,39 @@
-//! Criterion benchmarks of the encoding dimension: encode and decode
-//! throughput of each scheme on a representative program.
+//! Benchmarks of the encoding dimension: encode and decode throughput of
+//! each scheme on a representative program.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dir::encode::SchemeKind;
 use std::hint::black_box;
+use uhm_bench::timing::Harness;
 
 fn program() -> dir::Program {
     let hir = hlr::programs::QUEENS.compile().expect("sample compiles");
     dir::compiler::compile(&hir)
 }
 
-fn bench_encode(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("encode_bench");
     let prog = program();
-    let mut group = c.benchmark_group("encode");
-    for scheme in SchemeKind::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &scheme,
-            |b, &scheme| b.iter(|| black_box(scheme.encode(black_box(&prog)))),
-        );
-    }
-    group.finish();
-}
 
-fn bench_decode(c: &mut Criterion) {
-    let prog = program();
-    let mut group = c.benchmark_group("decode_all");
+    for scheme in SchemeKind::all() {
+        h.bench(&format!("encode/{}", scheme.label()), || {
+            black_box(scheme.encode(black_box(&prog)))
+        });
+    }
+
     for scheme in SchemeKind::all() {
         let image = scheme.encode(&prog);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &image,
-            |b, image| b.iter(|| black_box(image.decode_all().expect("round trip"))),
-        );
+        h.bench(&format!("decode_all/{}", scheme.label()), || {
+            black_box(image.decode_all().expect("round trip"))
+        });
     }
-    group.finish();
-}
 
-fn bench_decode_single(c: &mut Criterion) {
-    let prog = program();
-    let mut group = c.benchmark_group("decode_one");
     for scheme in SchemeKind::all() {
         let image = scheme.encode(&prog);
         let mid = (image.len() / 2) as u32;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &image,
-            |b, image| b.iter(|| black_box(image.decode(black_box(mid)).expect("valid index"))),
-        );
+        h.bench(&format!("decode_one/{}", scheme.label()), || {
+            black_box(image.decode(black_box(mid)).expect("valid index"))
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_encode, bench_decode, bench_decode_single);
-criterion_main!(benches);
+    h.finish();
+}

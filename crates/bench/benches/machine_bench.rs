@@ -1,12 +1,16 @@
-//! Criterion benchmarks of the three machine configurations (host-side
-//! throughput of the simulator, not simulated cycles).
+//! Benchmarks of the three machine configurations (host-side throughput
+//! of the simulator, not simulated cycles). The runs use `Machine::run`,
+//! i.e. the `NullSink` path — these numbers are the baseline that tracing
+//! must not perturb when disabled.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dir::encode::SchemeKind;
 use std::hint::black_box;
 use uhm::{DtbConfig, Machine, Mode};
+use uhm_bench::timing::Harness;
 
-fn bench_modes(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("machine_bench");
+
     let hir = hlr::programs::GCD_CHAIN.compile().expect("sample compiles");
     let prog = dir::compiler::compile(&hir);
     let machine = Machine::new(&prog, SchemeKind::Huffman);
@@ -20,37 +24,24 @@ fn bench_modes(c: &mut Criterion) {
             },
         ),
     ];
-    let mut group = c.benchmark_group("machine");
-    for (label, mode) in modes {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
-            b.iter(|| black_box(machine.run(black_box(mode)).expect("trap-free")))
+    for (label, mode) in &modes {
+        h.bench(&format!("machine/{label}"), || {
+            black_box(machine.run(black_box(mode)).expect("trap-free"))
         });
     }
-    group.finish();
-}
 
-fn bench_schemes_under_dtb(c: &mut Criterion) {
     let hir = hlr::programs::FIB_REC.compile().expect("sample compiles");
     let prog = dir::compiler::compile(&hir);
-    let mut group = c.benchmark_group("dtb_by_scheme");
     for scheme in SchemeKind::all() {
         let machine = Machine::new(&prog, scheme);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &machine,
-            |b, machine| {
-                b.iter(|| {
-                    black_box(
-                        machine
-                            .run(&Mode::Dtb(DtbConfig::with_capacity(64)))
-                            .expect("trap-free"),
-                    )
-                })
-            },
-        );
+        h.bench(&format!("dtb_by_scheme/{}", scheme.label()), || {
+            black_box(
+                machine
+                    .run(&Mode::Dtb(DtbConfig::with_capacity(64)))
+                    .expect("trap-free"),
+            )
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_modes, bench_schemes_under_dtb);
-criterion_main!(benches);
+    h.finish();
+}

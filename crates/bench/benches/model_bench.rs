@@ -1,28 +1,25 @@
-//! Criterion benchmark of the analytic model grid (Tables 2/3) and of the
+//! Benchmark of the analytic model grid (Tables 2/3) and of the
 //! working-set analytics used by the locality experiments.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use uhm::model::{grid, printed};
+use uhm_bench::timing::Harness;
 
-fn bench_grid(c: &mut Criterion) {
-    c.bench_function("model_grid_f1_f2", |b| {
-        b.iter(|| {
-            black_box(grid(printed::f1));
-            black_box(grid(printed::f2));
-        })
+fn main() {
+    let mut h = Harness::new("model_bench");
+
+    h.bench("model_grid_f1_f2", || {
+        black_box(grid(printed::f1));
+        black_box(grid(printed::f2));
     });
-}
 
-fn bench_workset(c: &mut Criterion) {
     let trace: Vec<u64> = (0..100_000u64).map(|i| (i * 31 + i % 17) % 509).collect();
-    c.bench_function("lru_hit_ratios_100k", |b| {
-        b.iter(|| black_box(memsim::workset::lru_hit_ratios(&trace, &[16, 64, 256])))
+    h.bench("lru_hit_ratios_100k", || {
+        black_box(memsim::workset::lru_hit_ratios(&trace, &[16, 64, 256]))
     });
-    c.bench_function("working_set_100k", |b| {
-        b.iter(|| black_box(memsim::workset::working_set_size(&trace, 1000)))
+    h.bench("working_set_100k", || {
+        black_box(memsim::workset::working_set_size(&trace, 1000))
     });
-}
 
-criterion_group!(benches, bench_grid, bench_workset);
-criterion_main!(benches);
+    h.finish();
+}

@@ -7,14 +7,17 @@
 //! pressure) uncacheable translations.
 //!
 //! Run with `cargo run -p uhm-bench --bin alloc_ablation --release`.
+//! With `--json`, emits a versioned RunReport instead of the text table.
 
 use dir::encode::SchemeKind;
 use memsim::Geometry;
 use psder::MAX_TRANSLATION_WORDS;
+use telemetry::Json;
 use uhm::{Allocation, DtbConfig, Machine, Mode};
-use uhm_bench::workloads;
+use uhm_bench::{bench_report, json_flag, workloads};
 
 fn main() {
+    let json = json_flag();
     // Policies with an (approximately) equal level-1 budget of short words.
     let budget_entries = 32;
     let fixed = DtbConfig {
@@ -31,33 +34,80 @@ fn main() {
         allocation: Allocation::Overflow { blocks: 16 },
         replacement: uhm::Replacement::Lru,
     };
-    println!(
-        "Allocation ablation (equal level-1 budget: fixed = {} words, overflow = {} words)\n",
-        fixed.buffer_words(),
-        overflow.buffer_words()
-    );
-    println!(
-        "{:>14} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} {:>10}",
-        "workload", "fix h_D", "fix T2", "fix evic", "ovf h_D", "ovf T2", "ovf evic", "uncached"
-    );
-    println!("{}", "-".repeat(106));
+    if !json {
+        println!(
+            "Allocation ablation (equal level-1 budget: fixed = {} words, overflow = {} words)\n",
+            fixed.buffer_words(),
+            overflow.buffer_words()
+        );
+        println!(
+            "{:>14} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} {:>10}",
+            "workload",
+            "fix h_D",
+            "fix T2",
+            "fix evic",
+            "ovf h_D",
+            "ovf T2",
+            "ovf evic",
+            "uncached"
+        );
+        println!("{}", "-".repeat(106));
+    }
+    let mut rows = Vec::new();
     for w in workloads() {
         let machine = Machine::new(&w.base, SchemeKind::PairHuffman);
         let rf = machine.run(&Mode::Dtb(fixed)).expect("trap-free");
         let ro = machine.run(&Mode::Dtb(overflow)).expect("trap-free");
         let sf = rf.metrics.dtb.unwrap();
         let so = ro.metrics.dtb.unwrap();
-        println!(
-            "{:>14} | {:>10.3} {:>10.2} {:>10} | {:>10.3} {:>10.2} {:>10} {:>10}",
-            w.name,
-            sf.hit_ratio(),
-            rf.metrics.time_per_instruction(),
-            sf.evictions,
-            so.hit_ratio(),
-            ro.metrics.time_per_instruction(),
-            so.evictions,
-            so.uncached,
-        );
+        if json {
+            rows.push(Json::obj(vec![
+                ("workload", w.name.into()),
+                (
+                    "fixed",
+                    Json::obj(vec![
+                        ("hit_ratio", sf.hit_ratio().into()),
+                        (
+                            "time_per_instruction",
+                            rf.metrics.time_per_instruction().into(),
+                        ),
+                        ("evictions", sf.evictions.into()),
+                    ]),
+                ),
+                (
+                    "overflow",
+                    Json::obj(vec![
+                        ("hit_ratio", so.hit_ratio().into()),
+                        (
+                            "time_per_instruction",
+                            ro.metrics.time_per_instruction().into(),
+                        ),
+                        ("evictions", so.evictions.into()),
+                        ("uncached", so.uncached.into()),
+                    ]),
+                ),
+            ]));
+        } else {
+            println!(
+                "{:>14} | {:>10.3} {:>10.2} {:>10} | {:>10.3} {:>10.2} {:>10} {:>10}",
+                w.name,
+                sf.hit_ratio(),
+                rf.metrics.time_per_instruction(),
+                sf.evictions,
+                so.hit_ratio(),
+                ro.metrics.time_per_instruction(),
+                so.evictions,
+                so.uncached,
+            );
+        }
+    }
+    if json {
+        let config = Json::obj(vec![
+            ("fixed_words", (fixed.buffer_words() as u64).into()),
+            ("overflow_words", (overflow.buffer_words() as u64).into()),
+        ]);
+        println!("{}", bench_report("alloc_ablation", config, rows).render());
+        return;
     }
     println!("\nWith the same fast-memory budget, 3-word units + overflow track more");
     println!("translations (48 vs 32 entries), raising h_D on working sets that");

@@ -6,12 +6,14 @@
 //! the DTB on our workloads.
 //!
 //! Run with `cargo run -p uhm-bench --bin assoc_ablation --release`.
+//! With `--json`, emits a versioned RunReport instead of the text table.
 
 use dir::encode::SchemeKind;
 use memsim::Geometry;
 use psder::MAX_TRANSLATION_WORDS;
+use telemetry::Json;
 use uhm::{Allocation, DtbConfig, Machine, Mode};
-use uhm_bench::workloads;
+use uhm_bench::{bench_report, json_flag, workloads};
 
 fn config(capacity: usize, ways: usize) -> DtbConfig {
     DtbConfig {
@@ -23,28 +25,33 @@ fn config(capacity: usize, ways: usize) -> DtbConfig {
 }
 
 fn main() {
+    let json = json_flag();
     let capacity = 32;
     let degrees: [usize; 5] = [1, 2, 4, 8, capacity];
-    println!("Associativity ablation at a fixed {capacity}-entry DTB\n");
-    println!(
-        "{:>14} | {}",
-        "workload",
-        degrees
-            .iter()
-            .map(|&w| if w == capacity {
-                format!("{:>8}", "full")
-            } else {
-                format!("{w:>8}-way")
-            })
-            .collect::<Vec<_>>()
-            .join(" ")
-    );
-    println!("{}", "-".repeat(17 + 13 * degrees.len()));
+    if !json {
+        println!("Associativity ablation at a fixed {capacity}-entry DTB\n");
+        println!(
+            "{:>14} | {}",
+            "workload",
+            degrees
+                .iter()
+                .map(|&w| if w == capacity {
+                    format!("{:>8}", "full")
+                } else {
+                    format!("{w:>8}-way")
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        println!("{}", "-".repeat(17 + 13 * degrees.len()));
+    }
+    let mut rows = Vec::new();
     let mut sums = vec![0.0; degrees.len()];
     let mut count = 0usize;
     for w in workloads() {
         let machine = Machine::new(&w.base, SchemeKind::PairHuffman);
         let mut cells = Vec::new();
+        let mut points = Vec::new();
         for (i, &ways) in degrees.iter().enumerate() {
             let r = machine
                 .run(&Mode::Dtb(config(capacity, ways)))
@@ -52,9 +59,31 @@ fn main() {
             let h = r.metrics.dtb.unwrap().hit_ratio();
             sums[i] += h;
             cells.push(format!("{h:>12.4}"));
+            points.push(Json::obj(vec![
+                ("ways", (ways as u64).into()),
+                ("hit_ratio", h.into()),
+            ]));
         }
         count += 1;
-        println!("{:>14} | {}", w.name, cells.join(" "));
+        if json {
+            rows.push(Json::obj(vec![
+                ("workload", w.name.into()),
+                ("degrees", Json::Arr(points)),
+            ]));
+        } else {
+            println!("{:>14} | {}", w.name, cells.join(" "));
+        }
+    }
+    if json {
+        let config = Json::obj(vec![
+            ("capacity", (capacity as u64).into()),
+            (
+                "degrees",
+                Json::Arr(degrees.iter().map(|&d| (d as u64).into()).collect()),
+            ),
+        ]);
+        println!("{}", bench_report("assoc_ablation", config, rows).render());
+        return;
     }
     println!("{}", "-".repeat(17 + 13 * degrees.len()));
     let means: Vec<String> = sums

@@ -11,32 +11,37 @@
 //! buffer memory, reported in short words).
 //!
 //! Run with `cargo run -p uhm-bench --bin decode_aids --release`.
+//! With `--json`, emits a versioned RunReport instead of the text table.
 
 use dir::encode::SchemeKind;
+use telemetry::Json;
 use uhm::{CostModel, DtbConfig, Limits, Machine, Mode};
-use uhm_bench::workloads;
+use uhm_bench::{bench_report, json_flag, workloads};
 
 fn main() {
+    let json = json_flag();
     let scales = [100u64, 50, 25, 10];
     let dtb_cfg = DtbConfig::with_capacity(64);
-    println!(
-        "Decode hardware aids vs dynamic translation (PairHuffman static DIR)\n"
-    );
-    println!(
-        "{:>14} | {} | {:>9}",
-        "workload",
-        scales
-            .iter()
-            .map(|s| format!("{:>9}", format!("T1@{s}%")))
-            .collect::<Vec<_>>()
-            .join(" "),
-        "T2 (DTB)"
-    );
-    println!("{}", "-".repeat(17 + 10 * scales.len() + 12));
+    if !json {
+        println!("Decode hardware aids vs dynamic translation (PairHuffman static DIR)\n");
+        println!(
+            "{:>14} | {} | {:>9}",
+            "workload",
+            scales
+                .iter()
+                .map(|s| format!("{:>9}", format!("T1@{s}%")))
+                .collect::<Vec<_>>()
+                .join(" "),
+            "T2 (DTB)"
+        );
+        println!("{}", "-".repeat(17 + 10 * scales.len() + 12));
+    }
+    let mut rows = Vec::new();
     let mut beats = 0usize;
     let mut total = 0usize;
     for w in workloads() {
         let mut cells = Vec::new();
+        let mut aided = Vec::new();
         let mut best_aided = f64::INFINITY;
         for &scale in &scales {
             let costs = CostModel {
@@ -51,6 +56,10 @@ fn main() {
                 .time_per_instruction();
             best_aided = best_aided.min(t1);
             cells.push(format!("{t1:>9.2}"));
+            aided.push(Json::obj(vec![
+                ("decode_scale_percent", scale.into()),
+                ("time_per_instruction", t1.into()),
+            ]));
         }
         let machine = Machine::new(&w.base, SchemeKind::PairHuffman);
         let t2 = machine
@@ -64,7 +73,27 @@ fn main() {
                 beats += 1;
             }
         }
-        println!("{:>14} | {} | {:>9.2}", w.name, cells.join(" "), t2);
+        if json {
+            rows.push(Json::obj(vec![
+                ("workload", w.name.into()),
+                ("aided_interpreter", Json::Arr(aided)),
+                ("dtb_time", t2.into()),
+            ]));
+        } else {
+            println!("{:>14} | {} | {:>9.2}", w.name, cells.join(" "), t2);
+        }
+    }
+    if json {
+        let config = Json::obj(vec![
+            (
+                "decode_scales_percent",
+                Json::Arr(scales.iter().map(|&s| s.into()).collect()),
+            ),
+            ("dtb_entries", 64u64.into()),
+            ("dtb_buffer_words", (dtb_cfg.buffer_words() as u64).into()),
+        ]);
+        println!("{}", bench_report("decode_aids", config, rows).render());
+        return;
     }
     println!(
         "\nThe DTB's price: {} short words of level-1 buffer ({} bits at 24-bit words).",

@@ -12,11 +12,13 @@
 //!   fall upward).
 //!
 //! Run with `cargo run -p uhm-bench --bin fig1_space --release`.
+//! With `--json`, emits a versioned RunReport instead of the text tables.
 
 use dir::encode::SchemeKind;
 use dir::program::Program;
+use telemetry::Json;
 use uhm::{Machine, Mode};
-use uhm_bench::workloads;
+use uhm_bench::{bench_report, json_flag, workloads};
 
 /// PSDER/DER footprint of a program: every instruction expanded to its
 /// steering sequence (what storing the whole program pre-translated would
@@ -27,8 +29,12 @@ fn expanded_der_bits(p: &Program) -> u64 {
 }
 
 fn main() {
-    println!("Figure 1 — the space of program representations");
-    println!("(sizes in bits; T = simulated cycles per DIR instruction, pure interpreter)\n");
+    let json = json_flag();
+    if !json {
+        println!("Figure 1 — the space of program representations");
+        println!("(sizes in bits; T = simulated cycles per DIR instruction, pure interpreter)\n");
+    }
+    let mut rows = Vec::new();
     let mut grand: Vec<(String, u64, u64, f64, f64)> = Vec::new();
     for w in workloads() {
         let hlr_bits = hlr::programs::by_name(w.name)
@@ -36,11 +42,14 @@ fn main() {
             .source
             .len() as u64
             * 8;
-        println!("== {} (HLR source: {} bits) ==", w.name, hlr_bits);
-        println!(
-            "{:>8} {:>12} {:>10} {:>10} {:>8} {:>8}",
-            "level", "encoding", "prog bits", "side bits", "d", "T"
-        );
+        if !json {
+            println!("== {} (HLR source: {} bits) ==", w.name, hlr_bits);
+            println!(
+                "{:>8} {:>12} {:>10} {:>10} {:>8} {:>8}",
+                "level", "encoding", "prog bits", "side bits", "d", "T"
+            );
+        }
+        let mut points = Vec::new();
         for (level, prog) in [("fused", &w.fused), ("stack", &w.base)] {
             for scheme in SchemeKind::all() {
                 let image = scheme.encode(prog);
@@ -50,15 +59,26 @@ fn main() {
                     .expect("samples are trap-free")
                     .metrics
                     .time_per_instruction();
-                println!(
-                    "{:>8} {:>12} {:>10} {:>10} {:>8.2} {:>8.2}",
-                    level,
-                    scheme.label(),
-                    image.program_bits(),
-                    image.side_table_bits,
-                    image.mean_decode_cost(),
-                    t
-                );
+                if json {
+                    points.push(Json::obj(vec![
+                        ("level", level.into()),
+                        ("encoding", scheme.label().into()),
+                        ("program_bits", image.program_bits().into()),
+                        ("side_table_bits", image.side_table_bits.into()),
+                        ("d", image.mean_decode_cost().into()),
+                        ("time_per_instruction", t.into()),
+                    ]));
+                } else {
+                    println!(
+                        "{:>8} {:>12} {:>10} {:>10} {:>8.2} {:>8.2}",
+                        level,
+                        scheme.label(),
+                        image.program_bits(),
+                        image.side_table_bits,
+                        image.mean_decode_cost(),
+                        t
+                    );
+                }
                 grand.push((
                     format!("{level}/{scheme}"),
                     image.program_bits(),
@@ -68,25 +88,45 @@ fn main() {
                 ));
             }
             // The fully expanded DER point (no decode, maximal size).
-            println!(
-                "{:>8} {:>12} {:>10} {:>10} {:>8.2} {:>8}",
-                level,
-                "expanded-DER",
-                expanded_der_bits(prog),
-                0,
-                0.0,
-                "n/a"
-            );
+            if json {
+                points.push(Json::obj(vec![
+                    ("level", level.into()),
+                    ("encoding", "expanded-DER".into()),
+                    ("program_bits", expanded_der_bits(prog).into()),
+                    ("side_table_bits", 0u64.into()),
+                    ("d", 0.0.into()),
+                ]));
+            } else {
+                println!(
+                    "{:>8} {:>12} {:>10} {:>10} {:>8.2} {:>8}",
+                    level,
+                    "expanded-DER",
+                    expanded_der_bits(prog),
+                    0,
+                    0.0,
+                    "n/a"
+                );
+            }
         }
-        println!();
+        if json {
+            rows.push(Json::obj(vec![
+                ("workload", w.name.into()),
+                ("hlr_bits", hlr_bits.into()),
+                ("points", Json::Arr(points)),
+            ]));
+        } else {
+            println!();
+        }
     }
 
     // Aggregate view across the whole suite.
-    println!("== aggregate across all workloads ==");
-    println!(
-        "{:>18} {:>12} {:>12} {:>8} {:>8}",
-        "point", "prog bits", "side bits", "d", "T"
-    );
+    if !json {
+        println!("== aggregate across all workloads ==");
+        println!(
+            "{:>18} {:>12} {:>12} {:>8} {:>8}",
+            "point", "prog bits", "side bits", "d", "T"
+        );
+    }
     let mut agg: std::collections::BTreeMap<String, (u64, u64, f64, f64, u32)> =
         std::collections::BTreeMap::new();
     for (k, p, s, d, t) in grand {
@@ -97,15 +137,32 @@ fn main() {
         e.3 += t;
         e.4 += 1;
     }
+    let mut agg_rows = Vec::new();
     for (k, (p, s, d, t, n)) in agg {
-        println!(
-            "{:>18} {:>12} {:>12} {:>8.2} {:>8.2}",
-            k,
-            p,
-            s,
-            d / n as f64,
-            t / n as f64
-        );
+        if json {
+            agg_rows.push(Json::obj(vec![
+                ("point", k.into()),
+                ("program_bits", p.into()),
+                ("side_table_bits", s.into()),
+                ("d", (d / n as f64).into()),
+                ("time_per_instruction", (t / n as f64).into()),
+            ]));
+        } else {
+            println!(
+                "{:>18} {:>12} {:>12} {:>8.2} {:>8.2}",
+                k,
+                p,
+                s,
+                d / n as f64,
+                t / n as f64
+            );
+        }
+    }
+    if json {
+        rows.push(Json::obj(vec![("aggregate", Json::Arr(agg_rows))]));
+        let config = Json::obj(vec![("mode", "interpreter".into())]);
+        println!("{}", bench_report("fig1_space", config, rows).render());
+        return;
     }
     println!("\nReading the figure: moving right (more encoding) shrinks programs but");
     println!("raises d and T; moving up (higher semantic level) shrinks programs AND");

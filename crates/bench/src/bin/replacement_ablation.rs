@@ -5,12 +5,14 @@
 //! capacities.
 //!
 //! Run with `cargo run -p uhm-bench --bin replacement_ablation --release`.
+//! With `--json`, emits a versioned RunReport instead of the text tables.
 
 use dir::encode::SchemeKind;
 use memsim::Geometry;
 use psder::MAX_TRANSLATION_WORDS;
+use telemetry::Json;
 use uhm::{Allocation, DtbConfig, Machine, Mode, Replacement};
-use uhm_bench::workloads;
+use uhm_bench::{bench_report, json_flag, workloads};
 
 fn config(capacity: usize, replacement: Replacement) -> DtbConfig {
     DtbConfig {
@@ -22,43 +24,71 @@ fn config(capacity: usize, replacement: Replacement) -> DtbConfig {
 }
 
 fn main() {
+    let json = json_flag();
     let policies = [
         ("lru", Replacement::Lru),
         ("fifo", Replacement::Fifo),
         ("random", Replacement::Random { seed: 0x5EED }),
     ];
-    println!("Replacement-policy ablation (degree-4 sets, PairHuffman static DIR)\n");
+    let mut rows = Vec::new();
+    if !json {
+        println!("Replacement-policy ablation (degree-4 sets, PairHuffman static DIR)\n");
+    }
     for capacity in [16usize, 32, 64] {
-        println!("== {capacity}-entry DTB: hit ratio h_D ==");
-        println!(
-            "{:>14} | {:>8} {:>8} {:>8}",
-            "workload", "lru", "fifo", "random"
-        );
-        println!("{}", "-".repeat(45));
+        if !json {
+            println!("== {capacity}-entry DTB: hit ratio h_D ==");
+            println!(
+                "{:>14} | {:>8} {:>8} {:>8}",
+                "workload", "lru", "fifo", "random"
+            );
+            println!("{}", "-".repeat(45));
+        }
         let mut sums = [0.0f64; 3];
         let mut n = 0;
         for w in workloads() {
             let machine = Machine::new(&w.base, SchemeKind::PairHuffman);
             let mut cells = Vec::new();
-            for (i, (_, policy)) in policies.iter().enumerate() {
+            let mut fields: Vec<(&'static str, Json)> = vec![
+                ("workload", w.name.into()),
+                ("capacity", (capacity as u64).into()),
+            ];
+            for (i, (name, policy)) in policies.iter().enumerate() {
                 let r = machine
                     .run(&Mode::Dtb(config(capacity, *policy)))
                     .expect("samples are trap-free");
                 let h = r.metrics.dtb.unwrap().hit_ratio();
                 sums[i] += h;
                 cells.push(format!("{h:>8.4}"));
+                fields.push((*name, h.into()));
             }
             n += 1;
-            println!("{:>14} | {}", w.name, cells.join(" "));
+            if json {
+                rows.push(Json::obj(fields));
+            } else {
+                println!("{:>14} | {}", w.name, cells.join(" "));
+            }
         }
-        println!("{}", "-".repeat(45));
+        if !json {
+            println!("{}", "-".repeat(45));
+            println!(
+                "{:>14} | {:>8.4} {:>8.4} {:>8.4}\n",
+                "mean",
+                sums[0] / n as f64,
+                sums[1] / n as f64,
+                sums[2] / n as f64
+            );
+        }
+    }
+    if json {
+        let config = Json::obj(vec![(
+            "capacities",
+            Json::Arr(vec![16u64.into(), 32u64.into(), 64u64.into()]),
+        )]);
         println!(
-            "{:>14} | {:>8.4} {:>8.4} {:>8.4}\n",
-            "mean",
-            sums[0] / n as f64,
-            sums[1] / n as f64,
-            sums[2] / n as f64
+            "{}",
+            bench_report("replacement_ablation", config, rows).render()
         );
+        return;
     }
     println!("Reading: the policies are close when the working set fits (all ≈ 1) or");
     println!("drowns the buffer (all ≈ 0); LRU's recency tracking earns its keep in");

@@ -3,8 +3,30 @@
 //! without the index field).
 //!
 //! Run with `cargo run -p uhm-bench --bin table1`.
+//! With `--json`, emits a versioned RunReport instead of the text table.
+
+use telemetry::Json;
+use uhm_bench::{bench_report, json_flag};
 
 fn main() {
+    if json_flag() {
+        let rows: Vec<Json> = dir::formats::table1()
+            .into_iter()
+            .map(|row| {
+                Json::obj(vec![
+                    ("representation", row.representation.into()),
+                    ("total_bits", row.total_bits.into()),
+                    (
+                        "items",
+                        Json::Arr(row.items.iter().map(|i| i.clone().into()).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let config = Json::obj(vec![("statement", "R3 := R3 + base[disp]".into())]);
+        println!("{}", bench_report("table1", config, rows).render());
+        return;
+    }
     println!("Table 1 — Equivalence of a PSDER sequence to more compact, encoded formats");
     println!("Statement: R3 := R3 + base[disp]\n");
     for row in dir::formats::table1() {

@@ -12,13 +12,56 @@
 //!    machine rather than assumed.
 //!
 //! Run with `cargo run -p uhm-bench --bin table2 --release`.
+//! With `--json`, emits a versioned RunReport instead of the text panels.
 
 use dir::encode::SchemeKind;
+use telemetry::Json;
 use uhm::model::{grid, printed, published, Params};
 use uhm::DtbConfig;
-use uhm_bench::{print_row, print_rule, run_three, workloads};
+use uhm_bench::{bench_report, json_flag, print_row, print_rule, run_three, workloads};
+
+/// The measured panel as JSON rows (shared with `table3` in shape).
+fn measured_rows() -> Vec<Json> {
+    workloads()
+        .iter()
+        .map(|w| {
+            let (interp, dtb, cache) = run_three(
+                &w.base,
+                SchemeKind::PairHuffman,
+                DtbConfig::with_capacity(64),
+            );
+            let p = Params::from_reports(&uhm::CostModel::default(), &interp, &dtb, &cache);
+            let t1 = interp.metrics.time_per_instruction();
+            let t2 = dtb.metrics.time_per_instruction();
+            let t3 = cache.metrics.time_per_instruction();
+            Json::obj(vec![
+                ("workload", w.name.into()),
+                ("d", p.d.into()),
+                ("x", p.x.into()),
+                ("h_d", p.hd.into()),
+                ("h_c", p.hc.into()),
+                ("t1", t1.into()),
+                ("t2", t2.into()),
+                ("t3", t3.into()),
+                ("f1_percent", (100.0 * (t3 - t2) / t2).into()),
+                ("f2_percent", (100.0 * (t1 - t2) / t2).into()),
+            ])
+        })
+        .collect()
+}
 
 fn main() {
+    if json_flag() {
+        let config = Json::obj(vec![
+            ("scheme", "pair".into()),
+            ("dtb_entries", 64u64.into()),
+        ]);
+        println!(
+            "{}",
+            bench_report("table2", config, measured_rows()).render()
+        );
+        return;
+    }
     let xs: Vec<f64> = published::X_VALUES.to_vec();
     println!("Table 2 — F1: % increase in interpretation time, DTB used as a plain cache");
     println!("\nPanel A: paper's printed formula (matches the published table)\n");
@@ -31,7 +74,10 @@ fn main() {
     print_row("d \\ x", &xs);
     print_rule(xs.len());
     for &d in &published::D_VALUES {
-        let row: Vec<f64> = xs.iter().map(|&x| Params::paper_stated(d, x).f1()).collect();
+        let row: Vec<f64> = xs
+            .iter()
+            .map(|&x| Params::paper_stated(d, x).f1())
+            .collect();
         print_row(&format!("d = {d}"), &row);
     }
     println!("\nPanel C: measured by simulation (PairHuffman static DIR, 64-entry DTB)\n");
@@ -41,8 +87,11 @@ fn main() {
     );
     print_rule(7);
     for w in workloads() {
-        let (interp, dtb, cache) =
-            run_three(&w.base, SchemeKind::PairHuffman, DtbConfig::with_capacity(64));
+        let (interp, dtb, cache) = run_three(
+            &w.base,
+            SchemeKind::PairHuffman,
+            DtbConfig::with_capacity(64),
+        );
         let p = Params::from_reports(&uhm::CostModel::default(), &interp, &dtb, &cache);
         let t2 = dtb.metrics.time_per_instruction();
         let t3 = cache.metrics.time_per_instruction();

@@ -6,13 +6,45 @@
 //! symbolic model, and full simulation with measured parameters.
 //!
 //! Run with `cargo run -p uhm-bench --bin table3 --release`.
+//! With `--json`, emits a versioned RunReport instead of the text panels.
 
 use dir::encode::SchemeKind;
+use telemetry::Json;
 use uhm::model::{grid, printed, published, Params};
 use uhm::DtbConfig;
-use uhm_bench::{print_row, print_rule, run_three, workloads};
+use uhm_bench::{bench_report, json_flag, print_row, print_rule, run_three, workloads};
 
 fn main() {
+    if json_flag() {
+        let rows: Vec<Json> = workloads()
+            .iter()
+            .map(|w| {
+                let (interp, dtb, cache) = run_three(
+                    &w.base,
+                    SchemeKind::PairHuffman,
+                    DtbConfig::with_capacity(64),
+                );
+                let p = Params::from_reports(&uhm::CostModel::default(), &interp, &dtb, &cache);
+                let t1 = interp.metrics.time_per_instruction();
+                let t2 = dtb.metrics.time_per_instruction();
+                Json::obj(vec![
+                    ("workload", w.name.into()),
+                    ("d", p.d.into()),
+                    ("x", p.x.into()),
+                    ("h_d", p.hd.into()),
+                    ("t1", t1.into()),
+                    ("t2", t2.into()),
+                    ("f2_percent", (100.0 * (t1 - t2) / t2).into()),
+                ])
+            })
+            .collect();
+        let config = Json::obj(vec![
+            ("scheme", "pair".into()),
+            ("dtb_entries", 64u64.into()),
+        ]);
+        println!("{}", bench_report("table3", config, rows).render());
+        return;
+    }
     let xs: Vec<f64> = published::X_VALUES.to_vec();
     println!("Table 3 — F2: % increase in interpretation time without a DTB");
     println!("\nPanel A: paper's printed formula (matches the published table)\n");
@@ -25,7 +57,10 @@ fn main() {
     print_row("d \\ x", &xs);
     print_rule(xs.len());
     for &d in &published::D_VALUES {
-        let row: Vec<f64> = xs.iter().map(|&x| Params::paper_stated(d, x).f2()).collect();
+        let row: Vec<f64> = xs
+            .iter()
+            .map(|&x| Params::paper_stated(d, x).f2())
+            .collect();
         print_row(&format!("d = {d}"), &row);
     }
     println!("\nPanel C: measured by simulation (PairHuffman static DIR, 64-entry DTB)\n");
@@ -35,8 +70,11 @@ fn main() {
     );
     print_rule(6);
     for w in workloads() {
-        let (interp, dtb, cache) =
-            run_three(&w.base, SchemeKind::PairHuffman, DtbConfig::with_capacity(64));
+        let (interp, dtb, cache) = run_three(
+            &w.base,
+            SchemeKind::PairHuffman,
+            DtbConfig::with_capacity(64),
+        );
         let p = Params::from_reports(&uhm::CostModel::default(), &interp, &dtb, &cache);
         let t1 = interp.metrics.time_per_instruction();
         let t2 = dtb.metrics.time_per_instruction();

@@ -4,8 +4,11 @@
 //! (1978) — see DESIGN.md's experiment index — and prints a plain-text
 //! table to stdout. This library holds the workload plumbing they share.
 
+pub mod timing;
+
 use dir::encode::SchemeKind;
 use dir::program::Program;
+use telemetry::{Json, RunReport};
 use uhm::{DtbConfig, Machine, Mode, Report};
 
 /// A compiled workload at both semantic tiers.
@@ -54,7 +57,9 @@ pub fn run_three(
     dtb: DtbConfig,
 ) -> (Report, Report, Report) {
     let machine = Machine::new(program, scheme);
-    let interp = machine.run(&Mode::Interpreter).expect("samples are trap-free");
+    let interp = machine
+        .run(&Mode::Interpreter)
+        .expect("samples are trap-free");
     let dtb_report = machine.run(&Mode::Dtb(dtb)).expect("samples are trap-free");
     let cache_words = dtb.buffer_words();
     // One cache line per level-2 word; equal word count = equal capacity.
@@ -66,6 +71,33 @@ pub fn run_three(
         })
         .expect("samples are trap-free");
     (interp, dtb_report, icache)
+}
+
+/// True when the binary was invoked with `--json`: emit a versioned
+/// [`RunReport`] instead of the plain-text table.
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Builds the canonical report every bench binary emits under `--json`:
+/// `tool` names the binary, `config` its knobs, and `rows` (an array of
+/// objects, one per printed table row) lands in the report's `output`
+/// section. The `metrics` section carries the row count so consumers can
+/// sanity-check truncation.
+pub fn bench_report(tool: &str, config: Json, rows: Vec<Json>) -> RunReport {
+    let metrics = Json::obj(vec![("rows", (rows.len() as u64).into())]);
+    let mut report = RunReport::new(tool, config, metrics, Json::obj(vec![]));
+    report.output = Some(Json::Arr(rows));
+    report
+}
+
+/// Serializes one machine-run report as a row: identifying fields plus
+/// the full canonical metrics/derived sections from [`uhm::report`].
+pub fn run_row(fields: Vec<(&'static str, Json)>, report: &Report) -> Json {
+    let mut all = fields;
+    all.push(("metrics", uhm::report::metrics_json(&report.metrics)));
+    all.push(("derived", uhm::report::derived_json(&report.metrics)));
+    Json::obj(all)
 }
 
 /// Prints a formatted row of floats.

@@ -1,0 +1,140 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The bench targets (`benches/*.rs`, built with `harness = false`) use
+//! this instead of an external benchmarking crate: each named benchmark
+//! is auto-calibrated to a batch size large enough to time reliably,
+//! sampled several times, and summarized as min/mean ns per iteration.
+//! With `--json` the collected timings render as a versioned
+//! [`RunReport`](telemetry::RunReport) instead of the text table.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use telemetry::{Json, RunReport};
+
+/// Timing summary of one named benchmark.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per sampled batch.
+    pub iters: u64,
+    /// Fastest sampled batch, in ns per iteration.
+    pub min_ns: f64,
+    /// Mean over sampled batches, in ns per iteration.
+    pub mean_ns: f64,
+}
+
+/// A collection of benchmarks run by one bench binary.
+pub struct Harness {
+    tool: &'static str,
+    json: bool,
+    results: Vec<Timing>,
+}
+
+const BATCH_TARGET_NANOS: u128 = 10_000_000; // 10 ms per sampled batch
+const MAX_ITERS: u64 = 1 << 24;
+const SAMPLES: usize = 5;
+
+impl Harness {
+    /// Creates a harness for the bench binary `tool`; reads `--json`
+    /// from the process arguments.
+    pub fn new(tool: &'static str) -> Harness {
+        Harness {
+            tool,
+            json: std::env::args().any(|a| a == "--json"),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing one result line immediately (unless in
+    /// `--json` mode, where results are held for [`Harness::finish`]).
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        // Calibrate: grow the batch until it takes long enough to time.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t.elapsed().as_nanos().max(1);
+            if dt >= BATCH_TARGET_NANOS || iters >= MAX_ITERS {
+                break;
+            }
+            // Scale towards the target with headroom, at least doubling.
+            let scale = (BATCH_TARGET_NANOS * 2 / dt) as u64;
+            iters = iters.saturating_mul(scale.max(2)).min(MAX_ITERS);
+        }
+        let mut per_iter = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min_ns = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        if !self.json {
+            println!("{name:<32} {min_ns:>12.1} ns/iter (min)  {mean_ns:>12.1} ns/iter (mean)");
+        }
+        self.results.push(Timing {
+            name: name.to_string(),
+            iters,
+            min_ns,
+            mean_ns,
+        });
+    }
+
+    /// The timings collected so far.
+    pub fn results(&self) -> &[Timing] {
+        &self.results
+    }
+
+    /// In `--json` mode, renders the collected timings as a
+    /// [`RunReport`] on stdout; otherwise a no-op (lines were already
+    /// printed).
+    pub fn finish(&self) {
+        if !self.json {
+            return;
+        }
+        let rows: Vec<Json> = self
+            .results
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("name", t.name.clone().into()),
+                    ("iters", t.iters.into()),
+                    ("min_ns", t.min_ns.into()),
+                    ("mean_ns", t.mean_ns.into()),
+                ])
+            })
+            .collect();
+        let config = Json::obj(vec![("samples", (SAMPLES as u64).into())]);
+        let metrics = Json::obj(vec![("benchmarks", Json::Arr(rows))]);
+        let report = RunReport::new(self.tool, config, metrics, Json::obj(vec![]));
+        println!("{}", report.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_timings() {
+        let mut h = Harness {
+            tool: "test",
+            json: true, // suppress printing
+            results: Vec::new(),
+        };
+        let mut acc = 0u64;
+        h.bench("spin", || {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        let t = &h.results()[0];
+        assert!(t.min_ns > 0.0 && t.mean_ns >= t.min_ns);
+        assert!(t.iters >= 1);
+    }
+}

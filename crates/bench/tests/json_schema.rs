@@ -1,0 +1,67 @@
+//! Every bench binary's `--json` output must be one parseable schema-1
+//! [`RunReport`] line — the acceptance surface scripts and CI rely on.
+
+use std::process::Command;
+
+use telemetry::{Json, RunReport};
+
+fn report_of(exe: &str) -> RunReport {
+    let out = Command::new(exe)
+        .arg("--json")
+        .output()
+        .expect("bench binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    RunReport::parse(text.trim()).expect("stdout is one schema-1 RunReport")
+}
+
+#[test]
+fn dtb_sweep_emits_schema_1() {
+    let rr = report_of(env!("CARGO_BIN_EXE_dtb_sweep"));
+    assert_eq!(rr.tool, "dtb_sweep");
+    let Some(Json::Arr(rows)) = rr.output else {
+        panic!("expected per-workload rows");
+    };
+    assert!(!rows.is_empty());
+    for row in &rows {
+        let Some(Json::Arr(sweep)) = row.get("sweep") else {
+            panic!("expected a sweep array per workload");
+        };
+        // Hit ratio is monotone in capacity for LRU on these workloads —
+        // and always a valid probability.
+        for point in sweep {
+            let h = point.get("hit_ratio").and_then(Json::as_f64).unwrap();
+            assert!((0.0..=1.0).contains(&h), "hit ratio {h}");
+        }
+    }
+}
+
+#[test]
+fn table1_emits_schema_1() {
+    let rr = report_of(env!("CARGO_BIN_EXE_table1"));
+    assert_eq!(rr.tool, "table1");
+    let Some(Json::Arr(rows)) = rr.output else {
+        panic!("expected representation rows");
+    };
+    // PSDER, PDP-11 and 360-RX representations at minimum.
+    assert!(rows.len() >= 3);
+    for row in &rows {
+        assert!(row.get("total_bits").and_then(Json::as_i64).unwrap() > 0);
+    }
+}
+
+#[test]
+fn model_check_emits_schema_1() {
+    let rr = report_of(env!("CARGO_BIN_EXE_model_check"));
+    assert_eq!(rr.tool, "model_check");
+    let max_err = rr
+        .config
+        .get("max_abs_error_percent")
+        .and_then(Json::as_f64)
+        .expect("config.max_abs_error_percent");
+    assert!(max_err.is_finite());
+}

@@ -251,8 +251,7 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
             .ok_or_else(|| err(lineno, format!("unknown procedure `{name}`")))?;
         code[at] = Inst::Call(idx);
     }
-    let entry_name =
-        entry_name.ok_or_else(|| err(1, "missing .entry directive".into()))?;
+    let entry_name = entry_name.ok_or_else(|| err(1, "missing .entry directive".into()))?;
     let entry_proc = *by_name
         .get(entry_name.as_str())
         .ok_or_else(|| err(1, format!("entry procedure `{entry_name}` not defined")))?;

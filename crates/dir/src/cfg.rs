@@ -73,18 +73,16 @@ impl Cfg {
                 | crate::isa::Opcode::CmpLocalsBr
                 | crate::isa::Opcode::Return
                 | crate::isa::Opcode::Halt
-                    if i + 1 < n => {
-                        leader[i + 1] = true;
-                    }
+                    if i + 1 < n =>
+                {
+                    leader[i + 1] = true;
+                }
                 _ => {}
             }
         }
         let starts: Vec<u32> = (0..n as u32).filter(|&i| leader[i as usize]).collect();
-        let block_of: HashMap<u32, usize> = starts
-            .iter()
-            .enumerate()
-            .map(|(b, &s)| (s, b))
-            .collect();
+        let block_of: HashMap<u32, usize> =
+            starts.iter().enumerate().map(|(b, &s)| (s, b)).collect();
         let blocks = starts
             .iter()
             .enumerate()
@@ -329,7 +327,9 @@ mod tests {
         for s in hlr::programs::ALL {
             let p = compile(&s.compile().unwrap());
             let (clean, _) = dce(&p);
-            clean.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            clean
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert_eq!(
                 exec::run(&clean).unwrap(),
                 exec::run(&p).unwrap(),
@@ -357,9 +357,7 @@ mod tests {
 
     #[test]
     fn dce_is_idempotent() {
-        let p = compile_src(
-            "proc dead() begin skip; end proc main() begin write 3; end",
-        );
+        let p = compile_src("proc dead() begin skip; end proc main() begin write 3; end");
         let (once, _) = dce(&p);
         let (twice, stats) = dce(&once);
         assert_eq!(once, twice);

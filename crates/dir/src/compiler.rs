@@ -374,9 +374,7 @@ mod tests {
 
     #[test]
     fn while_loop_jumps_back_to_head() {
-        let p = compile_src(
-            "proc main() begin int i := 0; while i < 3 do i := i + 1; end",
-        );
+        let p = compile_src("proc main() begin int i := 0; while i < 3 do i := i + 1; end");
         let main = &p.procs[0];
         let code = &p.code[main.entry as usize..main.end as usize];
         let head_rel = 2; // after the init store
@@ -392,9 +390,7 @@ mod tests {
 
     #[test]
     fn for_loop_allocates_limit_temp() {
-        let p = compile_src(
-            "proc main() begin int i; for i := 0 to 9 do skip; end",
-        );
+        let p = compile_src("proc main() begin int i; for i := 0 to 9 do skip; end");
         // One HLR slot (i) + one limit temporary.
         assert_eq!(p.procs[0].frame_size, 2);
     }
@@ -425,9 +421,7 @@ mod tests {
 
     #[test]
     fn function_without_return_pushes_zero() {
-        let p = compile_src(
-            "proc f() -> int begin skip; end proc main() begin write f(); end",
-        );
+        let p = compile_src("proc f() -> int begin skip; end proc main() begin write f(); end");
         let f = &p.procs[0];
         let code = &p.code[f.entry as usize..f.end as usize];
         assert_eq!(code, &[Inst::PushConst(0), Inst::Return]);
@@ -435,9 +429,7 @@ mod tests {
 
     #[test]
     fn call_statement_pops_unused_result() {
-        let p = compile_src(
-            "proc f() -> int begin return 1; end proc main() begin call f(); end",
-        );
+        let p = compile_src("proc f() -> int begin return 1; end proc main() begin call f(); end");
         let main = &p.procs[1];
         let code = &p.code[main.entry as usize..main.end as usize];
         assert_eq!(code[0], Inst::Call(0));

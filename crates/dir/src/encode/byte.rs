@@ -56,10 +56,9 @@ impl Scheme for ByteAligned {
 /// operand field.
 pub(super) fn decode(reader: &mut BitReader<'_>) -> Result<Decoded, ImageError> {
     let op_raw = reader.read(8)?;
-    let opcode = Opcode::from_u8(op_raw as u8)
-        .ok_or(ImageError::Decode(crate::isa::DecodeError::BadOpcode(
-            op_raw as u8,
-        )))?;
+    let opcode = Opcode::from_u8(op_raw as u8).ok_or(ImageError::Decode(
+        crate::isa::DecodeError::BadOpcode(op_raw as u8),
+    ))?;
     let kinds = opcode.field_kinds();
     let mut fields = Vec::with_capacity(kinds.len());
     for kind in kinds {

@@ -155,10 +155,7 @@ mod tests {
     #[test]
     fn targets_are_region_relative() {
         let p = compile(
-            &hlr::compile(
-                "proc main() begin int i := 0; while i < 5 do i := i + 1; end",
-            )
-            .unwrap(),
+            &hlr::compile("proc main() begin int i := 0; while i < 5 do i := i + 1; end").unwrap(),
         );
         let tables = ContextTables::build(&p);
         let main = &p.procs[0];

@@ -114,6 +114,9 @@ mod tests {
             .collect();
         let min = costs.iter().min().unwrap();
         let max = costs.iter().max().unwrap();
-        assert!(max > min, "uniform costs suggest the tree walk is not charged");
+        assert!(
+            max > min,
+            "uniform costs suggest the tree walk is not charged"
+        );
     }
 }

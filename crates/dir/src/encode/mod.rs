@@ -270,8 +270,7 @@ impl Image {
             .offsets
             .get(index as usize)
             .ok_or(ImageError::BadIndex(index))?;
-        let mut reader =
-            crate::bitstream::BitReader::at(&self.bytes, self.bit_len, offset);
+        let mut reader = crate::bitstream::BitReader::at(&self.bytes, self.bit_len, offset);
         let decoded = match &self.decoder {
             DecoderData::Byte => byte::decode(&mut reader)?,
             DecoderData::Packed(widths) => packed::decode(&mut reader, widths)?,
@@ -488,9 +487,7 @@ mod tests {
         for p in sample_programs() {
             for kind in SchemeKind::all() {
                 let image = kind.encode(&p);
-                let back = image
-                    .decode_all()
-                    .unwrap_or_else(|e| panic!("{kind}: {e}"));
+                let back = image.decode_all().unwrap_or_else(|e| panic!("{kind}: {e}"));
                 assert_eq!(back, p.code, "{kind}");
             }
         }
@@ -507,7 +504,13 @@ mod tests {
             // byte > packed >= contextual > huffman. Contextual only ties
             // packed on single-procedure programs whose region widths equal
             // the program-wide widths.
-            assert!(sizes[0] > sizes[1], "{}: byte {} <= packed {}", s.name, sizes[0], sizes[1]);
+            assert!(
+                sizes[0] > sizes[1],
+                "{}: byte {} <= packed {}",
+                s.name,
+                sizes[0],
+                sizes[1]
+            );
             assert!(
                 sizes[1] >= sizes[2],
                 "{}: packed {} < contextual {}",

@@ -128,8 +128,7 @@ impl Scheme for PairHuffman {
             write_fields(&mut w, inst, region);
         }
         let (bytes, bit_len) = w.finish();
-        let tree_bits: u64 =
-            ctx.iter().map(CtxCode::table_bits).sum::<u64>() + global.table_bits();
+        let tree_bits: u64 = ctx.iter().map(CtxCode::table_bits).sum::<u64>() + global.table_bits();
         Image {
             kind: SchemeKind::PairHuffman,
             bytes,

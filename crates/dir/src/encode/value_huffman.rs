@@ -78,11 +78,7 @@ impl ValueCode {
     }
 
     /// Decodes one field value, returning `(value, cost_ops)`.
-    fn decode(
-        &self,
-        raw_width: u32,
-        reader: &mut BitReader<'_>,
-    ) -> Result<(u64, u32), ImageError> {
+    fn decode(&self, raw_width: u32, reader: &mut BitReader<'_>) -> Result<(u64, u32), ImageError> {
         let (local, bits) = self.tree.decode(reader)?;
         if local == self.escape_symbol() {
             let width = raw_width.max(1);
@@ -138,8 +134,7 @@ impl Scheme for ValueHuffman {
         let ctx: Vec<CtxCode> = op_freqs.iter().map(CtxCode::build).collect();
 
         // Value statistics per field kind (rebased).
-        let mut value_freqs: Vec<HashMap<u64, u64>> =
-            vec![HashMap::new(); FIELD_KINDS.len()];
+        let mut value_freqs: Vec<HashMap<u64, u64>> = vec![HashMap::new(); FIELD_KINDS.len()];
         for (i, inst) in program.code.iter().enumerate() {
             let region = tables.region_of(i as u32);
             for (kind, value) in inst.opcode().field_kinds().iter().zip(inst.fields()) {
@@ -210,8 +205,7 @@ pub(super) fn decode(
     let mut fields = Vec::with_capacity(kinds.len());
     let mut field_cost = 0u32;
     for kind in kinds {
-        let (coded, cost) =
-            values[kind.index()].decode(region.widths.width(*kind), reader)?;
+        let (coded, cost) = values[kind.index()].decode(region.widths.width(*kind), reader)?;
         field_cost += 1 + cost;
         fields.push(unrebase(*kind, coded, region));
     }

@@ -155,7 +155,9 @@ struct State<'p> {
 
 impl<'p> State<'p> {
     fn pop(&mut self) -> Result<i64, Trap> {
-        self.stack.pop().ok_or(Trap::Malformed("operand stack underflow"))
+        self.stack
+            .pop()
+            .ok_or(Trap::Malformed("operand stack underflow"))
     }
 
     fn frame_base(&self) -> usize {
@@ -390,10 +392,8 @@ mod tests {
 
     #[test]
     fn depth_limit_enforced() {
-        let hir = hlr::compile(
-            "proc f() begin call f(); end proc main() begin call f(); end",
-        )
-        .unwrap();
+        let hir =
+            hlr::compile("proc f() begin call f(); end proc main() begin call f(); end").unwrap();
         let p = compile(&hir);
         let r = run_with(
             &p,

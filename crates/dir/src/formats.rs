@@ -97,7 +97,10 @@ impl Pdp11Inst {
     /// Panics if `opcode > 15` or a register number exceeds 7.
     pub fn encode(&self) -> u16 {
         assert!(self.opcode <= 0xF, "opcode must fit 4 bits");
-        assert!(self.src_reg <= 7 && self.dst_reg <= 7, "registers are 3 bits");
+        assert!(
+            self.src_reg <= 7 && self.dst_reg <= 7,
+            "registers are 3 bits"
+        );
         let mut w = BitWriter::new();
         w.write(self.opcode as u64, 4);
         w.write(self.src_mode as u64, 3);

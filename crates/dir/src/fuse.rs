@@ -91,8 +91,7 @@ pub fn fuse(program: &Program) -> (Program, FuseStats) {
         let mut i = start as usize;
         while i < end as usize {
             let window_ok = |len: usize| -> bool {
-                i + len <= end as usize
-                    && (1..len).all(|k| !heads.contains(&((i + k) as u32)))
+                i + len <= end as usize && (1..len).all(|k| !heads.contains(&((i + k) as u32)))
             };
             let fused = try_fuse(&program.code[i..end as usize], &window_ok);
             index_map[i] = new_code.len() as u32;
@@ -172,7 +171,11 @@ fn try_fuse(code: &[Inst], window_ok: &dyn Fn(usize) -> bool) -> Option<(Inst, u
             (Inst::PushLocal(s), Inst::PushConst(k), Inst::Bin(op), Inst::StoreLocal(dst))
                 if s == dst && matches!(op, AluOp::Add | AluOp::Sub) =>
             {
-                let imm = if op == AluOp::Add { k } else { k.wrapping_neg() };
+                let imm = if op == AluOp::Add {
+                    k
+                } else {
+                    k.wrapping_neg()
+                };
                 return Some((Inst::IncLocal { slot: s, imm }, 4));
             }
             // if !(local op k) goto t
@@ -189,7 +192,15 @@ fn try_fuse(code: &[Inst], window_ok: &dyn Fn(usize) -> bool) -> Option<(Inst, u
             }
             // if !(local op local) goto t
             (Inst::PushLocal(a), Inst::PushLocal(b), Inst::Bin(op), Inst::JumpIfFalse(t)) => {
-                return Some((Inst::CmpLocalsBr { op, a, b, target: t }, 4));
+                return Some((
+                    Inst::CmpLocalsBr {
+                        op,
+                        a,
+                        b,
+                        target: t,
+                    },
+                    4,
+                ));
             }
             _ => {}
         }
@@ -221,7 +232,9 @@ mod tests {
         for s in hlr::programs::ALL {
             let base = compile(&s.compile().unwrap());
             let (fused, stats) = fuse(&base);
-            fused.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            fused
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert!(stats.after <= stats.before, "{}", s.name);
             assert_eq!(
                 exec::run(&fused).unwrap(),
@@ -252,9 +265,8 @@ mod tests {
 
     #[test]
     fn loop_increment_is_fused() {
-        let (_, fused, stats) = both(
-            "proc main() begin int i := 0; while i < 10 do i := i + 1; end",
-        );
+        let (_, fused, stats) =
+            both("proc main() begin int i := 0; while i < 10 do i := i + 1; end");
         assert!(stats.fused >= 2, "expected inc + cmp fusion, got {stats:?}");
         assert!(fused
             .code
@@ -268,9 +280,7 @@ mod tests {
 
     #[test]
     fn subtraction_increment_negates() {
-        let (_, fused, _) = both(
-            "proc main() begin int i := 10; while i > 0 do i := i - 1; end",
-        );
+        let (_, fused, _) = both("proc main() begin int i := 10; while i > 0 do i := i - 1; end");
         assert!(fused
             .code
             .iter()
@@ -279,9 +289,8 @@ mod tests {
 
     #[test]
     fn three_address_fusion() {
-        let (_, fused, _) = both(
-            "proc main() begin int a := 1; int b := 2; int c; c := a * b; write c; end",
-        );
+        let (_, fused, _) =
+            both("proc main() begin int a := 1; int b := 2; int c; c := a * b; write c; end");
         assert!(fused
             .code
             .iter()
@@ -337,9 +346,7 @@ mod tests {
 
     #[test]
     fn globals_are_not_fused() {
-        let (_, fused, _) = both(
-            "int g; proc main() begin g := g + 1; write g; end",
-        );
+        let (_, fused, _) = both("int g; proc main() begin g := g + 1; write g; end");
         // Global increments stay as stack sequences (fused tier is
         // frame-addressed only).
         assert!(!fused

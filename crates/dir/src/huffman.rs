@@ -60,7 +60,11 @@ impl Tree {
             work.sort_by_key(|&(f, t, _)| (f, t));
             let (f1, _, n1) = work.remove(0);
             let (f2, _, n2) = work.remove(0);
-            work.push((f1 + f2, tiebreak, Node::Internal(Box::new(n1), Box::new(n2))));
+            work.push((
+                f1 + f2,
+                tiebreak,
+                Node::Internal(Box::new(n1), Box::new(n2)),
+            ));
             tiebreak += 1;
         }
         let root = work.pop().expect("work list non-empty").2;

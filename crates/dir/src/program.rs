@@ -133,17 +133,18 @@ impl Program {
                     check_slot(s, self.globals_size, "global")?;
                 }
                 Inst::LoadArrLocal { base, len } | Inst::StoreArrLocal { base, len }
-                    if base + len > frame_size => {
-                        return err(i, format!("frame array {base}+{len} out of range"));
-                    }
+                    if base + len > frame_size =>
+                {
+                    return err(i, format!("frame array {base}+{len} out of range"));
+                }
                 Inst::LoadArrGlobal { base, len } | Inst::StoreArrGlobal { base, len }
-                    if base + len > self.globals_size => {
-                        return err(i, format!("global array {base}+{len} out of range"));
-                    }
-                Inst::Call(p)
-                    if p as usize >= self.procs.len() => {
-                        return err(i, format!("callee {p} out of range"));
-                    }
+                    if base + len > self.globals_size =>
+                {
+                    return err(i, format!("global array {base}+{len} out of range"));
+                }
+                Inst::Call(p) if p as usize >= self.procs.len() => {
+                    return err(i, format!("callee {p} out of range"));
+                }
                 Inst::BinLocals { a, b, dst, .. } => {
                     check_slot(a, frame_size, "frame")?;
                     check_slot(b, frame_size, "frame")?;
@@ -201,11 +202,7 @@ impl std::fmt::Display for Program {
         )?;
         for (i, inst) in self.code.iter().enumerate() {
             if let Some(p) = self.procs.iter().find(|p| p.entry as usize == i) {
-                writeln!(
-                    f,
-                    "{}: ; frame={} args={}",
-                    p.name, p.frame_size, p.n_args
-                )?;
+                writeln!(f, "{}: ; frame={} args={}", p.name, p.frame_size, p.n_args)?;
             }
             writeln!(f, "  {i:5}  {inst:?}")?;
         }

@@ -108,10 +108,7 @@ mod tests {
         let p = compile(&hlr::programs::SIEVE.compile().unwrap());
         let st = StaticStats::collect(&p);
         assert_eq!(st.instructions, p.code.len());
-        assert_eq!(
-            st.opcode_counts.iter().sum::<u64>() as usize,
-            p.code.len()
-        );
+        assert_eq!(st.opcode_counts.iter().sum::<u64>() as usize, p.code.len());
         assert!(st.opcode_entropy > 1.0);
         assert!(st.mean_fields > 0.0);
     }
@@ -130,8 +127,7 @@ mod tests {
     #[test]
     fn image_summaries_track_the_tradeoff() {
         let p = compile(&hlr::programs::QUEENS.compile().unwrap());
-        let summaries: Vec<ImageSummary> =
-            encode_all(&p).iter().map(ImageSummary::of).collect();
+        let summaries: Vec<ImageSummary> = encode_all(&p).iter().map(ImageSummary::of).collect();
         let byte = &summaries[0];
         let pair = &summaries[4];
         assert!(pair.reduction_vs(byte.program_bits) > 0.25);

@@ -241,9 +241,7 @@ impl<'p> Evaluator<'p> {
         frame: &mut Vec<i64>,
         depth: u32,
     ) -> Result<Vec<i64>, EvalError> {
-        args.iter()
-            .map(|a| self.expr(a, frame, depth))
-            .collect()
+        args.iter().map(|a| self.expr(a, frame, depth)).collect()
     }
 
     fn load(&self, var: VarRef, frame: &[i64]) -> i64 {
@@ -422,8 +420,14 @@ mod tests {
 
     #[test]
     fn division_by_zero_traps() {
-        assert_eq!(err("proc main() begin write 1 / 0; end"), EvalError::DivByZero);
-        assert_eq!(err("proc main() begin write 1 % 0; end"), EvalError::DivByZero);
+        assert_eq!(
+            err("proc main() begin write 1 / 0; end"),
+            EvalError::DivByZero
+        );
+        assert_eq!(
+            err("proc main() begin write 1 % 0; end"),
+            EvalError::DivByZero
+        );
     }
 
     #[test]
@@ -486,10 +490,7 @@ mod tests {
 
     #[test]
     fn depth_limit_stops_infinite_recursion() {
-        let p = compile(
-            "proc f() begin call f(); end proc main() begin call f(); end",
-        )
-        .unwrap();
+        let p = compile("proc f() begin call f(); end proc main() begin call f(); end").unwrap();
         let r = run_with_limits(
             &p,
             Limits {

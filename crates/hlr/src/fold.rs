@@ -68,9 +68,7 @@ pub fn fold(program: &Program) -> (Program, FoldStats) {
 }
 
 fn fold_body(body: &[Stmt], stats: &mut FoldStats) -> Vec<Stmt> {
-    body.iter()
-        .flat_map(|s| fold_stmt(s, stats))
-        .collect()
+    body.iter().flat_map(|s| fold_stmt(s, stats)).collect()
 }
 
 /// Returns the constant value of an already-folded expression, if any.
@@ -162,9 +160,7 @@ fn fold_stmt(stmt: &Stmt, stats: &mut FoldStats) -> Vec<Stmt> {
             args: args.iter().map(|a| fold_expr(a, stats)).collect(),
             has_result: *has_result,
         }],
-        Stmt::Return(value) => vec![Stmt::Return(
-            value.as_ref().map(|v| fold_expr(v, stats)),
-        )],
+        Stmt::Return(value) => vec![Stmt::Return(value.as_ref().map(|v| fold_expr(v, stats)))],
         Stmt::Write(value) => vec![Stmt::Write(fold_expr(value, stats))],
         Stmt::Skip => vec![],
     }
@@ -288,9 +284,7 @@ mod tests {
 
     #[test]
     fn prunes_constant_branches() {
-        let (p, stats) = folded(
-            "proc main() begin if 1 + 1 = 2 then write 7; else write 8; end",
-        );
+        let (p, stats) = folded("proc main() begin if 1 + 1 = 2 then write 7; else write 8; end");
         assert_eq!(stats.pruned_branches, 1);
         assert_eq!(p.procs[0].body, vec![Stmt::Write(Expr::Int(7))]);
     }
@@ -316,9 +310,8 @@ mod tests {
 
     #[test]
     fn empty_for_ranges_are_removed() {
-        let (p, stats) = folded(
-            "proc main() begin int i; for i := 5 to 2 do write i; write 1; end",
-        );
+        let (p, stats) =
+            folded("proc main() begin int i; for i := 5 to 2 do write i; write 1; end");
         assert_eq!(stats.removed_loops, 1);
         assert_eq!(eval::run(&p).unwrap(), vec![1]);
     }
@@ -331,9 +324,8 @@ mod tests {
 
     #[test]
     fn identities_simplify_without_constants() {
-        let (p, stats) = folded(
-            "proc main() begin int x := 5; write x + 0; write 1 * x; write x - 0; end",
-        );
+        let (p, stats) =
+            folded("proc main() begin int x := 5; write x + 0; write 1 * x; write x - 0; end");
         assert!(stats.folded_exprs >= 3);
         for s in &p.procs[0].body[1..] {
             assert!(

@@ -15,10 +15,8 @@
 //! * array indices are either in-range constants or `i % len` with a
 //!   protected, non-negative loop counter `i`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::ast::*;
+use crate::rng::Rng;
 use crate::types::Type;
 use crate::Span;
 
@@ -63,7 +61,7 @@ impl Default for Config {
 /// ```
 pub fn program(seed: u64, config: &Config) -> Program {
     Gen {
-        rng: StdRng::seed_from_u64(seed),
+        rng: Rng::new(seed),
         config: *config,
         fresh: 0,
     }
@@ -90,7 +88,7 @@ struct Scope {
 }
 
 struct Gen {
-    rng: StdRng,
+    rng: Rng,
     config: Config,
     fresh: u32,
 }
@@ -115,17 +113,17 @@ impl Gen {
         // Decide signatures first so calls can be generated anywhere.
         let mut sigs = Vec::new();
         for i in 0..self.config.n_procs {
-            let n_params = self.rng.gen_range(0..=2);
+            let n_params = self.rng.range_usize(0, 3);
             let params = (0..n_params)
                 .map(|_| {
-                    if self.rng.gen_bool(0.8) {
+                    if self.rng.bool_with(0.8) {
                         Type::Int
                     } else {
                         Type::Bool
                     }
                 })
                 .collect();
-            let ret = if self.rng.gen_bool(0.6) {
+            let ret = if self.rng.bool_with(0.6) {
                 Some(Type::Int)
             } else {
                 None
@@ -142,7 +140,7 @@ impl Gen {
             VarDecl {
                 name: "g0".into(),
                 ty: Type::Int,
-                init: Some(Expr::Int(self.rng.gen_range(-50..50), SPAN)),
+                init: Some(Expr::Int(self.rng.range_i64(-50, 50), SPAN)),
                 span: SPAN,
             },
             VarDecl {
@@ -261,9 +259,9 @@ impl Gen {
         let mark = scope.vars.len();
         let mut decls = Vec::new();
         // A few fresh locals.
-        for _ in 0..self.rng.gen_range(1..=2) {
+        for _ in 0..self.rng.range_usize(1, 3) {
             let name = self.fresh_name("v");
-            let ty = if self.rng.gen_bool(0.85) {
+            let ty = if self.rng.bool_with(0.85) {
                 Type::Int
             } else {
                 Type::Bool
@@ -296,9 +294,9 @@ impl Gen {
     fn stmt(&mut self, scope: &mut Scope, sigs: &[GSig], depth: u32) -> Stmt {
         let max_depth = self.config.max_stmt_depth;
         let choice = if depth >= max_depth {
-            self.rng.gen_range(0..4) // leaf statements only
+            self.rng.range_usize(0, 4) // leaf statements only
         } else {
-            self.rng.gen_range(0..9)
+            self.rng.range_usize(0, 9)
         };
         match choice {
             // Leaf statements.
@@ -317,7 +315,7 @@ impl Gen {
             }
             2 => {
                 // Array store with a safe constant index.
-                let index = Expr::Int(self.rng.gen_range(0..8), SPAN);
+                let index = Expr::Int(self.rng.range_i64(0, 8), SPAN);
                 let value = self.expr(scope, sigs, Type::Int, 0);
                 Stmt::AssignIndexed {
                     name: "garr".into(),
@@ -334,7 +332,7 @@ impl Gen {
             4 | 5 => {
                 let cond = self.expr(scope, sigs, Type::Bool, 0);
                 let then_branch = Box::new(Stmt::Block(self.body(scope, sigs, 2, depth + 1)));
-                let else_branch = if self.rng.gen_bool(0.5) {
+                let else_branch = if self.rng.bool_with(0.5) {
                     Some(Box::new(Stmt::Block(self.body(scope, sigs, 2, depth + 1))))
                 } else {
                     None
@@ -349,7 +347,7 @@ impl Gen {
             6 => {
                 // Bounded for loop with a protected counter.
                 let var = self.fresh_name("i");
-                let trip = self.rng.gen_range(1..=self.config.max_trip) as i64;
+                let trip = self.rng.range_u32(1, self.config.max_trip + 1) as i64;
                 scope.vars.push(GVar {
                     name: var.clone(),
                     ty: Type::Int,
@@ -380,7 +378,7 @@ impl Gen {
             7 => {
                 // Counted while loop: `int c := k; while c > 0 do { ...; c := c - 1; }`
                 let var = self.fresh_name("c");
-                let trip = self.rng.gen_range(1..=self.config.max_trip) as i64;
+                let trip = self.rng.range_u32(1, self.config.max_trip + 1) as i64;
                 scope.vars.push(GVar {
                     name: var.clone(),
                     ty: Type::Int,
@@ -426,7 +424,7 @@ impl Gen {
                 if scope.callable == 0 || scope.loop_depth > 0 {
                     return Stmt::Skip { span: SPAN };
                 }
-                let target = self.rng.gen_range(0..scope.callable);
+                let target = self.rng.range_usize(0, scope.callable);
                 let sig = sigs[target].clone();
                 let args = sig
                     .params
@@ -460,7 +458,7 @@ impl Gen {
         if candidates.is_empty() {
             return None;
         }
-        let v = candidates[self.rng.gen_range(0..candidates.len())];
+        let v = candidates[self.rng.range_usize(0, candidates.len())];
         Some((v.name.clone(), v.ty))
     }
 
@@ -469,10 +467,10 @@ impl Gen {
             return self.leaf(scope, ty);
         }
         match ty {
-            Type::Int => match self.rng.gen_range(0..8) {
+            Type::Int => match self.rng.range_usize(0, 8) {
                 0 | 1 => self.leaf(scope, ty),
                 2..=4 => {
-                    let op = match self.rng.gen_range(0..5) {
+                    let op = match self.rng.range_usize(0, 5) {
                         0 => BinOp::Add,
                         1 => BinOp::Sub,
                         2 => BinOp::Mul,
@@ -482,7 +480,7 @@ impl Gen {
                     let lhs = Box::new(self.expr(scope, sigs, Type::Int, depth + 1));
                     let rhs = if matches!(op, BinOp::Div | BinOp::Mod) {
                         // Non-zero constant divisor keeps the program trap-free.
-                        Box::new(Expr::Int(self.rng.gen_range(1..20), SPAN))
+                        Box::new(Expr::Int(self.rng.range_i64(1, 20), SPAN))
                     } else {
                         Box::new(self.expr(scope, sigs, Type::Int, depth + 1))
                     };
@@ -502,7 +500,7 @@ impl Gen {
                     // Array read with a safe constant index.
                     Expr::Index {
                         name: "garr".into(),
-                        index: Box::new(Expr::Int(self.rng.gen_range(0..8), SPAN)),
+                        index: Box::new(Expr::Int(self.rng.range_i64(0, 8), SPAN)),
                         span: SPAN,
                     }
                 }
@@ -518,7 +516,7 @@ impl Gen {
                     if candidates.is_empty() {
                         return self.leaf(scope, ty);
                     }
-                    let target = candidates[self.rng.gen_range(0..candidates.len())];
+                    let target = candidates[self.rng.range_usize(0, candidates.len())];
                     let sig = sigs[target].clone();
                     let args = sig
                         .params
@@ -532,10 +530,10 @@ impl Gen {
                     }
                 }
             },
-            Type::Bool => match self.rng.gen_range(0..6) {
+            Type::Bool => match self.rng.range_usize(0, 6) {
                 0 => self.leaf(scope, ty),
                 1..=3 => {
-                    let op = match self.rng.gen_range(0..6) {
+                    let op = match self.rng.range_usize(0, 6) {
                         0 => BinOp::Eq,
                         1 => BinOp::Ne,
                         2 => BinOp::Lt,
@@ -551,7 +549,7 @@ impl Gen {
                     }
                 }
                 4 => {
-                    let op = if self.rng.gen_bool(0.5) {
+                    let op = if self.rng.bool_with(0.5) {
                         BinOp::And
                     } else {
                         BinOp::Or
@@ -576,11 +574,11 @@ impl Gen {
     fn leaf(&mut self, scope: &Scope, ty: Type) -> Expr {
         // Prefer a variable when one of the right type is in scope.
         let gen_leaf = |g: &mut Gen| match ty {
-            Type::Int => Expr::Int(g.rng.gen_range(-100..100), SPAN),
-            Type::Bool => Expr::Bool(g.rng.gen_bool(0.5), SPAN),
+            Type::Int => Expr::Int(g.rng.range_i64(-100, 100), SPAN),
+            Type::Bool => Expr::Bool(g.rng.bool_with(0.5), SPAN),
             Type::IntArray(_) => unreachable!(),
         };
-        if self.rng.gen_bool(0.6) {
+        if self.rng.bool_with(0.6) {
             if let Some((name, _)) = self.pick_scalar(scope, Some(ty), true) {
                 return Expr::Var(name, SPAN);
             }
@@ -598,8 +596,8 @@ mod tests {
     fn generated_programs_are_valid_and_terminate() {
         for seed in 0..50 {
             let ast = program(seed, &Config::default());
-            let hir = sema::analyze(&ast)
-                .unwrap_or_else(|e| panic!("seed {seed}: sema failed: {e}"));
+            let hir =
+                sema::analyze(&ast).unwrap_or_else(|e| panic!("seed {seed}: sema failed: {e}"));
             let limits = eval::Limits {
                 max_steps: 20_000_000,
                 max_depth: 100,

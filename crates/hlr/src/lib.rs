@@ -48,6 +48,7 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 pub mod programs;
+pub mod rng;
 pub mod sema;
 pub mod token;
 pub mod types;

@@ -615,7 +615,11 @@ mod tests {
         let p = parse("proc main() begin int x := 1 + 2 * 3; skip; end").unwrap();
         let init = p.procs[0].body.decls[0].init.as_ref().unwrap();
         match init {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => match rhs.as_ref() {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => match rhs.as_ref() {
                 Expr::Binary { op: BinOp::Mul, .. } => {}
                 other => panic!("expected mul on rhs, got {other:?}"),
             },
@@ -635,8 +639,15 @@ mod tests {
         let p = parse("proc main() begin int x := --1; skip; end").unwrap();
         let init = p.procs[0].body.decls[0].init.as_ref().unwrap();
         match init {
-            Expr::Unary { op: UnOp::Neg, operand, .. } => {
-                assert!(matches!(operand.as_ref(), Expr::Unary { op: UnOp::Neg, .. }));
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => {
+                assert!(matches!(
+                    operand.as_ref(),
+                    Expr::Unary { op: UnOp::Neg, .. }
+                ));
             }
             other => panic!("expected neg, got {other:?}"),
         }
@@ -672,11 +683,18 @@ mod tests {
         let p =
             parse("proc main() begin if true then if false then skip; else write 1; end").unwrap();
         match &p.procs[0].body.stmts[0] {
-            Stmt::If { else_branch, then_branch, .. } => {
+            Stmt::If {
+                else_branch,
+                then_branch,
+                ..
+            } => {
                 assert!(else_branch.is_none());
                 assert!(matches!(
                     then_branch.as_ref(),
-                    Stmt::If { else_branch: Some(_), .. }
+                    Stmt::If {
+                        else_branch: Some(_),
+                        ..
+                    }
                 ));
             }
             other => panic!("expected if, got {other:?}"),

@@ -174,7 +174,10 @@ impl Analyzer {
                 let (expr, ty) = self.expr(init, &mut ctx)?;
                 if ty != decl.ty {
                     return Err(Error::sema(
-                        format!("initialiser for `{}` has type {ty}, expected {}", decl.name, decl.ty),
+                        format!(
+                            "initialiser for `{}` has type {ty}, expected {}",
+                            decl.name, decl.ty
+                        ),
                         decl.span,
                     ));
                 }
@@ -191,9 +194,10 @@ impl Analyzer {
             procs.push(self.proc_decl(p)?);
         }
 
-        let entry = *self.proc_index.get("main").ok_or_else(|| {
-            Error::sema("program has no `main` procedure", Span::default())
-        })?;
+        let entry = *self
+            .proc_index
+            .get("main")
+            .ok_or_else(|| Error::sema("program has no `main` procedure", Span::default()))?;
         let main = &program.procs[entry];
         if !main.params.is_empty() {
             return Err(Error::sema("`main` must take no parameters", main.span));
@@ -392,14 +396,10 @@ impl Analyzer {
             }
             ast::Stmt::Return { value, span } => match (&ctx.ret, value) {
                 (None, None) => Ok(hir::Stmt::Return(None)),
-                (None, Some(_)) => Err(Error::sema(
-                    "this procedure does not return a value",
-                    *span,
-                )),
-                (Some(_), None) => Err(Error::sema(
-                    "this procedure must return a value",
-                    *span,
-                )),
+                (None, Some(_)) => {
+                    Err(Error::sema("this procedure does not return a value", *span))
+                }
+                (Some(_), None) => Err(Error::sema("this procedure must return a value", *span)),
                 (Some(ret_ty), Some(v)) => {
                     let ret_ty = *ret_ty;
                     let (value, ty) = self.expr(v, ctx)?;
@@ -518,7 +518,11 @@ impl Analyzer {
             ast::Expr::Binary { op, lhs, rhs, span } => {
                 let (lhs_e, lt) = self.expr(lhs, ctx)?;
                 let (rhs_e, rt) = self.expr(rhs, ctx)?;
-                let want = if op.takes_ints() { Type::Int } else { Type::Bool };
+                let want = if op.takes_ints() {
+                    Type::Int
+                } else {
+                    Type::Bool
+                };
                 if lt != want || rt != want {
                     return Err(Error::sema(
                         format!("operator `{op}` expects {want} operands, found {lt} and {rt}"),
@@ -579,10 +583,7 @@ mod tests {
 
     #[test]
     fn resolves_globals_and_locals() {
-        let p = analyze_src(
-            "int g := 7; proc main() begin int x := g; write x; end",
-        )
-        .unwrap();
+        let p = analyze_src("int g := 7; proc main() begin int x := g; write x; end").unwrap();
         assert_eq!(p.globals_size, 1);
         assert_eq!(p.procs[p.entry].frame_size, 1);
         assert_eq!(p.global_init.len(), 1);
@@ -697,32 +698,29 @@ mod tests {
 
     #[test]
     fn call_checking() {
-        assert!(analyze_src(
-            "proc f(int a) begin skip; end proc main() begin call f(); end"
-        )
-        .is_err());
-        assert!(analyze_src(
-            "proc f(int a) begin skip; end proc main() begin call f(true); end"
-        )
-        .is_err());
-        assert!(analyze_src(
-            "proc f(int a) begin skip; end proc main() begin write f(1); end"
-        )
-        .is_err()); // void in expression
+        assert!(
+            analyze_src("proc f(int a) begin skip; end proc main() begin call f(); end").is_err()
+        );
+        assert!(
+            analyze_src("proc f(int a) begin skip; end proc main() begin call f(true); end")
+                .is_err()
+        );
+        assert!(
+            analyze_src("proc f(int a) begin skip; end proc main() begin write f(1); end").is_err()
+        ); // void in expression
         assert!(analyze_src("proc main() begin call nothere(); end").is_err());
     }
 
     #[test]
     fn return_rules() {
         assert!(analyze_src("proc main() begin return 3; end").is_err());
-        assert!(analyze_src(
-            "proc f() -> int begin return; end proc main() begin skip; end"
-        )
-        .is_err());
-        assert!(analyze_src(
-            "proc f() -> int begin return true; end proc main() begin skip; end"
-        )
-        .is_err());
+        assert!(
+            analyze_src("proc f() -> int begin return; end proc main() begin skip; end").is_err()
+        );
+        assert!(
+            analyze_src("proc f() -> int begin return true; end proc main() begin skip; end")
+                .is_err()
+        );
     }
 
     #[test]
@@ -759,18 +757,13 @@ mod tests {
 
     #[test]
     fn for_loop_variable_must_be_int() {
-        assert!(analyze_src(
-            "proc main() begin bool b; for b := 0 to 3 do skip; end"
-        )
-        .is_err());
+        assert!(analyze_src("proc main() begin bool b; for b := 0 to 3 do skip; end").is_err());
     }
 
     #[test]
     fn contour_stats_recorded() {
-        let p = analyze_src(
-            "proc main() begin int a; begin int b; begin int c; skip; end end end",
-        )
-        .unwrap();
+        let p = analyze_src("proc main() begin int a; begin int b; begin int c; skip; end end end")
+            .unwrap();
         assert_eq!(p.procs[0].max_visible_slots, 3);
         assert_eq!(p.procs[0].contour_count, 4); // param scope + body + 2 nested
     }

@@ -150,11 +150,7 @@ impl<P: Copy> SetAssocCache<P> {
     /// Accesses `key`: on a hit the entry's recency is refreshed and its
     /// payload returned via `on_hit`; on a miss, `make_payload` supplies the
     /// payload to install and the LRU way of the set is replaced.
-    pub fn access_with(
-        &mut self,
-        key: u64,
-        make_payload: impl FnOnce() -> P,
-    ) -> (Access, P) {
+    pub fn access_with(&mut self, key: u64, make_payload: impl FnOnce() -> P) -> (Access, P) {
         self.clock += 1;
         let clock = self.clock;
         let range = self.set_range(key);
@@ -249,7 +245,7 @@ mod tests {
         let mut c = SetAssocCache::new(Geometry::new(2, 1));
         c.access(0); // set 0
         c.access(1); // set 1
-        // key 2 maps to set 0, evicting 0 but not 1.
+                     // key 2 maps to set 0, evicting 0 but not 1.
         match c.access(2) {
             Access::Miss { evicted: Some(k) } => assert_eq!(k, 0),
             other => panic!("unexpected {other:?}"),
@@ -313,10 +309,7 @@ mod tests {
             misses.push(c.stats().misses);
         }
         for w in misses.windows(2) {
-            assert!(
-                w[1] <= w[0],
-                "associativity increased misses: {misses:?}"
-            );
+            assert!(w[1] <= w[0], "associativity increased misses: {misses:?}");
         }
     }
 
@@ -373,9 +366,7 @@ mod tests {
     #[test]
     fn matches_reference_lru_model_on_random_streams() {
         // Deterministic pseudo-random streams across several geometries.
-        for (sets, ways, seed) in
-            [(1usize, 4usize, 11u64), (4, 2, 23), (8, 1, 5), (2, 8, 97)]
-        {
+        for (sets, ways, seed) in [(1usize, 4usize, 11u64), (4, 2, 23), (8, 1, 5), (2, 8, 97)] {
             let mut cache = SetAssocCache::new(Geometry::new(sets, ways));
             let mut model = ModelLru::new(sets, ways);
             let mut x = seed | 1;

@@ -154,10 +154,7 @@ mod tests {
     #[test]
     fn stack_distance_basics() {
         let d = stack_distances(&[1, 2, 1, 2, 3, 1]);
-        assert_eq!(
-            d,
-            vec![None, None, Some(1), Some(1), None, Some(2)]
-        );
+        assert_eq!(d, vec![None, None, Some(1), Some(1), None, Some(2)]);
     }
 
     #[test]

@@ -303,9 +303,9 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mword;
     use crate::micro::MicroOp::*;
     use crate::micro::Reg::*;
+    use crate::mword;
     use dir::AluOp;
 
     fn engine() -> Engine {
@@ -334,12 +334,7 @@ mod tests {
         let mut e = engine();
         e.exec_short(ShortInstr::Push(PushMode::Imm(6))).unwrap();
         e.exec_short(ShortInstr::Push(PushMode::Imm(7))).unwrap();
-        let effect = e
-            .exec_word(&mword![
-                Pop(B),
-                Pop(A),
-            ])
-            .unwrap();
+        let effect = e.exec_word(&mword![Pop(B), Pop(A),]).unwrap();
         assert_eq!(effect, MicroEffect::Continue);
         e.exec_word(&mword![
             Alu {
@@ -377,10 +372,7 @@ mod tests {
         e.exec_short(ShortInstr::Push(PushMode::Imm(4))).unwrap(); // len
         e.exec_word(&mword![Pop(B), Pop(A)]).unwrap();
         let r = e.exec_word(&mword![CheckIdx { idx: A, len: B }]);
-        assert_eq!(
-            r.unwrap_err(),
-            Trap::IndexOutOfBounds { index: 5, len: 4 }
-        );
+        assert_eq!(r.unwrap_err(), Trap::IndexOutOfBounds { index: 5, len: 4 });
     }
 
     #[test]
@@ -425,9 +417,7 @@ mod tests {
     #[test]
     fn call_routine_effect_defers_to_caller() {
         let mut e = engine();
-        let eff = e
-            .exec_short(ShortInstr::Call(RoutineId::WriteR))
-            .unwrap();
+        let eff = e.exec_short(ShortInstr::Call(RoutineId::WriteR)).unwrap();
         assert_eq!(eff, ShortEffect::CallRoutine(RoutineId::WriteR));
     }
 

@@ -112,11 +112,7 @@ mod tests {
             let ast = hlr::generate::program(seed, &hlr::generate::Config::default());
             let hir = hlr::sema::analyze(&ast).unwrap();
             let p = compile(&hir);
-            assert_eq!(
-                run(&p).unwrap(),
-                dir::exec::run(&p).unwrap(),
-                "seed {seed}"
-            );
+            assert_eq!(run(&p).unwrap(), dir::exec::run(&p).unwrap(), "seed {seed}");
         }
     }
 
@@ -153,8 +149,7 @@ mod tests {
     #[test]
     fn depth_limit_enforced() {
         let p = compile(
-            &hlr::compile("proc f() begin call f(); end proc main() begin call f(); end")
-                .unwrap(),
+            &hlr::compile("proc f() begin call f(); end proc main() begin call f(); end").unwrap(),
         );
         let r = run_with(
             &p,

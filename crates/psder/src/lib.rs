@@ -23,9 +23,9 @@
 //! ```
 
 pub mod engine;
-pub mod micro;
 pub mod interp;
 pub mod listing;
+pub mod micro;
 pub mod routines;
 pub mod short;
 pub mod translator;

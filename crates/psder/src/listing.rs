@@ -100,10 +100,7 @@ pub fn routine_listing(lib: &RoutineLib) -> String {
 
 /// Renders one DIR instruction's translation as short-format assembly.
 pub fn sequence_listing(sequence: &[ShortInstr]) -> String {
-    sequence
-        .iter()
-        .map(|s| format!("    {s}\n"))
-        .collect()
+    sequence.iter().map(|s| format!("    {s}\n")).collect()
 }
 
 #[cfg(test)]

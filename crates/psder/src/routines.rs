@@ -7,8 +7,8 @@
 //! in the semantic routines per DIR instruction).
 
 use crate::micro::MicroOp::*;
-use crate::micro::Reg::*;
 use crate::micro::MicroWord;
+use crate::micro::Reg::*;
 use crate::mword;
 use crate::short::{RoutineId, ROUTINE_COUNT};
 
@@ -58,16 +58,18 @@ fn build(id: RoutineId) -> Vec<MicroWord> {
         // Pops b then a, pushes a op b.
         RoutineId::Bin(op) => vec![
             mword![Pop(B), Pop(A)],
-            mword![Alu { op, a: A, b: B, dst: R }, Push(R)],
+            mword![
+                Alu {
+                    op,
+                    a: A,
+                    b: B,
+                    dst: R
+                },
+                Push(R)
+            ],
         ],
-        RoutineId::NegR => vec![
-            mword![Pop(A)],
-            mword![NegOp { src: A, dst: R }, Push(R)],
-        ],
-        RoutineId::NotR => vec![
-            mword![Pop(A)],
-            mword![NotOp { src: A, dst: R }, Push(R)],
-        ],
+        RoutineId::NegR => vec![mword![Pop(A)], mword![NegOp { src: A, dst: R }, Push(R)]],
+        RoutineId::NotR => vec![mword![Pop(A)], mword![NotOp { src: A, dst: R }, Push(R)]],
         // Stack on entry: [..., index, base, len].
         RoutineId::LoadArrLocal | RoutineId::LoadArrGlobal => {
             let load = if id == RoutineId::LoadArrLocal {
@@ -130,7 +132,12 @@ fn build(id: RoutineId) -> Vec<MicroWord> {
         RoutineId::CmpBr(op) => vec![
             mword![Pop(D), Pop(C)], // next, target
             mword![Pop(B), Pop(A)], // b, a
-            mword![Alu { op, a: A, b: B, dst: A }],
+            mword![Alu {
+                op,
+                a: A,
+                b: B,
+                dst: A
+            }],
             mword![
                 SelectZero {
                     cond: A,
@@ -148,10 +155,7 @@ fn build(id: RoutineId) -> Vec<MicroWord> {
             mword![PushRa(B), NewFrame { proc: A }],
             mword![EntryOf { proc: A, dst: R }, Push(R)],
         ],
-        RoutineId::DirRet => vec![
-            mword![DropFrame, PopRa(R)],
-            mword![Push(R)],
-        ],
+        RoutineId::DirRet => vec![mword![DropFrame, PopRa(R)], mword![Push(R)]],
         RoutineId::WriteR => vec![mword![Pop(A), Output(A)]],
         RoutineId::HaltR => vec![mword![HaltOp]],
     }

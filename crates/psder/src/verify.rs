@@ -62,9 +62,9 @@ pub struct RoutineEffect {
 fn expected_sequence_effect(inst: Inst) -> i32 {
     match inst.opcode() {
         // Consume their stack inputs, push one result.
-        Opcode::Bin => -1,              // pops 2, pushes 1
-        Opcode::Neg | Opcode::Not => 0, // pops 1, pushes 1
-        Opcode::LoadArrLocal | Opcode::LoadArrGlobal => 0, // pops index, pushes elem
+        Opcode::Bin => -1,                                    // pops 2, pushes 1
+        Opcode::Neg | Opcode::Not => 0,                       // pops 1, pushes 1
+        Opcode::LoadArrLocal | Opcode::LoadArrGlobal => 0,    // pops index, pushes elem
         Opcode::StoreArrLocal | Opcode::StoreArrGlobal => -2, // pops index+value
         Opcode::PushConst | Opcode::PushLocal | Opcode::PushGlobal => 1,
         Opcode::StoreLocal | Opcode::StoreGlobal | Opcode::Pop => -1,

@@ -1,0 +1,287 @@
+//! Typed trace events emitted by the machines.
+//!
+//! Events are small `Copy` values so that emitting one costs a handful of
+//! moves; whether anything happens with it is the sink's business. The
+//! set mirrors the micro-architecture of the paper: the DTB lookup
+//! (hit/miss with a taxonomy), replacement (evict/promote), the dynamic
+//! translation routine (decode + generate cycles), semantic routines on
+//! IU1, and level-2 instruction fetches.
+
+use crate::json::Json;
+
+/// Why a DTB lookup missed.
+///
+/// The taxonomy is the classic three-C decomposition, computed against a
+/// shadow fully-associative LRU directory of the same total capacity:
+///
+/// * **Cold** — the address was never resident before (compulsory);
+/// * **Capacity** — a fully-associative buffer of the same size would
+///   also have missed (the working set simply does not fit);
+/// * **Conflict** — the fully-associative shadow *would* have hit: only
+///   the set mapping evicted the translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissKind {
+    /// First reference to this DIR address.
+    Cold,
+    /// Would miss even fully-associatively.
+    Capacity,
+    /// Misses only because of the set mapping.
+    Conflict,
+}
+
+impl MissKind {
+    /// Stable lower-case label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissKind::Cold => "cold",
+            MissKind::Capacity => "capacity",
+            MissKind::Conflict => "conflict",
+        }
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The DTB lookup for `addr` found a resident translation.
+    DtbHit {
+        /// DIR address presented by INTERP.
+        addr: u32,
+    },
+    /// The DTB lookup for `addr` missed.
+    DtbMiss {
+        /// DIR address presented by INTERP.
+        addr: u32,
+        /// Taxonomy of the miss.
+        kind: MissKind,
+    },
+    /// Filling `addr` displaced the resident translation for `victim`.
+    Evict {
+        /// Incoming DIR address.
+        addr: u32,
+        /// Displaced DIR address.
+        victim: u32,
+    },
+    /// A second-level translation was copied into the first-level DTB.
+    Promote {
+        /// DIR address promoted.
+        addr: u32,
+        /// Translation length in short words.
+        words: u32,
+    },
+    /// The dynamic translation routine ran for `addr`.
+    Translate {
+        /// DIR address translated.
+        addr: u32,
+        /// Level-1 cycles spent decoding the DIR instruction.
+        decode_cycles: u64,
+        /// Level-1 cycles spent generating + storing the translation.
+        generate_cycles: u64,
+    },
+    /// IU1 took over for a semantic routine.
+    RoutineEnter {
+        /// Routine index (see `psder::RoutineId::index`).
+        id: u16,
+    },
+    /// The semantic routine finished.
+    RoutineExit {
+        /// Routine index.
+        id: u16,
+        /// Micro-words executed.
+        words: u32,
+    },
+    /// DIR instruction words were fetched from level-2 memory.
+    L2Fetch {
+        /// DIR address fetched.
+        addr: u32,
+        /// Level-2 words transferred.
+        words: u32,
+    },
+}
+
+impl Event {
+    /// Stable snake_case name of the event kind, used as the JSON `ev`
+    /// discriminator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::DtbHit { .. } => "dtb_hit",
+            Event::DtbMiss { .. } => "dtb_miss",
+            Event::Evict { .. } => "evict",
+            Event::Promote { .. } => "promote",
+            Event::Translate { .. } => "translate",
+            Event::RoutineEnter { .. } => "routine_enter",
+            Event::RoutineExit { .. } => "routine_exit",
+            Event::L2Fetch { .. } => "l2_fetch",
+        }
+    }
+
+    /// The event as a JSON object (one JSONL record).
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![("ev".to_string(), Json::from(self.name()))];
+        match *self {
+            Event::DtbHit { addr } => obj.push(("addr".into(), Json::from(addr as i64))),
+            Event::DtbMiss { addr, kind } => {
+                obj.push(("addr".into(), Json::from(addr as i64)));
+                obj.push(("kind".into(), Json::from(kind.label())));
+            }
+            Event::Evict { addr, victim } => {
+                obj.push(("addr".into(), Json::from(addr as i64)));
+                obj.push(("victim".into(), Json::from(victim as i64)));
+            }
+            Event::Promote { addr, words } => {
+                obj.push(("addr".into(), Json::from(addr as i64)));
+                obj.push(("words".into(), Json::from(words as i64)));
+            }
+            Event::Translate {
+                addr,
+                decode_cycles,
+                generate_cycles,
+            } => {
+                obj.push(("addr".into(), Json::from(addr as i64)));
+                obj.push(("decode_cycles".into(), Json::from(decode_cycles as i64)));
+                obj.push(("generate_cycles".into(), Json::from(generate_cycles as i64)));
+            }
+            Event::RoutineEnter { id } => obj.push(("id".into(), Json::from(id as i64))),
+            Event::RoutineExit { id, words } => {
+                obj.push(("id".into(), Json::from(id as i64)));
+                obj.push(("words".into(), Json::from(words as i64)));
+            }
+            Event::L2Fetch { addr, words } => {
+                obj.push(("addr".into(), Json::from(addr as i64)));
+                obj.push(("words".into(), Json::from(words as i64)));
+            }
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// Running totals per event kind, kept by [`RingSink`] so bounded buffers
+/// still report exact counts after wrapping.
+///
+/// [`RingSink`]: crate::sink::RingSink
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// `DtbHit` events.
+    pub dtb_hits: u64,
+    /// `DtbMiss` events (all kinds).
+    pub dtb_misses: u64,
+    /// Cold misses.
+    pub cold_misses: u64,
+    /// Capacity misses.
+    pub capacity_misses: u64,
+    /// Conflict misses.
+    pub conflict_misses: u64,
+    /// `Evict` events.
+    pub evictions: u64,
+    /// `Promote` events.
+    pub promotions: u64,
+    /// `Translate` events.
+    pub translations: u64,
+    /// `RoutineEnter` events.
+    pub routine_enters: u64,
+    /// `RoutineExit` events.
+    pub routine_exits: u64,
+    /// `L2Fetch` events.
+    pub l2_fetches: u64,
+}
+
+impl EventCounts {
+    /// Records one event.
+    pub fn record(&mut self, event: &Event) {
+        match event {
+            Event::DtbHit { .. } => self.dtb_hits += 1,
+            Event::DtbMiss { kind, .. } => {
+                self.dtb_misses += 1;
+                match kind {
+                    MissKind::Cold => self.cold_misses += 1,
+                    MissKind::Capacity => self.capacity_misses += 1,
+                    MissKind::Conflict => self.conflict_misses += 1,
+                }
+            }
+            Event::Evict { .. } => self.evictions += 1,
+            Event::Promote { .. } => self.promotions += 1,
+            Event::Translate { .. } => self.translations += 1,
+            Event::RoutineEnter { .. } => self.routine_enters += 1,
+            Event::RoutineExit { .. } => self.routine_exits += 1,
+            Event::L2Fetch { .. } => self.l2_fetches += 1,
+        }
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.dtb_hits
+            + self.dtb_misses
+            + self.evictions
+            + self.promotions
+            + self.translations
+            + self.routine_enters
+            + self.routine_exits
+            + self.l2_fetches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_kinds_partition_the_miss_count() {
+        let mut c = EventCounts::default();
+        c.record(&Event::DtbMiss {
+            addr: 1,
+            kind: MissKind::Cold,
+        });
+        c.record(&Event::DtbMiss {
+            addr: 2,
+            kind: MissKind::Capacity,
+        });
+        c.record(&Event::DtbMiss {
+            addr: 3,
+            kind: MissKind::Conflict,
+        });
+        c.record(&Event::DtbHit { addr: 1 });
+        assert_eq!(c.dtb_misses, 3);
+        assert_eq!(
+            c.cold_misses + c.capacity_misses + c.conflict_misses,
+            c.dtb_misses
+        );
+        assert_eq!(c.dtb_hits, 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn events_serialize_with_discriminator() {
+        let e = Event::Translate {
+            addr: 17,
+            decode_cycles: 12,
+            generate_cycles: 9,
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("ev").and_then(Json::as_str), Some("translate"));
+        assert_eq!(j.get("addr").and_then(Json::as_i64), Some(17));
+        assert_eq!(j.get("decode_cycles").and_then(Json::as_i64), Some(12));
+    }
+
+    #[test]
+    fn every_event_kind_has_a_distinct_name() {
+        let events = [
+            Event::DtbHit { addr: 0 },
+            Event::DtbMiss {
+                addr: 0,
+                kind: MissKind::Cold,
+            },
+            Event::Evict { addr: 0, victim: 1 },
+            Event::Promote { addr: 0, words: 2 },
+            Event::Translate {
+                addr: 0,
+                decode_cycles: 0,
+                generate_cycles: 0,
+            },
+            Event::RoutineEnter { id: 0 },
+            Event::RoutineExit { id: 0, words: 1 },
+            Event::L2Fetch { addr: 0, words: 1 },
+        ];
+        let names: std::collections::HashSet<_> = events.iter().map(Event::name).collect();
+        assert_eq!(names.len(), events.len());
+    }
+}

@@ -1,0 +1,200 @@
+//! The versioned, machine-readable run report.
+//!
+//! Every `--json` surface in the workspace — `raul run`, `raul profile`,
+//! and each bench binary — emits exactly this shape, so results are
+//! diffable across PRs and scriptable with `jq`. The schema is versioned:
+//! consumers check `schema_version` and fail loudly on mismatch instead
+//! of silently misreading renamed fields.
+//!
+//! Top-level shape (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "tool": "raul run",
+//!   "config": { ... },          // free-form: workload, mode, scheme, knobs
+//!   "metrics": { ... },         // counters + cycle breakdown + dtb/icache stats
+//!   "derived": { "T": .., "d": .., "g": .., "x": .., "s1": .., "s2": .. },
+//!   "windows": [ ... ],         // optional per-N-instruction samples
+//!   "output": [ ... ]           // optional program output
+//! }
+//! ```
+
+use crate::json::Json;
+
+/// Current schema version of [`RunReport`]. Bump on any
+/// rename/removal/semantic change of an existing field; adding fields is
+/// backward compatible and does not require a bump.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// One machine-readable run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The emitting tool, e.g. `"raul run"` or `"dtb_sweep"`.
+    pub tool: String,
+    /// The configuration that produced the run (free-form object).
+    pub config: Json,
+    /// Measured counters (free-form object; `uhm` fills the canonical
+    /// shape).
+    pub metrics: Json,
+    /// The derived §7 parameters (`T`, `d`, `g`, `x`, `s1`, `s2`).
+    pub derived: Json,
+    /// Optional per-window samples.
+    pub windows: Option<Json>,
+    /// Optional program output.
+    pub output: Option<Json>,
+}
+
+impl RunReport {
+    /// Creates a report with empty optional sections.
+    pub fn new(tool: &str, config: Json, metrics: Json, derived: Json) -> RunReport {
+        RunReport {
+            tool: tool.to_string(),
+            config,
+            metrics,
+            derived,
+            windows: None,
+            output: None,
+        }
+    }
+
+    /// The report as a JSON value (with `schema_version` stamped in).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("schema_version".to_string(), Json::Int(SCHEMA_VERSION)),
+            ("tool".to_string(), Json::Str(self.tool.clone())),
+            ("config".to_string(), self.config.clone()),
+            ("metrics".to_string(), self.metrics.clone()),
+            ("derived".to_string(), self.derived.clone()),
+        ];
+        if let Some(w) = &self.windows {
+            pairs.push(("windows".to_string(), w.clone()));
+        }
+        if let Some(o) = &self.output {
+            pairs.push(("output".to_string(), o.clone()));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstructs a report from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `schema_version` is missing or not [`SCHEMA_VERSION`],
+    /// or a required section is absent.
+    pub fn from_json(value: &Json) -> Result<RunReport, String> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let tool = value
+            .get("tool")
+            .and_then(Json::as_str)
+            .ok_or("missing tool")?
+            .to_string();
+        let section = |name: &str| -> Result<Json, String> {
+            value
+                .get(name)
+                .cloned()
+                .ok_or(format!("missing {name} section"))
+        };
+        Ok(RunReport {
+            tool,
+            config: section("config")?,
+            metrics: section("metrics")?,
+            derived: section("derived")?,
+            windows: value.get("windows").cloned(),
+            output: value.get("output").cloned(),
+        })
+    }
+
+    /// Parses a report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON syntax errors and schema violations.
+    pub fn parse(text: &str) -> Result<RunReport, String> {
+        RunReport::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut r = RunReport::new(
+            "raul run",
+            Json::obj([
+                ("workload", Json::from("sieve")),
+                ("mode", Json::from("dtb")),
+                ("dtb_entries", Json::from(64i64)),
+            ]),
+            Json::obj([
+                ("instructions", Json::from(12345i64)),
+                ("cycles_total", Json::from(99999i64)),
+            ]),
+            Json::obj([
+                ("T", Json::from(8.1)),
+                ("d", Json::from(12.0)),
+                ("s1", Json::from(2.5)),
+            ]),
+        );
+        r.windows = Some(Json::Arr(vec![Json::obj([
+            ("start", Json::from(0i64)),
+            ("hit_rate", Json::from(0.5)),
+        ])]));
+        r.output = Some(Json::Arr(vec![Json::Int(42)]));
+        r
+    }
+
+    #[test]
+    fn report_round_trips_through_text() {
+        let r = sample();
+        let text = r.render();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn schema_version_is_stamped_and_checked() {
+        let r = sample();
+        let j = r.to_json();
+        assert_eq!(j.get("schema_version").and_then(Json::as_i64), Some(1));
+
+        let mut wrong = j.clone();
+        if let Json::Obj(pairs) = &mut wrong {
+            pairs[0].1 = Json::Int(999);
+        }
+        let err = RunReport::from_json(&wrong).unwrap_err();
+        assert!(err.contains("schema_version 999"), "{err}");
+    }
+
+    #[test]
+    fn optional_sections_stay_optional() {
+        let r = RunReport::new("t", Json::Obj(vec![]), Json::Obj(vec![]), Json::Obj(vec![]));
+        let text = r.render();
+        assert!(!text.contains("windows"));
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back.windows, None);
+        assert_eq!(back.output, None);
+    }
+
+    #[test]
+    fn missing_sections_are_rejected() {
+        assert!(RunReport::parse("{\"schema_version\":1}").is_err());
+        assert!(RunReport::parse("{}").is_err());
+        assert!(RunReport::parse("not json").is_err());
+    }
+}

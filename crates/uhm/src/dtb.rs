@@ -18,6 +18,8 @@
 
 use memsim::Geometry;
 use psder::{ShortInstr, MAX_TRANSLATION_WORDS};
+use std::collections::HashSet;
+use telemetry::MissKind;
 
 /// Replacement policy of the associative address array.
 ///
@@ -122,6 +124,14 @@ pub struct DtbStats {
     pub uncached: u64,
     /// Peak overflow blocks in use.
     pub overflow_peak: usize,
+    /// Cold (compulsory) misses — only counted with classification on.
+    pub cold_misses: u64,
+    /// Capacity misses (a fully-associative buffer of the same size would
+    /// also miss) — only counted with classification on.
+    pub capacity_misses: u64,
+    /// Conflict misses (only the set mapping caused the miss) — only
+    /// counted with classification on.
+    pub conflict_misses: u64,
 }
 
 impl DtbStats {
@@ -139,6 +149,51 @@ impl DtbStats {
 /// A handle to a resident translation (opaque way index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Handle(usize);
+
+/// Shadow directory for the three-C miss taxonomy: a fully-associative
+/// LRU of the DTB's total capacity plus the set of addresses ever seen.
+/// A miss is **cold** if the address was never resident, **conflict** if
+/// the fully-associative shadow still holds it (only the set mapping lost
+/// it), and **capacity** otherwise.
+#[derive(Debug, Clone)]
+struct Classifier {
+    cap: usize,
+    seen: HashSet<u32>,
+    /// Fully-associative LRU contents, most recently used last.
+    shadow: Vec<u32>,
+}
+
+impl Classifier {
+    fn new(cap: usize) -> Classifier {
+        Classifier {
+            cap: cap.max(1),
+            seen: HashSet::new(),
+            shadow: Vec::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Classifies the access (as if it were a miss), then refreshes the
+    /// shadow. Called on every lookup, hit or miss, to keep LRU order
+    /// faithful.
+    fn touch(&mut self, addr: u32) -> MissKind {
+        let kind = if !self.seen.insert(addr) {
+            if self.shadow.contains(&addr) {
+                MissKind::Conflict
+            } else {
+                MissKind::Capacity
+            }
+        } else {
+            MissKind::Cold
+        };
+        if let Some(i) = self.shadow.iter().position(|&a| a == addr) {
+            self.shadow.remove(i);
+        } else if self.shadow.len() == self.cap {
+            self.shadow.remove(0);
+        }
+        self.shadow.push(addr);
+        kind
+    }
+}
 
 /// The dynamic translation buffer.
 #[derive(Debug, Clone)]
@@ -162,6 +217,13 @@ pub struct Dtb {
     /// Xorshift state for the random replacement policy.
     rng: u64,
     stats: DtbStats,
+    /// Miss-taxonomy shadow directory; `None` keeps lookups at their
+    /// pre-telemetry cost.
+    classifier: Option<Classifier>,
+    /// Kind of the most recent miss (classification enabled only).
+    last_miss: Option<MissKind>,
+    /// DIR address displaced by the most recent fill, if any.
+    last_evicted: Option<u32>,
 }
 
 /// Filler for unoccupied buffer words.
@@ -196,7 +258,31 @@ impl Dtb {
                 _ => 1,
             },
             stats: DtbStats::default(),
+            classifier: None,
+            last_miss: None,
+            last_evicted: None,
         }
+    }
+
+    /// Turns on the cold/capacity/conflict miss taxonomy. Adds a shadow
+    /// fully-associative directory to every lookup, so it is off by
+    /// default and enabled by traced runs.
+    pub fn enable_classification(&mut self) {
+        if self.classifier.is_none() {
+            self.classifier = Some(Classifier::new(self.config.geometry.capacity()));
+        }
+    }
+
+    /// Kind of the most recent miss ([`None`] until the first classified
+    /// miss, or always when classification is off).
+    pub fn last_miss_kind(&self) -> Option<MissKind> {
+        self.last_miss
+    }
+
+    /// DIR address displaced by the most recent [`Dtb::fill`], if that
+    /// fill evicted a resident translation.
+    pub fn last_evicted(&self) -> Option<u32> {
+        self.last_evicted
     }
 
     /// The configuration.
@@ -226,6 +312,7 @@ impl Dtb {
     /// translation's handle returned.
     pub fn lookup(&mut self, addr: u32) -> Option<Handle> {
         self.clock += 1;
+        let kind = self.classifier.as_mut().map(|c| c.touch(addr));
         for way in self.set_range(addr) {
             if self.tags[way] == Some(addr) {
                 if self.config.replacement == Replacement::Lru {
@@ -236,6 +323,14 @@ impl Dtb {
             }
         }
         self.stats.misses += 1;
+        if let Some(kind) = kind {
+            match kind {
+                MissKind::Cold => self.stats.cold_misses += 1,
+                MissKind::Capacity => self.stats.capacity_misses += 1,
+                MissKind::Conflict => self.stats.conflict_misses += 1,
+            }
+            self.last_miss = Some(kind);
+        }
         None
     }
 
@@ -283,8 +378,10 @@ impl Dtb {
             });
         if extra_blocks > self.ovf_free.len() + self.chains[way].len() {
             self.stats.uncached += 1;
+            self.last_evicted = None;
             return None;
         }
+        self.last_evicted = self.tags[way];
         if self.tags[way].is_some() {
             self.stats.evictions += 1;
             // Free the victim's overflow chain.
@@ -446,7 +543,7 @@ mod tests {
         };
         let mut dtb = Dtb::new(cfg);
         dtb.fill(1, &words(6)).unwrap(); // uses both blocks
-        // Filling another long translation evicts and reuses the blocks.
+                                         // Filling another long translation evicts and reuses the blocks.
         let h = dtb.fill(2, &words(5)).unwrap();
         assert_eq!(read_all(&dtb, h), words(5));
     }
@@ -461,7 +558,7 @@ mod tests {
         };
         let mut dtb = Dtb::new(cfg);
         dtb.fill(0, &words(4)).unwrap(); // takes the only block (set 0)
-        // A long translation in the *other* set cannot get blocks.
+                                         // A long translation in the *other* set cannot get blocks.
         assert!(dtb.fill(1, &words(4)).is_none());
         assert_eq!(dtb.stats().uncached, 1);
         // Short translations still fit.
@@ -563,6 +660,105 @@ mod tests {
         let a = mk(7);
         let b = mk(1234567);
         assert!(a == b || a.hits != b.hits || a.evictions != b.evictions);
+    }
+
+    /// Runs an address trace with classification on, filling after every
+    /// miss, and returns the stats.
+    fn classified_run(cfg: DtbConfig, trace: &[u32]) -> DtbStats {
+        let mut dtb = Dtb::new(cfg);
+        dtb.enable_classification();
+        for &addr in trace {
+            if dtb.lookup(addr).is_none() {
+                dtb.fill(addr, &words(1));
+            }
+        }
+        dtb.stats()
+    }
+
+    #[test]
+    fn first_touches_are_cold_misses() {
+        // Every miss on a first-touch-only trace is compulsory.
+        let stats = classified_run(DtbConfig::with_capacity(16), &[0, 1, 2, 3, 4]);
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.cold_misses, 5);
+        assert_eq!(stats.capacity_misses, 0);
+        assert_eq!(stats.conflict_misses, 0);
+    }
+
+    #[test]
+    fn disjoint_tags_in_one_set_produce_conflict_misses() {
+        // 2 sets × 1 way = capacity 2. Addresses 0 and 2 both map to set
+        // 0 while set 1 stays empty: a fully-associative buffer of
+        // capacity 2 would hold both, so the ping-pong misses are
+        // conflict misses by construction.
+        let cfg = DtbConfig {
+            geometry: Geometry::new(2, 1),
+            unit_words: MAX_TRANSLATION_WORDS,
+            allocation: Allocation::Fixed,
+            replacement: Replacement::Lru,
+        };
+        let stats = classified_run(cfg, &[0, 2, 0, 2, 0, 2]);
+        assert_eq!(stats.cold_misses, 2, "first touch of 0 and 2");
+        assert_eq!(
+            stats.conflict_misses, 4,
+            "every revisit lost to the set mapping"
+        );
+        assert_eq!(stats.capacity_misses, 0);
+        assert_eq!(
+            stats.misses,
+            stats.cold_misses + stats.capacity_misses + stats.conflict_misses
+        );
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_produces_capacity_misses() {
+        // Fully-associative (1 set × 4 ways): no conflict misses are
+        // possible, and cycling over 5 addresses in LRU order defeats a
+        // capacity-4 buffer of *any* organization.
+        let cfg = DtbConfig {
+            geometry: Geometry::new(1, 4),
+            unit_words: MAX_TRANSLATION_WORDS,
+            allocation: Allocation::Fixed,
+            replacement: Replacement::Lru,
+        };
+        let trace: Vec<u32> = (0..5u32).cycle().take(25).collect();
+        let stats = classified_run(cfg, &trace);
+        assert_eq!(stats.cold_misses, 5);
+        assert_eq!(stats.conflict_misses, 0, "fully associative");
+        assert_eq!(stats.capacity_misses, 20, "every revisit exceeds capacity");
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn classification_off_leaves_taxonomy_counters_at_zero() {
+        let mut dtb = Dtb::new(DtbConfig::with_capacity(4));
+        for addr in [0u32, 1, 0, 9, 0] {
+            if dtb.lookup(addr).is_none() {
+                dtb.fill(addr, &words(1));
+            }
+        }
+        let stats = dtb.stats();
+        assert!(stats.misses > 0);
+        assert_eq!(
+            stats.cold_misses + stats.capacity_misses + stats.conflict_misses,
+            0
+        );
+        assert_eq!(dtb.last_miss_kind(), None);
+    }
+
+    #[test]
+    fn last_evicted_reports_the_victim() {
+        let cfg = DtbConfig {
+            geometry: Geometry::new(1, 1),
+            unit_words: MAX_TRANSLATION_WORDS,
+            allocation: Allocation::Fixed,
+            replacement: Replacement::Lru,
+        };
+        let mut dtb = Dtb::new(cfg);
+        dtb.fill(7, &words(1));
+        assert_eq!(dtb.last_evicted(), None, "empty way, no victim");
+        dtb.fill(9, &words(1));
+        assert_eq!(dtb.last_evicted(), Some(7));
     }
 
     #[test]

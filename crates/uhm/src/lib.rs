@@ -40,10 +40,17 @@ pub mod machine;
 pub mod metrics;
 pub mod model;
 pub mod profile;
+pub mod report;
 pub mod sweep;
+pub mod window;
 
 pub use config::{CostModel, Limits};
 pub use dtb::{Allocation, Dtb, DtbConfig, DtbStats, Replacement};
 pub use machine::{Machine, Mode};
 pub use metrics::{CycleBreakdown, Metrics, Report};
 pub use model::Params;
+pub use window::WindowSample;
+
+// Re-exported so downstream crates can drive `Machine::run_with` without
+// naming the telemetry crate themselves.
+pub use telemetry;

@@ -18,10 +18,12 @@ use dir::program::Program;
 use memsim::{Access, Geometry, SetAssocCache};
 use psder::engine::{Engine, MicroEffect, ShortEffect};
 use psder::{RoutineLib, ShortInstr};
+use telemetry::{Event, NullSink, TraceSink};
 
 use crate::config::{CostModel, Limits};
 use crate::dtb::{Dtb, DtbConfig};
-use crate::metrics::{Metrics, Report};
+use crate::metrics::{CycleBreakdown, Metrics, Report};
+use crate::window::WindowSample;
 
 /// The machine configuration to run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +60,7 @@ pub struct Machine {
     costs: CostModel,
     limits: Limits,
     trace: bool,
+    window: Option<u64>,
 }
 
 impl Machine {
@@ -81,6 +84,7 @@ impl Machine {
             costs,
             limits,
             trace: false,
+            window: None,
         }
     }
 
@@ -90,18 +94,59 @@ impl Machine {
         self
     }
 
+    /// Enables windowed time-series sampling: one
+    /// [`WindowSample`](crate::window::WindowSample) is closed every
+    /// `every` dynamic instructions and collected in
+    /// [`Metrics::windows`]. `None` (the default) disables sampling;
+    /// `Some(0)` is treated as disabled.
+    pub fn set_window(&mut self, every: Option<u64>) -> &mut Self {
+        self.window = every.filter(|&n| n > 0);
+        self
+    }
+
     /// The encoded image this machine executes from.
     pub fn image(&self) -> &Image {
         &self.image
     }
 
-    /// Runs the program under `mode`.
+    /// Runs the program under `mode` with tracing compiled out.
     ///
     /// # Errors
     ///
     /// Returns the same [`Trap`]s as [`dir::exec::run`]; all modes trap
     /// identically on identical programs.
     pub fn run(&self, mode: &Mode) -> Result<Report, Trap> {
+        self.run_with(mode, &mut NullSink)
+    }
+
+    /// Runs the program under `mode`, emitting typed trace events into
+    /// `sink`. With [`NullSink`] (what [`Machine::run`] passes) the
+    /// emission sites monomorphize to nothing, so tracing has no cost
+    /// when disabled. Enabled sinks additionally switch on the DTB miss
+    /// taxonomy, so `DtbMiss` events carry a cold/capacity/conflict
+    /// classification.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_with<S: TraceSink>(&self, mode: &Mode, sink: &mut S) -> Result<Report, Trap> {
+        let mut dtb = match mode {
+            Mode::Dtb(cfg) => Some(Dtb::new(*cfg)),
+            Mode::TwoLevelDtb { l1, .. } => Some(Dtb::new(*l1)),
+            _ => None,
+        };
+        let mut dtb2 = match mode {
+            Mode::TwoLevelDtb { l2, .. } => Some(Dtb::new(*l2)),
+            _ => None,
+        };
+        if S::ENABLED {
+            if let Some(d) = dtb.as_mut() {
+                d.enable_classification();
+            }
+            if let Some(d) = dtb2.as_mut() {
+                d.enable_classification();
+            }
+        }
         let mut run = Run {
             machine: self,
             engine: Engine::new(&self.program, self.limits.max_depth),
@@ -109,25 +154,24 @@ impl Machine {
                 trace: self.trace.then(Vec::new),
                 ..Metrics::default()
             },
-            dtb: match mode {
-                Mode::Dtb(cfg) => Some(Dtb::new(*cfg)),
-                Mode::TwoLevelDtb { l1, .. } => Some(Dtb::new(*l1)),
-                _ => None,
-            },
-            dtb2: match mode {
-                Mode::TwoLevelDtb { l2, .. } => Some(Dtb::new(*l2)),
-                _ => None,
-            },
+            dtb,
+            dtb2,
             icache: match mode {
                 Mode::ICache { geometry } => Some(SetAssocCache::new(*geometry)),
                 _ => None,
             },
+            sink,
+            window: self.window.map(WindowState::new),
         };
         run.execute(mode)?;
         let mut metrics = run.metrics;
         metrics.dtb = run.dtb.as_ref().map(|d| d.stats());
         metrics.dtb2 = run.dtb2.as_ref().map(|d| d.stats());
         metrics.icache = run.icache.as_ref().map(|c| c.stats());
+        if let Some(mut w) = run.window {
+            w.close(&metrics, run.dtb.as_ref());
+            metrics.windows = Some(w.samples);
+        }
         Ok(Report {
             output: run.engine.into_output(),
             metrics,
@@ -135,13 +179,60 @@ impl Machine {
     }
 }
 
-struct Run<'m> {
+/// In-flight state of the windowed sampler: baselines at the current
+/// window's start plus the samples closed so far.
+struct WindowState {
+    every: u64,
+    start: u64,
+    base_cycles: CycleBreakdown,
+    base_hits: u64,
+    base_misses: u64,
+    samples: Vec<WindowSample>,
+}
+
+impl WindowState {
+    fn new(every: u64) -> WindowState {
+        WindowState {
+            every,
+            start: 0,
+            base_cycles: CycleBreakdown::default(),
+            base_hits: 0,
+            base_misses: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Closes the current window if `metrics` has advanced past it (or
+    /// unconditionally at end of run for the final partial window).
+    fn close(&mut self, metrics: &Metrics, dtb: Option<&Dtb>) {
+        if metrics.instructions == self.start {
+            return; // empty window: nothing to record
+        }
+        let (hits, misses) = dtb.map_or((0, 0), |d| (d.stats().hits, d.stats().misses));
+        self.samples.push(WindowSample {
+            start: self.start,
+            instructions: metrics.instructions - self.start,
+            dtb_hits: hits - self.base_hits,
+            dtb_misses: misses - self.base_misses,
+            occupancy: dtb.map_or(0, Dtb::occupancy),
+            cycles: metrics.cycles.since(&self.base_cycles),
+        });
+        self.start = metrics.instructions;
+        self.base_cycles = metrics.cycles;
+        self.base_hits = hits;
+        self.base_misses = misses;
+    }
+}
+
+struct Run<'m, S: TraceSink> {
     machine: &'m Machine,
     engine: Engine,
     metrics: Metrics,
     dtb: Option<Dtb>,
     dtb2: Option<Dtb>,
     icache: Option<SetAssocCache<()>>,
+    sink: &'m mut S,
+    window: Option<WindowState>,
 }
 
 /// Where one DIR instruction's execution leads.
@@ -150,7 +241,7 @@ enum Next {
     Halt,
 }
 
-impl<'m> Run<'m> {
+impl<'m, S: TraceSink> Run<'m, S> {
     fn costs(&self) -> &CostModel {
         &self.machine.costs
     }
@@ -182,6 +273,9 @@ impl<'m> Run<'m> {
                 self.metrics.cycles.fetch_l2 += words as u64 * self.costs().mem.t2;
             }
         }
+        if S::ENABLED {
+            self.sink.emit(Event::L2Fetch { addr: pc, words });
+        }
         let decoded = image
             .decode(pc)
             .map_err(|_| Trap::Malformed("undecodable instruction"))?;
@@ -198,12 +292,31 @@ impl<'m> Run<'m> {
         match self.engine.exec_short(word)? {
             ShortEffect::Continue => Ok(None),
             ShortEffect::CallRoutine(id) => {
+                if S::ENABLED {
+                    self.sink.emit(Event::RoutineEnter {
+                        id: id.index() as u16,
+                    });
+                }
+                let mut words: u32 = 0;
                 for w in self.machine.lib.words(id) {
+                    words += 1;
                     self.metrics.routine_words += 1;
                     self.metrics.cycles.semantic += self.costs().mem.t1;
                     if self.engine.exec_word(w)? == MicroEffect::Halt {
+                        if S::ENABLED {
+                            self.sink.emit(Event::RoutineExit {
+                                id: id.index() as u16,
+                                words,
+                            });
+                        }
                         return Ok(Some(Next::Halt));
                     }
+                }
+                if S::ENABLED {
+                    self.sink.emit(Event::RoutineExit {
+                        id: id.index() as u16,
+                        words,
+                    });
                 }
                 Ok(None)
             }
@@ -250,6 +363,11 @@ impl<'m> Run<'m> {
                 Mode::Dtb(_) => self.step_dtb(pc)?,
                 Mode::TwoLevelDtb { .. } => self.step_two_level(pc)?,
             };
+            if let Some(w) = self.window.as_mut() {
+                if self.metrics.instructions - w.start >= w.every {
+                    w.close(&self.metrics, self.dtb.as_ref());
+                }
+            }
             match next {
                 Next::Goto(addr) => pc = addr,
                 Next::Halt => return Ok(()),
@@ -263,21 +381,45 @@ impl<'m> Run<'m> {
         self.metrics.cycles.lookup += self.costs().mem.tau_d;
         let dtb = self.dtb.as_mut().expect("dtb mode");
         let handle = match dtb.lookup(pc) {
-            Some(h) => h,
+            Some(h) => {
+                if S::ENABLED {
+                    self.sink.emit(Event::DtbHit { addr: pc });
+                }
+                h
+            }
             None => {
+                if S::ENABLED {
+                    let kind = dtb.last_miss_kind().unwrap_or(telemetry::MissKind::Cold);
+                    self.sink.emit(Event::DtbMiss { addr: pc, kind });
+                }
                 // Miss: trap to the dynamic translation routine (via
                 // DTRPOINT): fetch the DIR instruction, decode it, generate
                 // the PSDER translation, store it at the location chosen by
                 // the replacement logic.
+                let d0 = self.metrics.cycles.decode;
                 let inst = self.fetch_decode(pc)?;
                 let sequence = psder::translate(inst, pc + 1);
                 let gen = sequence.len() as u64 * self.costs().gen_per_word;
                 let store = sequence.len() as u64 * self.costs().store_per_word;
                 self.metrics.cycles.generate += gen * self.costs().mem.t1;
                 self.metrics.cycles.store += store * self.costs().mem.t1;
+                if S::ENABLED {
+                    self.sink.emit(Event::Translate {
+                        addr: pc,
+                        decode_cycles: self.metrics.cycles.decode - d0,
+                        generate_cycles: (gen + store) * self.costs().mem.t1,
+                    });
+                }
                 let dtb = self.dtb.as_mut().expect("dtb mode");
                 match dtb.fill(pc, &sequence) {
-                    Some(h) => h,
+                    Some(h) => {
+                        if S::ENABLED {
+                            if let Some(victim) = dtb.last_evicted() {
+                                self.sink.emit(Event::Evict { addr: pc, victim });
+                            }
+                        }
+                        h
+                    }
                     None => {
                         // Overflow area exhausted: execute without caching.
                         return self.run_inline(&sequence);
@@ -309,8 +451,22 @@ impl<'m> Run<'m> {
         self.metrics.cycles.lookup += tau_d;
         let l1_handle = self.dtb.as_mut().expect("two-level mode").lookup(pc);
         let handle = match l1_handle {
-            Some(h) => h,
+            Some(h) => {
+                if S::ENABLED {
+                    self.sink.emit(Event::DtbHit { addr: pc });
+                }
+                h
+            }
             None => {
+                if S::ENABLED {
+                    let kind = self
+                        .dtb
+                        .as_ref()
+                        .expect("two-level mode")
+                        .last_miss_kind()
+                        .unwrap_or(telemetry::MissKind::Cold);
+                    self.sink.emit(Event::DtbMiss { addr: pc, kind });
+                }
                 // Probe the second-level store.
                 self.metrics.cycles.lookup2 += tau2;
                 let l2_hit = self.dtb2.as_mut().expect("two-level mode").lookup(pc);
@@ -320,22 +476,33 @@ impl<'m> Run<'m> {
                         // store it into L1 (store_per_word each).
                         let dtb2 = self.dtb2.as_ref().expect("two-level mode");
                         let len = dtb2.len(h2);
-                        let words: Vec<ShortInstr> =
-                            (0..len).map(|i| dtb2.word(h2, i)).collect();
+                        let words: Vec<ShortInstr> = (0..len).map(|i| dtb2.word(h2, i)).collect();
                         self.metrics.cycles.promote +=
                             len as u64 * (tau2 + self.costs().store_per_word);
+                        if S::ENABLED {
+                            self.sink.emit(Event::Promote {
+                                addr: pc,
+                                words: len,
+                            });
+                        }
                         words
                     }
                     None => {
                         // Full translation, then fill L2 as well.
+                        let d0 = self.metrics.cycles.decode;
                         let inst = self.fetch_decode(pc)?;
                         let sequence = psder::translate(inst, pc + 1);
                         let gen = sequence.len() as u64 * self.costs().gen_per_word;
-                        let store = sequence.len() as u64
-                            * self.costs().store_per_word
-                            * 2; // stored at both levels
+                        let store = sequence.len() as u64 * self.costs().store_per_word * 2; // stored at both levels
                         self.metrics.cycles.generate += gen * self.costs().mem.t1;
                         self.metrics.cycles.store += store * self.costs().mem.t1;
+                        if S::ENABLED {
+                            self.sink.emit(Event::Translate {
+                                addr: pc,
+                                decode_cycles: self.metrics.cycles.decode - d0,
+                                generate_cycles: (gen + store) * self.costs().mem.t1,
+                            });
+                        }
                         self.dtb2
                             .as_mut()
                             .expect("two-level mode")
@@ -343,8 +510,16 @@ impl<'m> Run<'m> {
                         sequence
                     }
                 };
-                match self.dtb.as_mut().expect("two-level mode").fill(pc, &sequence) {
-                    Some(h) => h,
+                let dtb = self.dtb.as_mut().expect("two-level mode");
+                match dtb.fill(pc, &sequence) {
+                    Some(h) => {
+                        if S::ENABLED {
+                            if let Some(victim) = dtb.last_evicted() {
+                                self.sink.emit(Event::Evict { addr: pc, victim });
+                            }
+                        }
+                        h
+                    }
                     None => return self.run_inline(&sequence),
                 }
             }
@@ -435,7 +610,11 @@ mod tests {
     fn dtb_beats_interpreter_on_loopy_code() {
         let p = compile(&hlr::programs::SIEVE.compile().unwrap());
         let m = Machine::new(&p, SchemeKind::Huffman);
-        let t1 = m.run(&Mode::Interpreter).unwrap().metrics.time_per_instruction();
+        let t1 = m
+            .run(&Mode::Interpreter)
+            .unwrap()
+            .metrics
+            .time_per_instruction();
         let t2 = m
             .run(&Mode::Dtb(DtbConfig::with_capacity(256)))
             .unwrap()
@@ -571,7 +750,11 @@ mod tests {
         let p = compile(&hlr::programs::QUEENS.compile().unwrap());
         let m = Machine::new(&p, SchemeKind::PairHuffman);
         let small = DtbConfig::with_capacity(8);
-        let t_small = m.run(&Mode::Dtb(small)).unwrap().metrics.time_per_instruction();
+        let t_small = m
+            .run(&Mode::Dtb(small))
+            .unwrap()
+            .metrics
+            .time_per_instruction();
         let t_two = m
             .run(&Mode::TwoLevelDtb {
                 l1: small,

@@ -75,9 +75,8 @@ impl Profile {
             .map(|p| p.entry)
             .min()
             .unwrap_or(program.len() as u32);
-        let sum_range = |a: u32, b: u32| -> u64 {
-            self.counts[a as usize..b as usize].iter().sum()
-        };
+        let sum_range =
+            |a: u32, b: u32| -> u64 { self.counts[a as usize..b as usize].iter().sum() };
         rows.push(("<prelude>".to_string(), sum_range(0, prelude_end)));
         for p in &program.procs {
             rows.push((p.name.clone(), sum_range(p.entry, p.end)));
@@ -126,8 +125,7 @@ mod tests {
 
     #[test]
     fn straightline_has_flat_profile() {
-        let program =
-            dir::compiler::compile(&hlr::programs::STRAIGHTLINE.compile().unwrap());
+        let program = dir::compiler::compile(&hlr::programs::STRAIGHTLINE.compile().unwrap());
         let mut machine = Machine::new(&program, SchemeKind::Packed);
         machine.set_trace(true);
         let report = machine.run(&Mode::Interpreter).unwrap();
@@ -155,6 +153,68 @@ mod tests {
         assert!(helper.1 > 0);
         let total: u64 = rows.iter().map(|(_, c)| c).sum();
         assert_eq!(total, p.total);
+    }
+
+    #[test]
+    fn coverage_of_zero_hottest_is_zero() {
+        let (_, p) = profile_of("proc main() begin int i; for i := 0 to 9 do write i; end");
+        assert_eq!(p.coverage(0), 0.0);
+    }
+
+    #[test]
+    fn coverage_saturates_at_program_length() {
+        let (program, p) = profile_of("proc main() begin int i; for i := 0 to 9 do write i; end");
+        // k == static length and any k beyond it cover all of execution.
+        for k in [program.len(), program.len() + 1, program.len() * 10] {
+            let c = p.coverage(k);
+            assert!((c - 1.0).abs() < 1e-12, "coverage({k}) = {c}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_zero_coverage() {
+        let program =
+            dir::compiler::compile(&hlr::compile("proc main() begin write 1; end").unwrap());
+        let p = Profile::from_trace(&program, &[]);
+        assert_eq!(p.total, 0);
+        assert_eq!(p.touched(), 0);
+        assert!(p.hottest(4).is_empty());
+        for k in [0, 1, program.len()] {
+            assert_eq!(p.coverage(k), 0.0, "coverage({k}) of empty trace");
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_k() {
+        // Property: on random traces, coverage never decreases as k grows,
+        // and is bounded by [0, 1].
+        let mut rng = hlr::rng::Rng::new(0x636f_7665);
+        for case in 0..32 {
+            let len = rng.range_usize(1, 40);
+            let steps = rng.range_usize(0, 400);
+            let mut counts = vec![0u64; len];
+            for _ in 0..steps {
+                counts[rng.range_usize(0, len)] += 1;
+            }
+            let p = Profile {
+                counts,
+                total: steps as u64,
+            };
+            let mut prev = 0.0f64;
+            for k in 0..=len + 2 {
+                let c = p.coverage(k);
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&c),
+                    "case {case}: coverage({k}) = {c} out of range"
+                );
+                assert!(
+                    c >= prev - 1e-12,
+                    "case {case}: coverage({k}) = {c} < coverage({}) = {prev}",
+                    k - 1
+                );
+                prev = c;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Canonical JSON serialization of machine runs: the bridge between
+//! [`Metrics`] and the versioned [`telemetry::RunReport`] schema.
+//!
+//! Every machine-readable emitter in the workspace — `raul run --json`,
+//! `raul profile --json`, the bench binaries — goes through these
+//! builders so the reports share one shape: a `metrics` section with the
+//! raw counters and per-activity cycle breakdown, and a `derived`
+//! section with the paper's Section 7 parameters (`T`, `d`, `g`, `x`,
+//! `s1`, `s2`) plus hit ratios. Consumers should dispatch on
+//! `schema_version` (currently [`telemetry::SCHEMA_VERSION`]).
+
+use telemetry::{Json, RunReport};
+
+use crate::dtb::DtbStats;
+use crate::metrics::{CycleBreakdown, Metrics};
+use crate::window::WindowSample;
+use memsim::CacheStats;
+
+/// Serializes a cycle breakdown as an object of per-activity counts plus
+/// the total.
+pub fn cycles_json(c: &CycleBreakdown) -> Json {
+    Json::obj(vec![
+        ("fetch_l2", c.fetch_l2.into()),
+        ("fetch_dtb", c.fetch_dtb.into()),
+        ("fetch_cache", c.fetch_cache.into()),
+        ("lookup", c.lookup.into()),
+        ("lookup2", c.lookup2.into()),
+        ("promote", c.promote.into()),
+        ("decode", c.decode.into()),
+        ("generate", c.generate.into()),
+        ("store", c.store.into()),
+        ("steering", c.steering.into()),
+        ("semantic", c.semantic.into()),
+        ("total", c.total().into()),
+    ])
+}
+
+/// Serializes DTB statistics, including the cold/capacity/conflict
+/// taxonomy (the per-kind counters are zero unless the run had
+/// classification enabled, i.e. ran under an enabled trace sink).
+pub fn dtb_stats_json(s: &DtbStats) -> Json {
+    Json::obj(vec![
+        ("hits", s.hits.into()),
+        ("misses", s.misses.into()),
+        ("evictions", s.evictions.into()),
+        ("uncached", s.uncached.into()),
+        ("overflow_peak", s.overflow_peak.into()),
+        ("hit_ratio", s.hit_ratio().into()),
+        ("cold_misses", s.cold_misses.into()),
+        ("capacity_misses", s.capacity_misses.into()),
+        ("conflict_misses", s.conflict_misses.into()),
+    ])
+}
+
+fn cache_stats_json(s: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits", s.hits.into()),
+        ("misses", s.misses.into()),
+        ("evictions", s.evictions.into()),
+        ("hit_ratio", s.hit_ratio().into()),
+    ])
+}
+
+/// Serializes the raw counters of a run: instruction/word counts, the
+/// cycle breakdown, the IU1/IU2/memory cycle partition, and any DTB or
+/// i-cache statistics.
+pub fn metrics_json(m: &Metrics) -> Json {
+    let mut fields = vec![
+        ("instructions", m.instructions.into()),
+        ("decoded", m.decoded.into()),
+        ("l2_words", m.l2_words.into()),
+        ("short_words", m.short_words.into()),
+        ("routine_words", m.routine_words.into()),
+        ("cycles", cycles_json(&m.cycles)),
+        ("iu1_cycles", m.iu1_cycles().into()),
+        ("iu2_cycles", m.iu2_cycles().into()),
+        ("memory_cycles", m.memory_cycles().into()),
+    ];
+    if let Some(s) = &m.dtb {
+        fields.push(("dtb", dtb_stats_json(s)));
+    }
+    if let Some(s) = &m.dtb2 {
+        fields.push(("dtb2", dtb_stats_json(s)));
+    }
+    if let Some(s) = &m.icache {
+        fields.push(("icache", cache_stats_json(s)));
+    }
+    Json::obj(fields)
+}
+
+/// Serializes the measured Section 7 parameters of a run.
+pub fn derived_json(m: &Metrics) -> Json {
+    Json::obj(vec![
+        ("time_per_instruction", m.time_per_instruction().into()),
+        ("d", m.mean_decode().into()),
+        ("g", m.mean_generate().into()),
+        ("x", m.mean_semantic().into()),
+        ("s1", m.mean_s1().into()),
+        ("s2", m.mean_s2().into()),
+    ])
+}
+
+/// Serializes one window sample.
+pub fn window_json(w: &WindowSample) -> Json {
+    Json::obj(vec![
+        ("start", w.start.into()),
+        ("instructions", w.instructions.into()),
+        ("dtb_hits", w.dtb_hits.into()),
+        ("dtb_misses", w.dtb_misses.into()),
+        ("hit_rate", w.hit_rate().into()),
+        ("occupancy", w.occupancy.into()),
+        ("time_per_instruction", w.time_per_instruction().into()),
+        ("cycles", cycles_json(&w.cycles)),
+    ])
+}
+
+/// Builds the canonical [`RunReport`] for a finished run: `tool` names
+/// the emitting binary, `config` describes the run's inputs (free-form,
+/// tool-specific). Windows are included when the run sampled them.
+pub fn run_report(tool: &str, config: Json, metrics: &Metrics) -> RunReport {
+    let mut report = RunReport::new(tool, config, metrics_json(metrics), derived_json(metrics));
+    if let Some(ws) = &metrics.windows {
+        report.windows = Some(Json::Arr(ws.iter().map(window_json).collect()));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::SCHEMA_VERSION;
+
+    fn sample_metrics() -> Metrics {
+        Metrics {
+            instructions: 100,
+            decoded: 10,
+            l2_words: 20,
+            short_words: 250,
+            routine_words: 90,
+            cycles: CycleBreakdown {
+                fetch_l2: 40,
+                fetch_dtb: 250,
+                lookup: 100,
+                decode: 80,
+                generate: 30,
+                store: 10,
+                semantic: 90,
+                ..CycleBreakdown::default()
+            },
+            dtb: Some(DtbStats {
+                hits: 90,
+                misses: 10,
+                evictions: 2,
+                cold_misses: 8,
+                capacity_misses: 1,
+                conflict_misses: 1,
+                ..DtbStats::default()
+            }),
+            ..Metrics::default()
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let m = sample_metrics();
+        let config = Json::obj(vec![("mode", "dtb".into()), ("capacity", 64i64.into())]);
+        let rendered = run_report("raul", config, &m).render();
+        let back = RunReport::parse(&rendered).unwrap();
+        assert_eq!(back.tool, "raul");
+        assert_eq!(back.config.get("capacity").unwrap().as_i64(), Some(64));
+        let metrics = &back.metrics;
+        assert_eq!(metrics.get("instructions").unwrap().as_i64(), Some(100));
+        let dtb = metrics.get("dtb").unwrap();
+        assert_eq!(dtb.get("hits").unwrap().as_i64(), Some(90));
+        assert_eq!(dtb.get("cold_misses").unwrap().as_i64(), Some(8));
+        let t = back.derived.get("time_per_instruction").unwrap().as_f64();
+        assert_eq!(t, Some(6.0));
+    }
+
+    #[test]
+    fn schema_version_is_stamped() {
+        let m = Metrics::default();
+        let json = run_report("t", Json::obj(vec![]), &m).to_json();
+        assert_eq!(
+            json.get("schema_version").and_then(Json::as_i64),
+            Some(SCHEMA_VERSION)
+        );
+    }
+
+    #[test]
+    fn cycle_partition_matches_breakdown_total() {
+        let m = sample_metrics();
+        let json = metrics_json(&m);
+        let total = json
+            .get("cycles")
+            .and_then(|c| c.get("total"))
+            .and_then(Json::as_i64)
+            .unwrap();
+        let parts = ["iu1_cycles", "iu2_cycles", "memory_cycles"]
+            .iter()
+            .map(|k| json.get(k).and_then(Json::as_i64).unwrap())
+            .sum::<i64>();
+        assert_eq!(parts, total);
+    }
+
+    #[test]
+    fn windows_serialize_when_present() {
+        let mut m = sample_metrics();
+        m.windows = Some(vec![WindowSample {
+            start: 0,
+            instructions: 50,
+            dtb_hits: 40,
+            dtb_misses: 10,
+            occupancy: 7,
+            ..WindowSample::default()
+        }]);
+        let report = run_report("raul", Json::obj(vec![]), &m);
+        let arr = report.windows.as_ref().unwrap();
+        let w0 = &arr.as_arr().unwrap()[0];
+        assert_eq!(w0.get("occupancy").unwrap().as_i64(), Some(7));
+        assert_eq!(w0.get("hit_rate").unwrap().as_f64(), Some(0.8));
+    }
+}

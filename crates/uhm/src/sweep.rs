@@ -77,7 +77,7 @@ pub fn associativity_sweep(
         .iter()
         .map(|&ways| {
             assert!(
-                capacity % ways == 0,
+                capacity.is_multiple_of(ways),
                 "degree {ways} does not divide capacity {capacity}"
             );
             let cfg = DtbConfig {
@@ -122,8 +122,7 @@ pub fn scheme_sweep(program: &Program, dtb_entries: usize) -> Vec<SchemePoint> {
         .map(|scheme| {
             let machine = Machine::new(program, scheme);
             let image = machine.image();
-            let (program_bits, mean_decode_cost) =
-                (image.program_bits(), image.mean_decode_cost());
+            let (program_bits, mean_decode_cost) = (image.program_bits(), image.mean_decode_cost());
             let t1 = machine
                 .run(&Mode::Interpreter)
                 .expect("trap-free")

@@ -26,7 +26,11 @@ fn main() {
 
     // Level 0: the HLR. Lexing and parsing.
     let tokens = hlr::lexer::tokenize(source).expect("lexes");
-    println!("HLR: {} bytes of source, {} tokens", source.len(), tokens.len());
+    println!(
+        "HLR: {} bytes of source, {} tokens",
+        source.len(),
+        tokens.len()
+    );
     let ast = hlr::parser::parse(source).expect("parses");
     println!(
         "AST: {} globals, {} procedures",

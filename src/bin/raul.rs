@@ -13,12 +13,18 @@
 //!   --dtb-entries N                      (default: 64)
 //!   --fold                               constant-fold before compiling
 //!   --fuse                               raise the semantic level
-//!   --stats                              print cycle metrics
+//!   --stats                              print cycle metrics and IU partition
+//!   --json                               emit a versioned RunReport on stdout
+//!   --window N                           sample metrics every N instructions
+//!   --events FILE                        stream trace events as JSONL to FILE
+//!
+//! `profile` also accepts --json.
 //! ```
 
 use std::process::ExitCode;
 
 use dir::encode::SchemeKind;
+use telemetry::{Json, JsonlSink, RingSink, TeeSink};
 use uhm::{DtbConfig, Machine, Mode};
 
 /// Parsed command-line request.
@@ -32,6 +38,9 @@ struct Cli {
     fold: bool,
     fuse: bool,
     stats: bool,
+    json: bool,
+    window: Option<u64>,
+    events: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +84,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         fold: false,
         fuse: false,
         stats: false,
+        json: false,
+        window: None,
+        events: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -103,6 +115,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--fold" => cli.fold = true,
             "--fuse" => cli.fuse = true,
             "--stats" => cli.stats = true,
+            "--json" => cli.json = true,
+            "--window" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --window value")?;
+                if n == 0 {
+                    return Err("--window must be positive".into());
+                }
+                cli.window = Some(n);
+            }
+            "--events" => {
+                cli.events = Some(it.next().ok_or("missing --events value")?.clone());
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -149,6 +175,72 @@ fn machine_mode(cli: &Cli) -> Mode {
     }
 }
 
+/// The `config` section of a `raul` RunReport: how the run was set up.
+fn run_config(cli: &Cli) -> Json {
+    let mode = match cli.mode {
+        ModeArg::Interp => "interp",
+        ModeArg::Dtb => "dtb",
+        ModeArg::ICache => "icache",
+        ModeArg::TwoLevel => "two-level",
+    };
+    Json::obj(vec![
+        ("file", cli.path.as_str().into()),
+        ("mode", mode.into()),
+        ("scheme", cli.scheme.label().into()),
+        ("dtb_entries", (cli.dtb_entries as u64).into()),
+        ("fold", cli.fold.into()),
+        ("fuse", cli.fuse.into()),
+        (
+            "window",
+            cli.window.map_or(Json::Null, |n| Json::Int(n as i64)),
+        ),
+    ])
+}
+
+/// Prints the human-readable `--stats` block: totals, the
+/// IU1/IU2/memory cycle partition, and any DTB/i-cache ratios.
+fn print_stats(m: &uhm::Metrics) {
+    eprintln!(
+        "instructions: {}  cycles: {}  T: {:.2}",
+        m.instructions,
+        m.cycles.total(),
+        m.time_per_instruction()
+    );
+    let total = m.cycles.total().max(1) as f64;
+    let (iu1, iu2, mem) = (m.iu1_cycles(), m.iu2_cycles(), m.memory_cycles());
+    eprintln!(
+        "cycle partition: IU1 {} ({:.1}%)  IU2 {} ({:.1}%)  memory {} ({:.1}%)",
+        iu1,
+        iu1 as f64 / total * 100.0,
+        iu2,
+        iu2 as f64 / total * 100.0,
+        mem,
+        mem as f64 / total * 100.0
+    );
+    if let Some(dtb) = m.dtb {
+        eprintln!(
+            "dtb: h_D = {:.4} ({} hits / {} misses, {} evictions)",
+            dtb.hit_ratio(),
+            dtb.hits,
+            dtb.misses,
+            dtb.evictions
+        );
+        let classified = dtb.cold_misses + dtb.capacity_misses + dtb.conflict_misses;
+        if classified > 0 {
+            eprintln!(
+                "dtb misses: {} cold, {} capacity, {} conflict",
+                dtb.cold_misses, dtb.capacity_misses, dtb.conflict_misses
+            );
+        }
+    }
+    if let Some(l2) = m.dtb2 {
+        eprintln!("dtb level 2: h = {:.4}", l2.hit_ratio());
+    }
+    if let Some(c) = m.icache {
+        eprintln!("icache: h_c = {:.4}", c.hit_ratio());
+    }
+}
+
 fn execute(cli: &Cli, source: &str) -> Result<(), String> {
     match cli.command {
         Command::Check => {
@@ -164,32 +256,56 @@ fn execute(cli: &Cli, source: &str) -> Result<(), String> {
             let program = build_program(cli, source)?;
             let mut machine = Machine::new(&program, cli.scheme);
             machine.set_trace(false);
-            let report = machine
-                .run(&machine_mode(cli))
-                .map_err(|t| format!("trap: {t}"))?;
-            for v in &report.output {
-                println!("{v}");
-            }
-            if cli.stats {
-                let m = &report.metrics;
-                eprintln!(
-                    "instructions: {}  cycles: {}  T: {:.2}",
-                    m.instructions,
-                    m.cycles.total(),
-                    m.time_per_instruction()
-                );
-                if let Some(dtb) = m.dtb {
+            machine.set_window(cli.window);
+            let mode = machine_mode(cli);
+            // Any observability flag switches to an enabled sink so the
+            // miss taxonomy and event counts are collected.
+            let traced = cli.json || cli.stats || cli.events.is_some();
+            let report = if traced {
+                let mut ring = RingSink::new(4096);
+                let report = match &cli.events {
+                    Some(path) => {
+                        let file = std::fs::File::create(path)
+                            .map_err(|e| format!("cannot create {path}: {e}"))?;
+                        let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+                        let run = machine
+                            .run_with(&mode, &mut TeeSink(&mut ring, &mut jsonl))
+                            .map_err(|t| format!("trap: {t}"))?;
+                        jsonl.finish().map_err(|e| format!("writing {path}: {e}"))?;
+                        run
+                    }
+                    None => machine
+                        .run_with(&mode, &mut ring)
+                        .map_err(|t| format!("trap: {t}"))?,
+                };
+                if cli.stats {
+                    let c = ring.counts();
                     eprintln!(
-                        "dtb: h_D = {:.4} ({} hits / {} misses, {} evictions)",
-                        dtb.hit_ratio(),
-                        dtb.hits,
-                        dtb.misses,
-                        dtb.evictions
+                        "events: {} total ({} hits, {} misses, {} evictions, {} translates)",
+                        c.total(),
+                        c.dtb_hits,
+                        c.dtb_misses,
+                        c.evictions,
+                        c.translations
                     );
                 }
-                if let Some(c) = m.icache {
-                    eprintln!("icache: h_c = {:.4}", c.hit_ratio());
+                report
+            } else {
+                machine.run(&mode).map_err(|t| format!("trap: {t}"))?
+            };
+            if cli.json {
+                let mut rr = uhm::report::run_report("raul", run_config(cli), &report.metrics);
+                rr.output = Some(Json::Arr(
+                    report.output.iter().map(|&v| Json::Int(v)).collect(),
+                ));
+                println!("{}", rr.render());
+            } else {
+                for v in &report.output {
+                    println!("{v}");
                 }
+            }
+            if cli.stats {
+                print_stats(&report.metrics);
             }
             Ok(())
         }
@@ -221,11 +337,45 @@ fn execute(cli: &Cli, source: &str) -> Result<(), String> {
             let program = build_program(cli, source)?;
             let mut machine = Machine::new(&program, cli.scheme);
             machine.set_trace(true);
-            let report = machine
+            let mut report = machine
                 .run(&Mode::Interpreter)
                 .map_err(|t| format!("trap: {t}"))?;
-            let trace = report.metrics.trace.expect("tracing enabled");
+            let trace = report.metrics.trace.take().expect("tracing enabled");
             let profile = uhm::profile::Profile::from_trace(&program, &trace);
+            if cli.json {
+                let procs: Vec<Json> = profile
+                    .by_procedure(&program)
+                    .into_iter()
+                    .map(|(name, count)| {
+                        Json::obj(vec![("name", name.into()), ("count", count.into())])
+                    })
+                    .collect();
+                let hottest: Vec<Json> = profile
+                    .hottest(10)
+                    .into_iter()
+                    .map(|(addr, count)| {
+                        Json::obj(vec![
+                            ("addr", addr.into()),
+                            ("count", count.into()),
+                            (
+                                "inst",
+                                dir::asm::format_inst(&program.code[addr as usize]).into(),
+                            ),
+                        ])
+                    })
+                    .collect();
+                let mut rr =
+                    uhm::report::run_report("raul-profile", run_config(cli), &report.metrics);
+                rr.output = Some(Json::obj(vec![
+                    ("static_instructions", (program.len() as u64).into()),
+                    ("dynamic_instructions", profile.total.into()),
+                    ("touched", (profile.touched() as u64).into()),
+                    ("by_procedure", Json::Arr(procs)),
+                    ("hottest", Json::Arr(hottest)),
+                ]));
+                println!("{}", rr.render());
+                return Ok(());
+            }
             println!(
                 "{} static, {} dynamic, {} touched",
                 program.len(),

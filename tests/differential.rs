@@ -1,9 +1,10 @@
-//! Property-based differential tests: on randomly generated (terminating,
+//! Seeded differential tests: on randomly generated (terminating,
 //! trap-free) RAUL programs, every execution level and every encoding must
-//! agree exactly.
+//! agree exactly. Randomness comes from the deterministic [`hlr::rng::Rng`]
+//! so every run explores the same cases.
 
 use dir::encode::SchemeKind;
-use proptest::prelude::*;
+use hlr::rng::Rng;
 use uhm::{DtbConfig, Machine, Mode};
 
 fn build(seed: u64) -> (hlr::hir::Program, dir::Program) {
@@ -13,87 +14,104 @@ fn build(seed: u64) -> (hlr::hir::Program, dir::Program) {
     (hir, program)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// HLR evaluator ≡ DIR executor ≡ PSDER interpreter on random programs.
-    #[test]
-    fn execution_levels_agree(seed in any::<u64>()) {
+/// HLR evaluator ≡ DIR executor ≡ PSDER interpreter on random programs.
+#[test]
+fn execution_levels_agree() {
+    for seed in 0..48 {
         let (hir, program) = build(seed);
         let reference = hlr::eval::run(&hir).expect("trap-free by construction");
-        prop_assert_eq!(&dir::exec::run(&program).unwrap(), &reference);
-        prop_assert_eq!(&psder::interp::run(&program).unwrap(), &reference);
+        assert_eq!(dir::exec::run(&program).unwrap(), reference, "seed {seed}");
+        assert_eq!(
+            psder::interp::run(&program).unwrap(),
+            reference,
+            "seed {seed}"
+        );
     }
+}
 
-    /// The assembler round-trips random compiled programs exactly.
-    #[test]
-    fn assembler_round_trips(seed in any::<u64>()) {
+/// The assembler round-trips random compiled programs exactly.
+#[test]
+fn assembler_round_trips() {
+    for seed in 0..48 {
         let (_, program) = build(seed);
         let text = dir::asm::disassemble(&program);
         let back = dir::asm::assemble(&text).expect("assembles");
-        prop_assert_eq!(back, program);
+        assert_eq!(back, program, "seed {seed}");
     }
+}
 
-    /// Fusion preserves semantics on random programs.
-    #[test]
-    fn fusion_preserves_semantics(seed in any::<u64>()) {
+/// Fusion preserves semantics on random programs.
+#[test]
+fn fusion_preserves_semantics() {
+    for seed in 0..48 {
         let (_, program) = build(seed);
         let (fused, stats) = dir::fuse::fuse(&program);
         fused.validate().expect("fused output validates");
-        prop_assert!(stats.after <= stats.before);
-        prop_assert_eq!(
+        assert!(stats.after <= stats.before, "seed {seed}");
+        assert_eq!(
             dir::exec::run(&fused).unwrap(),
-            dir::exec::run(&program).unwrap()
+            dir::exec::run(&program).unwrap(),
+            "seed {seed}"
         );
     }
+}
 
-    /// Every encoding round-trips random programs, and sizes are ordered
-    /// byte ≥ packed ≥ contextual.
-    #[test]
-    fn encodings_round_trip(seed in any::<u64>()) {
+/// Every encoding round-trips random programs, and sizes are ordered
+/// byte ≥ packed ≥ contextual.
+#[test]
+fn encodings_round_trip() {
+    for seed in 0..48 {
         let (_, program) = build(seed);
         let mut sizes = Vec::new();
         for scheme in SchemeKind::all() {
             let image = scheme.encode(&program);
-            prop_assert_eq!(image.decode_all().unwrap(), program.code.clone());
+            assert_eq!(
+                image.decode_all().unwrap(),
+                program.code,
+                "seed {seed} {scheme}"
+            );
             sizes.push(image.program_bits());
         }
-        prop_assert!(sizes[0] >= sizes[1]); // byte >= packed
-        prop_assert!(sizes[1] >= sizes[2]); // packed >= contextual
+        assert!(sizes[0] >= sizes[1], "seed {seed}: byte >= packed");
+        assert!(sizes[1] >= sizes[2], "seed {seed}: packed >= contextual");
     }
 }
 
-proptest! {
-    // Machine runs are slower; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// All three machine modes produce the reference output on random
-    /// programs, under a randomly sized DTB.
-    #[test]
-    fn machine_modes_agree(seed in any::<u64>(), cap_exp in 2u32..8) {
+/// All three machine modes produce the reference output on random
+/// programs, under a randomly sized DTB.
+#[test]
+fn machine_modes_agree() {
+    let mut rng = Rng::new(0x6d61_6368);
+    for case in 0..16u64 {
+        let seed = rng.next_u64();
+        let cap_exp = rng.range_u32(2, 8);
         let (hir, program) = build(seed);
         let reference = hlr::eval::run(&hir).expect("trap-free by construction");
         let machine = Machine::new(&program, SchemeKind::PairHuffman);
         let modes = [
             Mode::Interpreter,
             Mode::Dtb(DtbConfig::with_capacity(1 << cap_exp)),
-            Mode::ICache { geometry: memsim::Geometry::new(8, 4) },
+            Mode::ICache {
+                geometry: memsim::Geometry::new(8, 4),
+            },
         ];
         for mode in modes {
             let report = machine.run(&mode).expect("trap-free");
-            prop_assert_eq!(&report.output, &reference);
+            assert_eq!(report.output, reference, "case {case} seed {seed} {mode:?}");
         }
     }
+}
 
-    /// The DTB never changes results regardless of geometry, unit size or
-    /// allocation policy.
-    #[test]
-    fn dtb_geometry_is_semantically_transparent(
-        seed in 0u64..1000,
-        sets in 1usize..8,
-        ways in 1usize..5,
-        overflow in prop::option::of(1usize..6),
-    ) {
+/// The DTB never changes results regardless of geometry, unit size or
+/// allocation policy.
+#[test]
+fn dtb_geometry_is_semantically_transparent() {
+    let mut rng = Rng::new(0x6474_6267);
+    for case in 0..16u64 {
+        let seed = rng.range_u64(0, 1000);
+        let sets = rng.range_usize(1, 8);
+        let ways = rng.range_usize(1, 5);
+        let overflow = rng.bool_with(0.5).then(|| rng.range_usize(1, 6));
         let (_, program) = build(seed);
         let reference = dir::exec::run(&program).unwrap();
         let cfg = uhm::DtbConfig {
@@ -110,42 +128,50 @@ proptest! {
         };
         let machine = Machine::new(&program, SchemeKind::Packed);
         let report = machine.run(&Mode::Dtb(cfg)).expect("trap-free");
-        prop_assert_eq!(&report.output, &reference);
+        assert_eq!(report.output, reference, "case {case} seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Bitstream round-trip on arbitrary (value, width) sequences.
-    #[test]
-    fn bitstream_round_trips(fields in prop::collection::vec((any::<u64>(), 1u32..=64), 1..50)) {
-        let mut w = dir::bitstream::BitWriter::new();
-        let masked: Vec<(u64, u32)> = fields
-            .iter()
-            .map(|&(v, width)| {
-                let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+/// Bitstream round-trip on random (value, width) sequences.
+#[test]
+fn bitstream_round_trips() {
+    let mut rng = Rng::new(0x6269_7473);
+    for case in 0..64u64 {
+        let n = rng.range_usize(1, 50);
+        let fields: Vec<(u64, u32)> = (0..n)
+            .map(|_| {
+                let width = rng.range_u32(1, 65);
+                let v = rng.next_u64();
+                let v = if width == 64 {
+                    v
+                } else {
+                    v & ((1u64 << width) - 1)
+                };
                 (v, width)
             })
             .collect();
-        for &(v, width) in &masked {
+        let mut w = dir::bitstream::BitWriter::new();
+        for &(v, width) in &fields {
             w.write(v, width);
         }
         let (buf, len) = w.finish();
         let mut r = dir::bitstream::BitReader::new(&buf, len);
-        for &(v, width) in &masked {
-            prop_assert_eq!(r.read(width).unwrap(), v);
+        for &(v, width) in &fields {
+            assert_eq!(r.read(width).unwrap(), v, "case {case}");
         }
     }
+}
 
-    /// Huffman round-trip on arbitrary frequency tables and messages.
-    #[test]
-    fn huffman_round_trips(
-        freqs in prop::collection::vec(0u64..1000, 2..30),
-        message in prop::collection::vec(any::<prop::sample::Index>(), 0..100),
-    ) {
+/// Huffman round-trip on random frequency tables and messages.
+#[test]
+fn huffman_round_trips() {
+    let mut rng = Rng::new(0x6875_6666);
+    for case in 0..64u64 {
+        let n_syms = rng.range_usize(2, 30);
+        let freqs: Vec<u64> = (0..n_syms).map(|_| rng.range_u64(0, 1000)).collect();
+        let msg_len = rng.range_usize(0, 100);
+        let symbols: Vec<usize> = (0..msg_len).map(|_| rng.range_usize(0, n_syms)).collect();
         let tree = dir::huffman::Tree::from_frequencies(&freqs);
-        let symbols: Vec<usize> = message.iter().map(|i| i.index(freqs.len())).collect();
         let mut w = dir::bitstream::BitWriter::new();
         for &s in &symbols {
             tree.encode(s, &mut w);
@@ -154,13 +180,18 @@ proptest! {
         let mut r = dir::bitstream::BitReader::new(&buf, len);
         for &s in &symbols {
             let (got, _) = tree.decode(&mut r).unwrap();
-            prop_assert_eq!(got, s);
+            assert_eq!(got, s, "case {case}");
         }
     }
+}
 
-    /// Zigzag coding round-trips all i64 values.
-    #[test]
-    fn zigzag_round_trips(v in any::<i64>()) {
-        prop_assert_eq!(dir::isa::unzigzag(dir::isa::zigzag(v)), v);
+/// Zigzag coding round-trips across the i64 range.
+#[test]
+fn zigzag_round_trips() {
+    let mut rng = Rng::new(0x7a69_677a);
+    let mut values = vec![0, 1, -1, i64::MAX, i64::MIN, i64::MAX - 1, i64::MIN + 1];
+    values.extend((0..64).map(|_| rng.next_u64() as i64));
+    for v in values {
+        assert_eq!(dir::isa::unzigzag(dir::isa::zigzag(v)), v, "{v}");
     }
 }

@@ -29,10 +29,7 @@ fn compiler_output_is_stable() {
     for name in ["fib_rec", "gcd_chain"] {
         let sample = hlr::programs::by_name(name).expect("sample exists");
         let program = dir::compiler::compile(&sample.compile().expect("compiles"));
-        assert_golden(
-            &dir::asm::disassemble(&program),
-            &format!("{name}.dir.asm"),
-        );
+        assert_golden(&dir::asm::disassemble(&program), &format!("{name}.dir.asm"));
     }
 }
 
@@ -42,10 +39,7 @@ fn fusion_output_is_stable() {
         let sample = hlr::programs::by_name(name).expect("sample exists");
         let base = dir::compiler::compile(&sample.compile().expect("compiles"));
         let (fused, _) = dir::fuse::fuse(&base);
-        assert_golden(
-            &dir::asm::disassemble(&fused),
-            &format!("{name}.fused.asm"),
-        );
+        assert_golden(&dir::asm::disassemble(&fused), &format!("{name}.fused.asm"));
     }
 }
 

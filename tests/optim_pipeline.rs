@@ -106,7 +106,9 @@ fn optimised_programs_encode_smaller() {
         total_base += SchemeKind::PairHuffman
             .encode(&dir::compiler::compile(&hir))
             .program_bits();
-        total_opt += SchemeKind::PairHuffman.encode(&optimise(&hir)).program_bits();
+        total_opt += SchemeKind::PairHuffman
+            .encode(&optimise(&hir))
+            .program_bits();
     }
     assert!(
         total_opt < total_base,

@@ -38,8 +38,7 @@ fn dtb_beats_interpreter_on_looping_workloads() {
 /// accepts in exchange for the common case.
 #[test]
 fn dtb_loses_on_the_adversarial_straightline_case() {
-    let program =
-        dir::compiler::compile(&hlr::programs::STRAIGHTLINE.compile().expect("compiles"));
+    let program = dir::compiler::compile(&hlr::programs::STRAIGHTLINE.compile().expect("compiles"));
     let machine = Machine::new(&program, SchemeKind::PairHuffman);
     let t1 = machine
         .run(&Mode::Interpreter)
@@ -123,7 +122,11 @@ fn higher_semantic_level_is_smaller_and_faster() {
 fn degree_four_is_near_best_for_typical_workloads() {
     use memsim::Geometry;
     use psder::MAX_TRANSLATION_WORDS;
-    for sample in [&hlr::programs::SIEVE, &hlr::programs::GCD_CHAIN, &hlr::programs::MIXED] {
+    for sample in [
+        &hlr::programs::SIEVE,
+        &hlr::programs::GCD_CHAIN,
+        &hlr::programs::MIXED,
+    ] {
         let program = dir::compiler::compile(&sample.compile().expect("compiles"));
         let machine = Machine::new(&program, SchemeKind::Packed);
         let capacity = 64;

@@ -91,14 +91,21 @@ fn traps_are_uniform_across_the_stack() {
     let cases = [
         ("proc main() begin write 10 / (5 - 5); end", "div"),
         ("proc main() begin int a[4]; write a[4]; end", "oob high"),
-        ("proc main() begin int a[4]; a[0 - 1] := 1; skip; end", "oob low"),
+        (
+            "proc main() begin int a[4]; a[0 - 1] := 1; skip; end",
+            "oob low",
+        ),
         ("proc main() begin write 7 % 0; end", "rem"),
     ];
     for (src, label) in cases {
         let hir = hlr::compile(src).expect("compiles");
         let expected: dir::exec::Trap = hlr::eval::run(&hir).expect_err("traps").into();
         let program = dir::compiler::compile(&hir);
-        assert_eq!(dir::exec::run(&program).expect_err("traps"), expected, "{label}");
+        assert_eq!(
+            dir::exec::run(&program).expect_err("traps"),
+            expected,
+            "{label}"
+        );
         assert_eq!(
             psder::interp::run(&program).expect_err("traps"),
             expected,

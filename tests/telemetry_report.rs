@@ -1,0 +1,171 @@
+//! Telemetry end-to-end checks: ring-sink event counts must agree with the
+//! machine's own metrics, window samples must partition the run, and the
+//! `raul --json` surface must emit a schema-1 [`RunReport`] that round-trips
+//! through the parser.
+
+use std::process::Command;
+
+use dir::encode::SchemeKind;
+use telemetry::{Json, RingSink, RunReport};
+use uhm::{DtbConfig, Machine, Mode};
+
+fn sample_machine() -> (dir::program::Program, Mode) {
+    let program = dir::compiler::compile(&hlr::programs::QUEENS.compile().unwrap());
+    (program, Mode::Dtb(DtbConfig::with_capacity(32)))
+}
+
+#[test]
+fn ring_sink_counts_agree_with_metrics() {
+    let (program, mode) = sample_machine();
+    let machine = Machine::new(&program, SchemeKind::PairHuffman);
+    let mut sink = RingSink::new(256);
+    let report = machine.run_with(&mode, &mut sink).unwrap();
+    let c = sink.counts();
+    let m = &report.metrics;
+    let dtb = m.dtb.expect("dtb mode records dtb stats");
+
+    // Every instruction in DTB mode is exactly one lookup: hit or miss.
+    assert_eq!(c.dtb_hits + c.dtb_misses, m.instructions);
+    assert_eq!(c.dtb_hits, dtb.hits);
+    assert_eq!(c.dtb_misses, dtb.misses);
+    // You cannot displace a translation without having missed first.
+    assert!(c.evictions <= c.dtb_misses);
+    assert_eq!(c.evictions, dtb.evictions);
+    // A traced run classifies every miss into exactly one taxonomy bin.
+    assert_eq!(
+        c.cold_misses + c.capacity_misses + c.conflict_misses,
+        c.dtb_misses
+    );
+    // Each cached miss produces exactly one translation event.
+    assert_eq!(c.translations, c.dtb_misses - dtb.uncached);
+    // Calls and returns balance (the final Halt exit is also emitted).
+    assert_eq!(c.routine_enters, c.routine_exits);
+    // The ring is bounded even though the counts are exact.
+    assert!(sink.events().count() <= 256);
+    assert!(c.total() >= m.instructions);
+}
+
+#[test]
+fn untraced_run_is_equivalent() {
+    // The NullSink path must produce identical metrics: telemetry is
+    // observation, never behaviour.
+    let (program, mode) = sample_machine();
+    let machine = Machine::new(&program, SchemeKind::PairHuffman);
+    let mut sink = RingSink::new(64);
+    let traced = machine.run_with(&mode, &mut sink).unwrap();
+    let plain = machine.run(&mode).unwrap();
+    assert_eq!(plain.output, traced.output);
+    assert_eq!(plain.metrics.instructions, traced.metrics.instructions);
+    assert_eq!(plain.metrics.cycles.total(), traced.metrics.cycles.total());
+    let (p, t) = (plain.metrics.dtb.unwrap(), traced.metrics.dtb.unwrap());
+    assert_eq!(
+        (p.hits, p.misses, p.evictions),
+        (t.hits, t.misses, t.evictions)
+    );
+}
+
+#[test]
+fn window_samples_partition_the_run() {
+    let (program, mode) = sample_machine();
+    let mut machine = Machine::new(&program, SchemeKind::PairHuffman);
+    machine.set_window(Some(500));
+    let report = machine.run(&mode).unwrap();
+    let windows = report.metrics.windows.as_ref().expect("windowing was on");
+    assert!(!windows.is_empty());
+    let total: u64 = windows.iter().map(|w| w.instructions).sum();
+    assert_eq!(
+        total, report.metrics.instructions,
+        "windows partition the run"
+    );
+    let cycle_total: u64 = windows.iter().map(|w| w.cycles.total()).sum();
+    assert_eq!(cycle_total, report.metrics.cycles.total());
+    let dtb = report.metrics.dtb.unwrap();
+    let hits: u64 = windows.iter().map(|w| w.dtb_hits).sum();
+    let misses: u64 = windows.iter().map(|w| w.dtb_misses).sum();
+    assert_eq!((hits, misses), (dtb.hits, dtb.misses));
+    for w in windows {
+        // In DTB mode every instruction is one lookup.
+        assert_eq!(w.dtb_hits + w.dtb_misses, w.instructions);
+        assert!((0.0..=1.0).contains(&w.hit_rate()));
+        assert!(w.occupancy <= 32);
+    }
+    // Consecutive windows tile the instruction axis.
+    for pair in windows.windows(2) {
+        assert_eq!(pair[0].start + pair[0].instructions, pair[1].start);
+    }
+}
+
+fn raul_json(args: &[&str]) -> RunReport {
+    let out = Command::new(env!("CARGO_BIN_EXE_raul"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("raul binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    RunReport::parse(text.trim()).expect("stdout is one schema-1 RunReport")
+}
+
+#[test]
+fn raul_run_json_emits_a_round_trippable_report() {
+    let rr = raul_json(&["run", "examples/programs/sumloop.raul", "--json"]);
+    assert_eq!(rr.tool, "raul");
+    // The program's own output rides along: sum of 1..=100.
+    assert_eq!(rr.output, Some(Json::Arr(vec![Json::Int(5050)])));
+    let instructions = rr
+        .metrics
+        .get("instructions")
+        .and_then(Json::as_i64)
+        .expect("metrics.instructions");
+    assert!(instructions > 0);
+    // The taxonomy partitions the misses.
+    let dtb = rr.metrics.get("dtb").expect("dtb mode stats");
+    let field = |n: &str| dtb.get(n).and_then(Json::as_i64).unwrap();
+    assert_eq!(
+        field("cold_misses") + field("capacity_misses") + field("conflict_misses"),
+        field("misses")
+    );
+    // Derived §7 parameters are present and sane.
+    for p in ["time_per_instruction", "d", "g", "x", "s1", "s2"] {
+        assert!(rr.derived.get(p).is_some(), "missing derived.{p}");
+    }
+    // Round trip: render → parse is the identity.
+    let back = RunReport::parse(&rr.render()).unwrap();
+    assert_eq!(back, rr);
+}
+
+#[test]
+fn raul_run_json_with_window_attaches_samples() {
+    let rr = raul_json(&[
+        "run",
+        "examples/programs/sumloop.raul",
+        "--window",
+        "200",
+        "--json",
+    ]);
+    let Some(Json::Arr(windows)) = rr.windows else {
+        panic!("expected a windows array");
+    };
+    assert!(!windows.is_empty());
+    let total: i64 = windows
+        .iter()
+        .map(|w| w.get("instructions").and_then(Json::as_i64).unwrap())
+        .sum();
+    assert_eq!(
+        Some(total),
+        rr.metrics.get("instructions").and_then(Json::as_i64)
+    );
+}
+
+#[test]
+fn raul_profile_json_round_trips() {
+    let rr = raul_json(&["profile", "examples/programs/sumloop.raul", "--json"]);
+    assert_eq!(rr.tool, "raul-profile");
+    let out = rr.output.clone().expect("profile payload");
+    assert!(out.get("hottest").is_some());
+    assert_eq!(RunReport::parse(&rr.render()).unwrap().output, Some(out));
+}
