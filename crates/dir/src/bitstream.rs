@@ -97,10 +97,14 @@ impl<'a> BitReader<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`BitsExhausted`] if fewer than `width` bits remain.
+    /// Returns [`BitsExhausted`] if fewer than `width` bits remain. The
+    /// declared `len` is clamped to the backing buffer, so a stream whose
+    /// header claims more bits than the buffer holds (a truncated or
+    /// corrupted image) errors instead of reading out of bounds.
     pub fn read(&mut self, width: u32) -> Result<u64, BitsExhausted> {
         assert!(width <= 64, "width {width} > 64");
-        if self.pos + width as u64 > self.len {
+        let avail = self.len.min(self.buf.len() as u64 * 8);
+        if self.pos + width as u64 > avail {
             return Err(BitsExhausted);
         }
         let mut out = 0u64;

@@ -266,11 +266,26 @@ impl Image {
     ///
     /// Returns [`ImageError`] on a bad index or a corrupt stream.
     pub fn decode(&self, index: u32) -> Result<Decoded, ImageError> {
+        self.decode_from(&self.bytes, index)
+    }
+
+    /// Decodes the instruction at `index` out of `bytes`, an alternative
+    /// level-2 copy of this image's stream (same bit offsets and decoder
+    /// tables). This is the fault plane's entry point: the machine keeps
+    /// a mutable level-2 copy that injected faults flip bits in, and
+    /// decodes through the original image's tables. A copy shorter than
+    /// `bit_len` claims is reported as [`ImageError::Exhausted`], never
+    /// read out of bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] on a bad index or a corrupt stream.
+    pub fn decode_from(&self, bytes: &[u8], index: u32) -> Result<Decoded, ImageError> {
         let offset = *self
             .offsets
             .get(index as usize)
             .ok_or(ImageError::BadIndex(index))?;
-        let mut reader = crate::bitstream::BitReader::at(&self.bytes, self.bit_len, offset);
+        let mut reader = crate::bitstream::BitReader::at(bytes, self.bit_len, offset);
         let decoded = match &self.decoder {
             DecoderData::Byte => byte::decode(&mut reader)?,
             DecoderData::Packed(widths) => packed::decode(&mut reader, widths)?,

@@ -48,6 +48,22 @@ pub enum Trap {
     /// The program is structurally broken (should be prevented by
     /// [`Program::validate`]).
     Malformed(&'static str),
+    /// The encoded DIR stream at this address no longer decodes: the
+    /// static program image — the level-2 ground truth — is corrupt, so
+    /// no retranslation can recover it.
+    CorruptDir {
+        /// DIR address whose encoding failed to decode.
+        addr: u32,
+    },
+    /// Level-2 fetches of this instruction kept failing past the
+    /// machine's retry budget (transient fault turned permanent).
+    FetchFailed {
+        /// DIR address being fetched.
+        addr: u32,
+    },
+    /// The machine's mode and its translation buffers disagree — a
+    /// configuration bug reported as a trap instead of a panic.
+    MisconfiguredMode(&'static str),
 }
 
 impl std::fmt::Display for Trap {
@@ -60,6 +76,16 @@ impl std::fmt::Display for Trap {
             Trap::StepLimit => write!(f, "step limit exceeded"),
             Trap::DepthLimit => write!(f, "call depth limit exceeded"),
             Trap::Malformed(what) => write!(f, "malformed program: {what}"),
+            Trap::CorruptDir { addr } => {
+                write!(f, "corrupt DIR stream at address {addr}")
+            }
+            Trap::FetchFailed { addr } => {
+                write!(
+                    f,
+                    "level-2 fetch of address {addr} failed past the retry budget"
+                )
+            }
+            Trap::MisconfiguredMode(what) => write!(f, "misconfigured machine mode: {what}"),
         }
     }
 }

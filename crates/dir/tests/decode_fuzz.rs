@@ -1,0 +1,89 @@
+//! Decoder hardening fuzz: every scheme's decoder must return a typed
+//! [`ImageError`] on arbitrary garbage — random byte strings, truncated
+//! streams and single-bit corruptions — and never panic. Over 10k seeded
+//! inputs per run.
+
+use dir::encode::SchemeKind;
+use hlr::rng::Rng;
+
+fn sample_program() -> dir::Program {
+    dir::compiler::compile(&hlr::programs::GCD_CHAIN.compile().unwrap())
+}
+
+/// Random byte strings in place of the encoded stream: decoding at any
+/// valid index must not panic.
+#[test]
+fn random_bytes_never_panic_the_decoders() {
+    let program = sample_program();
+    let mut rng = Rng::new(0xD0DE);
+    let mut inputs = 0u32;
+    for scheme in SchemeKind::all() {
+        let image = scheme.encode(&program);
+        for _ in 0..300 {
+            let garbage: Vec<u8> = (0..image.bytes.len())
+                .map(|_| rng.next_u64() as u8)
+                .collect();
+            for _ in 0..6 {
+                let index = rng.range_u64(0, image.len() as u64) as u32;
+                // Ok (garbage that happens to decode) and Err are both
+                // fine; only a panic is a failure.
+                let _ = image.decode_from(&garbage, index);
+                inputs += 1;
+            }
+        }
+    }
+    assert!(inputs >= 10_000, "only {inputs} fuzz inputs");
+}
+
+/// Single-bit corruptions of a well-formed stream: the realistic fault
+/// model the machine's fault plane injects.
+#[test]
+fn bit_flips_never_panic_the_decoders() {
+    let program = sample_program();
+    let mut rng = Rng::new(0xF11B_F10B);
+    for scheme in SchemeKind::all() {
+        let image = scheme.encode(&program);
+        for _ in 0..200 {
+            let mut bytes = image.bytes.clone();
+            let bit = rng.range_u64(0, image.bit_len);
+            bytes[(bit / 8) as usize] ^= 0x80 >> (bit % 8);
+            for index in 0..image.len() as u32 {
+                let _ = image.decode_from(&bytes, index);
+            }
+        }
+    }
+}
+
+/// Truncated streams: every prefix of the byte buffer reports
+/// `Exhausted` (or decodes, for instructions before the cut) instead of
+/// reading out of bounds.
+#[test]
+fn truncated_streams_error_cleanly() {
+    let program = sample_program();
+    for scheme in SchemeKind::all() {
+        let image = scheme.encode(&program);
+        for cut in 0..image.bytes.len() {
+            let truncated = &image.bytes[..cut];
+            for index in 0..image.len() as u32 {
+                let _ = image.decode_from(truncated, index);
+            }
+        }
+    }
+}
+
+/// The unmodified buffer decodes identically through `decode_from` and
+/// `decode` — the fault plane's zero-rate path is exact.
+#[test]
+fn decode_from_matches_decode_on_clean_bytes() {
+    let program = sample_program();
+    for scheme in SchemeKind::all() {
+        let image = scheme.encode(&program);
+        for index in 0..image.len() as u32 {
+            let a = image.decode(index).unwrap();
+            let b = image.decode_from(&image.bytes, index).unwrap();
+            assert_eq!(a.inst, b.inst, "{scheme} at {index}");
+            assert_eq!(a.bits, b.bits, "{scheme} at {index}");
+            assert_eq!(a.cost, b.cost, "{scheme} at {index}");
+        }
+    }
+}

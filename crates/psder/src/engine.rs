@@ -123,12 +123,15 @@ impl Engine {
             .ok_or(Trap::Malformed("operand stack underflow"))
     }
 
-    fn frame_base(&self) -> usize {
-        *self.frames.last().expect("frame stack never empty")
+    fn frame_base(&self) -> Result<usize, Trap> {
+        self.frames
+            .last()
+            .copied()
+            .ok_or(Trap::Malformed("no active frame"))
     }
 
     fn frame_slot(&mut self, slot: i64) -> Result<&mut i64, Trap> {
-        let base = self.frame_base();
+        let base = self.frame_base()?;
         if slot < 0 {
             return Err(Trap::Malformed("negative frame slot"));
         }
@@ -278,7 +281,10 @@ impl Engine {
                     if self.frames.len() <= 1 {
                         return Err(Trap::Malformed("return from prelude"));
                     }
-                    let base = self.frames.pop().expect("checked non-empty");
+                    let base = self
+                        .frames
+                        .pop()
+                        .ok_or(Trap::Malformed("return from prelude"))?;
                     self.slots.truncate(base);
                 }
                 MicroOp::EntryOf { proc, dst } => {

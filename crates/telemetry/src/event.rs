@@ -19,6 +19,11 @@ use crate::json::Json;
 ///   also have missed (the working set simply does not fit);
 /// * **Conflict** — the fully-associative shadow *would* have hit: only
 ///   the set mapping evicted the translation.
+///
+/// A fourth class, **Recovery**, sits outside the three-C taxonomy: the
+/// lookup physically hit, but the line's guard checksum failed, so the
+/// machine invalidated it and retranslated from the static DIR. The
+/// shadow classifier never produces it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MissKind {
     /// First reference to this DIR address.
@@ -27,6 +32,9 @@ pub enum MissKind {
     Capacity,
     /// Misses only because of the set mapping.
     Conflict,
+    /// A hit whose line failed its integrity check and was invalidated
+    /// and retranslated (fault plane only).
+    Recovery,
 }
 
 impl MissKind {
@@ -36,6 +44,33 @@ impl MissKind {
             MissKind::Cold => "cold",
             MissKind::Capacity => "capacity",
             MissKind::Conflict => "conflict",
+            MissKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// What a fault-plane injection corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A bit flipped in the encoded DIR stream (persistent level-2
+    /// corruption).
+    DirBit,
+    /// A buffer-array word of a resident DTB line overwritten.
+    DtbWord,
+    /// A tag/address-array entry poisoned.
+    DtbTag,
+    /// A level-2 instruction fetch dropped (transient).
+    FetchDrop,
+}
+
+impl FaultKind {
+    /// Stable lower-case label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DirBit => "dir_bit",
+            FaultKind::DtbWord => "dtb_word",
+            FaultKind::DtbTag => "dtb_tag",
+            FaultKind::FetchDrop => "fetch_drop",
         }
     }
 }
@@ -97,6 +132,19 @@ pub enum Event {
         /// Level-2 words transferred.
         words: u32,
     },
+    /// The fault injector corrupted machine state.
+    FaultInjected {
+        /// What was corrupted.
+        kind: FaultKind,
+        /// DIR address of the damaged line or fetch.
+        addr: u32,
+    },
+    /// Repeated integrity failures at this DIR address degraded it to
+    /// pure interpretation for the rest of the run.
+    Degraded {
+        /// DIR address now interpreted without translation.
+        addr: u32,
+    },
 }
 
 impl Event {
@@ -112,6 +160,8 @@ impl Event {
             Event::RoutineEnter { .. } => "routine_enter",
             Event::RoutineExit { .. } => "routine_exit",
             Event::L2Fetch { .. } => "l2_fetch",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::Degraded { .. } => "degraded",
         }
     }
 
@@ -150,6 +200,11 @@ impl Event {
                 obj.push(("addr".into(), Json::from(addr as i64)));
                 obj.push(("words".into(), Json::from(words as i64)));
             }
+            Event::FaultInjected { kind, addr } => {
+                obj.push(("kind".into(), Json::from(kind.label())));
+                obj.push(("addr".into(), Json::from(addr as i64)));
+            }
+            Event::Degraded { addr } => obj.push(("addr".into(), Json::from(addr as i64))),
         }
         Json::Obj(obj)
     }
@@ -183,6 +238,12 @@ pub struct EventCounts {
     pub routine_exits: u64,
     /// `L2Fetch` events.
     pub l2_fetches: u64,
+    /// `DtbMiss` events of the `Recovery` class (subset of `dtb_misses`).
+    pub recovery_misses: u64,
+    /// `FaultInjected` events.
+    pub faults_injected: u64,
+    /// `Degraded` events.
+    pub degradations: u64,
 }
 
 impl EventCounts {
@@ -196,6 +257,7 @@ impl EventCounts {
                     MissKind::Cold => self.cold_misses += 1,
                     MissKind::Capacity => self.capacity_misses += 1,
                     MissKind::Conflict => self.conflict_misses += 1,
+                    MissKind::Recovery => self.recovery_misses += 1,
                 }
             }
             Event::Evict { .. } => self.evictions += 1,
@@ -204,6 +266,8 @@ impl EventCounts {
             Event::RoutineEnter { .. } => self.routine_enters += 1,
             Event::RoutineExit { .. } => self.routine_exits += 1,
             Event::L2Fetch { .. } => self.l2_fetches += 1,
+            Event::FaultInjected { .. } => self.faults_injected += 1,
+            Event::Degraded { .. } => self.degradations += 1,
         }
     }
 
@@ -217,6 +281,8 @@ impl EventCounts {
             + self.routine_enters
             + self.routine_exits
             + self.l2_fetches
+            + self.faults_injected
+            + self.degradations
     }
 }
 
@@ -280,8 +346,52 @@ mod tests {
             Event::RoutineEnter { id: 0 },
             Event::RoutineExit { id: 0, words: 1 },
             Event::L2Fetch { addr: 0, words: 1 },
+            Event::FaultInjected {
+                kind: FaultKind::DtbWord,
+                addr: 0,
+            },
+            Event::Degraded { addr: 0 },
         ];
         let names: std::collections::HashSet<_> = events.iter().map(Event::name).collect();
         assert_eq!(names.len(), events.len());
+    }
+
+    #[test]
+    fn fault_events_count_and_serialize() {
+        let mut c = EventCounts::default();
+        c.record(&Event::FaultInjected {
+            kind: FaultKind::DirBit,
+            addr: 3,
+        });
+        c.record(&Event::DtbMiss {
+            addr: 3,
+            kind: MissKind::Recovery,
+        });
+        c.record(&Event::Degraded { addr: 3 });
+        assert_eq!(c.faults_injected, 1);
+        assert_eq!(c.recovery_misses, 1);
+        assert_eq!(c.dtb_misses, 1, "recovery is a miss class");
+        assert_eq!(c.degradations, 1);
+        assert_eq!(c.total(), 3);
+        let j = Event::FaultInjected {
+            kind: FaultKind::FetchDrop,
+            addr: 9,
+        }
+        .to_json();
+        assert_eq!(j.get("ev").and_then(Json::as_str), Some("fault_injected"));
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("fetch_drop"));
+        assert_eq!(j.get("addr").and_then(Json::as_i64), Some(9));
+    }
+
+    #[test]
+    fn fault_kind_labels_are_distinct() {
+        let kinds = [
+            FaultKind::DirBit,
+            FaultKind::DtbWord,
+            FaultKind::DtbTag,
+            FaultKind::FetchDrop,
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
     }
 }

@@ -27,7 +27,7 @@ pub mod json;
 pub mod report;
 pub mod sink;
 
-pub use event::{Event, EventCounts, MissKind};
+pub use event::{Event, EventCounts, FaultKind, MissKind};
 pub use json::Json;
 pub use report::{RunReport, SCHEMA_VERSION};
 pub use sink::{JsonlSink, NullSink, RingSink, TeeSink, TraceSink};

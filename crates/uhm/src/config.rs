@@ -55,6 +55,28 @@ impl CostModel {
     }
 }
 
+/// Fault-recovery policy of the machine: how persistently it retries
+/// before giving up on a translation (degrade) or a fetch (trap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive integrity failures at one DIR address before that
+    /// address degrades to pure interpretation for the rest of the run.
+    /// Clamped to at least 1.
+    pub degrade_after: u32,
+    /// Consecutive dropped level-2 fetches of one instruction before the
+    /// run ends in [`Trap::FetchFailed`](dir::exec::Trap).
+    pub max_fetch_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            degrade_after: 3,
+            max_fetch_retries: 8,
+        }
+    }
+}
+
 /// Resource limits for a machine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Limits {

@@ -84,17 +84,18 @@ impl DtbConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message when a fixed-allocation unit is smaller than the
-    /// largest translation (such a DTB could never hold some instructions).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ConfigError`] when the unit size is zero or when a
+    /// fixed-allocation unit is smaller than the largest translation
+    /// (such a DTB could never hold some instructions).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.unit_words == 0 {
-            return Err("unit_words must be positive".into());
+            return Err(ConfigError::ZeroUnitWords);
         }
         if self.allocation == Allocation::Fixed && self.unit_words < MAX_TRANSLATION_WORDS {
-            return Err(format!(
-                "fixed allocation units of {} words cannot hold the largest translation ({} words)",
-                self.unit_words, MAX_TRANSLATION_WORDS
-            ));
+            return Err(ConfigError::UnitTooSmall {
+                unit_words: self.unit_words,
+                required: MAX_TRANSLATION_WORDS,
+            });
         }
         Ok(())
     }
@@ -109,6 +110,39 @@ impl DtbConfig {
         }
     }
 }
+
+/// An invalid [`DtbConfig`] geometry, reported before any machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `unit_words` was zero: the buffer array would hold nothing.
+    ZeroUnitWords,
+    /// A fixed allocation unit smaller than the largest translation: some
+    /// instructions could never be cached.
+    UnitTooSmall {
+        /// Configured unit size in short words.
+        unit_words: usize,
+        /// Words the largest translation needs.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroUnitWords => write!(f, "unit_words must be positive"),
+            ConfigError::UnitTooSmall {
+                unit_words,
+                required,
+            } => write!(
+                f,
+                "fixed allocation units of {unit_words} words cannot hold \
+                 the largest translation ({required} words)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// DTB statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -132,6 +166,9 @@ pub struct DtbStats {
     /// Conflict misses (only the set mapping caused the miss) — only
     /// counted with classification on.
     pub conflict_misses: u64,
+    /// Resident lines invalidated after a failed integrity check (the
+    /// fault plane's recovery path).
+    pub recoveries: u64,
 }
 
 impl DtbStats {
@@ -213,6 +250,9 @@ pub struct Dtb {
     ovf_free: Vec<usize>,
     /// Overflow chain (block indices, in order) per way.
     chains: Vec<Vec<usize>>,
+    /// Guard checksum per way, computed over (tag, words) at fill time
+    /// and re-verified on dispatch under the fault plane.
+    sums: Vec<u64>,
     clock: u64,
     /// Xorshift state for the random replacement policy.
     rng: u64,
@@ -228,6 +268,45 @@ pub struct Dtb {
 
 /// Filler for unoccupied buffer words.
 const FILL: ShortInstr = ShortInstr::Pop(psder::PopMode::Discard);
+
+/// Stable `(tag, payload)` encoding of one short word, the input to the
+/// guard checksum. Every variant maps to a distinct tag so any corruption
+/// of a stored word changes the fingerprint.
+fn short_repr(w: ShortInstr) -> (u64, u64) {
+    use psder::{InterpMode, PopMode, PushMode};
+    match w {
+        ShortInstr::Push(PushMode::Imm(v)) => (1, v as u64),
+        ShortInstr::Push(PushMode::Local(s)) => (2, s as u64),
+        ShortInstr::Push(PushMode::Global(s)) => (3, s as u64),
+        ShortInstr::Pop(PopMode::Discard) => (4, 0),
+        ShortInstr::Pop(PopMode::Local(s)) => (5, s as u64),
+        ShortInstr::Pop(PopMode::Global(s)) => (6, s as u64),
+        ShortInstr::Call(id) => (7, id.index() as u64),
+        ShortInstr::Interp(InterpMode::Imm(a)) => (8, a as u64),
+        ShortInstr::Interp(InterpMode::Stack) => (9, 0),
+    }
+}
+
+/// One splitmix64 finalizer round, the mixing step of the checksum.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Guard checksum of a line: the resident address plus every stored word,
+/// folded through the splitmix64 finalizer. Keyed on the address so a
+/// poisoned tag fails verification even when the words are intact.
+fn line_checksum(addr: u32, words: impl Iterator<Item = ShortInstr>) -> u64 {
+    let mut h = mix(0x5EED_600D, addr as u64);
+    for w in words {
+        let (tag, payload) = short_repr(w);
+        h = mix(h, tag);
+        h = mix(h, payload);
+    }
+    h
+}
 
 impl Dtb {
     /// Creates an empty DTB.
@@ -252,6 +331,7 @@ impl Dtb {
             ovf_data: vec![FILL; ovf_blocks * config.unit_words],
             ovf_free: (0..ovf_blocks).rev().collect(),
             chains: vec![Vec::new(); ways_total],
+            sums: vec![0; ways_total],
             clock: 0,
             rng: match config.replacement {
                 Replacement::Random { seed } => seed | 1,
@@ -328,6 +408,9 @@ impl Dtb {
                 MissKind::Cold => self.stats.cold_misses += 1,
                 MissKind::Capacity => self.stats.capacity_misses += 1,
                 MissKind::Conflict => self.stats.conflict_misses += 1,
+                // Never produced by the classifier: recoveries are counted
+                // by `invalidate`, at the point of detection.
+                MissKind::Recovery => {}
             }
             self.last_miss = Some(kind);
         }
@@ -408,6 +491,7 @@ impl Dtb {
             debug_assert!(i < extra_blocks);
         }
         self.chains[way] = chain;
+        self.sums[way] = line_checksum(addr, words.iter().copied());
         let in_use = self.ovf_capacity_blocks() - self.ovf_free.len();
         self.stats.overflow_peak = self.stats.overflow_peak.max(in_use);
         Some(Handle(way))
@@ -451,6 +535,79 @@ impl Dtb {
     /// Resets statistics (contents kept).
     pub fn reset_stats(&mut self) {
         self.stats = DtbStats::default();
+    }
+
+    /// Recomputes the guard checksum of the resident line behind `handle`
+    /// and compares it to the value stored at fill time — the
+    /// per-allocation-unit integrity check the dispatch path runs under
+    /// the fault plane. Returns `false` for an empty way (a poisoned tag
+    /// can hand out handles to garbage).
+    pub fn verify(&self, handle: Handle) -> bool {
+        let way = handle.0;
+        let Some(addr) = self.tags[way] else {
+            return false;
+        };
+        let words = (0..self.lengths[way]).map(|i| self.word(handle, i));
+        line_checksum(addr, words) == self.sums[way]
+    }
+
+    /// Invalidates the resident line behind `handle` after a failed
+    /// integrity check, freeing its overflow chain and counting a
+    /// recovery. The static DIR in level 2 remains the ground truth, so
+    /// the caller retranslates and refills.
+    pub fn invalidate(&mut self, handle: Handle) {
+        let way = handle.0;
+        self.tags[way] = None;
+        self.lengths[way] = 0;
+        self.sums[way] = 0;
+        let chain = std::mem::take(&mut self.chains[way]);
+        self.ovf_free.extend(chain);
+        self.stats.recoveries += 1;
+    }
+
+    /// Total ways across all sets — the injection surface of the tag and
+    /// buffer arrays.
+    pub fn ways_total(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Fault-plane hook: overwrites word `index % len` of the line
+    /// resident in `way` with `f(old)`, deliberately leaving the guard
+    /// checksum stale so dispatch detects the damage. Returns the line's
+    /// DIR address, or `None` when the way holds no line.
+    pub fn corrupt_word_in(
+        &mut self,
+        way: usize,
+        index: u64,
+        f: impl FnOnce(ShortInstr) -> ShortInstr,
+    ) -> Option<u32> {
+        let addr = self.tags.get(way).copied().flatten()?;
+        let len = self.lengths[way] as u64;
+        if len == 0 {
+            return None;
+        }
+        let i = (index % len) as usize;
+        let unit = self.config.unit_words;
+        let slot = if i < unit {
+            &mut self.buffer[way * unit + i]
+        } else {
+            let block = self.chains[way][(i - unit) / unit];
+            &mut self.ovf_data[block * unit + (i - unit) % unit]
+        };
+        *slot = f(*slot);
+        Some(addr)
+    }
+
+    /// Fault-plane hook: poisons the tag/address-array entry of `way` by
+    /// flipping one bit of the resident address, without touching the
+    /// stored words or checksum. Returns the *new* tag value, or `None`
+    /// when the way holds no line.
+    pub fn poison_tag(&mut self, way: usize, bit: u32) -> Option<u32> {
+        let slot = self.tags.get_mut(way)?;
+        let old = (*slot)?;
+        let new = old ^ (1 << (bit % 32));
+        *slot = Some(new);
+        Some(new)
     }
 }
 
@@ -579,15 +736,114 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(DtbConfig {
+        assert_eq!(
+            DtbConfig {
+                geometry: Geometry::new(1, 1),
+                unit_words: 2,
+                allocation: Allocation::Fixed,
+                replacement: Replacement::Lru,
+            }
+            .validate(),
+            Err(ConfigError::UnitTooSmall {
+                unit_words: 2,
+                required: MAX_TRANSLATION_WORDS,
+            })
+        );
+        assert_eq!(
+            DtbConfig {
+                unit_words: 0,
+                ..DtbConfig::with_capacity(4)
+            }
+            .validate(),
+            Err(ConfigError::ZeroUnitWords)
+        );
+        assert!(DtbConfig::with_capacity(64).validate().is_ok());
+        // The typed error renders a clear message and is a std error.
+        let e = ConfigError::UnitTooSmall {
+            unit_words: 2,
+            required: 6,
+        };
+        assert!(e.to_string().contains("2 words"));
+        let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn verify_accepts_clean_lines_and_catches_corruption() {
+        let mut dtb = Dtb::new(DtbConfig::with_capacity(16));
+        let h = dtb.fill(42, &words(4)).unwrap();
+        assert!(dtb.verify(h));
+        let addr = dtb.corrupt_word_in(h.0, 2, |_| ShortInstr::Push(PushMode::Imm(-77)));
+        assert_eq!(addr, Some(42));
+        assert!(!dtb.verify(h), "corrupted word must fail the checksum");
+        // Refilling restores integrity.
+        let h2 = dtb.fill(42, &words(4)).unwrap();
+        assert!(dtb.verify(h2));
+    }
+
+    #[test]
+    fn poisoned_tag_fails_verification() {
+        let mut dtb = Dtb::new(DtbConfig::with_capacity(16));
+        let h = dtb.fill(5, &words(3)).unwrap();
+        assert!(dtb.verify(h));
+        dtb.poison_tag(h.0, 3).unwrap();
+        assert!(
+            !dtb.verify(h),
+            "checksum is keyed on the address, so a flipped tag fails"
+        );
+    }
+
+    #[test]
+    fn invalidate_empties_the_way_and_counts_a_recovery() {
+        let cfg = DtbConfig {
             geometry: Geometry::new(1, 1),
             unit_words: 2,
-            allocation: Allocation::Fixed,
+            allocation: Allocation::Overflow { blocks: 2 },
             replacement: Replacement::Lru,
-        }
-        .validate()
-        .is_err());
-        assert!(DtbConfig::with_capacity(64).validate().is_ok());
+        };
+        let mut dtb = Dtb::new(cfg);
+        let h = dtb.fill(9, &words(6)).unwrap(); // uses both overflow blocks
+        dtb.invalidate(h);
+        assert!(dtb.lookup(9).is_none());
+        assert_eq!(dtb.stats().recoveries, 1);
+        assert_eq!(dtb.occupancy(), 0);
+        // The overflow chain was reclaimed: a long line fits again.
+        assert!(dtb.fill(10, &words(6)).is_some());
+    }
+
+    #[test]
+    fn checksums_cover_overflow_words() {
+        let cfg = DtbConfig {
+            geometry: Geometry::new(1, 1),
+            unit_words: 2,
+            allocation: Allocation::Overflow { blocks: 2 },
+            replacement: Replacement::Lru,
+        };
+        let mut dtb = Dtb::new(cfg);
+        let h = dtb.fill(3, &words(6)).unwrap();
+        // Corrupt a word that lives in the overflow area (index >= unit).
+        dtb.corrupt_word_in(h.0, 5, |_| ShortInstr::Push(PushMode::Imm(1234)))
+            .unwrap();
+        assert!(!dtb.verify(h));
+    }
+
+    #[test]
+    fn corrupting_an_empty_way_is_a_no_op() {
+        let mut dtb = Dtb::new(DtbConfig::with_capacity(4));
+        assert_eq!(
+            dtb.corrupt_word_in(0, 0, |w| w),
+            None,
+            "no resident line to damage"
+        );
+        assert_eq!(dtb.poison_tag(0, 1), None);
+    }
+
+    #[test]
+    fn checksum_distinguishes_words_with_equal_payloads() {
+        // Push(Local(3)) and Pop(Local(3)) share the payload but not the
+        // variant tag; the fingerprint must differ.
+        let a = line_checksum(0, [ShortInstr::Push(PushMode::Local(3))].into_iter());
+        let b = line_checksum(0, [ShortInstr::Pop(psder::PopMode::Local(3))].into_iter());
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * [`model`] — the Section-7 analytic model, the paper's published
 //!   Tables 2/3, and parameter extraction from measured runs;
 //! * [`config`], [`metrics`] — cost knobs and the measured Section-7
-//!   parameters (`d`, `g`, `x`, `s1`, `s2`, `h_D`, `h_c`).
+//!   parameters (`d`, `g`, `x`, `s1`, `s2`, `h_D`, `h_c`);
+//! * [`fault`] — the fault plane: seeded corruption injection, DTB guard
+//!   checksums, and the recovery/degradation machinery that exploits the
+//!   DTB's redundancy (the static DIR stays the ground truth).
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 
 pub mod config;
 pub mod dtb;
+pub mod fault;
 pub mod machine;
 pub mod metrics;
 pub mod model;
@@ -44,8 +48,9 @@ pub mod report;
 pub mod sweep;
 pub mod window;
 
-pub use config::{CostModel, Limits};
-pub use dtb::{Allocation, Dtb, DtbConfig, DtbStats, Replacement};
+pub use config::{CostModel, Limits, RetryPolicy};
+pub use dtb::{Allocation, ConfigError, Dtb, DtbConfig, DtbStats, Replacement};
+pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use machine::{Machine, Mode};
 pub use metrics::{CycleBreakdown, Metrics, Report};
 pub use model::Params;

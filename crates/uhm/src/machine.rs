@@ -18,10 +18,12 @@ use dir::program::Program;
 use memsim::{Access, Geometry, SetAssocCache};
 use psder::engine::{Engine, MicroEffect, ShortEffect};
 use psder::{RoutineLib, ShortInstr};
-use telemetry::{Event, NullSink, TraceSink};
+use std::collections::{HashMap, HashSet};
+use telemetry::{Event, FaultKind, MissKind, NullSink, TraceSink};
 
-use crate::config::{CostModel, Limits};
-use crate::dtb::{Dtb, DtbConfig};
+use crate::config::{CostModel, Limits, RetryPolicy};
+use crate::dtb::{Dtb, DtbConfig, Handle};
+use crate::fault::{FaultConfig, FaultInjector};
 use crate::metrics::{CycleBreakdown, Metrics, Report};
 use crate::window::WindowSample;
 
@@ -61,6 +63,8 @@ pub struct Machine {
     limits: Limits,
     trace: bool,
     window: Option<u64>,
+    faults: Option<FaultConfig>,
+    retry: RetryPolicy,
 }
 
 impl Machine {
@@ -85,6 +89,8 @@ impl Machine {
             limits,
             trace: false,
             window: None,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -101,6 +107,22 @@ impl Machine {
     /// `Some(0)` is treated as disabled.
     pub fn set_window(&mut self, every: Option<u64>) -> &mut Self {
         self.window = every.filter(|&n| n > 0);
+        self
+    }
+
+    /// Attaches (or detaches) a fault plane: subsequent runs consult a
+    /// seeded [`FaultInjector`] built from `config` and run the dispatch
+    /// path with per-line integrity verification. `None` (the default)
+    /// keeps the fault plane entirely out of the pipeline.
+    pub fn set_faults(&mut self, config: Option<FaultConfig>) -> &mut Self {
+        self.faults = config;
+        self
+    }
+
+    /// Sets the fault-recovery policy (degradation threshold and fetch
+    /// retry budget). Only consulted when a fault plane is attached.
+    pub fn set_retry(&mut self, retry: RetryPolicy) -> &mut Self {
+        self.retry = retry;
         self
     }
 
@@ -162,9 +184,17 @@ impl Machine {
             },
             sink,
             window: self.window.map(WindowState::new),
+            faults: self.faults.map(FaultInjector::new),
+            // A mutable level-2 copy of the encoded stream, so injected
+            // DIR corruption persists without touching the pristine
+            // image shared across runs.
+            dir_bytes: self.faults.as_ref().map(|_| self.image.bytes.clone()),
+            degraded: HashSet::new(),
+            fail_counts: HashMap::new(),
         };
         run.execute(mode)?;
         let mut metrics = run.metrics;
+        metrics.faults = run.faults.as_ref().map(FaultInjector::stats);
         metrics.dtb = run.dtb.as_ref().map(|d| d.stats());
         metrics.dtb2 = run.dtb2.as_ref().map(|d| d.stats());
         metrics.icache = run.icache.as_ref().map(|c| c.stats());
@@ -233,6 +263,15 @@ struct Run<'m, S: TraceSink> {
     icache: Option<SetAssocCache<()>>,
     sink: &'m mut S,
     window: Option<WindowState>,
+    faults: Option<FaultInjector>,
+    /// Mutable level-2 copy of the encoded DIR stream (fault plane only).
+    dir_bytes: Option<Vec<u8>>,
+    /// DIR addresses degraded to pure interpretation after repeated
+    /// integrity failures.
+    degraded: HashSet<u32>,
+    /// Consecutive integrity failures per DIR address, reset on a clean
+    /// dispatch.
+    fail_counts: HashMap<u32, u32>,
 }
 
 /// Where one DIR instruction's execution leads.
@@ -241,19 +280,179 @@ enum Next {
     Halt,
 }
 
+/// Outcome of the dispatch-time integrity check on a DTB hit.
+enum LineState {
+    /// Checksum verified (or no fault plane attached): dispatch.
+    Clean(Handle),
+    /// Checksum failed: line invalidated, caller retranslates.
+    Recovered,
+    /// Failure count crossed the policy threshold: the instruction was
+    /// run interpretively and the address is degraded from here on.
+    Degraded(Next),
+}
+
+/// The single checked accessor replacing the old `expect("dtb mode")`
+/// unwraps: a [`Mode`]/buffer mismatch reports
+/// [`Trap::MisconfiguredMode`] instead of panicking.
+fn require<T>(buffer: Option<T>, what: &'static str) -> Result<T, Trap> {
+    buffer.ok_or(Trap::MisconfiguredMode(what))
+}
+
+/// What [`require`] reports for a missing first-level DTB.
+const NO_DTB: &str = "DTB mode without a first-level buffer";
+/// What [`require`] reports for a missing second-level store.
+const NO_DTB2: &str = "two-level mode without a second-level store";
+
 impl<'m, S: TraceSink> Run<'m, S> {
     fn costs(&self) -> &CostModel {
         &self.machine.costs
     }
 
+    /// Pure interpretation of one DIR instruction: fetch, decode and run
+    /// the translation inline, bypassing every translation buffer. The
+    /// interpreter mode's step, and the fallback degraded addresses take.
+    fn interp_one(&mut self, pc: u32) -> Result<Next, Trap> {
+        let inst = self.fetch_decode(pc)?;
+        let sequence = psder::translate(inst, pc + 1);
+        self.run_inline(&sequence)
+    }
+
+    /// Rolls the per-instruction DTB corruption dice: overwrite one word
+    /// of a random resident line and/or poison a random tag, leaving
+    /// guard checksums stale so the dispatch path detects the damage.
+    fn inject_dtb_faults(&mut self) {
+        let Some(inj) = self.faults.as_mut() else {
+            return;
+        };
+        let step = self.metrics.instructions;
+        let word_roll = inj.roll(FaultKind::DtbWord, step);
+        let tag_roll = inj.roll(FaultKind::DtbTag, step);
+        if !word_roll && !tag_roll {
+            return;
+        }
+        let Some(dtb) = self.dtb.as_mut() else {
+            return;
+        };
+        if word_roll {
+            let way = inj.pick(dtb.ways_total() as u64) as usize;
+            let index = inj.pick(u64::from(u32::MAX));
+            if let Some(addr) = dtb.corrupt_word_in(way, index, |w| inj.corrupt_word(w)) {
+                inj.note(FaultKind::DtbWord);
+                if S::ENABLED {
+                    self.sink.emit(Event::FaultInjected {
+                        kind: FaultKind::DtbWord,
+                        addr,
+                    });
+                }
+            }
+        }
+        if tag_roll {
+            let way = inj.pick(dtb.ways_total() as u64) as usize;
+            let bit = inj.pick(32) as u32;
+            if let Some(addr) = dtb.poison_tag(way, bit) {
+                inj.note(FaultKind::DtbTag);
+                if S::ENABLED {
+                    self.sink.emit(Event::FaultInjected {
+                        kind: FaultKind::DtbTag,
+                        addr,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Dispatch-time integrity check of a first-level DTB hit. With no
+    /// fault plane attached the check is skipped entirely, keeping the
+    /// zero-fault pipeline identical to the pre-fault machine. On a
+    /// checksum failure the line is invalidated and counted as a
+    /// `recovery`-class miss; when the consecutive-failure count at this
+    /// address crosses the retry policy's threshold, the address
+    /// degrades to pure interpretation for the rest of the run.
+    fn verify_hit(&mut self, pc: u32, handle: Handle) -> Result<LineState, Trap> {
+        if self.faults.is_none() {
+            return Ok(LineState::Clean(handle));
+        }
+        if require(self.dtb.as_ref(), NO_DTB)?.verify(handle) {
+            self.fail_counts.remove(&pc);
+            return Ok(LineState::Clean(handle));
+        }
+        require(self.dtb.as_mut(), NO_DTB)?.invalidate(handle);
+        self.metrics.recoveries += 1;
+        if S::ENABLED {
+            self.sink.emit(Event::DtbMiss {
+                addr: pc,
+                kind: MissKind::Recovery,
+            });
+        }
+        let failures = self.fail_counts.entry(pc).or_insert(0);
+        *failures += 1;
+        if *failures >= self.machine.retry.degrade_after.max(1) {
+            self.fail_counts.remove(&pc);
+            self.degraded.insert(pc);
+            self.metrics.degraded_instructions += 1;
+            if S::ENABLED {
+                self.sink.emit(Event::Degraded { addr: pc });
+            }
+            return Ok(LineState::Degraded(self.interp_one(pc)?));
+        }
+        Ok(LineState::Recovered)
+    }
+
     /// Fetches and decodes the DIR instruction at `pc` from level 2 (or
     /// through the i-cache when present), charging fetch and decode cycles.
+    ///
+    /// Under the fault plane, a fetch may be dropped (retried against the
+    /// policy budget, charging full fetch traffic each time) or have one
+    /// bit of its encoded span flipped in the machine's level-2 copy; a
+    /// stream that no longer decodes is terminal ([`Trap::CorruptDir`]),
+    /// because the static DIR is the ground truth nothing can restore.
     fn fetch_decode(&mut self, pc: u32) -> Result<dir::Inst, Trap> {
-        let image = &self.machine.image;
         let word_bits = self.costs().word_bits;
-        let words = image.fetch_words(pc, word_bits);
-        self.metrics.l2_words += words as u64;
         let (tau_d, t2) = (self.costs().mem.tau_d, self.costs().mem.t2);
+        let max_retries = self.machine.retry.max_fetch_retries;
+        let words = self.machine.image.fetch_words(pc, word_bits);
+        let step = self.metrics.instructions;
+        if let Some(inj) = self.faults.as_mut() {
+            let mut dropped = 0u32;
+            while inj.roll(FaultKind::FetchDrop, step) {
+                inj.note(FaultKind::FetchDrop);
+                dropped += 1;
+                self.metrics.fetch_retries += 1;
+                self.metrics.cycles.fetch_l2 += words as u64 * t2;
+                if S::ENABLED {
+                    self.sink.emit(Event::FaultInjected {
+                        kind: FaultKind::FetchDrop,
+                        addr: pc,
+                    });
+                }
+                if dropped > max_retries {
+                    return Err(Trap::FetchFailed { addr: pc });
+                }
+            }
+            if inj.roll(FaultKind::DirBit, step) {
+                let image = &self.machine.image;
+                let start = image.offsets[pc as usize];
+                let end = image
+                    .offsets
+                    .get(pc as usize + 1)
+                    .copied()
+                    .unwrap_or(image.bit_len)
+                    .max(start + 1);
+                let bit = start + inj.pick(end - start);
+                if let Some(bytes) = self.dir_bytes.as_mut() {
+                    bytes[(bit / 8) as usize] ^= 0x80 >> (bit % 8);
+                    inj.note(FaultKind::DirBit);
+                    if S::ENABLED {
+                        self.sink.emit(Event::FaultInjected {
+                            kind: FaultKind::DirBit,
+                            addr: pc,
+                        });
+                    }
+                }
+            }
+        }
+        let image = &self.machine.image;
+        self.metrics.l2_words += words as u64;
         match &mut self.icache {
             Some(cache) => {
                 // Cache individual level-2 words of the instruction stream.
@@ -270,15 +469,17 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 }
             }
             None => {
-                self.metrics.cycles.fetch_l2 += words as u64 * self.costs().mem.t2;
+                self.metrics.cycles.fetch_l2 += words as u64 * t2;
             }
         }
         if S::ENABLED {
             self.sink.emit(Event::L2Fetch { addr: pc, words });
         }
-        let decoded = image
-            .decode(pc)
-            .map_err(|_| Trap::Malformed("undecodable instruction"))?;
+        let decoded = match self.dir_bytes.as_deref() {
+            Some(bytes) => image.decode_from(bytes, pc),
+            None => image.decode(pc),
+        }
+        .map_err(|_| Trap::CorruptDir { addr: pc })?;
         self.metrics.decoded += 1;
         self.metrics.cycles.decode +=
             self.costs().scaled_decode(decoded.cost as u64) * self.costs().mem.t1;
@@ -355,11 +556,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
             }
 
             let next = match mode {
-                Mode::Interpreter | Mode::ICache { .. } => {
-                    let inst = self.fetch_decode(pc)?;
-                    let sequence = psder::translate(inst, pc + 1);
-                    self.run_inline(&sequence)?
-                }
+                Mode::Interpreter | Mode::ICache { .. } => self.interp_one(pc)?,
                 Mode::Dtb(_) => self.step_dtb(pc)?,
                 Mode::TwoLevelDtb { .. } => self.step_two_level(pc)?,
             };
@@ -375,12 +572,32 @@ impl<'m, S: TraceSink> Run<'m, S> {
         }
     }
 
-    /// One DIR instruction under the DTB: the INTERP flow of Figure 4.
+    /// One DIR instruction under the DTB: the INTERP flow of Figure 4,
+    /// with the fault plane's verify/recover/degrade wrapped around the
+    /// hit path.
     fn step_dtb(&mut self, pc: u32) -> Result<Next, Trap> {
+        // Degraded region: pure interpretation, never touching the DTB.
+        if self.degraded.contains(&pc) {
+            self.metrics.degraded_instructions += 1;
+            return self.interp_one(pc);
+        }
+        self.inject_dtb_faults();
         // INTERP presents the DIR address to the associative address array.
         self.metrics.cycles.lookup += self.costs().mem.tau_d;
-        let dtb = self.dtb.as_mut().expect("dtb mode");
-        let handle = match dtb.lookup(pc) {
+        let looked = require(self.dtb.as_mut(), NO_DTB)?.lookup(pc);
+        let mut recovered = false;
+        let hit = match looked {
+            Some(h) => match self.verify_hit(pc, h)? {
+                LineState::Clean(h) => Some(h),
+                LineState::Recovered => {
+                    recovered = true;
+                    None
+                }
+                LineState::Degraded(next) => return Ok(next),
+            },
+            None => None,
+        };
+        let handle = match hit {
             Some(h) => {
                 if S::ENABLED {
                     self.sink.emit(Event::DtbHit { addr: pc });
@@ -388,8 +605,11 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 h
             }
             None => {
-                if S::ENABLED {
-                    let kind = dtb.last_miss_kind().unwrap_or(telemetry::MissKind::Cold);
+                // A recovery already emitted its own miss event.
+                if S::ENABLED && !recovered {
+                    let kind = require(self.dtb.as_ref(), NO_DTB)?
+                        .last_miss_kind()
+                        .unwrap_or(MissKind::Cold);
                     self.sink.emit(Event::DtbMiss { addr: pc, kind });
                 }
                 // Miss: trap to the dynamic translation routine (via
@@ -410,7 +630,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
                         generate_cycles: (gen + store) * self.costs().mem.t1,
                     });
                 }
-                let dtb = self.dtb.as_mut().expect("dtb mode");
+                let dtb = require(self.dtb.as_mut(), NO_DTB)?;
                 match dtb.fill(pc, &sequence) {
                     Some(h) => {
                         if S::ENABLED {
@@ -429,9 +649,9 @@ impl<'m, S: TraceSink> Run<'m, S> {
         };
         // Execute the PSDER translation out of the buffer array, one short
         // word per τ_D.
-        let len = self.dtb.as_ref().expect("dtb mode").len(handle);
+        let len = require(self.dtb.as_ref(), NO_DTB)?.len(handle);
         for i in 0..len {
-            let word = self.dtb.as_ref().expect("dtb mode").word(handle, i);
+            let word = require(self.dtb.as_ref(), NO_DTB)?.word(handle, i);
             self.metrics.short_words += 1;
             self.metrics.cycles.fetch_dtb += self.costs().mem.tau_d;
             if let Some(next) = self.exec_short(word)? {
@@ -447,9 +667,29 @@ impl<'m, S: TraceSink> Run<'m, S> {
     /// re-translating); L1 and L2 miss runs the full dynamic translation
     /// routine and fills both levels.
     fn step_two_level(&mut self, pc: u32) -> Result<Next, Trap> {
+        // Degraded region: pure interpretation, never touching either level.
+        if self.degraded.contains(&pc) {
+            self.metrics.degraded_instructions += 1;
+            return self.interp_one(pc);
+        }
+        self.inject_dtb_faults();
         let (tau_d, tau2) = (self.costs().mem.tau_d, self.costs().tau_dtb2);
         self.metrics.cycles.lookup += tau_d;
-        let l1_handle = self.dtb.as_mut().expect("two-level mode").lookup(pc);
+        let looked = require(self.dtb.as_mut(), NO_DTB)?.lookup(pc);
+        let mut recovered = false;
+        let l1_handle = match looked {
+            Some(h) => match self.verify_hit(pc, h)? {
+                LineState::Clean(h) => Some(h),
+                LineState::Recovered => {
+                    // Fall to the miss path: a second-level hit repairs the
+                    // line by promotion, cheaper than retranslating.
+                    recovered = true;
+                    None
+                }
+                LineState::Degraded(next) => return Ok(next),
+            },
+            None => None,
+        };
         let handle = match l1_handle {
             Some(h) => {
                 if S::ENABLED {
@@ -458,23 +698,21 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 h
             }
             None => {
-                if S::ENABLED {
-                    let kind = self
-                        .dtb
-                        .as_ref()
-                        .expect("two-level mode")
+                // A recovery already emitted its own miss event.
+                if S::ENABLED && !recovered {
+                    let kind = require(self.dtb.as_ref(), NO_DTB)?
                         .last_miss_kind()
-                        .unwrap_or(telemetry::MissKind::Cold);
+                        .unwrap_or(MissKind::Cold);
                     self.sink.emit(Event::DtbMiss { addr: pc, kind });
                 }
                 // Probe the second-level store.
                 self.metrics.cycles.lookup2 += tau2;
-                let l2_hit = self.dtb2.as_mut().expect("two-level mode").lookup(pc);
+                let l2_hit = require(self.dtb2.as_mut(), NO_DTB2)?.lookup(pc);
                 let sequence: Vec<ShortInstr> = match l2_hit {
                     Some(h2) => {
                         // Promote: read each word from L2 (tau_dtb2) and
                         // store it into L1 (store_per_word each).
-                        let dtb2 = self.dtb2.as_ref().expect("two-level mode");
+                        let dtb2 = require(self.dtb2.as_ref(), NO_DTB2)?;
                         let len = dtb2.len(h2);
                         let words: Vec<ShortInstr> = (0..len).map(|i| dtb2.word(h2, i)).collect();
                         self.metrics.cycles.promote +=
@@ -503,14 +741,11 @@ impl<'m, S: TraceSink> Run<'m, S> {
                                 generate_cycles: (gen + store) * self.costs().mem.t1,
                             });
                         }
-                        self.dtb2
-                            .as_mut()
-                            .expect("two-level mode")
-                            .fill(pc, &sequence);
+                        require(self.dtb2.as_mut(), NO_DTB2)?.fill(pc, &sequence);
                         sequence
                     }
                 };
-                let dtb = self.dtb.as_mut().expect("two-level mode");
+                let dtb = require(self.dtb.as_mut(), NO_DTB)?;
                 match dtb.fill(pc, &sequence) {
                     Some(h) => {
                         if S::ENABLED {
@@ -524,9 +759,9 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 }
             }
         };
-        let len = self.dtb.as_ref().expect("two-level mode").len(handle);
+        let len = require(self.dtb.as_ref(), NO_DTB)?.len(handle);
         for i in 0..len {
-            let word = self.dtb.as_ref().expect("two-level mode").word(handle, i);
+            let word = require(self.dtb.as_ref(), NO_DTB)?.word(handle, i);
             self.metrics.short_words += 1;
             self.metrics.cycles.fetch_dtb += tau_d;
             if let Some(next) = self.exec_short(word)? {
@@ -766,6 +1001,65 @@ mod tests {
         assert!(
             t_two < t_small,
             "two-level ({t_two:.2}) must beat the lone small DTB ({t_small:.2})"
+        );
+    }
+
+    #[test]
+    fn require_reports_misconfigured_mode() {
+        let err = require(None::<Handle>, NO_DTB).unwrap_err();
+        assert_eq!(err, Trap::MisconfiguredMode(NO_DTB));
+        assert!(format!("{err}").contains("misconfigured machine mode"));
+    }
+
+    #[test]
+    fn inert_fault_plane_changes_nothing() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let mode = Mode::Dtb(DtbConfig::with_capacity(64));
+        let clean = Machine::new(&p, SchemeKind::Huffman).run(&mode).unwrap();
+        let mut m = Machine::new(&p, SchemeKind::Huffman);
+        m.set_faults(Some(FaultConfig::inert(9)));
+        let faulty = m.run(&mode).unwrap();
+        assert_eq!(faulty.output, clean.output);
+        let mut metrics = faulty.metrics;
+        assert_eq!(
+            metrics.faults.take(),
+            Some(crate::fault::FaultStats::default())
+        );
+        assert_eq!(metrics, clean.metrics, "inert injector must be invisible");
+    }
+
+    #[test]
+    fn dtb_corruption_is_recovered_transparently() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let want = dir::exec::run(&p).unwrap();
+        let mut m = Machine::new(&p, SchemeKind::Huffman);
+        m.set_faults(Some(FaultConfig::only(0xFA, FaultKind::DtbWord, 0.01)));
+        let r = m.run(&Mode::Dtb(DtbConfig::with_capacity(64))).unwrap();
+        assert_eq!(r.output, want, "recovery must preserve semantics");
+        assert!(r.metrics.recoveries > 0, "corruption was never detected");
+        assert_eq!(
+            r.metrics.recoveries,
+            r.metrics.dtb.unwrap().recoveries,
+            "machine and DTB recovery counters must agree"
+        );
+        assert!(r.metrics.faults.unwrap().dtb_words_corrupted > 0);
+    }
+
+    #[test]
+    fn repeated_failures_degrade_to_interpretation() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let want = dir::exec::run(&p).unwrap();
+        let mut m = Machine::new(&p, SchemeKind::Packed);
+        m.set_faults(Some(FaultConfig::only(3, FaultKind::DtbWord, 1.0)));
+        m.set_retry(RetryPolicy {
+            degrade_after: 1,
+            max_fetch_retries: 8,
+        });
+        let r = m.run(&Mode::Dtb(DtbConfig::with_capacity(64))).unwrap();
+        assert_eq!(r.output, want, "degraded mode must preserve semantics");
+        assert!(
+            r.metrics.degraded_instructions > 0,
+            "constant corruption must force degradation"
         );
     }
 

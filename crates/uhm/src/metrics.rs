@@ -2,6 +2,7 @@
 //! parameters.
 
 use crate::dtb::DtbStats;
+use crate::fault::FaultStats;
 use memsim::CacheStats;
 
 /// Cycles spent per activity, in level-1 cycles.
@@ -89,6 +90,16 @@ pub struct Metrics {
     pub dtb2: Option<DtbStats>,
     /// Instruction-cache statistics (T3 only).
     pub icache: Option<CacheStats>,
+    /// Integrity-check failures recovered by invalidate-and-retranslate
+    /// (fault plane only).
+    pub recoveries: u64,
+    /// Dynamic instructions executed in degraded pure-interpretation
+    /// mode after repeated failures at their DIR address.
+    pub degraded_instructions: u64,
+    /// Level-2 fetches retried after a dropped fetch.
+    pub fetch_retries: u64,
+    /// Fault-injection totals, when a fault plane was attached.
+    pub faults: Option<FaultStats>,
     /// Dynamic DIR address trace, when requested.
     pub trace: Option<Vec<u32>>,
     /// Per-window time-series samples, when requested (see

@@ -12,6 +12,7 @@
 use telemetry::{Json, RunReport};
 
 use crate::dtb::DtbStats;
+use crate::fault::FaultStats;
 use crate::metrics::{CycleBreakdown, Metrics};
 use crate::window::WindowSample;
 use memsim::CacheStats;
@@ -49,6 +50,18 @@ pub fn dtb_stats_json(s: &DtbStats) -> Json {
         ("cold_misses", s.cold_misses.into()),
         ("capacity_misses", s.capacity_misses.into()),
         ("conflict_misses", s.conflict_misses.into()),
+        ("recoveries", s.recoveries.into()),
+    ])
+}
+
+/// Serializes fault-injection totals (fault plane only).
+pub fn fault_stats_json(s: &FaultStats) -> Json {
+    Json::obj(vec![
+        ("dir_bits_flipped", s.dir_bits_flipped.into()),
+        ("dtb_words_corrupted", s.dtb_words_corrupted.into()),
+        ("dtb_tags_poisoned", s.dtb_tags_poisoned.into()),
+        ("fetches_dropped", s.fetches_dropped.into()),
+        ("total", s.total().into()),
     ])
 }
 
@@ -75,6 +88,9 @@ pub fn metrics_json(m: &Metrics) -> Json {
         ("iu1_cycles", m.iu1_cycles().into()),
         ("iu2_cycles", m.iu2_cycles().into()),
         ("memory_cycles", m.memory_cycles().into()),
+        ("recoveries", m.recoveries.into()),
+        ("degraded_instructions", m.degraded_instructions.into()),
+        ("fetch_retries", m.fetch_retries.into()),
     ];
     if let Some(s) = &m.dtb {
         fields.push(("dtb", dtb_stats_json(s)));
@@ -84,6 +100,9 @@ pub fn metrics_json(m: &Metrics) -> Json {
     }
     if let Some(s) = &m.icache {
         fields.push(("icache", cache_stats_json(s)));
+    }
+    if let Some(s) = &m.faults {
+        fields.push(("faults", fault_stats_json(s)));
     }
     Json::obj(fields)
 }
@@ -201,6 +220,26 @@ mod tests {
             .map(|k| json.get(k).and_then(Json::as_i64).unwrap())
             .sum::<i64>();
         assert_eq!(parts, total);
+    }
+
+    #[test]
+    fn fault_plane_counters_serialize_when_present() {
+        let mut m = sample_metrics();
+        m.recoveries = 4;
+        m.degraded_instructions = 2;
+        m.faults = Some(FaultStats {
+            dtb_words_corrupted: 5,
+            dtb_tags_poisoned: 1,
+            ..FaultStats::default()
+        });
+        let json = metrics_json(&m);
+        assert_eq!(json.get("recoveries").unwrap().as_i64(), Some(4));
+        assert_eq!(json.get("degraded_instructions").unwrap().as_i64(), Some(2));
+        let f = json.get("faults").unwrap();
+        assert_eq!(f.get("dtb_words_corrupted").unwrap().as_i64(), Some(5));
+        assert_eq!(f.get("total").unwrap().as_i64(), Some(6));
+        // Absent fault plane: no "faults" object at all.
+        assert!(metrics_json(&sample_metrics()).get("faults").is_none());
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! raul disasm  <file> [--fold] [--fuse]  DIR assembler listing
 //! raul encode  <file> [--fuse]           static-size report per scheme
 //! raul profile <file>                    execution hot spots and coverage
+//! raul faults  <file> [options]          run under seeded fault injection
 //!
 //! run options:
 //!   --mode interp|dtb|icache|two-level   (default: dtb)
 //!   --scheme byte|packed|contextual|huffman|pair|valuehuff (default: huffman)
 //!   --dtb-entries N                      (default: 64)
+//!   --dtb-unit-words N                   buffer words per allocation unit
 //!   --fold                               constant-fold before compiling
 //!   --fuse                               raise the semantic level
 //!   --stats                              print cycle metrics and IU partition
@@ -18,17 +20,50 @@
 //!   --window N                           sample metrics every N instructions
 //!   --events FILE                        stream trace events as JSONL to FILE
 //!
-//! `profile` also accepts --json.
+//! faults options (plus the run options above):
+//!   --seed N                             injector seed (default: 0xFA01)
+//!   --rate P                             DTB word+tag rate (default: 1e-3)
+//!   --dir-rate P | --dtb-rate P | --tag-rate P | --drop-rate P
+//!   --degrade-after N                    failures before pure interpretation
+//!
+//! `profile` also accepts --json. Invalid machine configurations exit
+//! with status 2; runtime traps and compile errors with status 1.
 //! ```
 
 use std::process::ExitCode;
 
 use dir::encode::SchemeKind;
 use telemetry::{Json, JsonlSink, RingSink, TeeSink};
-use uhm::{DtbConfig, Machine, Mode};
+use uhm::{DtbConfig, FaultConfig, Machine, Mode, RetryPolicy};
+
+/// A CLI failure, split by exit status: configuration errors (bad
+/// machine geometry) exit 2, runtime failures (compile errors, traps,
+/// I/O) exit 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CliError {
+    /// Invalid machine configuration (exit status 2).
+    Config(String),
+    /// Compile error, runtime trap or I/O failure (exit status 1).
+    Run(String),
+}
+
+impl CliError {
+    #[cfg(test)]
+    fn message(&self) -> &str {
+        match self {
+            CliError::Config(m) | CliError::Run(m) => m,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Run(m)
+    }
+}
 
 /// Parsed command-line request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 struct Cli {
     command: Command,
     path: String,
@@ -41,6 +76,14 @@ struct Cli {
     json: bool,
     window: Option<u64>,
     events: Option<String>,
+    dtb_unit_words: Option<usize>,
+    seed: u64,
+    rate: Option<f64>,
+    dir_rate: Option<f64>,
+    dtb_rate: Option<f64>,
+    tag_rate: Option<f64>,
+    drop_rate: Option<f64>,
+    degrade_after: Option<u32>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +93,7 @@ enum Command {
     Disasm,
     Encode,
     Profile,
+    Faults,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,8 +112,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("disasm") => Command::Disasm,
         Some("encode") => Command::Encode,
         Some("profile") => Command::Profile,
+        Some("faults") => Command::Faults,
         Some(other) => return Err(format!("unknown command `{other}`")),
-        None => return Err("missing command (check|run|disasm|encode|profile)".into()),
+        None => return Err("missing command (check|run|disasm|encode|profile|faults)".into()),
     };
     let path = it
         .next()
@@ -87,7 +132,25 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json: false,
         window: None,
         events: None,
+        dtb_unit_words: None,
+        seed: 0xFA01,
+        rate: None,
+        dir_rate: None,
+        dtb_rate: None,
+        tag_rate: None,
+        drop_rate: None,
+        degrade_after: None,
     };
+    fn rate_value(it: &mut std::slice::Iter<String>, flag: &str) -> Result<f64, String> {
+        let p: f64 = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad {flag} value"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("{flag} must be a probability in [0, 1]"));
+        }
+        Ok(p)
+    }
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--mode" => {
@@ -129,6 +192,32 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--events" => {
                 cli.events = Some(it.next().ok_or("missing --events value")?.clone());
             }
+            "--dtb-unit-words" => {
+                cli.dtb_unit_words = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("bad --dtb-unit-words value")?,
+                );
+            }
+            "--seed" => {
+                let v = it.next().ok_or("missing --seed value")?;
+                cli.seed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+                    .ok_or("bad --seed value")?;
+            }
+            "--rate" => cli.rate = Some(rate_value(&mut it, "--rate")?),
+            "--dir-rate" => cli.dir_rate = Some(rate_value(&mut it, "--dir-rate")?),
+            "--dtb-rate" => cli.dtb_rate = Some(rate_value(&mut it, "--dtb-rate")?),
+            "--tag-rate" => cli.tag_rate = Some(rate_value(&mut it, "--tag-rate")?),
+            "--drop-rate" => cli.drop_rate = Some(rate_value(&mut it, "--drop-rate")?),
+            "--degrade-after" => {
+                cli.degrade_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("bad --degrade-after value")?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -161,17 +250,43 @@ fn build_program(cli: &Cli, source: &str) -> Result<dir::Program, String> {
     Ok(program)
 }
 
-fn machine_mode(cli: &Cli) -> Mode {
-    match cli.mode {
+/// Builds and validates a DTB configuration for `entries` units, applying
+/// any `--dtb-unit-words` override. Invalid geometry is a typed
+/// [`uhm::ConfigError`], reported as a configuration error (exit 2).
+fn dtb_config(cli: &Cli, entries: usize) -> Result<DtbConfig, CliError> {
+    let mut cfg = DtbConfig::with_capacity(entries);
+    if let Some(words) = cli.dtb_unit_words {
+        cfg.unit_words = words;
+    }
+    cfg.validate()
+        .map_err(|e| CliError::Config(e.to_string()))?;
+    Ok(cfg)
+}
+
+fn machine_mode(cli: &Cli) -> Result<Mode, CliError> {
+    Ok(match cli.mode {
         ModeArg::Interp => Mode::Interpreter,
-        ModeArg::Dtb => Mode::Dtb(DtbConfig::with_capacity(cli.dtb_entries)),
+        ModeArg::Dtb => Mode::Dtb(dtb_config(cli, cli.dtb_entries)?),
         ModeArg::ICache => Mode::ICache {
             geometry: memsim::Geometry::new((cli.dtb_entries / 4).max(1), 4),
         },
         ModeArg::TwoLevel => Mode::TwoLevelDtb {
-            l1: DtbConfig::with_capacity(cli.dtb_entries),
-            l2: DtbConfig::with_capacity(cli.dtb_entries * 8),
+            l1: dtb_config(cli, cli.dtb_entries)?,
+            l2: dtb_config(cli, cli.dtb_entries * 8)?,
         },
+    })
+}
+
+/// Builds the fault-injection configuration from the CLI flags: `--rate`
+/// sets both DTB classes; the per-class flags override it.
+fn fault_config(cli: &Cli) -> FaultConfig {
+    let dtb_default = cli.rate.unwrap_or(1e-3);
+    FaultConfig {
+        dir_bit_rate: cli.dir_rate.unwrap_or(0.0),
+        dtb_word_rate: cli.dtb_rate.unwrap_or(dtb_default),
+        dtb_tag_rate: cli.tag_rate.unwrap_or(dtb_default),
+        drop_fetch_rate: cli.drop_rate.unwrap_or(0.0),
+        ..FaultConfig::inert(cli.seed)
     }
 }
 
@@ -241,7 +356,7 @@ fn print_stats(m: &uhm::Metrics) {
     }
 }
 
-fn execute(cli: &Cli, source: &str) -> Result<(), String> {
+fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
     match cli.command {
         Command::Check => {
             let hir = hlr::compile(source).map_err(|e| e.render(source))?;
@@ -257,7 +372,7 @@ fn execute(cli: &Cli, source: &str) -> Result<(), String> {
             let mut machine = Machine::new(&program, cli.scheme);
             machine.set_trace(false);
             machine.set_window(cli.window);
-            let mode = machine_mode(cli);
+            let mode = machine_mode(cli)?;
             // Any observability flag switches to an enabled sink so the
             // miss taxonomy and event counts are collected.
             let traced = cli.json || cli.stats || cli.events.is_some();
@@ -394,6 +509,115 @@ fn execute(cli: &Cli, source: &str) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Faults => {
+            let program = build_program(cli, source)?;
+            // Corrupted control flow can loop: bound the faulty run.
+            let limits = uhm::Limits {
+                max_steps: 5_000_000,
+                ..uhm::Limits::default()
+            };
+            let mut machine =
+                Machine::with(&program, cli.scheme, uhm::CostModel::default(), limits);
+            let mode = machine_mode(cli)?;
+            let clean = machine
+                .run(&mode)
+                .map_err(|t| format!("clean run trapped: {t}"))?;
+            let config = fault_config(cli);
+            machine.set_faults(Some(config));
+            if let Some(n) = cli.degrade_after {
+                machine.set_retry(RetryPolicy {
+                    degrade_after: n,
+                    ..RetryPolicy::default()
+                });
+            }
+            let mut ring = RingSink::new(4096);
+            let result = machine.run_with(&mode, &mut ring);
+            let counts = ring.counts();
+            let fault_fields = Json::obj(vec![
+                ("seed", cli.seed.into()),
+                ("dir_bit_rate", config.dir_bit_rate.into()),
+                ("dtb_word_rate", config.dtb_word_rate.into()),
+                ("dtb_tag_rate", config.dtb_tag_rate.into()),
+                ("drop_fetch_rate", config.drop_fetch_rate.into()),
+            ]);
+            match result {
+                Ok(report) => {
+                    let m = &report.metrics;
+                    let faults = m.faults.unwrap_or_default();
+                    let matches = report.output == clean.output;
+                    let overhead = if clean.metrics.cycles.total() > 0 {
+                        m.cycles.total() as f64 / clean.metrics.cycles.total() as f64 - 1.0
+                    } else {
+                        0.0
+                    };
+                    let degraded_fraction = if m.instructions > 0 {
+                        m.degraded_instructions as f64 / m.instructions as f64
+                    } else {
+                        0.0
+                    };
+                    if cli.json {
+                        let mut cfg = run_config(cli);
+                        if let Json::Obj(fields) = &mut cfg {
+                            fields.push(("faults".into(), fault_fields));
+                        }
+                        let mut rr = uhm::report::run_report("raul-faults", cfg, m);
+                        rr.output = Some(Json::obj(vec![
+                            ("outcome", "ok".into()),
+                            ("output_matches_clean", matches.into()),
+                            ("recoveries", m.recoveries.into()),
+                            ("degraded_instructions", m.degraded_instructions.into()),
+                            ("degraded_fraction", degraded_fraction.into()),
+                            ("cycle_overhead", overhead.into()),
+                            ("events_faults_injected", counts.faults_injected.into()),
+                            ("events_recovery_misses", counts.recovery_misses.into()),
+                        ]));
+                        println!("{}", rr.render());
+                    } else {
+                        println!(
+                            "outcome: ok ({})",
+                            if matches {
+                                "output matches the clean run"
+                            } else {
+                                "OUTPUT DIVERGED from the clean run"
+                            }
+                        );
+                        println!(
+                            "faults injected: {} ({} dir bits, {} dtb words, {} tags, {} drops)",
+                            faults.total(),
+                            faults.dir_bits_flipped,
+                            faults.dtb_words_corrupted,
+                            faults.dtb_tags_poisoned,
+                            faults.fetches_dropped
+                        );
+                        println!(
+                            "recoveries: {}  degraded: {} instructions ({:.2}%)  fetch retries: {}",
+                            m.recoveries,
+                            m.degraded_instructions,
+                            degraded_fraction * 100.0,
+                            m.fetch_retries
+                        );
+                        println!("cycle overhead vs clean: {:+.2}%", overhead * 100.0);
+                    }
+                }
+                Err(trap) => {
+                    // A typed trap under injection is a reported outcome,
+                    // not a CLI failure: the machine detected the damage.
+                    if cli.json {
+                        let obj = Json::obj(vec![
+                            ("tool", "raul-faults".into()),
+                            ("outcome", "trap".into()),
+                            ("trap", trap.to_string().as_str().into()),
+                            ("faults", fault_fields),
+                            ("events_faults_injected", counts.faults_injected.into()),
+                        ]);
+                        println!("{}", obj.render());
+                    } else {
+                        println!("outcome: trap ({trap})");
+                    }
+                }
+            }
+            Ok(())
+        }
     }
 }
 
@@ -416,7 +640,11 @@ fn main() -> ExitCode {
     };
     match execute(&cli, &source) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Config(e)) => {
+            eprintln!("raul: invalid configuration: {e}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(e)) => {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
@@ -473,8 +701,8 @@ mod tests {
     fn execute_renders_compile_errors() {
         let cli = parse_args(&args("check bad.raul")).unwrap();
         let err = execute(&cli, "proc main() begin write nope; end").unwrap_err();
-        assert!(err.contains("unknown variable"));
-        assert!(err.contains('^'));
+        assert!(err.message().contains("unknown variable"));
+        assert!(err.message().contains('^'));
     }
 
     #[test]
@@ -490,6 +718,44 @@ mod tests {
     fn run_traps_are_reported() {
         let cli = parse_args(&args("run t.raul")).unwrap();
         let err = execute(&cli, "proc main() begin write 1 / 0; end").unwrap_err();
-        assert!(err.contains("division by zero"));
+        assert_eq!(
+            err,
+            CliError::Run("trap: division by zero".into()),
+            "traps are runtime errors, not configuration errors"
+        );
+    }
+
+    #[test]
+    fn invalid_geometry_is_a_config_error() {
+        let cli = parse_args(&args("run g.raul --dtb-unit-words 2")).unwrap();
+        let err = execute(&cli, "proc main() begin write 1; end").unwrap_err();
+        match err {
+            CliError::Config(m) => assert!(m.contains("unit"), "{m}"),
+            CliError::Run(m) => panic!("expected a config error, got Run({m})"),
+        }
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cli = parse_args(&args(
+            "faults f.raul --seed 0xBEEF --rate 0.01 --drop-rate 0.5 --degrade-after 2",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Faults);
+        assert_eq!(cli.seed, 0xBEEF);
+        let fc = fault_config(&cli);
+        assert_eq!(fc.dtb_word_rate, 0.01);
+        assert_eq!(fc.dtb_tag_rate, 0.01);
+        assert_eq!(fc.drop_fetch_rate, 0.5);
+        assert_eq!(fc.dir_bit_rate, 0.0);
+        assert_eq!(cli.degrade_after, Some(2));
+        assert!(parse_args(&args("faults f.raul --rate 1.5")).is_err());
+    }
+
+    #[test]
+    fn faults_command_runs_end_to_end() {
+        let cli = parse_args(&args("faults f.raul --rate 0.01")).unwrap();
+        let src = "proc main() begin int i := 0; while i < 200 do i := i + 1; write i; end";
+        execute(&cli, src).unwrap();
     }
 }
