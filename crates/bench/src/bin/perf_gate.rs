@@ -1,0 +1,361 @@
+//! **E15 — the perf gate (host decode throughput):** measures *host*
+//! wall-clock throughput of the two decoder implementations — the
+//! seed's bit-at-a-time tree walker (`--decoder tree`) and the
+//! word-batched canonical-Huffman table decoder (`--decoder table`) —
+//! in MB/s over the full sample corpus, plus DIR→PSDER translation
+//! throughput plain vs memoized vs block-fused.
+//!
+//! The paper's *modeled* decode costs (E6/E12) are a property of the
+//! representation, not of the host, and are identical in both modes by
+//! construction; this binary never touches them. See DESIGN.md's note
+//! on the modeled-cost / host-throughput separation.
+//!
+//! Run with `cargo run -p uhm-bench --release --bin perf_gate`.
+//! With `--json`, emits a versioned RunReport instead of the text table.
+//! With `--smoke`, exits non-zero if (a) the two decoders diverge on any
+//! instruction of any scheme — output, consumed bits, or modeled cost —
+//! or (b) any scheme's table/tree speedup ratio regresses more than 20%
+//! below the committed baseline (`baselines/perf_gate.json`). Ratios,
+//! not absolute MB/s, so the gate is robust across CI machines.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dir::encode::{DecodeMode, Image, SchemeKind};
+use dir::program::Program;
+use telemetry::Json;
+use uhm_bench::{bench_report, json_flag, workloads};
+
+/// Committed reference speedups; `--smoke` fails when a measured
+/// table/tree ratio falls below `TOLERANCE` times the baseline.
+const BASELINE: &str = include_str!("../../baselines/perf_gate.json");
+const TOLERANCE: f64 = 0.8;
+
+/// One scheme's encoded corpus: every sample program under one scheme.
+struct Corpus {
+    scheme: SchemeKind,
+    images: Vec<Image>,
+    /// Total encoded program size across the corpus, in bits.
+    bits: u64,
+    instrs: u64,
+}
+
+fn corpora(programs: &[Program]) -> Vec<Corpus> {
+    SchemeKind::all()
+        .into_iter()
+        .map(|scheme| {
+            let images: Vec<Image> = programs.iter().map(|p| scheme.encode(p)).collect();
+            let bits = images.iter().map(Image::program_bits).sum();
+            let instrs = images.iter().map(|im| im.len() as u64).sum();
+            Corpus {
+                scheme,
+                images,
+                bits,
+                instrs,
+            }
+        })
+        .collect()
+}
+
+/// Decodes the whole corpus through `mode`, folding the results into an
+/// accumulator so the work cannot be optimized away. Each plane decodes
+/// the way it actually would: the tree plane per-index, exactly as the
+/// seed's `decode_all` did, the table plane through the streaming entry.
+fn decode_pass(images: &[Image], mode: DecodeMode) -> u64 {
+    let mut acc = 0u64;
+    for im in images {
+        match mode {
+            DecodeMode::Tree => {
+                for i in 0..im.len() as u32 {
+                    let d = im
+                        .decode_with(&im.bytes, i, mode)
+                        .expect("clean images decode");
+                    acc = acc.wrapping_add(d.bits).wrapping_add(u64::from(d.cost));
+                }
+            }
+            DecodeMode::Table => {
+                for d in im.decode_all_with(mode).expect("clean images decode") {
+                    acc = acc.wrapping_add(d.bits).wrapping_add(u64::from(d.cost));
+                }
+            }
+        }
+    }
+    acc
+}
+
+const TARGET_NANOS: u128 = 5_000_000; // 5 ms per sampled batch
+const MAX_ITERS: u64 = 1 << 22;
+const SAMPLES: usize = 5;
+
+/// Batch size that makes one sample of `f` take roughly [`TARGET_NANOS`].
+fn calibrate(f: &mut impl FnMut() -> u64) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t.elapsed().as_nanos().max(1);
+        if dt >= TARGET_NANOS || iters >= MAX_ITERS {
+            return iters;
+        }
+        let scale = (TARGET_NANOS * 2 / dt) as u64;
+        iters = iters.saturating_mul(scale.max(2)).min(MAX_ITERS);
+    }
+}
+
+fn sample(f: &mut impl FnMut() -> u64, iters: u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Fastest observed ns per call of `a` and of `b`, sampled alternately.
+/// Interleaving matters on shared machines: a throttling episode hits
+/// both sides instead of biasing whichever ran second, so the *ratio*
+/// of the two minima is far more stable than back-to-back runs.
+fn min_ns_interleaved(mut a: impl FnMut() -> u64, mut b: impl FnMut() -> u64) -> (f64, f64) {
+    let (ia, ib) = (calibrate(&mut a), calibrate(&mut b));
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..SAMPLES {
+        best_a = best_a.min(sample(&mut a, ia));
+        best_b = best_b.min(sample(&mut b, ib));
+    }
+    (best_a, best_b)
+}
+
+/// One scheme's measured decode throughput in both modes.
+struct DecodeRow {
+    scheme: SchemeKind,
+    megabytes: f64,
+    instrs: u64,
+    tree_mb_s: f64,
+    table_mb_s: f64,
+    speedup: f64,
+}
+
+fn measure_decode(c: &Corpus) -> DecodeRow {
+    // Both decoders must fold to the same accumulator before either is
+    // worth timing.
+    assert_eq!(
+        decode_pass(&c.images, DecodeMode::Tree),
+        decode_pass(&c.images, DecodeMode::Table),
+        "{} decoders diverge",
+        c.scheme
+    );
+    let bytes = c.bits as f64 / 8.0;
+    let (tree_ns, table_ns) = min_ns_interleaved(
+        || decode_pass(&c.images, DecodeMode::Tree),
+        || decode_pass(&c.images, DecodeMode::Table),
+    );
+    let mb_s = |ns: f64| bytes / (ns / 1e9) / 1e6;
+    DecodeRow {
+        scheme: c.scheme,
+        megabytes: bytes / 1e6,
+        instrs: c.instrs,
+        tree_mb_s: mb_s(tree_ns),
+        table_mb_s: mb_s(table_ns),
+        speedup: tree_ns / table_ns,
+    }
+}
+
+/// Translates the whole corpus instruction by instruction, fresh
+/// template construction every time (the seed's translator path).
+fn translate_plain(programs: &[Program]) -> u64 {
+    let mut acc = 0u64;
+    for p in programs {
+        for (i, &inst) in p.code.iter().enumerate() {
+            acc = acc.wrapping_add(psder::translate(inst, i as u32 + 1).len() as u64);
+        }
+    }
+    acc
+}
+
+/// Same pass through a shared memo cache: after the first pass every
+/// lookup is a hit, modelling a hot DTB-miss handler.
+fn translate_cached(programs: &[Program], cache: &mut psder::TransCache) -> u64 {
+    let mut acc = 0u64;
+    for p in programs {
+        for (i, &inst) in p.code.iter().enumerate() {
+            acc = acc.wrapping_add(cache.translate(inst, i as u32 + 1).len() as u64);
+        }
+    }
+    acc
+}
+
+/// Whole-corpus superinstruction fusion: translate straight-line runs
+/// as single blocks, dropping interior fall-through terminators.
+fn translate_fused(programs: &[Program]) -> u64 {
+    let mut acc = 0u64;
+    for p in programs {
+        let mut pc = 0usize;
+        while pc < p.code.len() {
+            let (words, taken) = psder::fuse_block(&p.code[pc..], pc as u32);
+            acc = acc.wrapping_add(words.len() as u64);
+            pc += taken.max(1);
+        }
+    }
+    acc
+}
+
+/// One translation stage's measured throughput.
+struct TransRow {
+    stage: &'static str,
+    minstr_s: f64,
+}
+
+fn measure_translation(programs: &[Program]) -> Vec<TransRow> {
+    let total: u64 = programs.iter().map(|p| p.code.len() as u64).sum();
+    let minstr_s = |ns: f64| total as f64 / (ns / 1e9) / 1e6;
+    let mut cache = psder::TransCache::new();
+    translate_cached(programs, &mut cache); // warm: measure the hit path
+    let (plain, cached) = min_ns_interleaved(
+        || translate_plain(programs),
+        || translate_cached(programs, &mut cache),
+    );
+    let mut f = || translate_fused(programs);
+    let fused_iters = calibrate(&mut f);
+    let fused = (0..SAMPLES)
+        .map(|_| sample(&mut f, fused_iters))
+        .fold(f64::INFINITY, f64::min);
+    vec![
+        TransRow {
+            stage: "plain",
+            minstr_s: minstr_s(plain),
+        },
+        TransRow {
+            stage: "memoized",
+            minstr_s: minstr_s(cached),
+        },
+        TransRow {
+            stage: "fused",
+            minstr_s: minstr_s(fused),
+        },
+    ]
+}
+
+fn baseline_speedup(baseline: &Json, scheme: SchemeKind) -> f64 {
+    baseline
+        .get("speedup")
+        .and_then(|s| s.get(scheme.label()))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("baseline missing speedup for {scheme}"))
+}
+
+/// The CI gate: divergence is a hard failure, and so is a speedup ratio
+/// regressing more than 20% below the committed baseline.
+fn smoke(programs: &[Program]) -> ExitCode {
+    let corpora = corpora(programs);
+    let mut checks = 0u64;
+    for c in &corpora {
+        for im in &c.images {
+            for i in 0..im.len() as u32 {
+                let tree = im.decode_with(&im.bytes, i, DecodeMode::Tree);
+                let table = im.decode_with(&im.bytes, i, DecodeMode::Table);
+                if tree != table {
+                    eprintln!(
+                        "perf smoke: {} decoder divergence at instruction {i}: \
+                         tree={tree:?} table={table:?}",
+                        c.scheme
+                    );
+                    return ExitCode::FAILURE;
+                }
+                checks += 1;
+            }
+        }
+    }
+    let baseline = Json::parse(BASELINE.trim()).expect("committed baseline parses");
+    let mut failed = false;
+    for c in &corpora {
+        let row = measure_decode(c);
+        let want = baseline_speedup(&baseline, c.scheme);
+        if row.speedup < want * TOLERANCE {
+            eprintln!(
+                "perf smoke: {} table/tree speedup {:.2}x is >20% below the \
+                 committed baseline {want:.2}x",
+                c.scheme, row.speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf smoke PASS: {checks} decodes bit-identical across decoders, \
+         speedup ratios within 20% of baseline"
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let programs: Vec<Program> = workloads().into_iter().map(|w| w.base).collect();
+    if std::env::args().any(|a| a == "--smoke") {
+        return smoke(&programs);
+    }
+
+    let decode_rows: Vec<DecodeRow> = corpora(&programs).iter().map(measure_decode).collect();
+    let trans_rows = measure_translation(&programs);
+
+    if json_flag() {
+        let mut rows: Vec<Json> = decode_rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("kind", "decode".to_string().into()),
+                    ("scheme", r.scheme.label().to_string().into()),
+                    ("megabytes", r.megabytes.into()),
+                    ("instructions", r.instrs.into()),
+                    ("tree_mb_s", r.tree_mb_s.into()),
+                    ("table_mb_s", r.table_mb_s.into()),
+                    ("speedup", r.speedup.into()),
+                ])
+            })
+            .collect();
+        rows.extend(trans_rows.iter().map(|r| {
+            Json::obj(vec![
+                ("kind", "translate".to_string().into()),
+                ("stage", r.stage.to_string().into()),
+                ("minstr_s", r.minstr_s.into()),
+            ])
+        }));
+        let config = Json::obj(vec![
+            ("lut_bits", u64::from(dir::huffman::LUT_BITS).into()),
+            ("workloads", (programs.len() as u64).into()),
+            ("tolerance", TOLERANCE.into()),
+        ]);
+        println!("{}", bench_report("perf_gate", config, rows).render());
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "host decode throughput over {} workloads (wall clock; modeled \
+         costs identical in both modes)",
+        programs.len()
+    );
+    println!(
+        "{:>12} {:>9} {:>8} {:>12} {:>12} {:>9}",
+        "scheme", "MB", "instrs", "tree MB/s", "table MB/s", "speedup"
+    );
+    for r in &decode_rows {
+        println!(
+            "{:>12} {:>9.3} {:>8} {:>12.1} {:>12.1} {:>8.2}x",
+            r.scheme.label(),
+            r.megabytes,
+            r.instrs,
+            r.tree_mb_s,
+            r.table_mb_s,
+            r.speedup
+        );
+    }
+    println!();
+    println!("DIR -> PSDER translation throughput");
+    println!("{:>12} {:>12}", "stage", "Minstr/s");
+    for r in &trans_rows {
+        println!("{:>12} {:>12.2}", r.stage, r.minstr_s);
+    }
+    ExitCode::SUCCESS
+}

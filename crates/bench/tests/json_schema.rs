@@ -55,6 +55,41 @@ fn table1_emits_schema_1() {
 }
 
 #[test]
+fn perf_gate_emits_schema_1() {
+    let rr = report_of(env!("CARGO_BIN_EXE_perf_gate"));
+    assert_eq!(rr.tool, "perf_gate");
+    for key in ["lut_bits", "workloads", "tolerance"] {
+        assert!(rr.config.get(key).is_some(), "config.{key} missing");
+    }
+    let Some(Json::Arr(rows)) = rr.output else {
+        panic!("expected decode + translate rows");
+    };
+    let decode: Vec<_> = rows
+        .iter()
+        .filter(|r| r.get("kind").and_then(Json::as_str) == Some("decode"))
+        .collect();
+    let translate: Vec<_> = rows
+        .iter()
+        .filter(|r| r.get("kind").and_then(Json::as_str) == Some("translate"))
+        .collect();
+    // One decode row per scheme, each with both planes' throughput and a
+    // positive speedup ratio.
+    assert_eq!(decode.len(), 6, "one decode row per scheme");
+    for row in &decode {
+        assert!(row.get("scheme").and_then(Json::as_str).is_some());
+        for key in ["tree_mb_s", "table_mb_s", "speedup"] {
+            let v = row.get(key).and_then(Json::as_f64).unwrap();
+            assert!(v > 0.0, "{key} = {v}");
+        }
+    }
+    // Plain, memoized and fused translation stages.
+    assert_eq!(translate.len(), 3, "three translation stages");
+    for row in &translate {
+        assert!(row.get("minstr_s").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+}
+
+#[test]
 fn model_check_emits_schema_1() {
     let rr = report_of(env!("CARGO_BIN_EXE_model_check"));
     assert_eq!(rr.tool, "model_check");

@@ -3,6 +3,17 @@
 //! The paper's encodings pack fields that "span the boundaries of the units
 //! of memory access"; this module provides exactly that: an MSB-first bit
 //! stream over a byte buffer.
+//!
+//! The reader has two read paths. [`BitReader::read`] extracts a whole
+//! field from one 64-bit big-endian window of the buffer — the
+//! word-batched fast plane every production decoder uses.
+//! [`BitReader::read_bitwise`] is the original bit-at-a-time loop, kept
+//! verbatim as the *reference* path: the tree-walking reference decoders
+//! read through it, so the fast plane can be differentially tested (and
+//! benchmarked) against an implementation whose cost profile matches the
+//! paper's "examine one bit per level" description. Both paths share the
+//! cursor and the end-of-stream rules, so they are interchangeable
+//! mid-stream.
 
 /// Appends bit fields to a byte buffer, MSB-first.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -63,7 +74,18 @@ pub struct BitReader<'a> {
     buf: &'a [u8],
     pos: u64,
     len: u64,
+    /// Word-batched refill buffer: a cached 64-bit window of the stream
+    /// starting at bit `win_pos`, MSB-aligned. The fast read path serves
+    /// up to 57 bits per call out of this register and reloads it only
+    /// when fewer remain, instead of reassembling a window from bytes on
+    /// every read. Interior mutability keeps [`BitReader::peek`] `&self`.
+    win: std::cell::Cell<u64>,
+    win_pos: std::cell::Cell<u64>,
 }
+
+/// `win_pos` value marking the refill buffer invalid: no real bit
+/// position reaches it, so the first fast read always reloads.
+const WIN_INVALID: u64 = u64::MAX >> 1;
 
 /// An attempt to read past the end of a bit stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,12 +102,18 @@ impl std::error::Error for BitsExhausted {}
 impl<'a> BitReader<'a> {
     /// Creates a reader over `len` bits of `buf`, starting at bit 0.
     pub fn new(buf: &'a [u8], len: u64) -> Self {
-        BitReader { buf, pos: 0, len }
+        Self::at(buf, len, 0)
     }
 
     /// Creates a reader positioned at bit offset `at`.
     pub fn at(buf: &'a [u8], len: u64, at: u64) -> Self {
-        BitReader { buf, pos: at, len }
+        BitReader {
+            buf,
+            pos: at,
+            len,
+            win: std::cell::Cell::new(0),
+            win_pos: std::cell::Cell::new(WIN_INVALID),
+        }
     }
 
     /// Current bit position.
@@ -93,18 +121,106 @@ impl<'a> BitReader<'a> {
         self.pos
     }
 
-    /// Reads `width` bits, MSB-first.
+    /// Valid bits in the stream: the declared `len` clamped to the backing
+    /// buffer, so a stream whose header claims more bits than the buffer
+    /// holds (a truncated or corrupted image) errors instead of reading
+    /// out of bounds.
+    #[inline]
+    fn avail(&self) -> u64 {
+        self.len.min(self.buf.len() as u64 * 8)
+    }
+
+    /// Bits left before the end of the stream.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.avail().saturating_sub(self.pos)
+    }
+
+    /// Loads 64 bits starting at bit `bitpos`, MSB-aligned (bit 63 of the
+    /// result is the bit at `bitpos`). Bits past the end of the buffer
+    /// read as zero; callers bound their consumption by [`Self::avail`].
+    #[inline]
+    fn load64(&self, bitpos: u64) -> u64 {
+        let byte = (bitpos / 8) as usize;
+        let shift = (bitpos % 8) as u32;
+        // One branch: the common in-bounds case reads 9 bytes directly;
+        // near the end the window is padded with zeros.
+        let w: [u8; 9] = if byte + 9 <= self.buf.len() {
+            self.buf[byte..byte + 9].try_into().expect("9-byte window")
+        } else {
+            let mut w = [0u8; 9];
+            if byte < self.buf.len() {
+                let n = self.buf.len() - byte;
+                w[..n].copy_from_slice(&self.buf[byte..]);
+            }
+            w
+        };
+        let hi = u64::from_be_bytes(w[..8].try_into().expect("8-byte head"));
+        if shift == 0 {
+            hi
+        } else {
+            (hi << shift) | (w[8] as u64 >> (8 - shift))
+        }
+    }
+
+    /// The 64-bit window at the cursor, served from the refill buffer.
+    /// Valid for widths up to 57: the cached window is reused while at
+    /// least 57 bits of it lie ahead of the cursor and reloaded
+    /// otherwise, so consecutive reads cost two shifts and one
+    /// well-predicted branch each instead of reassembling bytes.
+    #[inline]
+    fn window(&self) -> u64 {
+        let off = self.pos.wrapping_sub(self.win_pos.get());
+        if off < 8 {
+            self.win.get() << off
+        } else {
+            let w = self.load64(self.pos);
+            self.win.set(w);
+            self.win_pos.set(self.pos);
+            w
+        }
+    }
+
+    /// Reads `width` bits, MSB-first, extracting the whole field from one
+    /// 64-bit window — the word-batched fast path.
     ///
     /// # Errors
     ///
-    /// Returns [`BitsExhausted`] if fewer than `width` bits remain. The
-    /// declared `len` is clamped to the backing buffer, so a stream whose
-    /// header claims more bits than the buffer holds (a truncated or
-    /// corrupted image) errors instead of reading out of bounds.
+    /// Returns [`BitsExhausted`] if fewer than `width` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    #[inline]
     pub fn read(&mut self, width: u32) -> Result<u64, BitsExhausted> {
         assert!(width <= 64, "width {width} > 64");
-        let avail = self.len.min(self.buf.len() as u64 * 8);
-        if self.pos + width as u64 > avail {
+        if self.pos + width as u64 > self.avail() {
+            return Err(BitsExhausted);
+        }
+        if width == 0 {
+            return Ok(0);
+        }
+        let out = if width <= 57 {
+            self.window() >> (64 - width)
+        } else {
+            // Wider than the refill window guarantees: load directly.
+            self.load64(self.pos) >> (64 - width)
+        };
+        self.pos += width as u64;
+        Ok(out)
+    }
+
+    /// Reads `width` bits one bit at a time — the reference path whose
+    /// cost profile the modeled decoders assume. Byte-for-byte the seed
+    /// implementation of [`BitReader::read`]; identical results and
+    /// errors, different host cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsExhausted`] if fewer than `width` bits remain.
+    pub fn read_bitwise(&mut self, width: u32) -> Result<u64, BitsExhausted> {
+        assert!(width <= 64, "width {width} > 64");
+        if self.pos + width as u64 > self.avail() {
             return Err(BitsExhausted);
         }
         let mut out = 0u64;
@@ -117,13 +233,68 @@ impl<'a> BitReader<'a> {
         Ok(out)
     }
 
+    /// Returns the next `width` bits without consuming them, MSB-first in
+    /// the low bits of the result. Bits past the end of the stream read
+    /// as zero — callers that care must check [`BitReader::remaining`]
+    /// before trusting more than `remaining()` bits of the window. This
+    /// is the table decoder's probe: one load, no cursor movement, no
+    /// error path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 57 (the widest window one
+    /// unaligned 64-bit load can always supply).
+    #[inline]
+    pub fn peek(&self, width: u32) -> u64 {
+        assert!(
+            (1..=57).contains(&width),
+            "peek width {width} out of 1..=57"
+        );
+        let avail = self.avail();
+        // Fast path: a full 64-bit window of real stream bits remains, so
+        // no padding can leak into the peeked value.
+        if self.pos + 64 <= avail {
+            return self.window() >> (64 - width);
+        }
+        let window = if self.pos >= avail {
+            0
+        } else {
+            let raw = self.window();
+            // Zero bits the stream does not actually hold (the buffer may
+            // be longer than the declared bit length).
+            let valid = avail - self.pos;
+            if valid < 64 {
+                raw & !((1u64 << (64 - valid)) - 1)
+            } else {
+                raw
+            }
+        };
+        window >> (64 - width)
+    }
+
+    /// Advances the cursor by `width` bits previously examined with
+    /// [`BitReader::peek`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsExhausted`] if fewer than `width` bits remain; the
+    /// cursor does not move.
+    #[inline]
+    pub fn consume(&mut self, width: u32) -> Result<(), BitsExhausted> {
+        if self.pos + width as u64 > self.avail() {
+            return Err(BitsExhausted);
+        }
+        self.pos += width as u64;
+        Ok(())
+    }
+
     /// Reads a single bit.
     ///
     /// # Errors
     ///
     /// Returns [`BitsExhausted`] at end of stream.
     pub fn read_bit(&mut self) -> Result<bool, BitsExhausted> {
-        Ok(self.read(1)? == 1)
+        Ok(self.read_bitwise(1)? == 1)
     }
 }
 
@@ -219,5 +390,91 @@ mod tests {
         assert_eq!(r.position(), 0);
         r.read(3).unwrap();
         assert_eq!(r.position(), 3);
+    }
+
+    /// Seeded cross-check: the batched and bitwise paths agree on every
+    /// read, at every width, from every alignment — including the error.
+    #[test]
+    fn batched_reads_match_bitwise_reads() {
+        let mut w = BitWriter::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut widths = Vec::new();
+        for i in 0..400u32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let width = (x >> 59) as u32 % 17 + 1; // 1..=17, misaligned mix
+            let value = x & ((1u64 << width) - 1);
+            w.write(value, width);
+            widths.push(width + i % 2); // sometimes read a different width
+        }
+        let (buf, len) = w.finish();
+        let mut fast = BitReader::new(&buf, len);
+        let mut slow = BitReader::new(&buf, len);
+        for width in widths {
+            let a = fast.read(width.min(64));
+            let b = slow.read_bitwise(width.min(64));
+            assert_eq!(a, b);
+            assert_eq!(fast.position(), slow.position());
+            if a.is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume_and_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write(0b1011, 4);
+        let (buf, len) = w.finish();
+        let r = BitReader::new(&buf, len);
+        assert_eq!(r.peek(4), 0b1011);
+        // Past-the-end bits are zero padding, position untouched.
+        assert_eq!(r.peek(8), 0b1011_0000);
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.remaining(), 4);
+    }
+
+    #[test]
+    fn peek_masks_undeclared_buffer_bits() {
+        // The buffer holds 8 bits but the stream declares only 3: the
+        // undeclared tail must read as zero, exactly as read() refuses it.
+        let buf = [0b1111_1111u8];
+        let r = BitReader::new(&buf, 3);
+        assert_eq!(r.peek(8), 0b1110_0000);
+    }
+
+    #[test]
+    fn consume_checks_the_end_of_stream() {
+        let buf = [0xFFu8];
+        let mut r = BitReader::new(&buf, 8);
+        r.consume(5).unwrap();
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.consume(4), Err(BitsExhausted));
+        assert_eq!(r.position(), 5, "failed consume must not move");
+        r.consume(3).unwrap();
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn read_beyond_declared_length_errors() {
+        // Buffer longer than the declared bit length: both paths refuse.
+        let buf = [0xAB, 0xCD];
+        let mut a = BitReader::new(&buf, 4);
+        assert_eq!(a.read(4).unwrap(), 0xA);
+        assert!(a.read(1).is_err());
+        let mut b = BitReader::new(&buf, 4);
+        assert_eq!(b.read_bitwise(4).unwrap(), 0xA);
+        assert!(b.read_bitwise(1).is_err());
+    }
+
+    #[test]
+    fn truncated_buffer_clamps_declared_length() {
+        // Declared length exceeds the buffer: reads clamp to real bytes.
+        let buf = [0xFFu8];
+        let mut r = BitReader::new(&buf, 64);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.read(8).unwrap(), 0xFF);
+        assert!(r.read(1).is_err());
     }
 }

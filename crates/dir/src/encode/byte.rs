@@ -9,7 +9,7 @@ use crate::bitstream::{BitReader, BitWriter, BitsExhausted};
 use crate::isa::{FieldKind, Inst, Opcode};
 use crate::program::Program;
 
-use super::{Decoded, DecoderData, Image, ImageError, Scheme, SchemeKind};
+use super::{DecodeMode, Decoded, DecoderData, Image, ImageError, Scheme, SchemeKind};
 
 /// The byte-aligned scheme (unit struct; it has no parameters).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,6 +47,7 @@ impl Scheme for ByteAligned {
             bit_len,
             offsets,
             side_table_bits: 0,
+            mode: DecodeMode::default(),
             decoder: DecoderData::Byte,
         }
     }
@@ -54,17 +55,29 @@ impl Scheme for ByteAligned {
 
 /// Decodes one instruction; cost: one read for the opcode plus one per
 /// operand field.
-pub(super) fn decode(reader: &mut BitReader<'_>) -> Result<Decoded, ImageError> {
-    let op_raw = reader.read(8)?;
+#[inline]
+pub(super) fn decode(reader: &mut BitReader<'_>, mode: DecodeMode) -> Result<Decoded, ImageError> {
+    let op_raw = mode.read(reader, 8)?;
     let opcode = Opcode::from_u8(op_raw as u8).ok_or(ImageError::Decode(
         crate::isa::DecodeError::BadOpcode(op_raw as u8),
     ))?;
     let kinds = opcode.field_kinds();
-    let mut fields = Vec::with_capacity(kinds.len());
-    for kind in kinds {
-        fields.push(reader.read(field_bits(*kind))?);
-    }
-    let inst = Inst::from_parts(opcode, &fields)?;
+    let inst = match mode {
+        DecodeMode::Tree => {
+            let mut fields = Vec::with_capacity(kinds.len());
+            for kind in kinds {
+                fields.push(reader.read_bitwise(field_bits(*kind))?);
+            }
+            Inst::from_parts(opcode, &fields)?
+        }
+        DecodeMode::Table => {
+            let mut buf = [0u64; super::MAX_FIELDS];
+            for (i, kind) in kinds.iter().enumerate() {
+                buf[i] = reader.read(field_bits(*kind))?;
+            }
+            Inst::from_parts(opcode, &buf[..kinds.len()])?
+        }
+    };
     Ok(Decoded {
         inst,
         cost: 1 + kinds.len() as u32,

@@ -12,7 +12,9 @@ use crate::isa::{FieldKind, Inst, Opcode};
 use crate::program::Program;
 
 use super::packed::opcode_bits;
-use super::{ContextTables, Decoded, DecoderData, Image, ImageError, Scheme, SchemeKind};
+use super::{
+    ContextTables, DecodeMode, Decoded, DecoderData, Image, ImageError, Scheme, SchemeKind,
+};
 
 /// The contextual scheme (unit struct; tables come from the program).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,6 +42,7 @@ impl Scheme for Contextual {
             bit_len,
             offsets,
             side_table_bits: tables.table_bits(),
+            mode: DecodeMode::default(),
             decoder: DecoderData::Contextual(tables),
         }
     }
@@ -66,38 +69,57 @@ pub(super) fn write_fields(w: &mut BitWriter, inst: &Inst, region: &super::Regio
 }
 
 /// Reads an instruction's operand fields with the region's widths,
-/// rebasing targets. Returns `(fields, field_count)`.
-pub(super) fn read_fields(
+/// rebasing targets, and assembles the instruction. The tree path is the
+/// seed decoder verbatim — heap-allocated fields, bit-at-a-time reads;
+/// the table path collects into a stack buffer with word-batched reads,
+/// leaving no per-instruction allocation on the fast plane.
+#[inline]
+pub(super) fn read_inst(
     reader: &mut BitReader<'_>,
     opcode: Opcode,
     region: &super::Region,
-) -> Result<Vec<u64>, ImageError> {
+    mode: DecodeMode,
+) -> Result<Inst, ImageError> {
     let kinds = opcode.field_kinds();
-    let mut fields = Vec::with_capacity(kinds.len());
-    for kind in kinds {
-        let raw = reader.read(region.widths.width(*kind))?;
-        fields.push(match kind {
-            FieldKind::Target => raw + region.target_base as u64,
-            _ => raw,
-        });
+    match mode {
+        DecodeMode::Tree => {
+            let mut fields = Vec::with_capacity(kinds.len());
+            for kind in kinds {
+                let raw = reader.read_bitwise(region.widths.width(*kind))?;
+                fields.push(match kind {
+                    FieldKind::Target => raw + region.target_base as u64,
+                    _ => raw,
+                });
+            }
+            Ok(Inst::from_parts(opcode, &fields)?)
+        }
+        DecodeMode::Table => {
+            let mut buf = [0u64; super::MAX_FIELDS];
+            for (i, kind) in kinds.iter().enumerate() {
+                let raw = reader.read(region.widths.width(*kind))?;
+                buf[i] = match kind {
+                    FieldKind::Target => raw + region.target_base as u64,
+                    _ => raw,
+                };
+            }
+            Ok(Inst::from_parts(opcode, &buf[..kinds.len()])?)
+        }
     }
-    Ok(fields)
 }
 
 /// Decodes one instruction; cost: region lookup (1) + extract/mask for the
 /// opcode (2) + width lookup/extract/mask per field (3 each).
+#[inline]
 pub(super) fn decode(
     reader: &mut BitReader<'_>,
-    tables: &ContextTables,
-    index: u32,
+    region: &super::Region,
+    mode: DecodeMode,
 ) -> Result<Decoded, ImageError> {
-    let region = tables.region_of(index);
-    let op_raw = reader.read(opcode_bits())?;
+    let op_raw = mode.read(reader, opcode_bits())?;
     let opcode = Opcode::from_u8(op_raw as u8).ok_or(ImageError::Decode(
         crate::isa::DecodeError::BadOpcode(op_raw as u8),
     ))?;
-    let fields = read_fields(reader, opcode, region)?;
-    let inst = Inst::from_parts(opcode, &fields)?;
+    let inst = read_inst(reader, opcode, region, mode)?;
     Ok(Decoded {
         inst,
         cost: 3 + 3 * opcode.field_kinds().len() as u32,

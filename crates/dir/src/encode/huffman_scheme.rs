@@ -12,9 +12,10 @@ use crate::huffman::Tree;
 use crate::isa::Opcode;
 use crate::program::Program;
 
-use super::contextual::{read_fields, write_fields};
-use super::{ContextTables, Decoded, DecoderData, Image, ImageError, Scheme, SchemeKind};
-use crate::isa::Inst;
+use super::contextual::{read_inst, write_fields};
+use super::{
+    ContextTables, DecodeMode, Decoded, DecoderData, Image, ImageError, Region, Scheme, SchemeKind,
+};
 
 /// The Huffman scheme (unit struct; the codebook is measured from the
 /// program's static opcode frequencies).
@@ -44,6 +45,7 @@ impl Scheme for HuffmanScheme {
             bit_len,
             offsets,
             side_table_bits: tables.table_bits() + tree.table_bits(),
+            mode: DecodeMode::default(),
             decoder: DecoderData::Huffman { tree, tables },
         }
     }
@@ -51,23 +53,91 @@ impl Scheme for HuffmanScheme {
 
 /// Decodes one instruction; cost: region lookup (1) + tree walk (2 per code
 /// bit) + width lookup/extract/mask per field (3 each).
+#[inline]
 pub(super) fn decode(
     reader: &mut BitReader<'_>,
     tree: &Tree,
-    tables: &ContextTables,
-    index: u32,
+    region: &Region,
+    mode: DecodeMode,
 ) -> Result<Decoded, ImageError> {
-    let region = tables.region_of(index);
-    let (symbol, code_bits) = tree.decode(reader)?;
+    let (symbol, code_bits) = mode.huff(tree, reader)?;
     let opcode = Opcode::from_u8(symbol as u8).ok_or(ImageError::Decode(
         crate::isa::DecodeError::BadOpcode(symbol as u8),
     ))?;
-    let fields = read_fields(reader, opcode, region)?;
-    let inst = Inst::from_parts(opcode, &fields)?;
+    let inst = read_inst(reader, opcode, region, mode)?;
     Ok(Decoded {
         inst,
         cost: 1 + 2 * code_bits + 3 * opcode.field_kinds().len() as u32,
         bits: 0,
+    })
+}
+
+/// Streaming table-plane decoder: one 57-bit peek per instruction
+/// resolves the opcode through the Huffman LUT *and* supplies every
+/// operand field, so the common case costs a single window probe, one
+/// `consume`, and shift extraction straight into the instruction — no
+/// per-field reads, no intermediate field buffer, no second opcode
+/// dispatch. Region widths are hoisted into a [`super::template`] per
+/// contour, so the loop does no width arithmetic beyond a table lookup.
+/// Long codes and instructions wider than the window fall back to the
+/// per-field reader. Instructions, consumed widths, modeled costs, and
+/// errors are bit-identical to [`decode`] in `Table` mode on the same
+/// stream.
+pub(super) fn stream_table(
+    im: &Image,
+    tree: &Tree,
+    tables: &ContextTables,
+) -> Result<Vec<Decoded>, ImageError> {
+    let n = im.len() as u32;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut reader = BitReader::new(&im.bytes, im.bit_len);
+    for region in &tables.regions {
+        let tpl = super::template::RegionTpl::new(region);
+        for _index in region.start..region.end.min(n) {
+            let window = reader.peek(57);
+            let d = match tree.lut_hit(window) {
+                Some((symbol, code_bits)) => {
+                    let opcode = Opcode::from_u8(symbol as u8).ok_or(ImageError::Decode(
+                        crate::isa::DecodeError::BadOpcode(symbol as u8),
+                    ))?;
+                    let total = code_bits + tpl.fields_total(symbol);
+                    if total <= 57 {
+                        // One consume covers the opcode and all fields;
+                        // the peeked window already zero-masks padding,
+                        // and the consume proves every extracted bit is
+                        // in-stream.
+                        reader.consume(total)?;
+                        let inst = super::template::decode_window(opcode, window, code_bits, &tpl)?;
+                        Decoded {
+                            inst,
+                            cost: 1 + 2 * code_bits + tpl.field_cost(symbol),
+                            bits: total as u64,
+                        }
+                    } else {
+                        slow_step(&mut reader, tree, region)?
+                    }
+                }
+                None => slow_step(&mut reader, tree, region)?,
+            };
+            out.push(d);
+        }
+    }
+    Ok(out)
+}
+
+/// Fallback for codes longer than the LUT window or instructions wider
+/// than one peek: the ordinary per-field table decoder.
+#[cold]
+fn slow_step(
+    reader: &mut BitReader<'_>,
+    tree: &Tree,
+    region: &Region,
+) -> Result<Decoded, ImageError> {
+    let start = reader.position();
+    let d = decode(reader, tree, region, DecodeMode::Table)?;
+    Ok(Decoded {
+        bits: reader.position() - start,
+        ..d
     })
 }
 

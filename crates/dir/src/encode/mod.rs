@@ -30,6 +30,7 @@ mod contextual;
 mod huffman_scheme;
 mod packed;
 mod pair;
+mod template;
 mod value_huffman;
 
 pub use byte::ByteAligned;
@@ -39,9 +40,83 @@ pub use packed::Packed;
 pub use pair::PairHuffman;
 pub use value_huffman::ValueHuffman;
 
-use crate::bitstream::{bits_for, BitsExhausted};
+use crate::bitstream::{bits_for, BitReader, BitsExhausted};
 use crate::isa::{DecodeError, FieldKind, Inst, FIELD_KINDS};
 use crate::program::Program;
+
+/// Widest operand schema across the ISA (the fused four-field opcodes):
+/// the table decoders collect fields on the stack instead of in a heap
+/// `Vec`, so they need a capacity bound.
+pub(crate) const MAX_FIELDS: usize = 4;
+
+/// Which host implementation decodes the image. Both produce identical
+/// instructions, consumed bit counts and *modeled* decode costs — they
+/// differ only in host wall-clock. The modeled cost accounting stays a
+/// property of the representation, not of the decoder that happens to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecodeMode {
+    /// Reference decoder: bit-at-a-time reads and pointer-tree Huffman
+    /// walks, exactly the naive implementation the paper's cost model
+    /// describes. Kept as the differential-testing oracle and the
+    /// baseline for host-throughput comparisons.
+    Tree,
+    /// Fast plane: word-batched field extraction and canonical-Huffman
+    /// lookup-table decoding.
+    #[default]
+    Table,
+}
+
+impl DecodeMode {
+    /// Both modes, reference first.
+    pub fn all() -> [DecodeMode; 2] {
+        [DecodeMode::Tree, DecodeMode::Table]
+    }
+
+    /// Short label for flags and benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecodeMode::Tree => "tree",
+            DecodeMode::Table => "table",
+        }
+    }
+
+    /// Parses a `--decoder` flag value.
+    pub fn parse(s: &str) -> Option<DecodeMode> {
+        match s {
+            "tree" => Some(DecodeMode::Tree),
+            "table" => Some(DecodeMode::Table),
+            _ => None,
+        }
+    }
+
+    /// Reads a `width`-bit field through this mode's bitstream path.
+    #[inline]
+    pub(crate) fn read(self, reader: &mut BitReader<'_>, width: u32) -> Result<u64, BitsExhausted> {
+        match self {
+            DecodeMode::Tree => reader.read_bitwise(width),
+            DecodeMode::Table => reader.read(width),
+        }
+    }
+
+    /// Decodes one Huffman symbol through this mode's codebook path.
+    #[inline]
+    pub(crate) fn huff(
+        self,
+        tree: &crate::huffman::Tree,
+        reader: &mut BitReader<'_>,
+    ) -> Result<(usize, u32), BitsExhausted> {
+        match self {
+            DecodeMode::Tree => tree.decode(reader),
+            DecodeMode::Table => tree.decode_table(reader),
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Identifies an encoding scheme, ordered by increasing degree of encoding
 /// (the horizontal axis of the paper's Figure 1).
@@ -177,6 +252,8 @@ pub struct Image {
     /// Bits of decoder-side tables (width tables, Huffman trees): charged
     /// to interpreter size, not program size.
     pub side_table_bits: u64,
+    /// Host decoder used by [`Image::decode`] / [`Image::decode_from`].
+    pub mode: DecodeMode,
     pub(crate) decoder: DecoderData,
 }
 
@@ -281,36 +358,263 @@ impl Image {
     ///
     /// Returns [`ImageError`] on a bad index or a corrupt stream.
     pub fn decode_from(&self, bytes: &[u8], index: u32) -> Result<Decoded, ImageError> {
+        self.decode_with(bytes, index, self.mode)
+    }
+
+    /// Selects the host decoder for subsequent [`Image::decode`] calls.
+    /// Purely a host-implementation switch: results and modeled costs are
+    /// identical either way (the differential suite proves it).
+    pub fn set_decode_mode(&mut self, mode: DecodeMode) {
+        self.mode = mode;
+    }
+
+    /// Decodes the instruction at `index` out of `bytes` through an
+    /// explicitly chosen host decoder, regardless of the image's own
+    /// [`Image::mode`]. The differential harness and the throughput gate
+    /// drive both decoders over one image through this entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] on a bad index or a corrupt stream.
+    pub fn decode_with(
+        &self,
+        bytes: &[u8],
+        index: u32,
+        mode: DecodeMode,
+    ) -> Result<Decoded, ImageError> {
         let offset = *self
             .offsets
             .get(index as usize)
             .ok_or(ImageError::BadIndex(index))?;
         let mut reader = crate::bitstream::BitReader::at(bytes, self.bit_len, offset);
         let decoded = match &self.decoder {
-            DecoderData::Byte => byte::decode(&mut reader)?,
-            DecoderData::Packed(widths) => packed::decode(&mut reader, widths)?,
-            DecoderData::Contextual(tables) => contextual::decode(&mut reader, tables, index)?,
+            DecoderData::Byte => byte::decode(&mut reader, mode)?,
+            DecoderData::Packed(widths) => packed::decode(&mut reader, widths, mode)?,
+            DecoderData::Contextual(tables) => {
+                contextual::decode(&mut reader, tables.region_of(index), mode)?
+            }
             DecoderData::Huffman { tree, tables } => {
-                huffman_scheme::decode(&mut reader, tree, tables, index)?
+                huffman_scheme::decode(&mut reader, tree, tables.region_of(index), mode)?
             }
             DecoderData::Pair {
                 ctx,
                 global,
                 preds,
                 tables,
-            } => pair::decode(&mut reader, ctx, global, preds, tables, index)?,
+            } => pair::decode(
+                &mut reader,
+                ctx,
+                global,
+                preds,
+                tables.region_of(index),
+                index,
+                mode,
+            )?,
             DecoderData::ValueHuffman {
                 ctx,
                 global,
                 preds,
                 tables,
                 values,
-            } => value_huffman::decode(&mut reader, ctx, global, preds, tables, values, index)?,
+            } => value_huffman::decode(
+                &mut reader,
+                ctx,
+                global,
+                preds,
+                tables.region_of(index),
+                values,
+                index,
+                mode,
+            )?,
         };
         Ok(Decoded {
             bits: reader.position() - offset,
             ..decoded
         })
+    }
+
+    /// Decodes the whole image sequentially through `mode` — the fast
+    /// plane's streaming entry. One reader crosses the stream once, and
+    /// contour regions advance with a cursor instead of a binary search
+    /// per instruction. Instructions, consumed widths and modeled costs
+    /// are bit-identical to per-index [`Image::decode_with`] in either
+    /// mode; the differential suite proves it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode failure.
+    pub fn decode_all_with(&self, mode: DecodeMode) -> Result<Vec<Decoded>, ImageError> {
+        // Each decoder variant streams from its own small function so the
+        // optimizer sees one loop at a time; inside each, the mode match
+        // monomorphizes the loop with `mode` as a constant, folding every
+        // per-field `match mode` away.
+        match &self.decoder {
+            DecoderData::Byte => self.stream_byte(mode),
+            DecoderData::Packed(widths) => self.stream_packed(widths, mode),
+            DecoderData::Contextual(tables) => self.stream_contextual(tables, mode),
+            DecoderData::Huffman { tree, tables } => self.stream_huffman(tree, tables, mode),
+            DecoderData::Pair {
+                ctx,
+                global,
+                preds,
+                tables,
+            } => self.stream_pair(ctx, global, preds, tables, mode),
+            DecoderData::ValueHuffman {
+                ctx,
+                global,
+                preds,
+                tables,
+                values,
+            } => self.stream_value(ctx, global, preds, tables, values, mode),
+        }
+    }
+
+    fn stream_byte(&self, mode: DecodeMode) -> Result<Vec<Decoded>, ImageError> {
+        match mode {
+            DecodeMode::Tree => self.stream(|r, _| byte::decode(r, DecodeMode::Tree)),
+            DecodeMode::Table => self.stream(|r, _| byte::decode(r, DecodeMode::Table)),
+        }
+    }
+
+    fn stream_packed(
+        &self,
+        widths: &FieldWidths,
+        mode: DecodeMode,
+    ) -> Result<Vec<Decoded>, ImageError> {
+        match mode {
+            DecodeMode::Tree => self.stream(|r, _| packed::decode(r, widths, DecodeMode::Tree)),
+            DecodeMode::Table => self.stream(|r, _| packed::decode(r, widths, DecodeMode::Table)),
+        }
+    }
+
+    fn stream_contextual(
+        &self,
+        tables: &ContextTables,
+        mode: DecodeMode,
+    ) -> Result<Vec<Decoded>, ImageError> {
+        let mut cursor = 0usize;
+        match mode {
+            DecodeMode::Tree => self.stream(|r, index| {
+                contextual::decode(r, tables.region_at(&mut cursor, index), DecodeMode::Tree)
+            }),
+            DecodeMode::Table => self.stream(|r, index| {
+                contextual::decode(r, tables.region_at(&mut cursor, index), DecodeMode::Table)
+            }),
+        }
+    }
+
+    fn stream_huffman(
+        &self,
+        tree: &crate::huffman::Tree,
+        tables: &ContextTables,
+        mode: DecodeMode,
+    ) -> Result<Vec<Decoded>, ImageError> {
+        let mut cursor = 0usize;
+        match mode {
+            DecodeMode::Tree => self.stream(|r, index| {
+                huffman_scheme::decode(
+                    r,
+                    tree,
+                    tables.region_at(&mut cursor, index),
+                    DecodeMode::Tree,
+                )
+            }),
+            DecodeMode::Table => huffman_scheme::stream_table(self, tree, tables),
+        }
+    }
+
+    fn stream_pair(
+        &self,
+        ctx: &[pair::CtxCode],
+        global: &crate::huffman::Tree,
+        preds: &[u8],
+        tables: &ContextTables,
+        mode: DecodeMode,
+    ) -> Result<Vec<Decoded>, ImageError> {
+        let mut cursor = 0usize;
+        match mode {
+            DecodeMode::Tree => self.stream(|r, index| {
+                pair::decode(
+                    r,
+                    ctx,
+                    global,
+                    preds,
+                    tables.region_at(&mut cursor, index),
+                    index,
+                    DecodeMode::Tree,
+                )
+            }),
+            DecodeMode::Table => self.stream(|r, index| {
+                pair::decode(
+                    r,
+                    ctx,
+                    global,
+                    preds,
+                    tables.region_at(&mut cursor, index),
+                    index,
+                    DecodeMode::Table,
+                )
+            }),
+        }
+    }
+
+    fn stream_value(
+        &self,
+        ctx: &[pair::CtxCode],
+        global: &crate::huffman::Tree,
+        preds: &[u8],
+        tables: &ContextTables,
+        values: &[value_huffman::ValueCode],
+        mode: DecodeMode,
+    ) -> Result<Vec<Decoded>, ImageError> {
+        let mut cursor = 0usize;
+        match mode {
+            DecodeMode::Tree => self.stream(|r, index| {
+                value_huffman::decode(
+                    r,
+                    ctx,
+                    global,
+                    preds,
+                    tables.region_at(&mut cursor, index),
+                    values,
+                    index,
+                    DecodeMode::Tree,
+                )
+            }),
+            DecodeMode::Table => self.stream(|r, index| {
+                value_huffman::decode(
+                    r,
+                    ctx,
+                    global,
+                    preds,
+                    tables.region_at(&mut cursor, index),
+                    values,
+                    index,
+                    DecodeMode::Table,
+                )
+            }),
+        }
+    }
+
+    /// Shared skeleton of [`Image::decode_all_with`]: one reader walks
+    /// the stream once and `step` decodes each instruction in place.
+    /// Generic over the step closure so each decoder variant gets its own
+    /// monomorphized loop with the scheme dispatch hoisted out of it.
+    fn stream<F>(&self, mut step: F) -> Result<Vec<Decoded>, ImageError>
+    where
+        F: FnMut(&mut BitReader<'_>, u32) -> Result<Decoded, ImageError>,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        let mut reader = BitReader::new(&self.bytes, self.bit_len);
+        for index in 0..self.len() as u32 {
+            let start = reader.position();
+            let decoded = step(&mut reader, index)?;
+            out.push(Decoded {
+                bits: reader.position() - start,
+                ..decoded
+            });
+        }
+        Ok(out)
     }
 
     /// Decodes the whole image back to the instruction sequence.
@@ -456,6 +760,23 @@ impl ContextTables {
             .min(self.regions.len() - 1);
         let r = &self.regions[at];
         assert!(
+            r.start <= index && index < r.end,
+            "instruction {index} outside all regions"
+        );
+        r
+    }
+
+    /// Region containing `index`, found by advancing a monotone cursor —
+    /// O(1) amortized for a sequential pass, where [`Self::region_of`]'s
+    /// binary search would repeat per instruction. `index` must be
+    /// non-decreasing across calls with the same cursor.
+    #[inline]
+    pub fn region_at(&self, cursor: &mut usize, index: u32) -> &Region {
+        while index >= self.regions[*cursor].end && *cursor + 1 < self.regions.len() {
+            *cursor += 1;
+        }
+        let r = &self.regions[*cursor];
+        debug_assert!(
             r.start <= index && index < r.end,
             "instruction {index} outside all regions"
         );
@@ -624,6 +945,39 @@ mod tests {
                 reduction * 100.0
             );
         }
+    }
+
+    #[test]
+    fn both_decode_modes_agree_on_every_sample() {
+        for p in sample_programs() {
+            for kind in SchemeKind::all() {
+                let image = kind.encode(&p);
+                for i in 0..image.len() as u32 {
+                    let tree = image
+                        .decode_with(&image.bytes, i, DecodeMode::Tree)
+                        .unwrap();
+                    let table = image
+                        .decode_with(&image.bytes, i, DecodeMode::Table)
+                        .unwrap();
+                    assert_eq!(tree, table, "{kind} at {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_decode_mode_switches_the_default_path() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let mut image = SchemeKind::Huffman.encode(&p);
+        assert_eq!(image.mode, DecodeMode::Table);
+        let fast: Vec<_> = (0..image.len() as u32)
+            .map(|i| image.decode(i).unwrap())
+            .collect();
+        image.set_decode_mode(DecodeMode::Tree);
+        let slow: Vec<_> = (0..image.len() as u32)
+            .map(|i| image.decode(i).unwrap())
+            .collect();
+        assert_eq!(fast, slow);
     }
 
     #[test]

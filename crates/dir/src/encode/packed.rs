@@ -9,7 +9,7 @@ use crate::bitstream::{bits_for, BitReader, BitWriter};
 use crate::isa::{Inst, Opcode, OPCODE_COUNT};
 use crate::program::Program;
 
-use super::{Decoded, DecoderData, FieldWidths, Image, ImageError, Scheme, SchemeKind};
+use super::{DecodeMode, Decoded, DecoderData, FieldWidths, Image, ImageError, Scheme, SchemeKind};
 
 /// The packed scheme (unit struct; widths are measured from the program).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,6 +43,7 @@ impl Scheme for Packed {
             bit_len,
             offsets,
             side_table_bits: widths.table_bits(),
+            mode: DecodeMode::default(),
             decoder: DecoderData::Packed(widths),
         }
     }
@@ -50,20 +51,33 @@ impl Scheme for Packed {
 
 /// Decodes one instruction; cost: extract + mask (2 ops) for the opcode and
 /// for each field.
+#[inline]
 pub(super) fn decode(
     reader: &mut BitReader<'_>,
     widths: &FieldWidths,
+    mode: DecodeMode,
 ) -> Result<Decoded, ImageError> {
-    let op_raw = reader.read(opcode_bits())?;
+    let op_raw = mode.read(reader, opcode_bits())?;
     let opcode = Opcode::from_u8(op_raw as u8).ok_or(ImageError::Decode(
         crate::isa::DecodeError::BadOpcode(op_raw as u8),
     ))?;
     let kinds = opcode.field_kinds();
-    let mut fields = Vec::with_capacity(kinds.len());
-    for kind in kinds {
-        fields.push(reader.read(widths.width(*kind))?);
-    }
-    let inst = Inst::from_parts(opcode, &fields)?;
+    let inst = match mode {
+        DecodeMode::Tree => {
+            let mut fields = Vec::with_capacity(kinds.len());
+            for kind in kinds {
+                fields.push(reader.read_bitwise(widths.width(*kind))?);
+            }
+            Inst::from_parts(opcode, &fields)?
+        }
+        DecodeMode::Table => {
+            let mut buf = [0u64; super::MAX_FIELDS];
+            for (i, kind) in kinds.iter().enumerate() {
+                buf[i] = reader.read(widths.width(*kind))?;
+            }
+            Inst::from_parts(opcode, &buf[..kinds.len()])?
+        }
+    };
     Ok(Decoded {
         inst,
         cost: 2 + 2 * kinds.len() as u32,

@@ -21,11 +21,13 @@
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::huffman::Tree;
-use crate::isa::{Inst, Opcode, OPCODE_COUNT};
+use crate::isa::{Opcode, OPCODE_COUNT};
 use crate::program::Program;
 
-use super::contextual::{read_fields, write_fields};
-use super::{ContextTables, Decoded, DecoderData, Image, ImageError, Scheme, SchemeKind};
+use super::contextual::{read_inst, write_fields};
+use super::{
+    ContextTables, DecodeMode, Decoded, DecoderData, Image, ImageError, Region, Scheme, SchemeKind,
+};
 
 /// The pair-frequency scheme (unit struct; codebooks are measured from the
 /// program's static opcode digrams).
@@ -74,14 +76,16 @@ impl CtxCode {
     }
 
     /// Decodes an opcode, returning `(opcode_discriminant, cost_ops)`.
+    #[inline]
     pub(crate) fn decode(
         &self,
         global: &Tree,
         reader: &mut BitReader<'_>,
+        mode: DecodeMode,
     ) -> Result<(u8, u32), ImageError> {
-        let (local, bits) = self.tree.decode(reader)?;
+        let (local, bits) = mode.huff(&self.tree, reader)?;
         if local == self.escape_symbol() {
-            let (sym, gbits) = global.decode(reader)?;
+            let (sym, gbits) = mode.huff(global, reader)?;
             // Escape: both walks plus the fallback dispatch.
             Ok((sym as u8, 2 * bits + 2 * gbits + 1))
         } else {
@@ -135,6 +139,7 @@ impl Scheme for PairHuffman {
             bit_len,
             offsets,
             side_table_bits: tables.table_bits() + tree_bits,
+            mode: DecodeMode::default(),
             decoder: DecoderData::Pair {
                 ctx,
                 global,
@@ -148,24 +153,24 @@ impl Scheme for PairHuffman {
 /// Decodes one instruction; cost: region lookup (1) + tree select (1) +
 /// tree walk (2 per code bit, doubled through the global tree on escape) +
 /// width lookup/extract/mask per field (3 each).
+#[inline]
 pub(super) fn decode(
     reader: &mut BitReader<'_>,
     ctx: &[CtxCode],
     global: &Tree,
     preds: &[u8],
-    tables: &ContextTables,
+    region: &Region,
     index: u32,
+    mode: DecodeMode,
 ) -> Result<Decoded, ImageError> {
-    let region = tables.region_of(index);
     let pred = *preds
         .get(index as usize)
         .ok_or(ImageError::BadIndex(index))?;
-    let (symbol, walk_cost) = ctx[pred as usize].decode(global, reader)?;
+    let (symbol, walk_cost) = ctx[pred as usize].decode(global, reader, mode)?;
     let opcode = Opcode::from_u8(symbol).ok_or(ImageError::Decode(
         crate::isa::DecodeError::BadOpcode(symbol),
     ))?;
-    let fields = read_fields(reader, opcode, region)?;
-    let inst = Inst::from_parts(opcode, &fields)?;
+    let inst = read_inst(reader, opcode, region, mode)?;
     Ok(Decoded {
         inst,
         cost: 2 + walk_cost + 3 * opcode.field_kinds().len() as u32,
@@ -255,9 +260,11 @@ mod tests {
         let mut w = BitWriter::new();
         ctx.encode(Opcode::Halt, &global, &mut w);
         let (buf, len) = w.finish();
-        let mut r = BitReader::new(&buf, len);
-        let (sym, cost) = ctx.decode(&global, &mut r).unwrap();
-        assert_eq!(sym, Opcode::Halt as u8);
-        assert!(cost > 2, "escape path must cost both walks");
+        for mode in DecodeMode::all() {
+            let mut r = BitReader::new(&buf, len);
+            let (sym, cost) = ctx.decode(&global, &mut r, mode).unwrap();
+            assert_eq!(sym, Opcode::Halt as u8);
+            assert!(cost > 2, "escape path must cost both walks ({mode})");
+        }
     }
 }

@@ -22,7 +22,9 @@ use crate::isa::{FieldKind, Inst, Opcode, FIELD_KINDS, OPCODE_COUNT};
 use crate::program::Program;
 
 use super::pair::CtxCode;
-use super::{ContextTables, Decoded, DecoderData, Image, ImageError, Region, Scheme, SchemeKind};
+use super::{
+    ContextTables, DecodeMode, Decoded, DecoderData, Image, ImageError, Region, Scheme, SchemeKind,
+};
 
 /// The full-frequency scheme (unit struct; all codebooks are measured from
 /// the program).
@@ -78,11 +80,16 @@ impl ValueCode {
     }
 
     /// Decodes one field value, returning `(value, cost_ops)`.
-    fn decode(&self, raw_width: u32, reader: &mut BitReader<'_>) -> Result<(u64, u32), ImageError> {
-        let (local, bits) = self.tree.decode(reader)?;
+    fn decode(
+        &self,
+        raw_width: u32,
+        reader: &mut BitReader<'_>,
+        mode: DecodeMode,
+    ) -> Result<(u64, u32), ImageError> {
+        let (local, bits) = mode.huff(&self.tree, reader)?;
         if local == self.escape_symbol() {
             let width = raw_width.max(1);
-            let raw = reader.read(width)?;
+            let raw = mode.read(reader, width)?;
             Ok((raw, 2 * bits + 3))
         } else {
             Ok((self.values[local], 2 * bits))
@@ -170,6 +177,7 @@ impl Scheme for ValueHuffman {
             bit_len,
             offsets,
             side_table_bits: side,
+            mode: DecodeMode::default(),
             decoder: DecoderData::ValueHuffman {
                 ctx,
                 global,
@@ -184,32 +192,49 @@ impl Scheme for ValueHuffman {
 /// Decodes one instruction; cost: region lookup (1) + opcode tree select +
 /// walk, then per field: codebook select (1) + value tree walk (2 per code
 /// bit, +3 raw on escape).
+#[allow(clippy::too_many_arguments)]
+#[inline]
 pub(super) fn decode(
     reader: &mut BitReader<'_>,
     ctx: &[CtxCode],
     global: &Tree,
     preds: &[u8],
-    tables: &ContextTables,
+    region: &Region,
     values: &[ValueCode],
     index: u32,
+    mode: DecodeMode,
 ) -> Result<Decoded, ImageError> {
-    let region = tables.region_of(index);
     let pred = *preds
         .get(index as usize)
         .ok_or(ImageError::BadIndex(index))?;
-    let (symbol, op_cost) = ctx[pred as usize].decode(global, reader)?;
+    let (symbol, op_cost) = ctx[pred as usize].decode(global, reader, mode)?;
     let opcode = Opcode::from_u8(symbol).ok_or(ImageError::Decode(
         crate::isa::DecodeError::BadOpcode(symbol),
     ))?;
     let kinds = opcode.field_kinds();
-    let mut fields = Vec::with_capacity(kinds.len());
     let mut field_cost = 0u32;
-    for kind in kinds {
-        let (coded, cost) = values[kind.index()].decode(region.widths.width(*kind), reader)?;
-        field_cost += 1 + cost;
-        fields.push(unrebase(*kind, coded, region));
-    }
-    let inst = Inst::from_parts(opcode, &fields)?;
+    let inst = match mode {
+        DecodeMode::Tree => {
+            let mut fields = Vec::with_capacity(kinds.len());
+            for kind in kinds {
+                let (coded, cost) =
+                    values[kind.index()].decode(region.widths.width(*kind), reader, mode)?;
+                field_cost += 1 + cost;
+                fields.push(unrebase(*kind, coded, region));
+            }
+            Inst::from_parts(opcode, &fields)?
+        }
+        DecodeMode::Table => {
+            let mut buf = [0u64; super::MAX_FIELDS];
+            for (i, kind) in kinds.iter().enumerate() {
+                let (coded, cost) =
+                    values[kind.index()].decode(region.widths.width(*kind), reader, mode)?;
+                field_cost += 1 + cost;
+                buf[i] = unrebase(*kind, coded, region);
+            }
+            Inst::from_parts(opcode, &buf[..kinds.len()])?
+        }
+    };
     Ok(Decoded {
         inst,
         cost: 2 + op_cost + field_cost,
@@ -276,11 +301,13 @@ mod tests {
         code.encode(3, 8, &mut w); // known
         code.encode(100, 8, &mut w); // escape
         let (buf, len) = w.finish();
-        let mut r = BitReader::new(&buf, len);
-        assert_eq!(code.decode(8, &mut r).unwrap().0, 3);
-        let (v, cost) = code.decode(8, &mut r).unwrap();
-        assert_eq!(v, 100);
-        assert!(cost > 2, "escape costs the raw read too");
+        for mode in DecodeMode::all() {
+            let mut r = BitReader::new(&buf, len);
+            assert_eq!(code.decode(8, &mut r, mode).unwrap().0, 3);
+            let (v, cost) = code.decode(8, &mut r, mode).unwrap();
+            assert_eq!(v, 100);
+            assert!(cost > 2, "escape costs the raw read too ({mode})");
+        }
     }
 
     #[test]

@@ -2,23 +2,55 @@
 //!
 //! Implements the "sophisticated encoding of the Huffman type" from the
 //! paper's Section 3.2: symbols that occur often in the *static* program
-//! representation get short codes. Decoding walks a binary tree bit by bit;
-//! [`Tree::decode`] reports the number of bits consumed so that the decode
-//! cost model can charge the paper's "two instructions per level of
-//! decoding".
+//! representation get short codes. Code *lengths* come from Huffman's
+//! algorithm; the bit patterns are then reassigned in canonical order
+//! (sorted by length, then symbol), which leaves every modeled quantity —
+//! program bits, decode cost, table size — untouched while making the
+//! codebook amenable to table-driven decoding.
+//!
+//! Two decode paths share one cursor discipline:
+//! [`Tree::decode`] walks the binary decode tree bit by bit — the
+//! reference oracle whose cost profile matches the paper's "two
+//! instructions per level of decoding" — while [`Tree::decode_table`]
+//! peeks a [`LUT_BITS`]-bit window, resolves short codes in one lookup,
+//! and falls back to the tree walk for codes longer than the window.
+//! Both report the same `(symbol, bits_consumed)` on the same streams and
+//! fail on the same truncated streams, so the modeled decode-cost
+//! accounting is identical whichever path runs.
 
 use crate::bitstream::{BitReader, BitWriter, BitsExhausted};
+
+/// Window width of the decode lookup table. Codes at most this long
+/// resolve in a single peek; longer codes (rare by construction — they
+/// belong to low-frequency symbols) take the tree-walk slow path.
+pub const LUT_BITS: u32 = 10;
+
+/// One lookup-table slot: the symbol whose code is a prefix of the
+/// window, and that code's length. `len == 0` marks a window whose code
+/// is longer than the table is wide (slow path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LutEntry {
+    sym: u32,
+    len: u32,
+}
 
 /// A Huffman codebook for symbols `0..n`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tree {
     /// `codes[s]` is the (code, width) for symbol `s`; zero-frequency
     /// symbols still receive a code so that any program can be encoded.
+    /// Bit patterns are canonical: sorted by (width, symbol).
     codes: Vec<(u64, u32)>,
     /// Flattened decode tree: nodes of `(left, right)`, negative values are
     /// `-(symbol + 1)` leaves, non-negative are node indices. Node 0 is the
     /// root.
     nodes: Vec<(i32, i32)>,
+    /// `1 << lut_bits` slots indexed by the next `lut_bits` bits of the
+    /// stream. Host-side acceleration only: deliberately *not* part of
+    /// [`Tree::table_bits`], which models the interpreter the paper costs.
+    lut: Vec<LutEntry>,
+    /// Window width actually used: `min(LUT_BITS, longest code)`.
+    lut_bits: u32,
 }
 
 impl Tree {
@@ -35,10 +67,14 @@ impl Tree {
         assert!(!freqs.is_empty(), "alphabet must be non-empty");
         let n = freqs.len();
         if n == 1 {
-            // Degenerate alphabet: one symbol, one-bit code.
+            // Degenerate alphabet: one symbol, one-bit code. Both window
+            // halves resolve to it — mirroring the tree, whose single
+            // node leads to symbol 0 on either bit.
             return Tree {
                 codes: vec![(0, 1)],
                 nodes: vec![(-1, -1)],
+                lut: vec![LutEntry { sym: 0, len: 1 }; 2],
+                lut_bits: 1,
             };
         }
         // Huffman's algorithm with a simple sorted work list (alphabets here
@@ -69,33 +105,45 @@ impl Tree {
         }
         let root = work.pop().expect("work list non-empty").2;
 
-        let mut codes = vec![(0u64, 0u32); n];
-        let mut nodes: Vec<(i32, i32)> = Vec::new();
-
-        fn build(
-            node: &Node,
-            code: u64,
-            depth: u32,
-            codes: &mut [(u64, u32)],
-            nodes: &mut Vec<(i32, i32)>,
-        ) -> i32 {
+        // Only the code *lengths* come from the tree shape; bit patterns
+        // are reassigned canonically below. Lengths alone determine every
+        // modeled quantity (program bits, decode levels, Kraft sum).
+        let mut lengths = vec![0u32; n];
+        fn depths(node: &Node, depth: u32, lengths: &mut [u32]) {
             match node {
-                Node::Leaf(sym) => {
-                    codes[*sym] = (code, depth.max(1));
-                    -((*sym as i32) + 1)
-                }
+                Node::Leaf(sym) => lengths[*sym] = depth.max(1),
                 Node::Internal(l, r) => {
-                    let idx = nodes.len();
-                    nodes.push((0, 0));
-                    let li = build(l, code << 1, depth + 1, codes, nodes);
-                    let ri = build(r, (code << 1) | 1, depth + 1, codes, nodes);
-                    nodes[idx] = (li, ri);
-                    idx as i32
+                    depths(l, depth + 1, lengths);
+                    depths(r, depth + 1, lengths);
                 }
             }
         }
-        build(&root, 0, 0, &mut codes, &mut nodes);
-        Tree { codes, nodes }
+        depths(&root, 0, &mut lengths);
+
+        // Canonical assignment: symbols sorted by (length, symbol) receive
+        // consecutive codes, left-shifted at each length increase. Kraft
+        // equality of Huffman lengths guarantees no overflow.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&s| (lengths[s], s));
+        let mut codes = vec![(0u64, 0u32); n];
+        let mut code = 0u64;
+        let mut prev_len = 0u32;
+        for &s in &order {
+            let len = lengths[s];
+            code <<= len - prev_len;
+            codes[s] = (code, len);
+            code += 1;
+            prev_len = len;
+        }
+
+        let nodes = decode_nodes(&codes);
+        let (lut, lut_bits) = decode_lut(&codes);
+        Tree {
+            codes,
+            nodes,
+            lut,
+            lut_bits,
+        }
     }
 
     /// Number of symbols in the alphabet.
@@ -130,7 +178,7 @@ impl Tree {
     pub fn decode(&self, input: &mut BitReader<'_>) -> Result<(usize, u32), BitsExhausted> {
         // Degenerate single-symbol alphabet still consumes its 1-bit code.
         if self.codes.len() == 1 {
-            input.read(1)?;
+            input.read_bitwise(1)?;
             return Ok((0, 1));
         }
         let mut node = 0i32;
@@ -144,6 +192,58 @@ impl Tree {
                 return Ok(((-next - 1) as usize, bits));
             }
             node = next;
+        }
+    }
+
+    /// Reads one symbol through the lookup table: one peek resolves any
+    /// code at most [`LUT_BITS`] long; longer codes fall back to the tree
+    /// walk. Returns exactly what [`Tree::decode`] returns on the same
+    /// stream — same symbol, same consumed bits, same `BitsExhausted` on
+    /// truncation — only the host cost differs.
+    ///
+    /// Why truncation parity holds: the table is filled so that every
+    /// window sharing a code prefix maps to that code's entry. If the
+    /// entry's length fits in the remaining bits, those bits *are* the
+    /// code (zero padding past the end never reaches them). If it does
+    /// not fit, prefix-freeness means no shorter code fits either, so the
+    /// oracle exhausts the stream just as `consume` does here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsExhausted`] if the stream ends mid-code.
+    #[inline]
+    pub fn decode_table(&self, input: &mut BitReader<'_>) -> Result<(usize, u32), BitsExhausted> {
+        if self.codes.len() == 1 {
+            input.consume(1)?;
+            return Ok((0, 1));
+        }
+        let window = input.peek(self.lut_bits);
+        let entry = self.lut[window as usize];
+        if entry.len != 0 {
+            input.consume(entry.len)?;
+            return Ok((entry.sym as usize, entry.len));
+        }
+        self.decode(input)
+    }
+
+    /// Resolves a symbol from an already-peeked 57-bit window (value in
+    /// the low 57 bits, stream order from the top). Returns the symbol
+    /// and its code length on a LUT hit, or `None` when the code is
+    /// longer than the table window (caller falls back to
+    /// [`Tree::decode_table`]). Nothing is consumed; the caller owns the
+    /// cursor. The degenerate single-symbol codebook reports its 1-bit
+    /// code, matching [`Tree::decode_table`].
+    #[inline]
+    pub(crate) fn lut_hit(&self, window57: u64) -> Option<(usize, u32)> {
+        if self.codes.len() == 1 {
+            return Some((0, 1));
+        }
+        let idx = (window57 >> (57 - self.lut_bits)) as usize;
+        let entry = self.lut[idx];
+        if entry.len != 0 {
+            Some((entry.sym as usize, entry.len))
+        } else {
+            None
         }
     }
 
@@ -164,6 +264,70 @@ impl Tree {
             .sum::<f64>()
             / total as f64
     }
+}
+
+/// Rebuilds the flattened decode tree from a canonical codebook by trie
+/// insertion. Huffman lengths satisfy Kraft equality, so the trie is a
+/// full binary tree with the same `n - 1` internal nodes the frequency
+/// tree had — [`Tree::table_bits`] is unchanged by canonicalization.
+fn decode_nodes(codes: &[(u64, u32)]) -> Vec<(i32, i32)> {
+    // i32::MIN marks a slot not yet claimed by any code.
+    const UNSET: i32 = i32::MIN;
+    let mut nodes: Vec<(i32, i32)> = vec![(UNSET, UNSET)];
+    for (sym, &(code, len)) in codes.iter().enumerate() {
+        let mut node = 0usize;
+        for i in (0..len).rev() {
+            let bit = (code >> i) & 1;
+            let slot = if bit == 0 {
+                nodes[node].0
+            } else {
+                nodes[node].1
+            };
+            let next = if i == 0 {
+                debug_assert_eq!(slot, UNSET, "codes are not prefix-free");
+                -((sym as i32) + 1)
+            } else if slot == UNSET {
+                nodes.push((UNSET, UNSET));
+                (nodes.len() - 1) as i32
+            } else {
+                slot
+            };
+            if bit == 0 {
+                nodes[node].0 = next;
+            } else {
+                nodes[node].1 = next;
+            }
+            if i > 0 {
+                node = next as usize;
+            }
+        }
+    }
+    debug_assert!(
+        nodes.iter().all(|&(l, r)| l != UNSET && r != UNSET),
+        "Kraft equality must fill the decode tree"
+    );
+    nodes
+}
+
+/// Builds the peek lookup table: every window whose leading bits are a
+/// code of length `<= lut_bits` maps to that code's entry; windows whose
+/// code is longer keep the default `len == 0` slow-path marker.
+fn decode_lut(codes: &[(u64, u32)]) -> (Vec<LutEntry>, u32) {
+    let max_len = codes.iter().map(|&(_, l)| l).max().unwrap_or(1);
+    let lut_bits = max_len.clamp(1, LUT_BITS);
+    let mut lut = vec![LutEntry::default(); 1usize << lut_bits];
+    for (sym, &(code, len)) in codes.iter().enumerate() {
+        if len <= lut_bits {
+            let lo = (code << (lut_bits - len)) as usize;
+            let hi = ((code + 1) << (lut_bits - len)) as usize;
+            let entry = LutEntry {
+                sym: sym as u32,
+                len,
+            };
+            lut[lo..hi].fill(entry);
+        }
+    }
+    (lut, lut_bits)
 }
 
 /// Shannon entropy (bits/symbol) of a frequency distribution, the lower
@@ -302,5 +466,121 @@ mod tests {
     fn table_bits_positive() {
         let tree = Tree::from_frequencies(&[1, 2, 3]);
         assert!(tree.table_bits() > 0);
+    }
+
+    #[test]
+    fn codes_are_canonical() {
+        // Canonical property: sorted by (length, symbol), codes are
+        // strictly increasing when left-aligned to a common width.
+        let freqs = [40u64, 20, 10, 8, 4, 2, 1, 1];
+        let tree = Tree::from_frequencies(&freqs);
+        let mut order: Vec<usize> = (0..freqs.len()).collect();
+        order.sort_by_key(|&s| (tree.width(s), s));
+        let max = order.iter().map(|&s| tree.width(s)).max().unwrap();
+        let aligned: Vec<u64> = order
+            .iter()
+            .map(|&s| tree.codes[s].0 << (max - tree.width(s)))
+            .collect();
+        for pair in aligned.windows(2) {
+            assert!(pair[0] < pair[1], "canonical codes must increase");
+        }
+    }
+
+    #[test]
+    fn table_decode_matches_tree_decode() {
+        let freqs = [500u64, 120, 40, 9, 3, 1, 1, 1, 1, 1, 1];
+        let tree = Tree::from_frequencies(&freqs);
+        let mut rng = 0x1234_5678_9ABC_DEF0u64;
+        let mut w = BitWriter::new();
+        let mut symbols = Vec::new();
+        for _ in 0..2000 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = (rng >> 33) as usize % freqs.len();
+            tree.encode(s, &mut w);
+            symbols.push(s);
+        }
+        let (buf, len) = w.finish();
+        let mut tree_r = BitReader::new(&buf, len);
+        let mut table_r = BitReader::new(&buf, len);
+        for &s in &symbols {
+            let a = tree.decode(&mut tree_r).unwrap();
+            let b = tree.decode_table(&mut table_r).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a.0, s);
+            assert_eq!(tree_r.position(), table_r.position());
+        }
+    }
+
+    #[test]
+    fn table_decode_error_parity_on_truncation() {
+        let freqs = [500u64, 120, 40, 9, 3, 1, 1, 1, 1, 1, 1];
+        let tree = Tree::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        for s in 0..freqs.len() {
+            tree.encode(s, &mut w);
+        }
+        let (buf, len) = w.finish();
+        // Every truncation point: decode until the tree path errors, and
+        // demand the table path error at the same symbol.
+        for cut in 0..len {
+            let mut tree_r = BitReader::new(&buf, cut);
+            let mut table_r = BitReader::new(&buf, cut);
+            loop {
+                let a = tree.decode(&mut tree_r);
+                let b = tree.decode_table(&mut table_r);
+                assert_eq!(a, b, "divergence at cut {cut}");
+                if a.is_err() {
+                    break;
+                }
+                assert_eq!(tree_r.position(), table_r.position());
+            }
+        }
+    }
+
+    #[test]
+    fn long_codes_take_the_slow_path_correctly() {
+        // Fibonacci-ish frequencies force a deep, skewed tree with codes
+        // longer than LUT_BITS, exercising the fallback.
+        let freqs: Vec<u64> = {
+            let (mut a, mut b) = (1u64, 1u64);
+            (0..20)
+                .map(|_| {
+                    let f = a;
+                    (a, b) = (b, a + b);
+                    f
+                })
+                .collect()
+        };
+        let tree = Tree::from_frequencies(&freqs);
+        let deepest = (0..freqs.len()).max_by_key(|&s| tree.width(s)).unwrap();
+        assert!(
+            tree.width(deepest) > LUT_BITS,
+            "distribution failed to produce a long code"
+        );
+        let mut w = BitWriter::new();
+        for s in (0..freqs.len()).chain([deepest, 0, deepest]) {
+            tree.encode(s, &mut w);
+        }
+        let (buf, len) = w.finish();
+        let mut tree_r = BitReader::new(&buf, len);
+        let mut table_r = BitReader::new(&buf, len);
+        while tree_r.position() < len {
+            let a = tree.decode(&mut tree_r).unwrap();
+            let b = tree.decode_table(&mut table_r).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn degenerate_alphabet_table_decode() {
+        let tree = Tree::from_frequencies(&[7]);
+        let buf = [0b1010_0000u8];
+        let mut r = BitReader::new(&buf, 3);
+        for _ in 0..3 {
+            assert_eq!(tree.decode_table(&mut r).unwrap(), (0, 1));
+        }
+        assert!(tree.decode_table(&mut r).is_err());
     }
 }

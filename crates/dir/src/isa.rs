@@ -113,6 +113,7 @@ impl AluOp {
     }
 
     /// Converts a discriminant back into an `AluOp`.
+    #[inline]
     pub fn from_u8(v: u8) -> Option<AluOp> {
         ALU_OPS.get(v as usize).copied()
     }
@@ -427,11 +428,13 @@ impl std::error::Error for DecodeError {}
 
 impl Opcode {
     /// Converts a discriminant back into an `Opcode`.
+    #[inline]
     pub fn from_u8(v: u8) -> Option<Opcode> {
         OPCODES.get(v as usize).copied()
     }
 
     /// The operand-field schema of this opcode, in encoding order.
+    #[inline]
     pub fn field_kinds(self) -> &'static [FieldKind] {
         use FieldKind::*;
         match self {
@@ -473,6 +476,7 @@ impl Opcode {
 
 impl Inst {
     /// The opcode of this instruction.
+    #[inline]
     pub fn opcode(self) -> Opcode {
         match self {
             Inst::PushConst(_) => Opcode::PushConst,
@@ -546,6 +550,7 @@ impl Inst {
     ///
     /// Returns a [`DecodeError`] when the field count, an ALU discriminant
     /// or a field range is invalid.
+    #[inline]
     pub fn from_parts(opcode: Opcode, fields: &[u64]) -> Result<Inst, DecodeError> {
         let schema = opcode.field_kinds();
         if fields.len() != schema.len() {

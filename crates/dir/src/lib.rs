@@ -43,5 +43,6 @@ pub mod isa;
 pub mod program;
 pub mod stats;
 
+pub use encode::DecodeMode;
 pub use isa::{AluOp, Inst, Opcode};
 pub use program::{ProcInfo, Program};

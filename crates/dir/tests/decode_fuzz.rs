@@ -71,6 +71,58 @@ fn truncated_streams_error_cleanly() {
     }
 }
 
+/// Error parity: on arbitrary garbage, bit-flipped and truncated
+/// streams, the table decoder returns the *same* `Result` as the tree
+/// decoder — same instruction when both decode, same typed error when
+/// either fails. The fast plane may not even differ in how it breaks.
+/// Over 10k adversarial inputs per run.
+#[test]
+fn tree_and_table_agree_on_corrupt_streams() {
+    use dir::encode::DecodeMode;
+    let program = sample_program();
+    let mut rng = Rng::new(0x7AB1_E5EE);
+    let mut inputs = 0u64;
+    for scheme in SchemeKind::all() {
+        let image = scheme.encode(&program);
+        // Pure garbage of the original length.
+        for _ in 0..150 {
+            let garbage: Vec<u8> = (0..image.bytes.len())
+                .map(|_| rng.next_u64() as u8)
+                .collect();
+            for _ in 0..4 {
+                let index = rng.range_u64(0, image.len() as u64) as u32;
+                let tree = image.decode_with(&garbage, index, DecodeMode::Tree);
+                let table = image.decode_with(&garbage, index, DecodeMode::Table);
+                assert_eq!(tree, table, "{scheme} garbage at {index}");
+                inputs += 1;
+            }
+        }
+        // Single-bit corruptions of the well-formed stream.
+        for _ in 0..40 {
+            let mut bytes = image.bytes.clone();
+            let bit = rng.range_u64(0, image.bit_len);
+            bytes[(bit / 8) as usize] ^= 0x80 >> (bit % 8);
+            for index in 0..image.len() as u32 {
+                let tree = image.decode_with(&bytes, index, DecodeMode::Tree);
+                let table = image.decode_with(&bytes, index, DecodeMode::Table);
+                assert_eq!(tree, table, "{scheme} bit {bit} at {index}");
+                inputs += 1;
+            }
+        }
+        // Truncations: exhaustion must surface identically.
+        for cut in 0..image.bytes.len() {
+            let truncated = &image.bytes[..cut];
+            for index in 0..image.len() as u32 {
+                let tree = image.decode_with(truncated, index, DecodeMode::Tree);
+                let table = image.decode_with(truncated, index, DecodeMode::Table);
+                assert_eq!(tree, table, "{scheme} cut {cut} at {index}");
+                inputs += 1;
+            }
+        }
+    }
+    assert!(inputs >= 10_000, "only {inputs} parity inputs");
+}
+
 /// The unmodified buffer decodes identically through `decode_from` and
 /// `decode` — the fault plane's zero-rate path is exact.
 #[test]

@@ -34,4 +34,4 @@ pub mod verify;
 pub use engine::{Engine, MicroEffect, ShortEffect};
 pub use routines::RoutineLib;
 pub use short::{InterpMode, PopMode, PushMode, RoutineId, ShortInstr};
-pub use translator::{translate, MAX_TRANSLATION_WORDS};
+pub use translator::{fuse_block, translate, TransCache, MAX_TRANSLATION_WORDS};

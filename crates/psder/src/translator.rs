@@ -15,6 +15,10 @@
 //! * the **cost model** measures `s1` (short words per DIR instruction)
 //!   and `g` (generation cost) from them.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::rc::Rc;
+
 use dir::isa::Inst;
 
 use crate::short::{InterpMode, PopMode, PushMode, RoutineId, ShortInstr};
@@ -151,6 +155,167 @@ pub fn shape(inst: Inst) -> TranslationShape {
     }
 }
 
+/// Memoized decode templates: a `(instruction, successor)` → sequence
+/// cache over [`translate`].
+///
+/// The DTB retranslates the same hot lines every time they are evicted
+/// and re-missed, and the pure interpreter retranslates every instruction
+/// of a loop on every iteration. The *modeled* generation cost is charged
+/// per the paper regardless — this cache only removes the host-side
+/// allocation and template construction, returning a shared [`Rc`] slice
+/// whose contents are identical to a fresh [`translate`] call.
+#[derive(Debug, Default)]
+pub struct TransCache {
+    map: HashMap<(Inst, u32), Rc<[ShortInstr]>, BuildTemplateHasher>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Multiply-rotate hasher for the template cache. The keys are tiny (one
+/// instruction plus one address) and lookups sit on the hot translate
+/// path, where the standard SipHash setup costs more than the template
+/// it saves; there is no untrusted-key DoS concern inside a cache of
+/// program instructions.
+#[derive(Debug, Default)]
+struct TemplateHasher(u64);
+
+type BuildTemplateHasher = std::hash::BuildHasherDefault<TemplateHasher>;
+
+impl TemplateHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for TemplateHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_ne_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | u64::from(b);
+        }
+        self.fold(tail);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.fold(v as u64);
+    }
+}
+
+impl TransCache {
+    /// An empty cache.
+    pub fn new() -> TransCache {
+        TransCache::default()
+    }
+
+    /// Translates `inst` with fall-through successor `next`, reusing the
+    /// memoized sequence when this exact pair has been seen before.
+    #[inline]
+    pub fn translate(&mut self, inst: Inst, next: u32) -> Rc<[ShortInstr]> {
+        match self.map.entry((inst, next)) {
+            Entry::Occupied(e) => {
+                self.hits += 1;
+                Rc::clone(e.get())
+            }
+            Entry::Vacant(v) => {
+                self.misses += 1;
+                Rc::clone(v.insert(Rc::from(translate(inst, next))))
+            }
+        }
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to run the translator.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct `(instruction, successor)` pairs cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache has seen no translations yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Superinstruction fusion: translates a straight-line run of DIR
+/// instructions starting at address `start` into one PSDER block,
+/// omitting the interior `INTERP` terminators that would bounce through
+/// the instruction-unit dispatch between consecutive fall-through
+/// instructions. Fusion stops after the first instruction whose successor
+/// is not the static fall-through (branches, calls, returns, halt) or
+/// when `code` runs out; the block keeps that instruction's own
+/// terminator, so control leaves the block exactly as it would leave the
+/// unfused sequence.
+///
+/// Returns the fused block and the number of DIR instructions it covers.
+///
+/// This is a *host-side* representation raise (the translation analogue
+/// of `dir::fuse`): the machine's modeled cost accounting deliberately
+/// does not use it, because dropping modeled INTERP dispatches would
+/// change the paper's cycle counts.
+pub fn fuse_block(code: &[Inst], start: u32) -> (Vec<ShortInstr>, usize) {
+    let mut out = Vec::new();
+    let mut taken = 0usize;
+    for (i, &inst) in code.iter().enumerate() {
+        let next = start + i as u32 + 1;
+        let t = translate(inst, next);
+        taken += 1;
+        let falls_through =
+            matches!(t.last(), Some(&ShortInstr::Interp(InterpMode::Imm(n))) if n == next);
+        if falls_through && i + 1 < code.len() {
+            out.extend_from_slice(&t[..t.len() - 1]);
+        } else {
+            out.extend_from_slice(&t);
+            break;
+        }
+    }
+    (out, taken)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +439,106 @@ mod tests {
         let total: usize = p.code.iter().map(|&i| translate(i, 0).len()).sum();
         let mean = total as f64 / p.code.len() as f64;
         assert!((1.5..4.0).contains(&mean), "mean s1 = {mean}");
+    }
+
+    #[test]
+    fn cache_returns_identical_sequences() {
+        let mut cache = TransCache::new();
+        let insts = [
+            (Inst::PushConst(7), 1),
+            (Inst::Bin(AluOp::Add), 2),
+            (Inst::PushConst(7), 1), // repeat: must hit
+            (Inst::PushConst(7), 5), // same inst, new successor: miss
+            (Inst::JumpIfFalse(3), 9),
+        ];
+        for &(inst, next) in &insts {
+            let cached = cache.translate(inst, next);
+            assert_eq!(&cached[..], &translate(inst, next)[..], "{inst:?}");
+        }
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn cache_amortizes_a_hot_loop() {
+        // The workload that motivates memoization: a loop body translated
+        // once per iteration. After iteration one, everything hits.
+        let body = [
+            (Inst::PushLocal(0), 11),
+            (Inst::PushConst(1), 12),
+            (Inst::Bin(AluOp::Add), 13),
+            (Inst::StoreLocal(0), 14),
+        ];
+        let mut cache = TransCache::new();
+        for _ in 0..100 {
+            for &(inst, next) in &body {
+                cache.translate(inst, next);
+            }
+        }
+        assert_eq!(cache.misses(), body.len() as u64);
+        assert_eq!(cache.hits(), 99 * body.len() as u64);
+    }
+
+    #[test]
+    fn fused_block_drops_only_interior_terminators() {
+        let code = [
+            Inst::PushLocal(0),
+            Inst::PushConst(1),
+            Inst::Bin(AluOp::Add),
+            Inst::StoreLocal(0),
+        ];
+        let (fused, taken) = fuse_block(&code, 10);
+        assert_eq!(taken, code.len());
+        let unfused_words: usize = code
+            .iter()
+            .enumerate()
+            .map(|(i, &inst)| translate(inst, 10 + i as u32 + 1).len())
+            .sum();
+        // One terminator survives; the other three are fused away.
+        assert_eq!(fused.len(), unfused_words - (code.len() - 1));
+        let interps = fused
+            .iter()
+            .filter(|s| matches!(s, ShortInstr::Interp(_)))
+            .count();
+        assert_eq!(interps, 1);
+        assert_eq!(
+            *fused.last().unwrap(),
+            ShortInstr::Interp(InterpMode::Imm(14)),
+            "block exits to the fall-through of its last instruction"
+        );
+        // Fusion only removes terminators: the non-INTERP words appear in
+        // the same order as in the unfused sequences.
+        let non_interp = |seq: &[ShortInstr]| {
+            seq.iter()
+                .filter(|s| !matches!(s, ShortInstr::Interp(_)))
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        let mut expected = Vec::new();
+        for (i, &inst) in code.iter().enumerate() {
+            expected.extend(non_interp(&translate(inst, 10 + i as u32 + 1)));
+        }
+        assert_eq!(non_interp(&fused), expected);
+    }
+
+    #[test]
+    fn fusion_stops_at_control_transfers() {
+        let code = [
+            Inst::PushConst(1),
+            Inst::JumpIfFalse(40),
+            Inst::PushConst(2), // unreachable by fusion
+        ];
+        let (fused, taken) = fuse_block(&code, 0);
+        assert_eq!(taken, 2, "fusion must not run past a branch");
+        assert_eq!(
+            *fused.last().unwrap(),
+            ShortInstr::Interp(InterpMode::Stack)
+        );
+        let (jump_only, taken) = fuse_block(&[Inst::Jump(7)], 3);
+        assert_eq!(taken, 1);
+        assert_eq!(jump_only, vec![ShortInstr::Interp(InterpMode::Imm(7))]);
+        assert_eq!(fuse_block(&[], 0), (Vec::new(), 0));
     }
 
     #[test]

@@ -132,6 +132,17 @@ pub enum Event {
         /// Level-2 words transferred.
         words: u32,
     },
+    /// A DIR instruction was decoded from the encoded stream.
+    Decode {
+        /// DIR address decoded.
+        addr: u32,
+        /// Modeled decode cost in host instructions (the paper's `d` for
+        /// this one instruction) — a property of the representation,
+        /// identical whichever host decoder ran.
+        cost: u32,
+        /// Encoded width of the instruction in bits.
+        bits: u32,
+    },
     /// The fault injector corrupted machine state.
     FaultInjected {
         /// What was corrupted.
@@ -160,6 +171,7 @@ impl Event {
             Event::RoutineEnter { .. } => "routine_enter",
             Event::RoutineExit { .. } => "routine_exit",
             Event::L2Fetch { .. } => "l2_fetch",
+            Event::Decode { .. } => "decode",
             Event::FaultInjected { .. } => "fault_injected",
             Event::Degraded { .. } => "degraded",
         }
@@ -200,6 +212,11 @@ impl Event {
                 obj.push(("addr".into(), Json::from(addr as i64)));
                 obj.push(("words".into(), Json::from(words as i64)));
             }
+            Event::Decode { addr, cost, bits } => {
+                obj.push(("addr".into(), Json::from(addr as i64)));
+                obj.push(("cost".into(), Json::from(cost as i64)));
+                obj.push(("bits".into(), Json::from(bits as i64)));
+            }
             Event::FaultInjected { kind, addr } => {
                 obj.push(("kind".into(), Json::from(kind.label())));
                 obj.push(("addr".into(), Json::from(addr as i64)));
@@ -238,6 +255,8 @@ pub struct EventCounts {
     pub routine_exits: u64,
     /// `L2Fetch` events.
     pub l2_fetches: u64,
+    /// `Decode` events.
+    pub decodes: u64,
     /// `DtbMiss` events of the `Recovery` class (subset of `dtb_misses`).
     pub recovery_misses: u64,
     /// `FaultInjected` events.
@@ -266,6 +285,7 @@ impl EventCounts {
             Event::RoutineEnter { .. } => self.routine_enters += 1,
             Event::RoutineExit { .. } => self.routine_exits += 1,
             Event::L2Fetch { .. } => self.l2_fetches += 1,
+            Event::Decode { .. } => self.decodes += 1,
             Event::FaultInjected { .. } => self.faults_injected += 1,
             Event::Degraded { .. } => self.degradations += 1,
         }
@@ -281,6 +301,7 @@ impl EventCounts {
             + self.routine_enters
             + self.routine_exits
             + self.l2_fetches
+            + self.decodes
             + self.faults_injected
             + self.degradations
     }
@@ -346,6 +367,11 @@ mod tests {
             Event::RoutineEnter { id: 0 },
             Event::RoutineExit { id: 0, words: 1 },
             Event::L2Fetch { addr: 0, words: 1 },
+            Event::Decode {
+                addr: 0,
+                cost: 7,
+                bits: 13,
+            },
             Event::FaultInjected {
                 kind: FaultKind::DtbWord,
                 addr: 0,

@@ -12,7 +12,7 @@
 //! * [`Mode::ICache`] — the resource-matched baseline (T3): level-2 words
 //!   are cached, but every instruction is still decoded.
 
-use dir::encode::{Image, SchemeKind};
+use dir::encode::{DecodeMode, Image, SchemeKind};
 use dir::exec::Trap;
 use dir::program::Program;
 use memsim::{Access, Geometry, SetAssocCache};
@@ -126,6 +126,14 @@ impl Machine {
         self
     }
 
+    /// Selects the host decoder implementation (tree-walking reference or
+    /// table-driven fast plane). Outputs, traps and every *modeled*
+    /// metric are identical either way; only host wall-clock differs.
+    pub fn set_decoder(&mut self, mode: DecodeMode) -> &mut Self {
+        self.image.set_decode_mode(mode);
+        self
+    }
+
     /// The encoded image this machine executes from.
     pub fn image(&self) -> &Image {
         &self.image
@@ -191,6 +199,7 @@ impl Machine {
             dir_bytes: self.faults.as_ref().map(|_| self.image.bytes.clone()),
             degraded: HashSet::new(),
             fail_counts: HashMap::new(),
+            trans: psder::TransCache::new(),
         };
         run.execute(mode)?;
         let mut metrics = run.metrics;
@@ -272,6 +281,11 @@ struct Run<'m, S: TraceSink> {
     /// Consecutive integrity failures per DIR address, reset on a clean
     /// dispatch.
     fail_counts: HashMap<u32, u32>,
+    /// Memoized DIR→PSDER templates. Purely host-side: the modeled
+    /// generation/store cycles are charged per translation event exactly
+    /// as before, but repeated events reuse one shared sequence instead
+    /// of rebuilding it.
+    trans: psder::TransCache,
 }
 
 /// Where one DIR instruction's execution leads.
@@ -313,7 +327,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
     /// interpreter mode's step, and the fallback degraded addresses take.
     fn interp_one(&mut self, pc: u32) -> Result<Next, Trap> {
         let inst = self.fetch_decode(pc)?;
-        let sequence = psder::translate(inst, pc + 1);
+        let sequence = self.trans.translate(inst, pc + 1);
         self.run_inline(&sequence)
     }
 
@@ -483,6 +497,13 @@ impl<'m, S: TraceSink> Run<'m, S> {
         self.metrics.decoded += 1;
         self.metrics.cycles.decode +=
             self.costs().scaled_decode(decoded.cost as u64) * self.costs().mem.t1;
+        if S::ENABLED {
+            self.sink.emit(Event::Decode {
+                addr: pc,
+                cost: decoded.cost,
+                bits: decoded.bits as u32,
+            });
+        }
         Ok(decoded.inst)
     }
 
@@ -618,7 +639,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 // the replacement logic.
                 let d0 = self.metrics.cycles.decode;
                 let inst = self.fetch_decode(pc)?;
-                let sequence = psder::translate(inst, pc + 1);
+                let sequence = self.trans.translate(inst, pc + 1);
                 let gen = sequence.len() as u64 * self.costs().gen_per_word;
                 let store = sequence.len() as u64 * self.costs().store_per_word;
                 self.metrics.cycles.generate += gen * self.costs().mem.t1;
@@ -708,7 +729,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 // Probe the second-level store.
                 self.metrics.cycles.lookup2 += tau2;
                 let l2_hit = require(self.dtb2.as_mut(), NO_DTB2)?.lookup(pc);
-                let sequence: Vec<ShortInstr> = match l2_hit {
+                let sequence: std::rc::Rc<[ShortInstr]> = match l2_hit {
                     Some(h2) => {
                         // Promote: read each word from L2 (tau_dtb2) and
                         // store it into L1 (store_per_word each).
@@ -723,13 +744,13 @@ impl<'m, S: TraceSink> Run<'m, S> {
                                 words: len,
                             });
                         }
-                        words
+                        words.into()
                     }
                     None => {
                         // Full translation, then fill L2 as well.
                         let d0 = self.metrics.cycles.decode;
                         let inst = self.fetch_decode(pc)?;
-                        let sequence = psder::translate(inst, pc + 1);
+                        let sequence = self.trans.translate(inst, pc + 1);
                         let gen = sequence.len() as u64 * self.costs().gen_per_word;
                         let store = sequence.len() as u64 * self.costs().store_per_word * 2; // stored at both levels
                         self.metrics.cycles.generate += gen * self.costs().mem.t1;
@@ -1002,6 +1023,43 @@ mod tests {
             t_two < t_small,
             "two-level ({t_two:.2}) must beat the lone small DTB ({t_small:.2})"
         );
+    }
+
+    #[test]
+    fn decoder_modes_produce_identical_reports() {
+        // The host decoder must be invisible to everything modeled:
+        // output, instruction counts, cycle breakdowns, DTB statistics.
+        let p = compile(&hlr::programs::GCD_CHAIN.compile().unwrap());
+        for scheme in SchemeKind::all() {
+            for mode in modes() {
+                let mut tree = Machine::new(&p, scheme);
+                tree.set_decoder(DecodeMode::Tree);
+                let mut table = Machine::new(&p, scheme);
+                table.set_decoder(DecodeMode::Table);
+                let a = tree.run(&mode).unwrap();
+                let b = table.run(&mode).unwrap();
+                assert_eq!(a.output, b.output, "{scheme} {mode:?}");
+                assert_eq!(a.metrics, b.metrics, "{scheme} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_events_corroborate_the_decode_counter() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let m = Machine::new(&p, SchemeKind::Huffman);
+        let mut ring = telemetry::RingSink::new(256);
+        let r = m.run_with(&Mode::Interpreter, &mut ring).unwrap();
+        assert_eq!(ring.counts().decodes, r.metrics.decoded);
+        // Every retained event carries the modeled per-instruction cost.
+        let mut saw_cost = false;
+        for e in ring.events() {
+            if let Event::Decode { cost, bits, .. } = e {
+                assert!(*cost > 0 && *bits > 0);
+                saw_cost = true;
+            }
+        }
+        assert!(saw_cost, "ring retained no decode events");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! run options:
 //!   --mode interp|dtb|icache|two-level   (default: dtb)
 //!   --scheme byte|packed|contextual|huffman|pair|valuehuff (default: huffman)
+//!   --decoder tree|table                 host decoder plane (default: table)
 //!   --dtb-entries N                      (default: 64)
 //!   --dtb-unit-words N                   buffer words per allocation unit
 //!   --fold                               constant-fold before compiling
@@ -32,7 +33,7 @@
 
 use std::process::ExitCode;
 
-use dir::encode::SchemeKind;
+use dir::encode::{DecodeMode, SchemeKind};
 use telemetry::{Json, JsonlSink, RingSink, TeeSink};
 use uhm::{DtbConfig, FaultConfig, Machine, Mode, RetryPolicy};
 
@@ -69,6 +70,7 @@ struct Cli {
     path: String,
     mode: ModeArg,
     scheme: SchemeKind,
+    decoder: DecodeMode,
     dtb_entries: usize,
     fold: bool,
     fuse: bool,
@@ -125,6 +127,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         path,
         mode: ModeArg::Dtb,
         scheme: SchemeKind::Huffman,
+        decoder: DecodeMode::default(),
         dtb_entries: 64,
         fold: false,
         fuse: false,
@@ -168,6 +171,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .into_iter()
                     .find(|s| s.label() == name)
                     .ok_or_else(|| format!("unknown scheme `{name}`"))?;
+            }
+            "--decoder" => {
+                let name = it.next().ok_or("missing --decoder value")?;
+                cli.decoder = DecodeMode::parse(name)
+                    .ok_or_else(|| format!("unknown decoder `{name}` (tree|table)"))?;
             }
             "--dtb-entries" => {
                 cli.dtb_entries = it
@@ -302,6 +310,7 @@ fn run_config(cli: &Cli) -> Json {
         ("file", cli.path.as_str().into()),
         ("mode", mode.into()),
         ("scheme", cli.scheme.label().into()),
+        ("decoder", cli.decoder.label().into()),
         ("dtb_entries", (cli.dtb_entries as u64).into()),
         ("fold", cli.fold.into()),
         ("fuse", cli.fuse.into()),
@@ -370,6 +379,7 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
         Command::Run => {
             let program = build_program(cli, source)?;
             let mut machine = Machine::new(&program, cli.scheme);
+            machine.set_decoder(cli.decoder);
             machine.set_trace(false);
             machine.set_window(cli.window);
             let mode = machine_mode(cli)?;
@@ -451,6 +461,7 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
         Command::Profile => {
             let program = build_program(cli, source)?;
             let mut machine = Machine::new(&program, cli.scheme);
+            machine.set_decoder(cli.decoder);
             machine.set_trace(true);
             let mut report = machine
                 .run(&Mode::Interpreter)
@@ -518,6 +529,7 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             };
             let mut machine =
                 Machine::with(&program, cli.scheme, uhm::CostModel::default(), limits);
+            machine.set_decoder(cli.decoder);
             let mode = machine_mode(cli)?;
             let clean = machine
                 .run(&mode)
@@ -677,7 +689,21 @@ mod tests {
         let cli = parse_args(&args("run p.raul")).unwrap();
         assert_eq!(cli.mode, ModeArg::Dtb);
         assert_eq!(cli.scheme, SchemeKind::Huffman);
+        assert_eq!(cli.decoder, DecodeMode::Table);
         assert_eq!(cli.dtb_entries, 64);
+    }
+
+    #[test]
+    fn decoder_flag_selects_the_host_plane() {
+        let cli = parse_args(&args("run p.raul --decoder tree")).unwrap();
+        assert_eq!(cli.decoder, DecodeMode::Tree);
+        assert!(parse_args(&args("run p.raul --decoder lut")).is_err());
+        // Both planes execute a program to the same output.
+        let src = "proc main() begin int i; for i := 0 to 5 do write i * i; end";
+        for d in ["tree", "table"] {
+            let cli = parse_args(&args(&format!("run p.raul --decoder {d}"))).unwrap();
+            execute(&cli, src).unwrap();
+        }
     }
 
     #[test]

@@ -50,6 +50,24 @@ fn routine_library_is_stable() {
 }
 
 #[test]
+fn table_decoded_huffman_images_match_golden() {
+    // Golden coverage through the fast plane: encode each pinned program
+    // under the Huffman scheme, decode it with the table decoder, and the
+    // disassembly must still match the checked-in listing bit for bit.
+    for name in ["fib_rec", "gcd_chain"] {
+        let sample = hlr::programs::by_name(name).expect("sample exists");
+        let program = dir::compiler::compile(&sample.compile().expect("compiles"));
+        let mut image = dir::encode::SchemeKind::Huffman.encode(&program);
+        image.set_decode_mode(dir::encode::DecodeMode::Table);
+        let decoded = dir::Program {
+            code: image.decode_all().expect("clean image decodes"),
+            ..program.clone()
+        };
+        assert_golden(&dir::asm::disassemble(&decoded), &format!("{name}.dir.asm"));
+    }
+}
+
+#[test]
 fn golden_programs_reassemble_and_run() {
     // The fixtures are not just text: they assemble back into programs
     // that validate and produce the reference outputs.
