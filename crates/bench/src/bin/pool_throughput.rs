@@ -1,0 +1,228 @@
+//! **E16 — multi-tenant pool throughput:** aggregate host throughput of
+//! the [`uhm::pool::MachinePool`] across worker counts, over tenants
+//! cycling the full sample corpus. The figure of merit is aggregate
+//! Minstr/s: total *modeled* DIR instructions retired across tenants,
+//! divided by host wall-clock. The numerator is schedule-invariant (every
+//! tenant's modeled metrics are bit-identical to a sequential run — the
+//! pool is a pure host-side construct), so the ratio isolates what the
+//! pool actually buys: parallel host execution over shared read-only
+//! decode artifacts.
+//!
+//! Run with `cargo run -p uhm-bench --release --bin pool_throughput`.
+//! With `--json`, emits a versioned RunReport (one row per worker count,
+//! including per-tenant latency percentiles) instead of the text table.
+//! With `--smoke`, exits non-zero if (a) any tenant's pooled outcome
+//! differs from the sequential reference at any tested worker count, or
+//! (b) the measured 4-worker/1-worker aggregate throughput ratio falls
+//! below the scaling gate. The gate is 1.7x on hosts with >= 4 cores;
+//! on narrower hosts threads only time-slice, so the threshold drops to
+//! 1.15x (2-3 cores) or the ratio check is skipped (1 core) — the
+//! bit-identity half of the gate always runs.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dir::encode::SchemeKind;
+use telemetry::Json;
+use uhm::pool::{MachinePool, PoolRun, TenantOutcome};
+use uhm::{DtbConfig, Machine, Mode};
+use uhm_bench::{bench_report, json_flag, workloads};
+
+/// Tenants in the measured pool (cycling the sample corpus).
+const TENANTS: usize = 24;
+/// Worker counts measured in full mode.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Pool runs per worker count; the fastest is reported (min-of-N, the
+/// same discipline as the perf gate).
+const SAMPLES: usize = 3;
+/// Required 4-worker/1-worker throughput ratio on hosts with >= 4 cores.
+const FULL_GATE: f64 = 1.7;
+/// Relaxed ratio for 2-3 core hosts.
+const NARROW_GATE: f64 = 1.15;
+
+/// Builds the tenant machine set: one machine per workload, encoded once,
+/// with the frozen translation snapshot attached so all tenants of a
+/// workload share one decode-template table.
+fn machines() -> Vec<(String, Arc<Machine>)> {
+    workloads()
+        .into_iter()
+        .map(|w| {
+            let mut m = Machine::new(&w.base, SchemeKind::Huffman);
+            m.freeze_translations();
+            (w.name.to_string(), Arc::new(m))
+        })
+        .collect()
+}
+
+fn build_pool(machines: &[(String, Arc<Machine>)], workers: usize, tenants: usize) -> MachinePool {
+    let mut pool = MachinePool::new(workers);
+    for t in 0..tenants {
+        let (name, machine) = &machines[t % machines.len()];
+        pool.push(
+            format!("{name}#{t}"),
+            Arc::clone(machine),
+            Mode::Dtb(DtbConfig::with_capacity(64)),
+        );
+    }
+    pool
+}
+
+fn outcomes(run: &PoolRun) -> Vec<&TenantOutcome> {
+    run.results.iter().map(|r| &r.outcome).collect()
+}
+
+/// Runs the pool `SAMPLES` times, asserting bit-identity against the
+/// sequential reference on every sample, and returns the fastest run.
+fn measure(
+    machines: &[(String, Arc<Machine>)],
+    workers: usize,
+    tenants: usize,
+    reference: &PoolRun,
+) -> Result<PoolRun, String> {
+    let pool = build_pool(machines, workers, tenants);
+    let mut best: Option<PoolRun> = None;
+    for _ in 0..SAMPLES {
+        let run = pool.run();
+        if outcomes(&run) != outcomes(reference) {
+            return Err(format!(
+                "{workers}-worker pool diverged from the sequential reference"
+            ));
+        }
+        if best.as_ref().is_none_or(|b| run.wall_ns < b.wall_ns) {
+            best = Some(run);
+        }
+    }
+    Ok(best.expect("SAMPLES > 0"))
+}
+
+/// The speedup threshold for this host, by core count: `None` means the
+/// ratio check cannot be meaningful (single core) and is skipped.
+fn gate_for(cores: usize) -> Option<f64> {
+    match cores {
+        0 | 1 => None,
+        2 | 3 => Some(NARROW_GATE),
+        _ => Some(FULL_GATE),
+    }
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+fn smoke() -> ExitCode {
+    let machines = machines();
+    let tenants = 16; // smaller pool: the CI gate favors wall-clock
+    let reference = build_pool(&machines, 1, tenants).run_sequential();
+    let mut walls = Vec::new();
+    for workers in [1, 4] {
+        match measure(&machines, workers, tenants, &reference) {
+            Ok(run) => walls.push(run.wall_ns),
+            Err(e) => {
+                eprintln!("pool smoke: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let ratio = walls[0] as f64 / walls[1] as f64;
+    let cores = host_cores();
+    match gate_for(cores) {
+        Some(threshold) if ratio < threshold => {
+            eprintln!(
+                "pool smoke: 4-worker/1-worker throughput ratio {ratio:.2}x is below \
+                 the {threshold:.2}x gate for a {cores}-core host"
+            );
+            ExitCode::FAILURE
+        }
+        Some(threshold) => {
+            println!(
+                "pool smoke PASS: {tenants} tenants bit-identical to sequential at 1 and 4 \
+                 workers; 4-worker speedup {ratio:.2}x (gate {threshold:.2}x, {cores} cores)"
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!(
+                "pool smoke PASS: {tenants} tenants bit-identical to sequential at 1 and 4 \
+                 workers; speedup gate skipped on a single-core host (ratio {ratio:.2}x)"
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--smoke") {
+        return smoke();
+    }
+
+    let machines = machines();
+    let reference = build_pool(&machines, 1, TENANTS).run_sequential();
+    let mut runs = Vec::new();
+    for workers in WORKER_COUNTS {
+        match measure(&machines, workers, TENANTS, &reference) {
+            Ok(run) => runs.push(run),
+            Err(e) => {
+                eprintln!("pool_throughput: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let base_wall = runs[0].wall_ns as f64;
+
+    if json_flag() {
+        let rows: Vec<Json> = runs
+            .iter()
+            .map(|run| {
+                let p = run.latency_percentiles();
+                Json::obj(vec![
+                    ("workers", (run.workers as u64).into()),
+                    ("tenants", (run.results.len() as u64).into()),
+                    ("wall_ns", run.wall_ns.into()),
+                    ("instructions", run.total_instructions().into()),
+                    ("minstr_per_sec", run.minstr_per_sec().into()),
+                    ("speedup", (base_wall / run.wall_ns as f64).into()),
+                    ("steals", run.steals.into()),
+                    ("latency_p50_ns", p.p50.into()),
+                    ("latency_p95_ns", p.p95.into()),
+                    ("latency_p99_ns", p.p99.into()),
+                ])
+            })
+            .collect();
+        let config = Json::obj(vec![
+            ("tenants", (TENANTS as u64).into()),
+            ("corpus", (machines.len() as u64).into()),
+            ("samples", (SAMPLES as u64).into()),
+            ("host_cores", (host_cores() as u64).into()),
+            ("scheme", "huffman".into()),
+            ("mode", "dtb".into()),
+        ]);
+        println!("{}", bench_report("pool_throughput", config, rows).render());
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "aggregate pool throughput: {TENANTS} tenants over {} workloads \
+         ({} host cores; modeled work identical at every worker count)",
+        machines.len(),
+        host_cores()
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>7} {:>10} {:>10} {:>10}",
+        "workers", "wall ms", "Minstr/s", "speedup", "steals", "p50 us", "p95 us", "p99 us"
+    );
+    for run in &runs {
+        let p = run.latency_percentiles();
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>8.2}x {:>7} {:>10.1} {:>10.1} {:>10.1}",
+            run.workers,
+            run.wall_ns as f64 / 1e6,
+            run.minstr_per_sec(),
+            base_wall / run.wall_ns as f64,
+            run.steals,
+            p.p50 / 1e3,
+            p.p95 / 1e3,
+            p.p99 / 1e3
+        );
+    }
+    ExitCode::SUCCESS
+}

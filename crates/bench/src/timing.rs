@@ -5,7 +5,7 @@
 //! is auto-calibrated to a batch size large enough to time reliably,
 //! sampled several times, and summarized as min/mean ns per iteration.
 //! With `--json` the collected timings render as a versioned
-//! [`RunReport`](telemetry::RunReport) instead of the text table.
+//! [`RunReport`] instead of the text table.
 
 use std::hint::black_box;
 use std::time::Instant;

@@ -90,6 +90,34 @@ fn perf_gate_emits_schema_1() {
 }
 
 #[test]
+fn pool_throughput_emits_schema_1() {
+    let rr = report_of(env!("CARGO_BIN_EXE_pool_throughput"));
+    assert_eq!(rr.tool, "pool_throughput");
+    for key in ["tenants", "corpus", "host_cores"] {
+        assert!(rr.config.get(key).is_some(), "config.{key} missing");
+    }
+    let Some(Json::Arr(rows)) = rr.output else {
+        panic!("expected one row per worker count");
+    };
+    assert_eq!(rows.len(), 4, "worker counts 1/2/4/8");
+    let instrs: Vec<i64> = rows
+        .iter()
+        .map(|r| r.get("instructions").and_then(Json::as_i64).unwrap())
+        .collect();
+    // Modeled work is schedule-invariant: identical at every worker count.
+    assert!(
+        instrs.iter().all(|&i| i > 0 && i == instrs[0]),
+        "{instrs:?}"
+    );
+    for row in &rows {
+        assert!(row.get("minstr_per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+        let p50 = row.get("latency_p50_ns").and_then(Json::as_f64).unwrap();
+        let p99 = row.get("latency_p99_ns").and_then(Json::as_f64).unwrap();
+        assert!(p50 > 0.0 && p50 <= p99);
+    }
+}
+
+#[test]
 fn model_check_emits_schema_1() {
     let rr = report_of(env!("CARGO_BIN_EXE_model_check"));
     assert_eq!(rr.tool, "model_check");

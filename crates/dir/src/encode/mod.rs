@@ -163,6 +163,22 @@ impl SchemeKind {
     }
 
     /// Encodes `program` under this scheme.
+    ///
+    /// Every scheme is lossless: the encoded [`Image`] decodes back to
+    /// the original instruction stream exactly.
+    ///
+    /// ```
+    /// use dir::encode::SchemeKind;
+    ///
+    /// let hir = hlr::compile("proc main() begin write 40 + 2; end")?;
+    /// let program = dir::compiler::compile(&hir);
+    /// let image = SchemeKind::Huffman.encode(&program);
+    /// assert_eq!(image.decode_all().unwrap(), program.code);
+    /// // Entropy coding beats the byte-aligned format on program bits.
+    /// let byte = SchemeKind::ByteAligned.encode(&program);
+    /// assert!(image.program_bits() < byte.program_bits());
+    /// # Ok::<(), hlr::Error>(())
+    /// ```
     pub fn encode(self, program: &Program) -> Image {
         match self {
             SchemeKind::ByteAligned => ByteAligned.encode(program),
@@ -237,6 +253,16 @@ impl From<DecodeError> for ImageError {
         ImageError::Decode(e)
     }
 }
+
+/// Compile-time proof that an [`Image`] — decode trees, LUTs and context
+/// tables included — is plain immutable data, so `Arc<Image>` can be
+/// shared read-only across worker threads (the multi-tenant pool relies
+/// on this). The only interior mutability in the decode path lives in the
+/// per-call [`BitReader`] window, which is stack state, not image state.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Image>();
+};
 
 /// An encoded program image.
 #[derive(Debug, Clone)]
@@ -978,6 +1004,28 @@ mod tests {
             .map(|i| image.decode(i).unwrap())
             .collect();
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn one_image_decodes_identically_from_many_threads() {
+        // The pool shares one Arc<Image> per distinct program across its
+        // workers; concurrent decoding must agree with the sequential
+        // reference on every scheme.
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        for kind in SchemeKind::all() {
+            let image = std::sync::Arc::new(kind.encode(&p));
+            let want = image.decode_all().unwrap();
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let image = std::sync::Arc::clone(&image);
+                    let want = &want;
+                    scope.spawn(move || {
+                        let got = image.decode_all().unwrap();
+                        assert_eq!(&got, want, "{kind}");
+                    });
+                }
+            });
+        }
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! # Ok::<(), hlr::Error>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod asm;
 pub mod bitstream;
 pub mod cfg;

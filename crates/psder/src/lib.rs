@@ -22,6 +22,8 @@
 //! # Ok::<(), hlr::Error>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod interp;
 pub mod listing;
@@ -34,4 +36,4 @@ pub mod verify;
 pub use engine::{Engine, MicroEffect, ShortEffect};
 pub use routines::RoutineLib;
 pub use short::{InterpMode, PopMode, PushMode, RoutineId, ShortInstr};
-pub use translator::{fuse_block, translate, TransCache, MAX_TRANSLATION_WORDS};
+pub use translator::{fuse_block, translate, FrozenTransCache, TransCache, MAX_TRANSLATION_WORDS};

@@ -17,7 +17,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dir::isa::Inst;
 
@@ -162,11 +162,16 @@ pub fn shape(inst: Inst) -> TranslationShape {
 /// and re-missed, and the pure interpreter retranslates every instruction
 /// of a loop on every iteration. The *modeled* generation cost is charged
 /// per the paper regardless — this cache only removes the host-side
-/// allocation and template construction, returning a shared [`Rc`] slice
+/// allocation and template construction, returning a shared [`Arc`] slice
 /// whose contents are identical to a fresh [`translate`] call.
+///
+/// The sequences are `Arc`s (not `Rc`s) so a cache can be
+/// [frozen](TransCache::freeze) into a [`FrozenTransCache`] and shared
+/// read-only across worker threads — the multi-tenant pool's
+/// "specialization products built once" path.
 #[derive(Debug, Default)]
 pub struct TransCache {
-    map: HashMap<(Inst, u32), Rc<[ShortInstr]>, BuildTemplateHasher>,
+    map: HashMap<(Inst, u32), Arc<[ShortInstr]>, BuildTemplateHasher>,
     hits: u64,
     misses: u64,
 }
@@ -247,17 +252,23 @@ impl TransCache {
     /// Translates `inst` with fall-through successor `next`, reusing the
     /// memoized sequence when this exact pair has been seen before.
     #[inline]
-    pub fn translate(&mut self, inst: Inst, next: u32) -> Rc<[ShortInstr]> {
+    pub fn translate(&mut self, inst: Inst, next: u32) -> Arc<[ShortInstr]> {
         match self.map.entry((inst, next)) {
             Entry::Occupied(e) => {
                 self.hits += 1;
-                Rc::clone(e.get())
+                Arc::clone(e.get())
             }
             Entry::Vacant(v) => {
                 self.misses += 1;
-                Rc::clone(v.insert(Rc::from(translate(inst, next))))
+                Arc::clone(v.insert(Arc::from(translate(inst, next))))
             }
         }
+    }
+
+    /// Freezes the cache into an immutable, thread-shareable snapshot,
+    /// discarding the hit/miss counters.
+    pub fn freeze(self) -> FrozenTransCache {
+        FrozenTransCache { map: self.map }
     }
 
     /// Lookups served from the cache.
@@ -276,6 +287,67 @@ impl TransCache {
     }
 
     /// Whether the cache has seen no translations yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// An immutable snapshot of a [`TransCache`], shareable across threads.
+///
+/// Dynamic translation's decode templates are pure functions of
+/// `(instruction, successor)` — specialization products in the Futamura
+/// sense — so one frozen table can serve any number of concurrent
+/// tenants read-only. [`FrozenTransCache::for_program`] pre-translates
+/// every static instruction of a program, so workers dispatching through
+/// the snapshot never miss; pairs outside the snapshot (e.g. addresses
+/// reached only through computed control flow) simply fall back to the
+/// caller's private cache.
+///
+/// The *modeled* generation cost is unaffected: the machine charges
+/// per translation event whether the host built the sequence or fetched
+/// it from a snapshot.
+///
+/// ```
+/// use psder::{translate, FrozenTransCache};
+/// use dir::isa::Inst;
+///
+/// let code = [Inst::PushConst(7), Inst::Write, Inst::Halt];
+/// let frozen = FrozenTransCache::for_program(&code);
+/// // Shared lookups return exactly what a fresh translation would build.
+/// let seq = frozen.get(Inst::PushConst(7), 1).expect("pre-translated");
+/// assert_eq!(&seq[..], &translate(Inst::PushConst(7), 1)[..]);
+/// // Unknown pairs are not invented: callers fall back to translating.
+/// assert!(frozen.get(Inst::PushConst(999), 1).is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct FrozenTransCache {
+    map: HashMap<(Inst, u32), Arc<[ShortInstr]>, BuildTemplateHasher>,
+}
+
+impl FrozenTransCache {
+    /// Pre-translates every `(code[pc], pc + 1)` pair of a program: the
+    /// complete static template set a machine executing `code` can
+    /// request along fall-through successors.
+    pub fn for_program(code: &[Inst]) -> FrozenTransCache {
+        let mut cache = TransCache::new();
+        for (pc, &inst) in code.iter().enumerate() {
+            cache.translate(inst, pc as u32 + 1);
+        }
+        cache.freeze()
+    }
+
+    /// Looks up the memoized sequence for `(inst, next)`, if present.
+    #[inline]
+    pub fn get(&self, inst: Inst, next: u32) -> Option<Arc<[ShortInstr]>> {
+        self.map.get(&(inst, next)).map(Arc::clone)
+    }
+
+    /// Distinct `(instruction, successor)` pairs in the snapshot.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the snapshot holds no translations.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
@@ -539,6 +611,59 @@ mod tests {
         assert_eq!(taken, 1);
         assert_eq!(jump_only, vec![ShortInstr::Interp(InterpMode::Imm(7))]);
         assert_eq!(fuse_block(&[], 0), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn frozen_snapshot_matches_fresh_translation() {
+        let hir = hlr::programs::SIEVE.compile().unwrap();
+        let p = dir::compiler::compile(&hir);
+        let frozen = FrozenTransCache::for_program(&p.code);
+        assert!(!frozen.is_empty());
+        assert!(frozen.len() <= p.code.len());
+        for (pc, &inst) in p.code.iter().enumerate() {
+            let next = pc as u32 + 1;
+            let seq = frozen.get(inst, next).expect("every static pair present");
+            assert_eq!(&seq[..], &translate(inst, next)[..], "{inst:?}");
+        }
+        // A pair outside the fall-through set is absent, not invented.
+        assert!(frozen.get(Inst::PushConst(i64::MIN), 0).is_none());
+    }
+
+    #[test]
+    fn freeze_preserves_cached_sequences() {
+        let mut cache = TransCache::new();
+        let live = cache.translate(Inst::Bin(AluOp::Mul), 5);
+        let frozen = cache.freeze();
+        assert_eq!(frozen.len(), 1);
+        let shared = frozen.get(Inst::Bin(AluOp::Mul), 5).unwrap();
+        assert!(Arc::ptr_eq(&live, &shared), "freeze must not reallocate");
+    }
+
+    #[test]
+    fn frozen_cache_is_shareable_across_threads() {
+        let hir = hlr::programs::FIB_ITER.compile().unwrap();
+        let p = dir::compiler::compile(&hir);
+        let frozen = Arc::new(FrozenTransCache::for_program(&p.code));
+        let words: Vec<u64> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let frozen = Arc::clone(&frozen);
+                    let code = &p.code;
+                    scope.spawn(move || {
+                        code.iter()
+                            .enumerate()
+                            .map(|(pc, &inst)| {
+                                frozen.get(inst, pc as u32 + 1).expect("present").len() as u64
+                            })
+                            .sum()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(words.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -26,8 +26,10 @@ pub mod event;
 pub mod json;
 pub mod report;
 pub mod sink;
+pub mod stats;
 
 pub use event::{Event, EventCounts, FaultKind, MissKind};
 pub use json::Json;
-pub use report::{RunReport, SCHEMA_VERSION};
+pub use report::{PoolReport, RunReport, POOL_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use sink::{JsonlSink, NullSink, RingSink, TeeSink, TraceSink};
+pub use stats::{percentile_sorted, Percentiles};

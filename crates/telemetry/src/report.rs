@@ -21,11 +21,18 @@
 //! ```
 
 use crate::json::Json;
+use crate::stats::Percentiles;
 
 /// Current schema version of [`RunReport`]. Bump on any
 /// rename/removal/semantic change of an existing field; adding fields is
 /// backward compatible and does not require a bump.
 pub const SCHEMA_VERSION: i64 = 1;
+
+/// Current schema version of [`PoolReport`]. Multi-tenant pool runs are a
+/// distinct top-level shape (per-tenant array + latency percentiles), so
+/// they carry their own version, starting above [`SCHEMA_VERSION`] to keep
+/// the two report families unambiguous in mixed JSONL streams.
+pub const POOL_SCHEMA_VERSION: i64 = 2;
 
 /// One machine-readable run report.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +135,131 @@ impl RunReport {
     }
 }
 
+/// One machine-readable multi-tenant pool report (schema
+/// [`POOL_SCHEMA_VERSION`]).
+///
+/// Where [`RunReport`] describes a single program on a single machine,
+/// a `PoolReport` describes N tenant programs executed by a worker pool:
+/// a per-tenant result array, pool-level aggregates (wall-clock, total
+/// modeled work, throughput), and the latency distribution across
+/// tenants as p50/p95/p99. The per-tenant and aggregate sections are
+/// free-form objects — the producing crate (`uhm::report`) fills the
+/// canonical shape; this type owns only versioning and round-tripping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolReport {
+    /// The emitting tool, e.g. `"raul pool"` or `"pool_throughput"`.
+    pub tool: String,
+    /// Pool configuration (free-form object: workers, tenant count,
+    /// mode, scheme, fault knobs).
+    pub config: Json,
+    /// Per-tenant results, in tenant-index order (free-form array).
+    pub tenants: Json,
+    /// Pool-level aggregates (free-form object: wall_ns, instructions,
+    /// cycles, minstr_per_sec, steals, ...).
+    pub aggregate: Json,
+    /// Per-tenant latency percentiles, in nanoseconds.
+    pub latency: Percentiles,
+}
+
+impl PoolReport {
+    /// Creates a pool report from its four sections.
+    pub fn new(
+        tool: &str,
+        config: Json,
+        tenants: Json,
+        aggregate: Json,
+        latency: Percentiles,
+    ) -> PoolReport {
+        PoolReport {
+            tool: tool.to_string(),
+            config,
+            tenants,
+            aggregate,
+            latency,
+        }
+    }
+
+    /// The report as a JSON value (with `schema_version` stamped in).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::Int(POOL_SCHEMA_VERSION)),
+            ("tool".to_string(), Json::Str(self.tool.clone())),
+            ("config".to_string(), self.config.clone()),
+            ("tenants".to_string(), self.tenants.clone()),
+            ("aggregate".to_string(), self.aggregate.clone()),
+            (
+                "latency_ns".to_string(),
+                Json::obj([
+                    ("p50", Json::from(self.latency.p50)),
+                    ("p95", Json::from(self.latency.p95)),
+                    ("p99", Json::from(self.latency.p99)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstructs a pool report from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `schema_version` is missing or not
+    /// [`POOL_SCHEMA_VERSION`], or a required section is absent.
+    pub fn from_json(value: &Json) -> Result<PoolReport, String> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing schema_version")?;
+        if version != POOL_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported pool schema_version {version} (expected {POOL_SCHEMA_VERSION})"
+            ));
+        }
+        let tool = value
+            .get("tool")
+            .and_then(Json::as_str)
+            .ok_or("missing tool")?
+            .to_string();
+        let section = |name: &str| -> Result<Json, String> {
+            value
+                .get(name)
+                .cloned()
+                .ok_or(format!("missing {name} section"))
+        };
+        let latency_obj = section("latency_ns")?;
+        let pct = |name: &str| -> Result<f64, String> {
+            latency_obj
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing latency_ns.{name}"))
+        };
+        Ok(PoolReport {
+            tool,
+            config: section("config")?,
+            tenants: section("tenants")?,
+            aggregate: section("aggregate")?,
+            latency: Percentiles {
+                p50: pct("p50")?,
+                p95: pct("p95")?,
+                p99: pct("p99")?,
+            },
+        })
+    }
+
+    /// Parses a pool report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON syntax errors and schema violations.
+    pub fn parse(text: &str) -> Result<PoolReport, String> {
+        PoolReport::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +328,67 @@ mod tests {
         assert!(RunReport::parse("{\"schema_version\":1}").is_err());
         assert!(RunReport::parse("{}").is_err());
         assert!(RunReport::parse("not json").is_err());
+    }
+
+    fn pool_sample() -> PoolReport {
+        PoolReport::new(
+            "raul pool",
+            Json::obj([
+                ("workers", Json::from(4i64)),
+                ("tenants", Json::from(8i64)),
+                ("mode", Json::from("dtb")),
+            ]),
+            Json::Arr(vec![
+                Json::obj([
+                    ("tenant", Json::from(0i64)),
+                    ("name", Json::from("sieve")),
+                    ("status", Json::from("completed")),
+                    ("latency_ns", Json::from(125_000i64)),
+                ]),
+                Json::obj([
+                    ("tenant", Json::from(1i64)),
+                    ("name", Json::from("fib")),
+                    ("status", Json::from("completed")),
+                    ("latency_ns", Json::from(250_000i64)),
+                ]),
+            ]),
+            Json::obj([
+                ("wall_ns", Json::from(300_000i64)),
+                ("instructions", Json::from(99_000i64)),
+                ("minstr_per_sec", Json::from(330.0)),
+                ("steals", Json::from(3i64)),
+            ]),
+            Percentiles::of(&[125_000.0, 250_000.0]),
+        )
+    }
+
+    #[test]
+    fn pool_report_round_trips_through_text() {
+        let r = pool_sample();
+        let back = PoolReport::parse(&r.render()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.latency.p50, 187_500.0);
+    }
+
+    #[test]
+    fn pool_schema_version_is_distinct_and_checked() {
+        let r = pool_sample();
+        let j = r.to_json();
+        assert_eq!(j.get("schema_version").and_then(Json::as_i64), Some(2));
+
+        // A pool report is not parseable as a run report and vice versa:
+        // the version spaces are disjoint by construction.
+        assert!(RunReport::from_json(&j).is_err());
+        assert!(PoolReport::from_json(&sample().to_json()).is_err());
+    }
+
+    #[test]
+    fn pool_report_requires_latency_percentiles() {
+        let mut j = pool_sample().to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "latency_ns");
+        }
+        let err = PoolReport::from_json(&j).unwrap_err();
+        assert!(err.contains("latency_ns"), "{err}");
     }
 }

@@ -1,0 +1,121 @@
+//! Order statistics for latency aggregation.
+//!
+//! The pool report summarizes per-tenant latencies as p50/p95/p99; these
+//! helpers implement the one interpolation rule every surface shares so
+//! numbers are comparable across reports (and across PRs). Nothing here
+//! is specific to latency — the functions work on any sample set.
+
+/// Summary percentiles of a sample set, as used by the pool report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Percentiles {
+    /// The median (p50).
+    pub p50: f64,
+    /// The 95th percentile.
+    pub p95: f64,
+    /// The 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Computes p50/p95/p99 of `samples` (need not be sorted; empty
+    /// yields all zeros).
+    ///
+    /// ```
+    /// use telemetry::Percentiles;
+    ///
+    /// let p = Percentiles::of(&[4.0, 1.0, 3.0, 2.0]);
+    /// assert_eq!(p.p50, 2.5);
+    /// assert!(p.p99 > p.p50);
+    /// assert_eq!(Percentiles::of(&[]), Percentiles::default());
+    /// ```
+    pub fn of(samples: &[f64]) -> Percentiles {
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("percentile samples must not be NaN")
+        });
+        Percentiles {
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+        }
+    }
+}
+
+/// The `p`-th percentile (0–100) of an ascending-sorted sample set,
+/// linearly interpolated between the two nearest ranks (the common
+/// "exclusive of neither end" definition: p0 = min, p100 = max). Empty
+/// input yields 0.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_min_and_max() {
+        let s = [1.0, 2.0, 10.0];
+        assert_eq!(percentile_sorted(&s, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&s, 100.0), 10.0);
+        assert_eq!(percentile_sorted(&s, 50.0), 2.0);
+    }
+
+    #[test]
+    fn interpolates_between_ranks() {
+        let s = [0.0, 100.0];
+        assert_eq!(percentile_sorted(&s, 95.0), 95.0);
+        assert_eq!(percentile_sorted(&s, 25.0), 25.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let p = Percentiles::of(&[7.5]);
+        assert_eq!((p.p50, p.p95, p.p99), (7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let p = Percentiles::of(&[9.0, 1.0, 5.0, 3.0, 7.0]);
+        assert_eq!(p.p50, 5.0);
+        assert!(p.p95 <= 9.0 && p.p95 > 8.0);
+    }
+
+    #[test]
+    fn out_of_range_p_is_clamped() {
+        let s = [1.0, 2.0];
+        assert_eq!(percentile_sorted(&s, -5.0), 1.0);
+        assert_eq!(percentile_sorted(&s, 200.0), 2.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_on_random_samples() {
+        // splitmix64-style generator, fixed seed: no external RNG crates.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        let samples: Vec<f64> = (0..257).map(|_| next() * 1e6).collect();
+        let p = Percentiles::of(&samples);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(p.p50 >= lo && p.p99 <= hi);
+    }
+}

@@ -311,6 +311,21 @@ fn line_checksum(addr: u32, words: impl Iterator<Item = ShortInstr>) -> u64 {
 impl Dtb {
     /// Creates an empty DTB.
     ///
+    /// ```
+    /// use uhm::{Dtb, DtbConfig};
+    ///
+    /// let mut dtb = Dtb::new(DtbConfig::with_capacity(16));
+    /// assert!(dtb.lookup(7).is_none()); // cold miss: nothing resident yet
+    ///
+    /// // A miss traps to the dynamic translator; its output fills a line.
+    /// let words = psder::translate(dir::Inst::PushConst(42), 8);
+    /// let handle = dtb.fill(7, &words).expect("room in an empty DTB");
+    /// assert!(dtb.lookup(7).is_some()); // the translation is now resident
+    /// assert_eq!(dtb.len(handle), words.len() as u32);
+    /// assert_eq!(dtb.stats().hits, 1);
+    /// assert_eq!(dtb.stats().misses, 1);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid; call

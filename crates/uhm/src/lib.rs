@@ -15,7 +15,11 @@
 //!   parameters (`d`, `g`, `x`, `s1`, `s2`, `h_D`, `h_c`);
 //! * [`fault`] — the fault plane: seeded corruption injection, DTB guard
 //!   checksums, and the recovery/degradation machinery that exploits the
-//!   DTB's redundancy (the static DIR stays the ground truth).
+//!   DTB's redundancy (the static DIR stays the ground truth);
+//! * [`pool`] — the multi-tenant plane: a [`MachinePool`]
+//!   runs independent tenant programs across a work-stealing worker set,
+//!   sharing read-only decode artifacts while keeping every tenant's
+//!   results bit-identical to a sequential run.
 //!
 //! # Example
 //!
@@ -37,12 +41,15 @@
 //! # Ok::<(), hlr::Error>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod dtb;
 pub mod fault;
 pub mod machine;
 pub mod metrics;
 pub mod model;
+pub mod pool;
 pub mod profile;
 pub mod report;
 pub mod sweep;
@@ -54,6 +61,7 @@ pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use machine::{Machine, Mode};
 pub use metrics::{CycleBreakdown, Metrics, Report};
 pub use model::Params;
+pub use pool::{MachinePool, PoolRun, PoolTenant, TenantOutcome, TenantResult};
 pub use window::WindowSample;
 
 // Re-exported so downstream crates can drive `Machine::run_with` without

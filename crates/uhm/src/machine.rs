@@ -17,8 +17,9 @@ use dir::exec::Trap;
 use dir::program::Program;
 use memsim::{Access, Geometry, SetAssocCache};
 use psder::engine::{Engine, MicroEffect, ShortEffect};
-use psder::{RoutineLib, ShortInstr};
+use psder::{FrozenTransCache, RoutineLib, ShortInstr};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use telemetry::{Event, FaultKind, MissKind, NullSink, TraceSink};
 
 use crate::config::{CostModel, Limits, RetryPolicy};
@@ -54,6 +55,10 @@ pub enum Mode {
 }
 
 /// A universal host machine bound to one encoded program.
+///
+/// [`Machine::run`] takes `&self`, and every field is immutable run
+/// state, so one machine behind an [`Arc`] can serve any number of
+/// concurrent runs — the basis of [`crate::pool::MachinePool`].
 #[derive(Debug)]
 pub struct Machine {
     program: Program,
@@ -65,6 +70,9 @@ pub struct Machine {
     window: Option<u64>,
     faults: Option<FaultConfig>,
     retry: RetryPolicy,
+    /// Shared read-only decode templates consulted before the per-run
+    /// private cache. Host-side only; modeled costs are unaffected.
+    shared_trans: Option<Arc<FrozenTransCache>>,
 }
 
 impl Machine {
@@ -91,6 +99,7 @@ impl Machine {
             window: None,
             faults: None,
             retry: RetryPolicy::default(),
+            shared_trans: None,
         }
     }
 
@@ -101,7 +110,7 @@ impl Machine {
     }
 
     /// Enables windowed time-series sampling: one
-    /// [`WindowSample`](crate::window::WindowSample) is closed every
+    /// [`WindowSample`] is closed every
     /// `every` dynamic instructions and collected in
     /// [`Metrics::windows`]. `None` (the default) disables sampling;
     /// `Some(0)` is treated as disabled.
@@ -134,12 +143,68 @@ impl Machine {
         self
     }
 
+    /// Attaches (or detaches) a frozen, thread-shareable snapshot of
+    /// DIR→PSDER decode templates. Runs consult the snapshot before the
+    /// per-run private [`psder::TransCache`], so tenants of a
+    /// [`MachinePool`](crate::pool::MachinePool) reuse one table instead
+    /// of rebuilding identical templates per worker. Purely host-side:
+    /// outputs, traps and every *modeled* metric are unchanged.
+    pub fn set_shared_translations(&mut self, shared: Option<Arc<FrozenTransCache>>) -> &mut Self {
+        self.shared_trans = shared;
+        self
+    }
+
+    /// Pre-translates this machine's whole program into a frozen template
+    /// snapshot and attaches it (see [`Machine::set_shared_translations`]).
+    ///
+    /// ```
+    /// use dir::encode::SchemeKind;
+    /// use uhm::{Machine, Mode};
+    ///
+    /// let hir = hlr::compile("proc main() begin int i; for i := 0 to 9 do write i; end")?;
+    /// let prog = dir::compiler::compile(&hir);
+    /// let mut machine = Machine::new(&prog, SchemeKind::Huffman);
+    /// let fresh = machine.run(&Mode::Interpreter).unwrap();
+    /// machine.freeze_translations();
+    /// let shared = machine.run(&Mode::Interpreter).unwrap();
+    /// // Host-side only: output and every modeled metric are unchanged.
+    /// assert_eq!(fresh.output, shared.output);
+    /// assert_eq!(fresh.metrics, shared.metrics);
+    /// # Ok::<(), hlr::Error>(())
+    /// ```
+    pub fn freeze_translations(&mut self) -> &mut Self {
+        let frozen = FrozenTransCache::for_program(&self.program.code);
+        self.set_shared_translations(Some(Arc::new(frozen)))
+    }
+
+    /// The DIR program this machine executes.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
     /// The encoded image this machine executes from.
     pub fn image(&self) -> &Image {
         &self.image
     }
 
     /// Runs the program under `mode` with tracing compiled out.
+    ///
+    /// `run` takes `&self`, so one machine can serve many runs — or many
+    /// threads:
+    ///
+    /// ```
+    /// use dir::encode::SchemeKind;
+    /// use uhm::{DtbConfig, Machine, Mode};
+    ///
+    /// let hir = hlr::compile("proc main() begin write 2 + 3; end")?;
+    /// let prog = dir::compiler::compile(&hir);
+    /// let machine = Machine::new(&prog, SchemeKind::Packed);
+    /// let t1 = machine.run(&Mode::Interpreter).unwrap();
+    /// let t2 = machine.run(&Mode::Dtb(DtbConfig::with_capacity(16))).unwrap();
+    /// assert_eq!(t1.output, vec![5]);
+    /// assert_eq!(t1.output, t2.output); // all modes are semantically identical
+    /// # Ok::<(), hlr::Error>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -160,6 +225,24 @@ impl Machine {
     ///
     /// Same as [`Machine::run`].
     pub fn run_with<S: TraceSink>(&self, mode: &Mode, sink: &mut S) -> Result<Report, Trap> {
+        self.run_with_faults(mode, sink, self.faults)
+    }
+
+    /// Runs like [`Machine::run_with`] but with `faults` overriding the
+    /// machine's own fault configuration for this run only. This is how a
+    /// [`MachinePool`](crate::pool::MachinePool) gives every tenant a
+    /// distinct deterministic fault seed while tenants share one machine
+    /// behind an [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_with_faults<S: TraceSink>(
+        &self,
+        mode: &Mode,
+        sink: &mut S,
+        faults: Option<FaultConfig>,
+    ) -> Result<Report, Trap> {
         let mut dtb = match mode {
             Mode::Dtb(cfg) => Some(Dtb::new(*cfg)),
             Mode::TwoLevelDtb { l1, .. } => Some(Dtb::new(*l1)),
@@ -192,11 +275,11 @@ impl Machine {
             },
             sink,
             window: self.window.map(WindowState::new),
-            faults: self.faults.map(FaultInjector::new),
+            faults: faults.map(FaultInjector::new),
             // A mutable level-2 copy of the encoded stream, so injected
             // DIR corruption persists without touching the pristine
             // image shared across runs.
-            dir_bytes: self.faults.as_ref().map(|_| self.image.bytes.clone()),
+            dir_bytes: faults.as_ref().map(|_| self.image.bytes.clone()),
             degraded: HashSet::new(),
             fail_counts: HashMap::new(),
             trans: psder::TransCache::new(),
@@ -322,12 +405,25 @@ impl<'m, S: TraceSink> Run<'m, S> {
         &self.machine.costs
     }
 
+    /// The host-side template for `(inst, next)`: the machine's shared
+    /// frozen snapshot when it covers the pair, the run's private memo
+    /// cache otherwise. Identical sequences either way — the split only
+    /// decides which allocation is reused.
+    fn translated(&mut self, inst: dir::Inst, next: u32) -> Arc<[ShortInstr]> {
+        if let Some(shared) = self.machine.shared_trans.as_deref() {
+            if let Some(sequence) = shared.get(inst, next) {
+                return sequence;
+            }
+        }
+        self.trans.translate(inst, next)
+    }
+
     /// Pure interpretation of one DIR instruction: fetch, decode and run
     /// the translation inline, bypassing every translation buffer. The
     /// interpreter mode's step, and the fallback degraded addresses take.
     fn interp_one(&mut self, pc: u32) -> Result<Next, Trap> {
         let inst = self.fetch_decode(pc)?;
-        let sequence = self.trans.translate(inst, pc + 1);
+        let sequence = self.translated(inst, pc + 1);
         self.run_inline(&sequence)
     }
 
@@ -639,7 +735,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 // the replacement logic.
                 let d0 = self.metrics.cycles.decode;
                 let inst = self.fetch_decode(pc)?;
-                let sequence = self.trans.translate(inst, pc + 1);
+                let sequence = self.translated(inst, pc + 1);
                 let gen = sequence.len() as u64 * self.costs().gen_per_word;
                 let store = sequence.len() as u64 * self.costs().store_per_word;
                 self.metrics.cycles.generate += gen * self.costs().mem.t1;
@@ -729,7 +825,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 // Probe the second-level store.
                 self.metrics.cycles.lookup2 += tau2;
                 let l2_hit = require(self.dtb2.as_mut(), NO_DTB2)?.lookup(pc);
-                let sequence: std::rc::Rc<[ShortInstr]> = match l2_hit {
+                let sequence: Arc<[ShortInstr]> = match l2_hit {
                     Some(h2) => {
                         // Promote: read each word from L2 (tau_dtb2) and
                         // store it into L1 (store_per_word each).
@@ -750,7 +846,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
                         // Full translation, then fill L2 as well.
                         let d0 = self.metrics.cycles.decode;
                         let inst = self.fetch_decode(pc)?;
-                        let sequence = self.trans.translate(inst, pc + 1);
+                        let sequence = self.translated(inst, pc + 1);
                         let gen = sequence.len() as u64 * self.costs().gen_per_word;
                         let store = sequence.len() as u64 * self.costs().store_per_word * 2; // stored at both levels
                         self.metrics.cycles.generate += gen * self.costs().mem.t1;
@@ -1060,6 +1156,48 @@ mod tests {
             }
         }
         assert!(saw_cost, "ring retained no decode events");
+    }
+
+    #[test]
+    fn shared_translations_change_no_observable_result() {
+        // The frozen template snapshot is a host-side cache: every output,
+        // trap and modeled metric must be identical with and without it,
+        // in every mode, including two-level translation.
+        let p = compile(&hlr::programs::QUEENS.compile().unwrap());
+        let mut all = modes();
+        all.push(Mode::TwoLevelDtb {
+            l1: DtbConfig::with_capacity(8),
+            l2: DtbConfig::with_capacity(256),
+        });
+        for mode in all {
+            let plain = Machine::new(&p, SchemeKind::Huffman).run(&mode).unwrap();
+            let mut shared = Machine::new(&p, SchemeKind::Huffman);
+            shared.freeze_translations();
+            let r = shared.run(&mode).unwrap();
+            assert_eq!(r.output, plain.output, "{mode:?}");
+            assert_eq!(r.metrics, plain.metrics, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn machine_is_shareable_across_threads() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let mut m = Machine::new(&p, SchemeKind::Huffman);
+        m.freeze_translations();
+        let machine = Arc::new(m);
+        let want = machine.run(&Mode::Interpreter).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let machine = Arc::clone(&machine);
+                let want = &want;
+                scope.spawn(move || {
+                    let r = machine
+                        .run(&Mode::Dtb(DtbConfig::with_capacity(64)))
+                        .unwrap();
+                    assert_eq!(r.output, want.output);
+                });
+            }
+        });
     }
 
     #[test]

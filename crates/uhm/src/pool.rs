@@ -1,0 +1,554 @@
+//! Multi-tenant execution: a sharded pool of host machines.
+//!
+//! Rau's UHM is a *host* for many guest programs; this module models the
+//! hosting side. A [`MachinePool`] runs N independent tenant programs
+//! across a configurable set of worker threads. Scheduling is
+//! work-stealing: tenants are dealt round-robin onto per-worker deques,
+//! each worker pops its own deque from the front and, when empty, steals
+//! from the *back* of a sibling's deque (classic Arora–Blumofe–Plotkin
+//! shape, hand-rolled on `std` only).
+//!
+//! Three invariants the pool maintains, in order of importance:
+//!
+//! 1. **Bit-identical results.** Every tenant produces exactly the
+//!    output, traps and *modeled* metrics it would produce running alone
+//!    on a sequential machine ([`MachinePool::run_sequential`] is the
+//!    reference). Host-side sharing — one [`Machine`] behind an [`Arc`],
+//!    one frozen translation snapshot
+//!    ([`Machine::set_shared_translations`]) — never leaks into modeled
+//!    behavior (DESIGN.md §6).
+//! 2. **Deterministic faults.** A pool-level base [`FaultConfig`] is
+//!    re-seeded per tenant as `base_seed ^ tenant_index`. The tenant
+//!    index — *not* the worker id — keys the stream, because stealing
+//!    makes worker assignment schedule-dependent; tenant-keyed seeds keep
+//!    fault campaigns replayable under any interleaving.
+//! 3. **Isolation.** A panicking tenant (e.g. one constructed over an
+//!    invalid DTB geometry) is caught with `catch_unwind`, reported as
+//!    [`TenantOutcome::Panicked`], and the remaining tenants complete.
+//!
+//! Latency percentiles and aggregate throughput of a pool run are
+//! summarized by [`PoolRun`]; `crate::report::pool_report` renders the
+//! schema-v2 [`telemetry::PoolReport`] consumed by `raul pool --json`
+//! and the `pool_throughput` bench (E16).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dir::exec::Trap;
+use std::collections::VecDeque;
+use telemetry::{NullSink, Percentiles};
+
+use crate::fault::FaultConfig;
+use crate::machine::{Machine, Mode};
+use crate::metrics::Report;
+
+/// One guest of the pool: a named program bound to a machine and mode.
+///
+/// Tenants may share a [`Machine`] (the `Arc` is cloned, not the
+/// machine), which is how one encoded image plus one frozen translation
+/// snapshot serves many tenants.
+#[derive(Debug, Clone)]
+pub struct PoolTenant {
+    /// Display name, e.g. the workload name.
+    pub name: String,
+    /// The shared, immutable host machine this tenant runs on.
+    pub machine: Arc<Machine>,
+    /// The fetch-path configuration (T1/T2/T3/two-level) for this tenant.
+    pub mode: Mode,
+}
+
+/// How one tenant's run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TenantOutcome {
+    /// The program ran to completion; output and modeled metrics inside.
+    Completed(Box<Report>),
+    /// The program trapped (guest-level failure, e.g. stack overflow).
+    Trapped(Trap),
+    /// The host-side run panicked (host-level failure); the payload is
+    /// the panic message. Other tenants are unaffected.
+    Panicked(String),
+}
+
+impl TenantOutcome {
+    /// `"completed"`, `"trapped"` or `"panicked"` — the status string
+    /// used by the JSON report.
+    pub fn status(&self) -> &'static str {
+        match self {
+            TenantOutcome::Completed(_) => "completed",
+            TenantOutcome::Trapped(_) => "trapped",
+            TenantOutcome::Panicked(_) => "panicked",
+        }
+    }
+
+    /// The completed report, if any.
+    pub fn report(&self) -> Option<&Report> {
+        match self {
+            TenantOutcome::Completed(r) => Some(r.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one tenant within a pool run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantResult {
+    /// Index of the tenant in submission order.
+    pub tenant: usize,
+    /// The tenant's display name.
+    pub name: String,
+    /// The worker thread that executed this tenant. Informational only:
+    /// work stealing makes this schedule-dependent, so nothing
+    /// deterministic may key off it.
+    pub worker: usize,
+    /// Host wall-clock time of this tenant's run, in nanoseconds.
+    pub latency_ns: u64,
+    /// How the run ended.
+    pub outcome: TenantOutcome,
+}
+
+/// The aggregated result of one [`MachinePool::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolRun {
+    /// Per-tenant results, in tenant-index (submission) order.
+    pub results: Vec<TenantResult>,
+    /// Host wall-clock of the whole pool run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Number of worker threads that served the run.
+    pub workers: usize,
+    /// Number of tenants obtained by stealing from a sibling's deque.
+    pub steals: u64,
+}
+
+impl PoolRun {
+    /// Per-tenant latencies in nanoseconds, tenant order.
+    pub fn latencies_ns(&self) -> Vec<f64> {
+        self.results.iter().map(|r| r.latency_ns as f64).collect()
+    }
+
+    /// p50/p95/p99 of the per-tenant latencies.
+    pub fn latency_percentiles(&self) -> Percentiles {
+        Percentiles::of(&self.latencies_ns())
+    }
+
+    /// Number of tenants that completed without trap or panic.
+    pub fn completed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, TenantOutcome::Completed(_)))
+            .count()
+    }
+
+    /// Total *modeled* DIR instructions across completed tenants.
+    pub fn total_instructions(&self) -> u64 {
+        self.completed_reports()
+            .map(|r| r.metrics.instructions)
+            .sum()
+    }
+
+    /// Total *modeled* cycles across completed tenants.
+    pub fn total_cycles(&self) -> u64 {
+        self.completed_reports()
+            .map(|r| r.metrics.cycles.total())
+            .sum()
+    }
+
+    /// Aggregate throughput in millions of modeled DIR instructions per
+    /// host wall-clock second — the E16 figure of merit. Modeled work
+    /// over host time: the numerator is schedule-invariant, only the
+    /// denominator reflects the pool's parallelism.
+    pub fn minstr_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.total_instructions() as f64 * 1e3 / self.wall_ns as f64
+    }
+
+    fn completed_reports(&self) -> impl Iterator<Item = &Report> {
+        self.results.iter().filter_map(|r| r.outcome.report())
+    }
+}
+
+/// A pool of worker threads executing independent tenant programs.
+///
+/// ```
+/// use std::sync::Arc;
+/// use uhm::pool::MachinePool;
+/// use uhm::{Machine, Mode};
+///
+/// let hir = hlr::compile("proc main() begin write 6 * 7; end")?;
+/// let prog = dir::compiler::compile(&hir);
+/// let mut machine = Machine::new(&prog, dir::encode::SchemeKind::Packed);
+/// machine.freeze_translations(); // share decode templates across tenants
+/// let machine = Arc::new(machine);
+///
+/// let mut pool = MachinePool::new(2);
+/// for i in 0..4 {
+///     pool.push(format!("t{i}"), Arc::clone(&machine), Mode::Interpreter);
+/// }
+/// let run = pool.run();
+/// assert_eq!(run.completed(), 4);
+/// for r in &run.results {
+///     assert_eq!(r.outcome.report().unwrap().output, vec![42]);
+/// }
+/// # Ok::<(), hlr::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MachinePool {
+    tenants: Vec<PoolTenant>,
+    workers: usize,
+    fault_base: Option<FaultConfig>,
+}
+
+impl MachinePool {
+    /// Creates an empty pool with `workers` worker threads (clamped to at
+    /// least 1).
+    pub fn new(workers: usize) -> MachinePool {
+        MachinePool {
+            tenants: Vec::new(),
+            workers: workers.max(1),
+            fault_base: None,
+        }
+    }
+
+    /// Adds a tenant; returns `self` for chaining.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        machine: Arc<Machine>,
+        mode: Mode,
+    ) -> &mut Self {
+        self.tenants.push(PoolTenant {
+            name: name.into(),
+            machine,
+            mode,
+        });
+        self
+    }
+
+    /// Sets a pool-level base fault configuration. Tenant `i` runs with
+    /// `base` re-seeded as `base.seed ^ i`, overriding whatever fault
+    /// configuration its machine carries — so shared machines still get
+    /// distinct, replayable fault streams. `None` (the default) leaves
+    /// each machine's own configuration in force.
+    pub fn set_faults(&mut self, base: Option<FaultConfig>) -> &mut Self {
+        self.fault_base = base;
+        self
+    }
+
+    /// The number of worker threads this pool will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The tenants in submission order.
+    pub fn tenants(&self) -> &[PoolTenant] {
+        &self.tenants
+    }
+
+    /// Runs every tenant across the worker set and collects the results
+    /// in tenant order.
+    pub fn run(&self) -> PoolRun {
+        let workers = self.workers.min(self.tenants.len()).max(1);
+        // Deal tenants round-robin onto per-worker deques.
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, _) in self.tenants.iter().enumerate() {
+            deques[i % workers].lock().unwrap().push_back(i);
+        }
+        let steals = AtomicU64::new(0);
+
+        let started = Instant::now();
+        let mut collected: Vec<Vec<TenantResult>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let deques = &deques;
+                    let steals = &steals;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        while let Some(idx) = next_job(w, deques, steals) {
+                            local.push(self.run_tenant(idx, w));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Worker bodies never panic (tenant panics are caught
+                // inside run_tenant), so join cannot fail.
+                collected.push(h.join().expect("pool worker panicked"));
+            }
+        });
+        let wall_ns = started.elapsed().as_nanos() as u64;
+
+        let mut results: Vec<TenantResult> = collected.into_iter().flatten().collect();
+        results.sort_by_key(|r| r.tenant);
+        PoolRun {
+            results,
+            wall_ns,
+            workers,
+            steals: steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs every tenant in submission order on the calling thread — the
+    /// reference semantics the threaded [`MachinePool::run`] must match
+    /// bit-for-bit (same outputs, traps, modeled metrics and fault
+    /// streams; only latencies and wall-clock differ).
+    pub fn run_sequential(&self) -> PoolRun {
+        let started = Instant::now();
+        let results: Vec<TenantResult> = (0..self.tenants.len())
+            .map(|i| self.run_tenant(i, 0))
+            .collect();
+        PoolRun {
+            wall_ns: started.elapsed().as_nanos() as u64,
+            results,
+            workers: 1,
+            steals: 0,
+        }
+    }
+
+    fn run_tenant(&self, idx: usize, worker: usize) -> TenantResult {
+        let tenant = &self.tenants[idx];
+        let faults = self.fault_base.map(|base| FaultConfig {
+            seed: base.seed ^ idx as u64,
+            ..base
+        });
+        let started = Instant::now();
+        let run = catch_unwind(AssertUnwindSafe(|| match faults {
+            Some(cfg) => tenant
+                .machine
+                .run_with_faults(&tenant.mode, &mut NullSink, Some(cfg)),
+            None => tenant.machine.run(&tenant.mode),
+        }));
+        let latency_ns = started.elapsed().as_nanos() as u64;
+        let outcome = match run {
+            Ok(Ok(report)) => TenantOutcome::Completed(Box::new(report)),
+            Ok(Err(trap)) => TenantOutcome::Trapped(trap),
+            Err(payload) => TenantOutcome::Panicked(panic_message(&payload)),
+        };
+        TenantResult {
+            tenant: idx,
+            name: tenant.name.clone(),
+            worker,
+            latency_ns,
+            outcome,
+        }
+    }
+}
+
+/// Pops the next tenant index for worker `w`: own deque from the front,
+/// else steal from the back of the first non-empty sibling.
+fn next_job(w: usize, deques: &[Mutex<VecDeque<usize>>], steals: &AtomicU64) -> Option<usize> {
+    if let Some(idx) = deques[w].lock().unwrap().pop_front() {
+        return Some(idx);
+    }
+    for off in 1..deques.len() {
+        let victim = (w + off) % deques.len();
+        if let Some(idx) = deques[victim].lock().unwrap().pop_back() {
+            steals.fetch_add(1, Ordering::Relaxed);
+            return Some(idx);
+        }
+    }
+    None
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtb::DtbConfig;
+    use dir::encode::SchemeKind;
+    use telemetry::FaultKind;
+
+    fn machine_for(src: &str) -> Arc<Machine> {
+        let hir = hlr::compile(src).expect("test source compiles");
+        let prog = dir::compiler::compile(&hir);
+        let mut m = Machine::new(&prog, SchemeKind::Packed);
+        m.freeze_translations();
+        Arc::new(m)
+    }
+
+    fn sample_pool(workers: usize) -> MachinePool {
+        let sources = [
+            "proc main() begin int i := 0; while i < 25 do begin write i * i; i := i + 1; end end",
+            "proc main() begin int a := 0; int b := 1; int i := 0; \
+             while i < 20 do begin int t := a + b; a := b; b := t; write a; i := i + 1; end end",
+            "proc main() begin write 6 * 7; end",
+        ];
+        let machines: Vec<Arc<Machine>> = sources.iter().map(|s| machine_for(s)).collect();
+        let mut pool = MachinePool::new(workers);
+        for t in 0..7 {
+            let m = &machines[t % machines.len()];
+            let mode = if t % 2 == 0 {
+                Mode::Dtb(DtbConfig::with_capacity(16))
+            } else {
+                Mode::Interpreter
+            };
+            pool.push(format!("tenant-{t}"), Arc::clone(m), mode);
+        }
+        pool
+    }
+
+    fn outcomes(run: &PoolRun) -> Vec<(&str, &TenantOutcome)> {
+        run.results
+            .iter()
+            .map(|r| (r.name.as_str(), &r.outcome))
+            .collect()
+    }
+
+    #[test]
+    fn pooled_results_match_sequential_bit_for_bit() {
+        let pool = sample_pool(4);
+        let seq = pool.run_sequential();
+        let par = pool.run();
+        // Same tenants, same order, identical outputs / traps / modeled
+        // metrics (TenantOutcome PartialEq covers Report in full).
+        assert_eq!(outcomes(&seq), outcomes(&par));
+        assert_eq!(par.results.len(), 7);
+        assert_eq!(par.completed(), 7);
+        assert!(par.total_instructions() > 0);
+        assert_eq!(par.total_instructions(), seq.total_instructions());
+        assert_eq!(par.total_cycles(), seq.total_cycles());
+    }
+
+    #[test]
+    fn fault_streams_are_keyed_by_tenant_not_schedule() {
+        let mut pool = sample_pool(4);
+        pool.set_faults(Some(FaultConfig::only(0xBEEF, FaultKind::DtbWord, 0.02)));
+        let seq = pool.run_sequential();
+        let one = {
+            let mut p = pool.clone();
+            p.workers = 1;
+            p.run()
+        };
+        let par = pool.run();
+        assert_eq!(outcomes(&seq), outcomes(&par));
+        assert_eq!(outcomes(&seq), outcomes(&one));
+        // The campaign actually injected: at least one tenant recovered
+        // from a corrupted DTB word.
+        let recoveries: u64 = par
+            .results
+            .iter()
+            .filter_map(|r| r.outcome.report())
+            .map(|r| r.metrics.recoveries)
+            .sum();
+        assert!(recoveries > 0, "fault campaign was inert");
+    }
+
+    #[test]
+    fn distinct_tenants_get_distinct_fault_seeds() {
+        // Two tenants, same machine, same mode: without per-tenant
+        // re-seeding their fault streams (and thus corrupted-word
+        // counts over a long run) would be identical.
+        let m = machine_for(
+            "proc main() begin int i := 0; \
+             while i < 400 do begin write i; i := i + 1; end end",
+        );
+        let mut pool = MachinePool::new(1);
+        pool.push("a", Arc::clone(&m), Mode::Dtb(DtbConfig::with_capacity(8)));
+        pool.push("b", Arc::clone(&m), Mode::Dtb(DtbConfig::with_capacity(8)));
+        pool.set_faults(Some(FaultConfig::only(7, FaultKind::DtbWord, 0.05)));
+        let run = pool.run();
+        let stats: Vec<_> = run
+            .results
+            .iter()
+            .map(|r| r.outcome.report().unwrap().metrics.faults.unwrap())
+            .collect();
+        assert_ne!(stats[0], stats[1], "tenants shared one fault stream");
+    }
+
+    #[test]
+    fn panicking_tenant_is_isolated() {
+        let mut pool = sample_pool(2);
+        // A zero-word allocation unit fails validation, so Dtb::new
+        // panics on construction, inside the tenant's run.
+        let bad = DtbConfig {
+            unit_words: 0,
+            ..DtbConfig::with_capacity(16)
+        };
+        let victim = &pool.tenants[0].machine;
+        pool.push("bad-geometry", Arc::clone(victim), Mode::Dtb(bad));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let run = pool.run();
+        std::panic::set_hook(hook);
+        assert_eq!(run.results.len(), 8);
+        assert_eq!(run.completed(), 7);
+        let last = run.results.last().unwrap();
+        assert_eq!(last.name, "bad-geometry");
+        match &last.outcome {
+            TenantOutcome::Panicked(msg) => {
+                assert!(!msg.is_empty());
+            }
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stealing_occurs_under_imbalance_and_changes_nothing() {
+        // All work dealt to worker 0's deque side by using 4 workers over
+        // 8 tenants with wildly uneven costs: the cheap tenants' workers
+        // finish and steal.
+        let heavy = machine_for(
+            "proc main() begin int i := 0; \
+             while i < 2000 do begin write i; i := i + 1; end end",
+        );
+        let light = machine_for("proc main() begin write 1; end");
+        let mut pool = MachinePool::new(4);
+        for t in 0..8 {
+            let m = if t < 4 { &heavy } else { &light };
+            pool.push(format!("t{t}"), Arc::clone(m), Mode::Interpreter);
+        }
+        let seq = pool.run_sequential();
+        let par = pool.run();
+        assert_eq!(outcomes(&seq), outcomes(&par));
+        // Steal counts are schedule-dependent; just check the counter is
+        // wired (it may legitimately be 0 on a slow machine, so only
+        // sanity-bound it).
+        assert!(par.steals <= 8);
+    }
+
+    #[test]
+    fn more_workers_than_tenants_is_fine() {
+        let m = machine_for("proc main() begin write 9; end");
+        let mut pool = MachinePool::new(16);
+        pool.push("only", m, Mode::Interpreter);
+        let run = pool.run();
+        assert_eq!(run.workers, 1); // clamped to tenant count
+        assert_eq!(run.completed(), 1);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(MachinePool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn empty_pool_runs_to_empty_result() {
+        let run = MachinePool::new(4).run();
+        assert!(run.results.is_empty());
+        assert_eq!(run.completed(), 0);
+        assert_eq!(run.minstr_per_sec(), 0.0);
+        assert_eq!(run.latency_percentiles(), Percentiles::default());
+    }
+
+    #[test]
+    fn latency_percentiles_are_populated_and_ordered() {
+        let run = sample_pool(2).run();
+        let p = run.latency_percentiles();
+        assert!(p.p50 > 0.0);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+    }
+}

@@ -9,11 +9,12 @@
 //! `s1`, `s2`) plus hit ratios. Consumers should dispatch on
 //! `schema_version` (currently [`telemetry::SCHEMA_VERSION`]).
 
-use telemetry::{Json, RunReport};
+use telemetry::{Json, PoolReport, RunReport};
 
 use crate::dtb::DtbStats;
 use crate::fault::FaultStats;
 use crate::metrics::{CycleBreakdown, Metrics};
+use crate::pool::{PoolRun, TenantOutcome, TenantResult};
 use crate::window::WindowSample;
 use memsim::CacheStats;
 
@@ -144,6 +145,52 @@ pub fn run_report(tool: &str, config: Json, metrics: &Metrics) -> RunReport {
     report
 }
 
+/// Serializes one tenant's result: identity, placement, latency, and —
+/// for completed tenants — the modeled instruction/cycle totals. Traps
+/// and panics carry a `detail` string instead.
+pub fn tenant_json(r: &TenantResult) -> Json {
+    let mut fields = vec![
+        ("tenant", (r.tenant as i64).into()),
+        ("name", r.name.as_str().into()),
+        ("worker", (r.worker as i64).into()),
+        ("status", r.outcome.status().into()),
+        ("latency_ns", (r.latency_ns as i64).into()),
+    ];
+    match &r.outcome {
+        TenantOutcome::Completed(report) => {
+            fields.push(("instructions", report.metrics.instructions.into()));
+            fields.push(("cycles", report.metrics.cycles.total().into()));
+            fields.push(("output_len", (report.output.len() as i64).into()));
+        }
+        TenantOutcome::Trapped(trap) => {
+            fields.push(("detail", format!("{trap:?}").as_str().into()));
+        }
+        TenantOutcome::Panicked(msg) => {
+            fields.push(("detail", msg.as_str().into()));
+        }
+    }
+    Json::obj(fields)
+}
+
+/// Builds the canonical schema-v2 [`PoolReport`] for a finished pool
+/// run: per-tenant results in tenant order, pool aggregates (wall-clock,
+/// modeled totals, aggregate Minstr/s, steal count) and per-tenant
+/// latency percentiles.
+pub fn pool_report(tool: &str, config: Json, run: &PoolRun) -> PoolReport {
+    let tenants = Json::Arr(run.results.iter().map(tenant_json).collect());
+    let aggregate = Json::obj(vec![
+        ("wall_ns", (run.wall_ns as i64).into()),
+        ("workers", (run.workers as i64).into()),
+        ("tenants", (run.results.len() as i64).into()),
+        ("completed", (run.completed() as i64).into()),
+        ("steals", (run.steals as i64).into()),
+        ("instructions", run.total_instructions().into()),
+        ("cycles", run.total_cycles().into()),
+        ("minstr_per_sec", run.minstr_per_sec().into()),
+    ]);
+    PoolReport::new(tool, config, tenants, aggregate, run.latency_percentiles())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +305,43 @@ mod tests {
         let w0 = &arr.as_arr().unwrap()[0];
         assert_eq!(w0.get("occupancy").unwrap().as_i64(), Some(7));
         assert_eq!(w0.get("hit_rate").unwrap().as_f64(), Some(0.8));
+    }
+
+    #[test]
+    fn pool_report_round_trips_with_tenant_and_aggregate_sections() {
+        use crate::machine::{Machine, Mode};
+        use crate::pool::MachinePool;
+        use dir::encode::SchemeKind;
+        use std::sync::Arc;
+
+        let hir = hlr::compile("proc main() begin write 3; end").unwrap();
+        let prog = dir::compiler::compile(&hir);
+        let machine = Arc::new(Machine::new(&prog, SchemeKind::Packed));
+        let mut pool = MachinePool::new(2);
+        for i in 0..3 {
+            pool.push(format!("t{i}"), Arc::clone(&machine), Mode::Interpreter);
+        }
+        let run = pool.run();
+
+        let config = Json::obj(vec![("workers", 2i64.into())]);
+        let report = pool_report("raul pool", config, &run);
+        let back = PoolReport::parse(&report.render()).unwrap();
+        assert_eq!(back, report);
+
+        let tenants = back.tenants.as_arr().unwrap();
+        assert_eq!(tenants.len(), 3);
+        assert_eq!(
+            tenants[0].get("status").and_then(Json::as_str),
+            Some("completed")
+        );
+        assert_eq!(tenants[1].get("name").and_then(Json::as_str), Some("t1"));
+        assert!(tenants[2].get("latency_ns").unwrap().as_i64().unwrap() > 0);
+        let agg = &back.aggregate;
+        assert_eq!(agg.get("completed").and_then(Json::as_i64), Some(3));
+        assert_eq!(
+            agg.get("instructions").and_then(Json::as_i64),
+            Some(run.total_instructions() as i64)
+        );
+        assert!(back.latency.p50 > 0.0);
     }
 }

@@ -7,6 +7,7 @@
 //! raul encode  <file> [--fuse]           static-size report per scheme
 //! raul profile <file>                    execution hot spots and coverage
 //! raul faults  <file> [options]          run under seeded fault injection
+//! raul pool    <file> [options]          run M tenant copies on N workers
 //!
 //! run options:
 //!   --mode interp|dtb|icache|two-level   (default: dtb)
@@ -26,6 +27,11 @@
 //!   --rate P                             DTB word+tag rate (default: 1e-3)
 //!   --dir-rate P | --dtb-rate P | --tag-rate P | --drop-rate P
 //!   --degrade-after N                    failures before pure interpretation
+//!
+//! pool options (plus the run options; fault flags attach a pool-level
+//! campaign whose seed is re-derived per tenant):
+//!   --workers N                          worker threads (default: 4)
+//!   --tenants M                          tenant copies of <file> (default: 2N)
 //!
 //! `profile` also accepts --json. Invalid machine configurations exit
 //! with status 2; runtime traps and compile errors with status 1.
@@ -79,6 +85,8 @@ struct Cli {
     window: Option<u64>,
     events: Option<String>,
     dtb_unit_words: Option<usize>,
+    workers: usize,
+    tenants: Option<usize>,
     seed: u64,
     rate: Option<f64>,
     dir_rate: Option<f64>,
@@ -96,6 +104,7 @@ enum Command {
     Encode,
     Profile,
     Faults,
+    Pool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,8 +124,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("encode") => Command::Encode,
         Some("profile") => Command::Profile,
         Some("faults") => Command::Faults,
+        Some("pool") => Command::Pool,
         Some(other) => return Err(format!("unknown command `{other}`")),
-        None => return Err("missing command (check|run|disasm|encode|profile|faults)".into()),
+        None => return Err("missing command (check|run|disasm|encode|profile|faults|pool)".into()),
     };
     let path = it
         .next()
@@ -136,6 +146,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         window: None,
         events: None,
         dtb_unit_words: None,
+        workers: 4,
+        tenants: None,
         seed: 0xFA01,
         rate: None,
         dir_rate: None,
@@ -206,6 +218,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .and_then(|v| v.parse().ok())
                         .ok_or("bad --dtb-unit-words value")?,
                 );
+            }
+            "--workers" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --workers value")?;
+                if n == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                cli.workers = n;
+            }
+            "--tenants" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --tenants value")?;
+                if n == 0 {
+                    return Err("--tenants must be positive".into());
+                }
+                cli.tenants = Some(n);
             }
             "--seed" => {
                 let v = it.next().ok_or("missing --seed value")?;
@@ -283,6 +315,16 @@ fn machine_mode(cli: &Cli) -> Result<Mode, CliError> {
             l2: dtb_config(cli, cli.dtb_entries * 8)?,
         },
     })
+}
+
+/// `true` when any fault-rate flag was given (used by `pool`, where fault
+/// injection is opt-in rather than the command's purpose).
+fn faults_requested(cli: &Cli) -> bool {
+    cli.rate.is_some()
+        || cli.dir_rate.is_some()
+        || cli.dtb_rate.is_some()
+        || cli.tag_rate.is_some()
+        || cli.drop_rate.is_some()
 }
 
 /// Builds the fault-injection configuration from the CLI flags: `--rate`
@@ -630,6 +672,85 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Pool => {
+            let program = build_program(cli, source)?;
+            let mode = machine_mode(cli)?;
+            let tenants = cli.tenants.unwrap_or(cli.workers * 2);
+            // One machine serves every tenant: the encoded image and the
+            // frozen translation snapshot are built once and shared.
+            let mut machine = Machine::new(&program, cli.scheme);
+            machine.set_decoder(cli.decoder);
+            machine.freeze_translations();
+            let machine = std::sync::Arc::new(machine);
+            let mut pool = uhm::MachinePool::new(cli.workers);
+            for t in 0..tenants {
+                pool.push(
+                    format!("tenant-{t}"),
+                    std::sync::Arc::clone(&machine),
+                    mode.clone(),
+                );
+            }
+            if faults_requested(cli) {
+                pool.set_faults(Some(fault_config(cli)));
+            }
+            let run = pool.run();
+            if cli.json {
+                let mut config = run_config(cli);
+                if let Json::Obj(fields) = &mut config {
+                    fields.push(("workers".into(), (cli.workers as i64).into()));
+                    fields.push(("tenants".into(), (tenants as i64).into()));
+                }
+                println!(
+                    "{}",
+                    uhm::report::pool_report("raul-pool", config, &run).render()
+                );
+            } else {
+                for r in &run.results {
+                    let detail = match &r.outcome {
+                        uhm::TenantOutcome::Completed(rep) => {
+                            format!(
+                                "{} instructions, {} cycles",
+                                rep.metrics.instructions,
+                                rep.metrics.cycles.total()
+                            )
+                        }
+                        uhm::TenantOutcome::Trapped(trap) => format!("trap: {trap}"),
+                        uhm::TenantOutcome::Panicked(msg) => format!("panic: {msg}"),
+                    };
+                    println!(
+                        "{:>12}  worker {}  {:>9} ns  {:>9}  {detail}",
+                        r.name,
+                        r.worker,
+                        r.latency_ns,
+                        r.outcome.status()
+                    );
+                }
+                let p = run.latency_percentiles();
+                println!(
+                    "pool: {}/{} completed on {} workers in {} ns ({} steals)",
+                    run.completed(),
+                    run.results.len(),
+                    run.workers,
+                    run.wall_ns,
+                    run.steals
+                );
+                println!(
+                    "latency p50/p95/p99: {:.0}/{:.0}/{:.0} ns  aggregate: {:.2} Minstr/s",
+                    p.p50,
+                    p.p95,
+                    p.p99,
+                    run.minstr_per_sec()
+                );
+            }
+            if run.completed() < run.results.len() {
+                return Err(CliError::Run(format!(
+                    "{} of {} tenants failed",
+                    run.results.len() - run.completed(),
+                    run.results.len()
+                )));
+            }
+            Ok(())
+        }
     }
 }
 
@@ -639,7 +760,7 @@ fn main() -> ExitCode {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("raul: {e}");
-            eprintln!("usage: raul <check|run|disasm|encode|profile> <file> [options]");
+            eprintln!("usage: raul <check|run|disasm|encode|profile|faults|pool> <file> [options]");
             return ExitCode::from(2);
         }
     };
@@ -783,5 +904,39 @@ mod tests {
         let cli = parse_args(&args("faults f.raul --rate 0.01")).unwrap();
         let src = "proc main() begin int i := 0; while i < 200 do i := i + 1; write i; end";
         execute(&cli, src).unwrap();
+    }
+
+    #[test]
+    fn parses_pool_flags() {
+        let cli = parse_args(&args("pool p.raul --workers 3 --tenants 9 --mode interp")).unwrap();
+        assert_eq!(cli.command, Command::Pool);
+        assert_eq!(cli.workers, 3);
+        assert_eq!(cli.tenants, Some(9));
+        assert!(!faults_requested(&cli));
+        // Defaults: 4 workers, tenants derived (2x workers) at execute time.
+        let d = parse_args(&args("pool p.raul")).unwrap();
+        assert_eq!(d.workers, 4);
+        assert_eq!(d.tenants, None);
+        assert!(parse_args(&args("pool p.raul --workers 0")).is_err());
+        assert!(parse_args(&args("pool p.raul --tenants 0")).is_err());
+    }
+
+    #[test]
+    fn pool_command_runs_end_to_end() {
+        let src = "proc main() begin int i := 0; while i < 50 do i := i + 1; write i; end";
+        for cmd in [
+            "pool p.raul --workers 2 --tenants 5",
+            "pool p.raul --workers 2 --tenants 4 --rate 0.01",
+        ] {
+            let cli = parse_args(&args(cmd)).unwrap();
+            execute(&cli, src).unwrap();
+        }
+    }
+
+    #[test]
+    fn pool_rejects_invalid_geometry_as_config_error() {
+        let cli = parse_args(&args("pool g.raul --dtb-unit-words 2")).unwrap();
+        let err = execute(&cli, "proc main() begin write 1; end").unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err:?}");
     }
 }
