@@ -1,0 +1,59 @@
+//! Pass 3b: cross-level consistency between DIR and PSDER.
+//!
+//! Two independent models exist for every opcode's stack behaviour: the
+//! analyzer's abstract `(pops, pushes)` table (pass 2) and the PSDER
+//! level's translation templates plus semantic-routine library. This pass
+//! pins them together over the *instructions the program actually
+//! contains* — the generalization of `psder::verify::check_all` from a
+//! one-representative-per-opcode test gate into a whole-image load pass.
+//!
+//! Two diagnostics can come out: [`DiagCode::TemplateImbalance`] when a
+//! translation sequence's net stack effect disagrees with the DIR
+//! semantics, and [`DiagCode::ModelMismatch`] when the analyzer's own
+//! table disagrees with the PSDER expectation — a drift guard that keeps
+//! the two levels from being "verified" against different contracts.
+
+use dir::isa::{Inst, Opcode};
+use dir::program::Program;
+use psder::routines::RoutineLib;
+
+use crate::absint::basic_effect;
+use crate::diag::{DiagCode, Diagnostic};
+
+/// Rechecks every distinct instruction of `program` against the PSDER
+/// translation templates and the analyzer's stack model.
+pub(crate) fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let lib = RoutineLib::new();
+    if let Err(errors) = psder::verify::check_program(&lib, &program.code) {
+        for e in errors {
+            diags.push(Diagnostic::global(
+                DiagCode::TemplateImbalance,
+                e.to_string(),
+            ));
+        }
+    }
+
+    // The analyzer's abstract model vs the PSDER expected-effect table.
+    // `Call` and `Return` are excluded by both sides: their effects are
+    // frame-mediated (argument consumption, result delivery) and modelled
+    // with procedure metadata in pass 2.
+    let mut seen: Vec<Inst> = Vec::new();
+    for &inst in &program.code {
+        if matches!(inst.opcode(), Opcode::Call | Opcode::Return) || seen.contains(&inst) {
+            continue;
+        }
+        seen.push(inst);
+        let (pops, pushes) = basic_effect(&inst).expect("call/return excluded");
+        let model_net = pushes as i32 - pops as i32;
+        let psder_net = psder::verify::expected_effect(inst);
+        if model_net != psder_net {
+            diags.push(Diagnostic::global(
+                DiagCode::ModelMismatch,
+                format!(
+                    "abstract model nets {model_net} for {:?}, PSDER expects {psder_net}",
+                    inst.opcode()
+                ),
+            ));
+        }
+    }
+}

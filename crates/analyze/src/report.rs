@@ -1,0 +1,120 @@
+//! The typed output of a whole-image analysis.
+
+use crate::absint::RegionSummary;
+use crate::callgraph::CallGraph;
+use crate::diag::{Diagnostic, Severity};
+use crate::pressure::PressureReport;
+
+/// Everything the four passes found and proved about one image.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Scheme label of the analyzed image.
+    pub scheme: String,
+    /// Static instruction count.
+    pub insts: usize,
+    /// Per-region facts from the abstract interpreter, prelude first.
+    pub regions: Vec<RegionSummary>,
+    /// The static call graph and its derived facts.
+    pub callgraph: CallGraph,
+    /// The DTB pressure estimate.
+    pub pressure: PressureReport,
+    /// Every finding, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Number of findings at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == severity)
+            .count()
+    }
+
+    /// `true` when no finding is an error — the image may be verified.
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Renders the human-readable report the CLI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        push(
+            &mut out,
+            format!(
+                "analysis: {} scheme, {} instructions, {} regions",
+                self.scheme,
+                self.insts,
+                self.regions.len()
+            ),
+        );
+        // regions[0] is the prelude; regions[1 + i] is procs[i].
+        for (i, r) in self.regions.iter().enumerate() {
+            let mut extra = String::new();
+            if let Some(pi) = i.checked_sub(1) {
+                if self.callgraph.reachable.get(pi) == Some(&false) {
+                    extra.push_str(", unreachable");
+                }
+                if self.callgraph.recursive.get(pi) == Some(&true) {
+                    extra.push_str(", recursive");
+                }
+            }
+            push(
+                &mut out,
+                format!(
+                    "  {:<12} [{:>4}..{:>4}]  max stack {}{}",
+                    r.name, r.start, r.end, r.max_stack, extra
+                ),
+            );
+        }
+        if let Some(chain) = self.callgraph.max_chain {
+            push(&mut out, format!("call graph: max chain {chain} frames"));
+        } else {
+            push(
+                &mut out,
+                "call graph: recursive (static chain unbounded)".to_string(),
+            );
+        }
+        if let Some(h) = &self.pressure.hot {
+            push(
+                &mut out,
+                format!(
+                    "dtb pressure: hottest {} {} [{}..{}] needs {} entries / {} words; \
+                     recommend {}x{} ({}); total {} words",
+                    if h.is_loop { "loop in" } else { "region" },
+                    h.region,
+                    h.start,
+                    h.end,
+                    h.insts,
+                    h.words,
+                    self.pressure.recommended.sets,
+                    self.pressure.recommended.ways,
+                    if self.pressure.fits_default {
+                        "fits default"
+                    } else {
+                        "exceeds default"
+                    },
+                    self.pressure.total_words
+                ),
+            );
+        }
+        for d in &self.diagnostics {
+            push(&mut out, d.to_string());
+        }
+        push(
+            &mut out,
+            format!(
+                "verdict: {} ({} errors, {} warnings, {} notes)",
+                if self.is_clean() { "clean" } else { "rejected" },
+                self.count(Severity::Error),
+                self.count(Severity::Warning),
+                self.count(Severity::Info)
+            ),
+        );
+        out
+    }
+}

@@ -1,0 +1,318 @@
+//! **E17 — the analyze gate (load-time verification):** runs the
+//! whole-image static verifier over the full sample corpus under every
+//! encoding scheme at both semantic tiers, checks that every image
+//! verifies clean, that every known-bad fixture is rejected with the
+//! right diagnostic family, and that the `Verified` fast path of the DIR
+//! reference executor is bit-identical to the checked path. Wall-clock
+//! for both paths is measured and reported alongside.
+//!
+//! Run with `cargo run -p uhm-bench --release --bin analyze_gate`.
+//! With `--json`, emits a versioned AnalyzeReport (schema 3): one verdict
+//! entry per corpus image plus fixture verdicts and the measured
+//! checked/trusted timing ratio in the aggregate.
+//! With `--smoke`, exits non-zero if (a) any corpus image fails to
+//! verify, (b) any fixture is accepted, or (c) any program's verified
+//! execution diverges from the checked execution. Timing is reported but
+//! never gates: wall-clock ratios are too noisy for CI on the fast
+//! interpreter loop.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use analyze::{AnalysisReport, DiagCode, Severity, Verified};
+use dir::encode::{fixtures, Image, SchemeKind};
+use dir::exec::Limits;
+use dir::program::Program;
+use telemetry::{AnalyzeReport, Json};
+use uhm_bench::workloads;
+
+/// One verified corpus entry, kept for the timing pass.
+struct CorpusEntry {
+    name: String,
+    scheme: SchemeKind,
+    report: AnalysisReport,
+    verified: Option<Verified<Image>>,
+}
+
+/// One known-bad fixture with the diagnostic code its rejection must
+/// carry.
+struct BadFixture {
+    name: &'static str,
+    expect: DiagCode,
+    report: AnalysisReport,
+}
+
+fn corpus() -> Vec<CorpusEntry> {
+    let mut entries = Vec::new();
+    for w in workloads() {
+        for (tier, program) in [("base", &w.base), ("fused", &w.fused)] {
+            for scheme in SchemeKind::all() {
+                let image = scheme.encode(program);
+                let report = analyze::analyze(program, &image);
+                let verified = analyze::verify(program, image).ok();
+                entries.push(CorpusEntry {
+                    name: format!("{}/{tier}", w.name),
+                    scheme,
+                    report,
+                    verified,
+                });
+            }
+        }
+    }
+    entries
+}
+
+fn bad_fixtures() -> Vec<BadFixture> {
+    let sample = dir::compiler::compile(
+        &hlr::compile("proc main() begin int i; for i := 0 to 9 do write i; end")
+            .expect("fixture source compiles"),
+    );
+    let mut out = Vec::new();
+    for (name, expect, image) in [
+        (
+            "truncated_codebook",
+            DiagCode::CodecDefect,
+            fixtures::truncated_codebook(&sample),
+        ),
+        (
+            "conflicting_codebook",
+            DiagCode::CodecDefect,
+            fixtures::conflicting_codebook(&sample),
+        ),
+        (
+            "oversized_field_width",
+            DiagCode::CodecDefect,
+            fixtures::oversized_field_width(&sample),
+        ),
+    ] {
+        out.push(BadFixture {
+            name,
+            expect,
+            report: analyze::analyze(&sample, &image),
+        });
+    }
+    // Hand-built DIR-level defects: the absint pass must catch what no
+    // compiler-produced program contains.
+    for (name, expect, program) in [
+        (
+            "stack_underflow",
+            DiagCode::StackUnderflow,
+            bad_program(dir::Inst::Pop),
+        ),
+        (
+            "jump_out_of_range",
+            DiagCode::JumpOutOfRange,
+            bad_program(dir::Inst::Jump(999)),
+        ),
+        (
+            "uninitialized_local",
+            DiagCode::UninitializedLocal,
+            bad_program(dir::Inst::PushLocal(0)),
+        ),
+    ] {
+        let image = SchemeKind::ByteAligned.encode(&program);
+        out.push(BadFixture {
+            name,
+            expect,
+            report: analyze::analyze(&program, &image),
+        });
+    }
+    out
+}
+
+/// A minimal program whose procedure body is `bad` followed by enough
+/// padding to stay structurally well-formed.
+fn bad_program(bad: dir::Inst) -> Program {
+    Program {
+        code: vec![
+            dir::Inst::Call(0),
+            dir::Inst::Halt,
+            bad,
+            dir::Inst::PushConst(0),
+            dir::Inst::Pop,
+            dir::Inst::Return,
+        ],
+        procs: vec![dir::program::ProcInfo {
+            name: "main".into(),
+            entry: 2,
+            end: 6,
+            n_args: 0,
+            frame_size: 1,
+            returns_value: false,
+        }],
+        entry_proc: 0,
+        globals_size: 0,
+    }
+}
+
+/// Times one call of `f`, returning elapsed ns.
+fn time<T>(mut f: impl FnMut() -> T) -> u64 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_nanos() as u64
+}
+
+/// Differential + timing pass: checked vs verified execution of every
+/// base-tier workload. Returns `(identical, checked_ns, trusted_ns)`.
+///
+/// The two paths are timed interleaved (checked, trusted, checked, ...)
+/// and summarized per workload as the minimum over rounds, so a
+/// frequency ramp or a scheduling hiccup cannot systematically favour
+/// whichever path ran second.
+fn differential() -> (bool, u64, u64) {
+    const ROUNDS: usize = 7;
+    let mut identical = true;
+    let mut checked_ns = 0;
+    let mut trusted_ns = 0;
+    for w in workloads() {
+        let verified = analyze::verify(&w.base, SchemeKind::ByteAligned.encode(&w.base))
+            .expect("corpus verifies clean");
+        let want = dir::exec::run(&w.base).expect("corpus is trap-free");
+        let (got, _) =
+            analyze::run_verified(&verified, Limits::default()).expect("corpus is trap-free");
+        if got != want {
+            eprintln!("analyze gate: {} diverged on the trusted path", w.name);
+            identical = false;
+        }
+        let mut best_checked = u64::MAX;
+        let mut best_trusted = u64::MAX;
+        for _ in 0..ROUNDS {
+            best_checked = best_checked.min(time(|| dir::exec::run(&w.base).unwrap()));
+            best_trusted = best_trusted.min(time(|| {
+                analyze::run_verified(&verified, Limits::default()).unwrap()
+            }));
+        }
+        checked_ns += best_checked;
+        trusted_ns += best_trusted;
+    }
+    (identical, checked_ns, trusted_ns)
+}
+
+/// The per-image verdict entry shared by the JSON artifact and `raul
+/// analyze` (same canonical shape).
+fn verdict_json(name: &str, report: &AnalysisReport) -> Json {
+    let diagnostics: Vec<Json> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("code", d.code.id().into()),
+                ("severity", d.severity().to_string().as_str().into()),
+                ("message", d.message.as_str().into()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("name", name.into()),
+        ("scheme", report.scheme.as_str().into()),
+        ("clean", report.is_clean().into()),
+        ("errors", (report.count(Severity::Error) as i64).into()),
+        ("warnings", (report.count(Severity::Warning) as i64).into()),
+        ("notes", (report.count(Severity::Info) as i64).into()),
+        ("diagnostics", Json::Arr(diagnostics)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let entries = corpus();
+    let clean = entries.iter().filter(|e| e.report.is_clean()).count();
+    let fixture_reports = bad_fixtures();
+    let rejected = fixture_reports
+        .iter()
+        .filter(|f| !f.report.is_clean() && f.report.diagnostics.iter().any(|d| d.code == f.expect))
+        .count();
+    let (identical, checked_ns, trusted_ns) = differential();
+    let speedup = checked_ns as f64 / trusted_ns.max(1) as f64;
+
+    let pass = clean == entries.len() && rejected == fixture_reports.len() && identical;
+
+    if json {
+        let mut images: Vec<Json> = entries
+            .iter()
+            .map(|e| verdict_json(&format!("{}/{}", e.name, e.scheme.label()), &e.report))
+            .collect();
+        images.extend(
+            fixture_reports
+                .iter()
+                .map(|f| verdict_json(&format!("fixture/{}", f.name), &f.report)),
+        );
+        let report = AnalyzeReport::new(
+            "analyze_gate",
+            Json::obj(vec![
+                ("schemes", (SchemeKind::all().len() as i64).into()),
+                ("tiers", 2i64.into()),
+            ]),
+            Json::Arr(images),
+            Json::obj(vec![
+                ("images", (entries.len() as i64).into()),
+                ("clean", (clean as i64).into()),
+                ("fixtures", (fixture_reports.len() as i64).into()),
+                ("fixtures_rejected", (rejected as i64).into()),
+                ("differential_identical", identical.into()),
+                ("checked_ns", (checked_ns as i64).into()),
+                ("trusted_ns", (trusted_ns as i64).into()),
+                ("trusted_speedup", speedup.into()),
+                ("pass", pass.into()),
+            ]),
+        );
+        println!("{}", report.render());
+    } else {
+        println!(
+            "analyze gate: {}/{} corpus images verify clean ({} workloads x 2 tiers x {} schemes)",
+            clean,
+            entries.len(),
+            workloads().len(),
+            SchemeKind::all().len()
+        );
+        for f in &fixture_reports {
+            let hit = f.report.diagnostics.iter().any(|d| d.code == f.expect);
+            println!(
+                "  fixture {:>22}: {} (expected {}, {})",
+                f.name,
+                if f.report.is_clean() {
+                    "ACCEPTED"
+                } else {
+                    "rejected"
+                },
+                f.expect.id(),
+                if hit { "found" } else { "MISSING" }
+            );
+        }
+        println!(
+            "differential: outputs {} | checked {:.1} ms vs trusted {:.1} ms ({:.2}x)",
+            if identical { "identical" } else { "DIVERGED" },
+            checked_ns as f64 / 1e6,
+            trusted_ns as f64 / 1e6,
+            speedup
+        );
+        // Surface any unexpectedly dirty corpus entry with its report.
+        for e in entries.iter().filter(|e| !e.report.is_clean()) {
+            println!("--- {} under {} ---", e.name, e.scheme);
+            print!("{}", e.report.render());
+            debug_assert!(e.verified.is_none());
+        }
+    }
+
+    if smoke && !pass {
+        eprintln!(
+            "analyze smoke FAIL: {}/{} clean, {}/{} fixtures rejected, differential {}",
+            clean,
+            entries.len(),
+            rejected,
+            fixture_reports.len(),
+            if identical { "ok" } else { "diverged" }
+        );
+        return ExitCode::FAILURE;
+    }
+    if smoke {
+        println!(
+            "analyze smoke PASS: {} images clean, {} fixtures rejected, trusted path {:.2}x",
+            clean, rejected, speedup
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -192,17 +192,17 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
                         "args" => {
                             n_args = v
                                 .parse()
-                                .map_err(|_| err(lineno, format!("bad args `{v}`")))?
+                                .map_err(|_| err(lineno, format!("bad args `{v}`")))?;
                         }
                         "frame" => {
                             frame_size = v
                                 .parse()
-                                .map_err(|_| err(lineno, format!("bad frame `{v}`")))?
+                                .map_err(|_| err(lineno, format!("bad frame `{v}`")))?;
                         }
                         "returns" => {
                             returns_value = v
                                 .parse()
-                                .map_err(|_| err(lineno, format!("bad returns `{v}`")))?
+                                .map_err(|_| err(lineno, format!("bad returns `{v}`")))?;
                         }
                         other => return Err(err(lineno, format!("unknown attribute `{other}`"))),
                     }

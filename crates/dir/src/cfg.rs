@@ -12,22 +12,98 @@ use std::collections::HashMap;
 use crate::isa::Inst;
 use crate::program::{ProcInfo, Program};
 
+/// The successor set of one DIR instruction: at most two instruction
+/// indices (a branch target and a fall-through), held inline.
+///
+/// Successor computation runs once per instruction in every reachability,
+/// DCE and abstract-interpretation pass, so this is a `Copy` fixed-size
+/// value rather than a per-call heap `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Successors {
+    targets: [u32; 2],
+    len: u8,
+}
+
+impl Successors {
+    /// No successors (`Return`, `Halt`).
+    pub const fn none() -> Successors {
+        Successors {
+            targets: [0; 2],
+            len: 0,
+        }
+    }
+
+    /// A single successor.
+    pub const fn one(a: u32) -> Successors {
+        Successors {
+            targets: [a, 0],
+            len: 1,
+        }
+    }
+
+    /// Two successors (taken target first, fall-through second).
+    pub const fn two(a: u32, b: u32) -> Successors {
+        Successors {
+            targets: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The successors as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.targets[..self.len as usize]
+    }
+
+    /// Number of successors (0, 1 or 2).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when the instruction ends control flow.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the successor indices.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, u32>> {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl IntoIterator for Successors {
+    type Item = u32;
+    type IntoIter = std::iter::Take<std::array::IntoIter<u32, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.targets.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a Successors {
+    type Item = u32;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u32>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Successor instruction indices of the instruction at `index`.
 ///
 /// `Call` contributes both the callee entry and the fall-through (the
 /// return continuation); `Return` and `Halt` have no successors.
-pub fn successors(program: &Program, index: u32) -> Vec<u32> {
+pub fn successors(program: &Program, index: u32) -> Successors {
     let inst = program.code[index as usize];
     let next = index + 1;
     match inst {
-        Inst::Jump(t) => vec![t],
-        Inst::JumpIfFalse(t) | Inst::JumpIfTrue(t) => vec![t, next],
+        Inst::Jump(t) => Successors::one(t),
+        Inst::JumpIfFalse(t) | Inst::JumpIfTrue(t) => Successors::two(t, next),
         Inst::CmpConstBr { target, .. } | Inst::CmpLocalsBr { target, .. } => {
-            vec![target, next]
+            Successors::two(target, next)
         }
-        Inst::Call(p) => vec![program.procs[p as usize].entry, next],
-        Inst::Return | Inst::Halt => vec![],
-        _ => vec![next],
+        Inst::Call(p) => Successors::two(program.procs[p as usize].entry, next),
+        Inst::Return | Inst::Halt => Successors::none(),
+        _ => Successors::one(next),
     }
 }
 
@@ -234,6 +310,27 @@ mod tests {
 
     fn compile_src(src: &str) -> Program {
         compile(&hlr::compile(src).unwrap())
+    }
+
+    #[test]
+    fn successor_sets_are_inline_and_bounded() {
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            for i in 0..p.code.len() as u32 {
+                let succ = successors(&p, i);
+                assert!(succ.len() <= 2, "{}: >2 successors at {i}", s.name);
+                assert_eq!(succ.len(), succ.as_slice().len());
+                assert_eq!(succ.is_empty(), succ.is_empty());
+                // By-value and by-ref iteration agree with the slice.
+                let by_val: Vec<u32> = succ.into_iter().collect();
+                let by_ref: Vec<u32> = (&succ).into_iter().collect();
+                assert_eq!(by_val, succ.as_slice());
+                assert_eq!(by_ref, succ.as_slice());
+            }
+        }
+        let p = compile_src("proc main() begin write 1; end");
+        let last = p.code.len() as u32 - 1;
+        assert_eq!(successors(&p, last), Successors::none());
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub use pair::PairHuffman;
 pub use value_huffman::ValueHuffman;
 
 use crate::bitstream::{bits_for, BitReader, BitsExhausted};
-use crate::isa::{DecodeError, FieldKind, Inst, FIELD_KINDS};
+use crate::huffman::{CodebookIssue, Tree};
+use crate::isa::{DecodeError, FieldKind, Inst, FIELD_KINDS, OPCODE_COUNT};
 use crate::program::Program;
 
 /// Widest operand schema across the ISA (the fused four-field opcodes):
@@ -251,6 +252,168 @@ impl From<BitsExhausted> for ImageError {
 impl From<DecodeError> for ImageError {
     fn from(e: DecodeError) -> Self {
         ImageError::Decode(e)
+    }
+}
+
+/// A defect in an image's decoder-side tables, found by
+/// [`Image::validate_codec`] without reading a single stream bit. Each
+/// variant is a *structural* property of the side tables themselves —
+/// detectable at load time, where the same damage would otherwise surface
+/// as a mid-run decode trap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecIssue {
+    /// A Huffman codebook is invalid (bad width, prefix conflict, or a
+    /// code space that is not exactly full).
+    Codebook {
+        /// Which table: `"opcode"`, `"global"`, `"pred[i]"`, or
+        /// `"value[FieldKind]"`.
+        table: String,
+        /// The underlying codebook defect.
+        issue: CodebookIssue,
+    },
+    /// A declared field width exceeds the 64-bit value domain.
+    FieldWidth {
+        /// The affected field kind.
+        kind: FieldKind,
+        /// The declared width in bits.
+        width: u32,
+    },
+    /// Instruction bit offsets are not strictly increasing.
+    OffsetOrder {
+        /// First instruction whose offset does not exceed its
+        /// predecessor's.
+        index: u32,
+    },
+    /// An instruction offset lies at or past the end of the stream.
+    OffsetRange {
+        /// The offending instruction index.
+        index: u32,
+        /// Its recorded bit offset.
+        offset: u64,
+        /// The stream length in bits.
+        bit_len: u64,
+    },
+    /// A context region is empty, inverted, or overlaps its predecessor.
+    RegionBounds {
+        /// Index of the offending region.
+        region: usize,
+    },
+    /// A predecessor-table entry names an impossible opcode.
+    PredecessorEntry {
+        /// The instruction whose predecessor entry is out of range.
+        index: u32,
+    },
+    /// The predecessor table length disagrees with the instruction count.
+    PredecessorLength {
+        /// Entries present.
+        len: usize,
+        /// Entries required (one per instruction).
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CodecIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecIssue::Codebook { table, issue } => {
+                write!(f, "codebook `{table}`: {issue}")
+            }
+            CodecIssue::FieldWidth { kind, width } => {
+                write!(f, "field {kind:?} declares impossible width {width}")
+            }
+            CodecIssue::OffsetOrder { index } => {
+                write!(f, "offset of instruction {index} does not advance")
+            }
+            CodecIssue::OffsetRange {
+                index,
+                offset,
+                bit_len,
+            } => write!(
+                f,
+                "instruction {index} offset {offset} outside stream of {bit_len} bits"
+            ),
+            CodecIssue::RegionBounds { region } => {
+                write!(f, "context region {region} empty, inverted, or overlapping")
+            }
+            CodecIssue::PredecessorEntry { index } => {
+                write!(f, "predecessor entry for instruction {index} out of range")
+            }
+            CodecIssue::PredecessorLength { len, expected } => {
+                write!(
+                    f,
+                    "predecessor table holds {len} entries, expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecIssue {}
+
+/// Pushes a [`CodecIssue::Codebook`] when `tree`'s codebook fails
+/// [`Tree::check`].
+fn check_tree(tree: &Tree, table: &str, out: &mut Vec<CodecIssue>) {
+    if let Err(issue) = tree.check() {
+        out.push(CodecIssue::Codebook {
+            table: table.to_string(),
+            issue,
+        });
+    }
+}
+
+/// Field widths above 64 bits cannot describe any value the bitstream can
+/// deliver.
+fn check_widths(widths: &FieldWidths, out: &mut Vec<CodecIssue>) {
+    for (i, &width) in widths.widths.iter().enumerate() {
+        if width > 64 {
+            out.push(CodecIssue::FieldWidth {
+                kind: FIELD_KINDS[i],
+                width,
+            });
+        }
+    }
+}
+
+/// Regions must be non-empty, ordered, and disjoint; each region's width
+/// table gets the same sanity screen as the program-wide one.
+fn check_regions(tables: &ContextTables, out: &mut Vec<CodecIssue>) {
+    let mut prev_end = 0u32;
+    for (i, r) in tables.regions.iter().enumerate() {
+        if r.start >= r.end || r.start < prev_end {
+            out.push(CodecIssue::RegionBounds { region: i });
+        } else {
+            prev_end = r.end;
+        }
+        check_widths(&r.widths, out);
+    }
+}
+
+/// Shared validation of the pair-conditioned opcode machinery (the `Pair`
+/// and `ValueHuffman` decoders).
+fn check_pair_decoder(
+    ctx: &[pair::CtxCode],
+    global: &Tree,
+    preds: &[u8],
+    tables: &ContextTables,
+    n_insts: usize,
+    out: &mut Vec<CodecIssue>,
+) {
+    check_tree(global, "global", out);
+    for (i, c) in ctx.iter().enumerate() {
+        check_tree(&c.tree, &format!("pred[{i}]"), out);
+    }
+    check_regions(tables, out);
+    if preds.len() != n_insts {
+        out.push(CodecIssue::PredecessorLength {
+            len: preds.len(),
+            expected: n_insts,
+        });
+    }
+    // OPCODE_COUNT itself is the legal start-of-region sentinel.
+    for (i, &p) in preds.iter().enumerate() {
+        if p as usize > OPCODE_COUNT {
+            out.push(CodecIssue::PredecessorEntry { index: i as u32 });
+        }
     }
 }
 
@@ -654,6 +817,62 @@ impl Image {
             .collect()
     }
 
+    /// Statically validates this image's decoder-side tables: Huffman
+    /// codebooks (prefix-freeness, Kraft completeness, width sanity),
+    /// field-width tables, context-region bounds, predecessor tables, and
+    /// the instruction offset index. Reads no stream bits, so it is cheap
+    /// enough to run unconditionally at load time — the analyze plane's
+    /// first pass. Images produced by [`SchemeKind::encode`] always
+    /// return an empty list; the [`fixtures`] module builds images that
+    /// do not.
+    pub fn validate_codec(&self) -> Vec<CodecIssue> {
+        let mut out = Vec::new();
+        for (i, w) in self.offsets.windows(2).enumerate() {
+            if w[1] <= w[0] {
+                out.push(CodecIssue::OffsetOrder {
+                    index: i as u32 + 1,
+                });
+            }
+        }
+        for (i, &offset) in self.offsets.iter().enumerate() {
+            if offset >= self.bit_len {
+                out.push(CodecIssue::OffsetRange {
+                    index: i as u32,
+                    offset,
+                    bit_len: self.bit_len,
+                });
+            }
+        }
+        match &self.decoder {
+            DecoderData::Byte => {}
+            DecoderData::Packed(widths) => check_widths(widths, &mut out),
+            DecoderData::Contextual(tables) => check_regions(tables, &mut out),
+            DecoderData::Huffman { tree, tables } => {
+                check_tree(tree, "opcode", &mut out);
+                check_regions(tables, &mut out);
+            }
+            DecoderData::Pair {
+                ctx,
+                global,
+                preds,
+                tables,
+            } => check_pair_decoder(ctx, global, preds, tables, self.len(), &mut out),
+            DecoderData::ValueHuffman {
+                ctx,
+                global,
+                preds,
+                tables,
+                values,
+            } => {
+                check_pair_decoder(ctx, global, preds, tables, self.len(), &mut out);
+                for (k, vc) in values.iter().enumerate() {
+                    check_tree(vc.tree(), &format!("value[{:?}]", FIELD_KINDS[k]), &mut out);
+                }
+            }
+        }
+        out
+    }
+
     /// Mean decode cost over all instructions (static average of the
     /// paper's parameter `d`).
     ///
@@ -816,6 +1035,80 @@ impl ContextTables {
             .iter()
             .map(|r| r.widths.table_bits() + 64)
             .sum()
+    }
+}
+
+/// Deliberately damaged images for negative testing of the analyze plane.
+///
+/// Each constructor starts from a well-formed encoding of `program` and
+/// corrupts exactly one decoder-side table, modelling side-table damage in
+/// storage. The resulting images still *decode* (the decode trie and LUT
+/// are kept intact) — the point is that [`Image::validate_codec`] must
+/// reject them before any decode is attempted.
+pub mod fixtures {
+    use super::*;
+
+    /// A Huffman image whose opcode codebook lost coverage: the deepest
+    /// code is extended by one bit, so the Kraft sum no longer fills the
+    /// code space — the signature of a truncated codebook. Validation
+    /// reports [`CodebookIssue::Incomplete`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` uses fewer than two distinct opcodes.
+    pub fn truncated_codebook(program: &Program) -> Image {
+        corrupt_opcode_codebook(program, |codes| {
+            let deepest = codes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &(_, w))| w)
+                .map(|(i, _)| i)
+                .expect("codebook is non-empty");
+            codes[deepest].0 <<= 1;
+            codes[deepest].1 += 1;
+        })
+    }
+
+    /// A Huffman image where one code was overwritten with an extension
+    /// of another, so the two collide. Validation reports
+    /// [`CodebookIssue::PrefixConflict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` uses fewer than two distinct opcodes.
+    pub fn conflicting_codebook(program: &Program) -> Image {
+        corrupt_opcode_codebook(program, |codes| {
+            assert!(codes.len() >= 2, "need two symbols to conflict");
+            codes[1] = (codes[0].0 << 1, codes[0].1 + 1);
+        })
+    }
+
+    /// A packed image whose width table declares a 65-bit field — wider
+    /// than any value the bitstream can deliver. Validation reports
+    /// [`CodecIssue::FieldWidth`].
+    pub fn oversized_field_width(program: &Program) -> Image {
+        let mut image = SchemeKind::Packed.encode(program);
+        match &mut image.decoder {
+            DecoderData::Packed(widths) => widths.widths[0] = 65,
+            _ => unreachable!("Packed scheme yields a Packed decoder"),
+        }
+        image
+    }
+
+    fn corrupt_opcode_codebook(
+        program: &Program,
+        damage: impl FnOnce(&mut Vec<(u64, u32)>),
+    ) -> Image {
+        let mut image = SchemeKind::Huffman.encode(program);
+        match &mut image.decoder {
+            DecoderData::Huffman { tree, .. } => {
+                let mut codes = tree.codes().to_vec();
+                damage(&mut codes);
+                *tree = tree.with_codes(codes);
+            }
+            _ => unreachable!("Huffman scheme yields a Huffman decoder"),
+        }
+        image
     }
 }
 
@@ -1026,6 +1319,48 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn every_self_produced_image_validates_clean() {
+        for p in sample_programs() {
+            for kind in SchemeKind::all() {
+                let issues = kind.encode(&p).validate_codec();
+                assert!(issues.is_empty(), "{kind}: {issues:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixtures_fail_validation_with_the_right_issue() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let truncated = fixtures::truncated_codebook(&p).validate_codec();
+        assert!(
+            matches!(
+                truncated.first(),
+                Some(CodecIssue::Codebook {
+                    issue: crate::huffman::CodebookIssue::Incomplete,
+                    ..
+                })
+            ),
+            "{truncated:?}"
+        );
+        let conflict = fixtures::conflicting_codebook(&p).validate_codec();
+        assert!(
+            matches!(
+                conflict.first(),
+                Some(CodecIssue::Codebook {
+                    issue: crate::huffman::CodebookIssue::PrefixConflict { .. },
+                    ..
+                })
+            ),
+            "{conflict:?}"
+        );
+        let wide = fixtures::oversized_field_width(&p).validate_codec();
+        assert!(
+            matches!(wide.first(), Some(CodecIssue::FieldWidth { width: 65, .. })),
+            "{wide:?}"
+        );
     }
 
     #[test]

@@ -66,6 +66,12 @@ impl ValueCode {
         self.values.len()
     }
 
+    /// The Huffman tree coding this field kind's values (for codec
+    /// validation).
+    pub(crate) fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
     /// Encodes one field value; unseen values escape to a raw field of the
     /// region's contextual width (which always fits, because the widths
     /// were measured over the same program region).

@@ -138,6 +138,37 @@ pub fn run_with(
     limits: Limits,
     trace: bool,
 ) -> Result<(Vec<i64>, ExecStats), Trap> {
+    run_mode::<false>(program, limits, trace)
+}
+
+/// Runs a *statically verified* program, dropping the executor's defensive
+/// malformed-program checks (operand-stack underflow, pc range, return
+/// without frame): the verifier has already proved those traps unreachable,
+/// so the hot loop carries no error construction for them. Dynamic traps —
+/// division by zero, array bounds, step/depth limits — are still checked;
+/// they depend on runtime values no static pass can bound.
+///
+/// Soundness is the *caller's* obligation: this entry must only be reached
+/// through a verification witness (the analyze crate's `Verified` type).
+/// On an unverified malformed program the executor stays memory-safe but
+/// may silently read zeros where the checked path would trap.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] on dynamic runtime errors or exhausted limits.
+pub fn run_trusted_with(
+    program: &Program,
+    limits: Limits,
+    trace: bool,
+) -> Result<(Vec<i64>, ExecStats), Trap> {
+    run_mode::<true>(program, limits, trace)
+}
+
+fn run_mode<const TRUSTED: bool>(
+    program: &Program,
+    limits: Limits,
+    trace: bool,
+) -> Result<(Vec<i64>, ExecStats), Trap> {
     let mut st = State {
         program,
         pc: 0,
@@ -155,7 +186,7 @@ pub fn run_with(
         },
         limits,
     };
-    st.run()?;
+    st.run::<TRUSTED>()?;
     Ok((st.output, st.stats))
 }
 
@@ -180,10 +211,19 @@ struct State<'p> {
 }
 
 impl<'p> State<'p> {
-    fn pop(&mut self) -> Result<i64, Trap> {
-        self.stack
-            .pop()
-            .ok_or(Trap::Malformed("operand stack underflow"))
+    /// Pops the operand stack. The untrusted instantiation reports
+    /// underflow as a trap; the trusted one relies on the verifier's
+    /// no-underflow proof and compiles to a bare pop (the default is dead
+    /// code on verified programs, kept only so the signature stays safe).
+    #[inline]
+    fn pop<const TRUSTED: bool>(&mut self) -> Result<i64, Trap> {
+        if TRUSTED {
+            Ok(self.stack.pop().unwrap_or_default())
+        } else {
+            self.stack
+                .pop()
+                .ok_or(Trap::Malformed("operand stack underflow"))
+        }
     }
 
     fn frame_base(&self) -> usize {
@@ -203,13 +243,20 @@ impl<'p> State<'p> {
         }
     }
 
-    fn run(&mut self) -> Result<(), Trap> {
+    fn run<const TRUSTED: bool>(&mut self) -> Result<(), Trap> {
         loop {
-            let inst = *self
-                .program
-                .code
-                .get(self.pc as usize)
-                .ok_or(Trap::Malformed("pc out of range"))?;
+            let inst = if TRUSTED {
+                // The verifier proved every reachable pc in range; plain
+                // indexing keeps Rust's bounds check but drops the trap
+                // construction from the hot loop.
+                self.program.code[self.pc as usize]
+            } else {
+                *self
+                    .program
+                    .code
+                    .get(self.pc as usize)
+                    .ok_or(Trap::Malformed("pc out of range"))?
+            };
             self.stats.instructions += 1;
             if self.stats.instructions > self.limits.max_steps {
                 return Err(Trap::StepLimit);
@@ -227,58 +274,58 @@ impl<'p> State<'p> {
                 }
                 Inst::PushGlobal(s) => self.stack.push(self.globals[s as usize]),
                 Inst::StoreLocal(s) => {
-                    let v = self.pop()?;
+                    let v = self.pop::<TRUSTED>()?;
                     *self.local(s) = v;
                 }
                 Inst::StoreGlobal(s) => {
-                    let v = self.pop()?;
+                    let v = self.pop::<TRUSTED>()?;
                     self.globals[s as usize] = v;
                 }
                 Inst::LoadArrLocal { base, len } => {
-                    let idx = Self::check_index(self.pop()?, len)?;
+                    let idx = Self::check_index(self.pop::<TRUSTED>()?, len)?;
                     let fb = self.frame_base();
                     self.stack.push(self.slots[fb + base as usize + idx]);
                 }
                 Inst::LoadArrGlobal { base, len } => {
-                    let idx = Self::check_index(self.pop()?, len)?;
+                    let idx = Self::check_index(self.pop::<TRUSTED>()?, len)?;
                     self.stack.push(self.globals[base as usize + idx]);
                 }
                 Inst::StoreArrLocal { base, len } => {
-                    let v = self.pop()?;
-                    let idx = Self::check_index(self.pop()?, len)?;
+                    let v = self.pop::<TRUSTED>()?;
+                    let idx = Self::check_index(self.pop::<TRUSTED>()?, len)?;
                     let fb = self.frame_base();
                     self.slots[fb + base as usize + idx] = v;
                 }
                 Inst::StoreArrGlobal { base, len } => {
-                    let v = self.pop()?;
-                    let idx = Self::check_index(self.pop()?, len)?;
+                    let v = self.pop::<TRUSTED>()?;
+                    let idx = Self::check_index(self.pop::<TRUSTED>()?, len)?;
                     self.globals[base as usize + idx] = v;
                 }
                 Inst::Pop => {
-                    self.pop()?;
+                    self.pop::<TRUSTED>()?;
                 }
                 Inst::Bin(op) => {
-                    let b = self.pop()?;
-                    let a = self.pop()?;
+                    let b = self.pop::<TRUSTED>()?;
+                    let a = self.pop::<TRUSTED>()?;
                     let r = op.apply(a, b).map_err(|_| Trap::DivByZero)?;
                     self.stack.push(r);
                 }
                 Inst::Neg => {
-                    let v = self.pop()?;
+                    let v = self.pop::<TRUSTED>()?;
                     self.stack.push(v.wrapping_neg());
                 }
                 Inst::Not => {
-                    let v = self.pop()?;
+                    let v = self.pop::<TRUSTED>()?;
                     self.stack.push((v == 0) as i64);
                 }
                 Inst::Jump(t) => next = t,
                 Inst::JumpIfFalse(t) => {
-                    if self.pop()? == 0 {
+                    if self.pop::<TRUSTED>()? == 0 {
                         next = t;
                     }
                 }
                 Inst::JumpIfTrue(t) => {
-                    if self.pop()? != 0 {
+                    if self.pop::<TRUSTED>()? != 0 {
                         next = t;
                     }
                 }
@@ -291,18 +338,23 @@ impl<'p> State<'p> {
                     self.slots.resize(base + info.frame_size as usize, 0);
                     // Arguments were pushed left-to-right; pop right-to-left.
                     for i in (0..info.n_args).rev() {
-                        let v = self.pop()?;
+                        let v = self.pop::<TRUSTED>()?;
                         self.slots[base + i as usize] = v;
                     }
                     self.frames.push(Frame { base, ret_pc: next });
                     next = info.entry;
                 }
                 Inst::Return => {
-                    let frame = self
-                        .frames
-                        .pop()
-                        .ok_or(Trap::Malformed("return without frame"))?;
-                    if frame.ret_pc == u32::MAX {
+                    let frame = if TRUSTED {
+                        // The verifier proved Return only occurs inside a
+                        // procedure body, where a frame always exists.
+                        self.frames.pop().expect("verified return has a frame")
+                    } else {
+                        self.frames
+                            .pop()
+                            .ok_or(Trap::Malformed("return without frame"))?
+                    };
+                    if !TRUSTED && frame.ret_pc == u32::MAX {
                         return Err(Trap::Malformed("return from prelude"));
                     }
                     self.slots.truncate(frame.base);
@@ -310,7 +362,7 @@ impl<'p> State<'p> {
                 }
                 Inst::Halt => return Ok(()),
                 Inst::Write => {
-                    let v = self.pop()?;
+                    let v = self.pop::<TRUSTED>()?;
                     self.output.push(v);
                 }
                 Inst::BinLocals { op, a, b, dst } => {

@@ -254,6 +254,40 @@ impl Tree {
         self.nodes.len() as u64 * 32
     }
 
+    /// Statically validates the codebook: every code width must be
+    /// representable, no code may prefix another, and the code space must
+    /// be exactly full (Kraft equality), so that every bit sequence decodes
+    /// to exactly one symbol. Trees built by [`Tree::from_frequencies`]
+    /// always pass; a tree whose side tables were damaged in storage does
+    /// not, and the load-time verifier turns that into a typed diagnostic
+    /// instead of a mid-run decode trap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CodebookIssue`] found.
+    pub fn check(&self) -> Result<(), CodebookIssue> {
+        check_codes(&self.codes)
+    }
+
+    /// The raw `(code, width)` codebook, indexed by symbol.
+    pub(crate) fn codes(&self) -> &[(u64, u32)] {
+        &self.codes
+    }
+
+    /// Rebuilds this tree with a replacement codebook while keeping the
+    /// decode structures. The result is deliberately inconsistent: it
+    /// exists solely so the analyze plane's negative fixtures can model a
+    /// codebook damaged in storage without constructing an undecodable
+    /// trie. Never constructed outside [`crate::encode::fixtures`].
+    pub(crate) fn with_codes(&self, codes: Vec<(u64, u32)>) -> Tree {
+        Tree {
+            codes,
+            nodes: self.nodes.clone(),
+            lut: self.lut.clone(),
+            lut_bits: self.lut_bits,
+        }
+    }
+
     /// Expected code width in bits under the given frequency distribution.
     pub fn expected_width(&self, freqs: &[u64]) -> f64 {
         let total: u64 = freqs.iter().map(|&f| f.max(1)).sum();
@@ -328,6 +362,109 @@ fn decode_lut(codes: &[(u64, u32)]) -> (Vec<LutEntry>, u32) {
         }
     }
     (lut, lut_bits)
+}
+
+/// A defect in a Huffman codebook found by [`Tree::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodebookIssue {
+    /// A code is wider than 64 bits (or zero bits in a multi-symbol
+    /// alphabet), so it cannot be read from the stream.
+    BadWidth {
+        /// The symbol with the malformed width.
+        symbol: usize,
+        /// Its claimed width in bits.
+        width: u32,
+    },
+    /// One symbol's code is a prefix of another's: decoding is ambiguous.
+    PrefixConflict {
+        /// The symbol whose code is the prefix.
+        prefix: usize,
+        /// The symbol whose code extends it.
+        extended: usize,
+    },
+    /// The Kraft sum is below one: some bit sequences decode to no
+    /// symbol, so a stream can fail mid-decode (truncated codebook).
+    Incomplete,
+    /// The Kraft sum exceeds one: the code space is oversubscribed.
+    Oversubscribed,
+}
+
+impl std::fmt::Display for CodebookIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodebookIssue::BadWidth { symbol, width } => {
+                write!(f, "symbol {symbol} has unusable code width {width}")
+            }
+            CodebookIssue::PrefixConflict { prefix, extended } => {
+                write!(
+                    f,
+                    "code for symbol {prefix} is a prefix of the code for symbol {extended}"
+                )
+            }
+            CodebookIssue::Incomplete => {
+                write!(f, "codebook is incomplete (Kraft sum below one)")
+            }
+            CodebookIssue::Oversubscribed => {
+                write!(
+                    f,
+                    "codebook oversubscribes the code space (Kraft sum above one)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodebookIssue {}
+
+/// Validates an explicit `(code, width)` codebook: width sanity,
+/// prefix-freeness, and Kraft equality. See [`Tree::check`].
+///
+/// A single-symbol alphabet is exempt from the completeness requirement:
+/// its degenerate 1-bit code intentionally leaves half the code space
+/// unused (both window halves decode to the one symbol).
+///
+/// # Errors
+///
+/// Returns the first [`CodebookIssue`] found.
+pub fn check_codes(codes: &[(u64, u32)]) -> Result<(), CodebookIssue> {
+    for (symbol, &(_, width)) in codes.iter().enumerate() {
+        if width > 64 || (width == 0 && codes.len() > 1) {
+            return Err(CodebookIssue::BadWidth { symbol, width });
+        }
+    }
+    for a in 0..codes.len() {
+        for b in (a + 1)..codes.len() {
+            let (short, long) = if codes[a].1 <= codes[b].1 {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let (cs, ws) = codes[short];
+            let (cl, wl) = codes[long];
+            if ws == 0 || wl == 0 {
+                continue; // BadWidth already screened multi-symbol zeros.
+            }
+            if cl >> (wl - ws) == cs {
+                return Err(CodebookIssue::PrefixConflict {
+                    prefix: short,
+                    extended: long,
+                });
+            }
+        }
+    }
+    if codes.len() > 1 {
+        // Kraft sum in units of 2^-64: sum of 2^(64 - w) must be 2^64.
+        let mut sum: u128 = 0;
+        for &(_, w) in codes {
+            sum += 1u128 << (64 - w);
+        }
+        match sum.cmp(&(1u128 << 64)) {
+            std::cmp::Ordering::Less => return Err(CodebookIssue::Incomplete),
+            std::cmp::Ordering::Greater => return Err(CodebookIssue::Oversubscribed),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    Ok(())
 }
 
 /// Shannon entropy (bits/symbol) of a frequency distribution, the lower
@@ -571,6 +708,51 @@ mod tests {
             let b = tree.decode_table(&mut table_r).unwrap();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn constructed_trees_pass_their_own_check() {
+        for freqs in [
+            vec![1u64],
+            vec![1, 1],
+            vec![100, 10, 5, 1],
+            vec![13, 7, 7, 3, 2, 1, 1, 1],
+            (1..=20u64).collect::<Vec<_>>(),
+        ] {
+            Tree::from_frequencies(&freqs).check().unwrap();
+        }
+    }
+
+    #[test]
+    fn check_codes_rejects_each_defect_class() {
+        // Prefix conflict: 0 is a prefix of 01.
+        assert_eq!(
+            check_codes(&[(0, 1), (0b01, 2)]),
+            Err(CodebookIssue::PrefixConflict {
+                prefix: 0,
+                extended: 1
+            })
+        );
+        // Truncated: {0} alone leaves the 1-branch undecodable.
+        assert_eq!(
+            check_codes(&[(0, 1), (0b10, 2)]),
+            Err(CodebookIssue::Incomplete)
+        );
+        // Oversubscribed: three 1-bit codes cannot coexist (and two of
+        // them collide, which is detected first as a prefix conflict).
+        assert!(check_codes(&[(0, 1), (1, 1), (0, 1)]).is_err());
+        // Width zero in a multi-symbol alphabet is unusable.
+        assert_eq!(
+            check_codes(&[(0, 0), (1, 1)]),
+            Err(CodebookIssue::BadWidth {
+                symbol: 0,
+                width: 0
+            })
+        );
+        // The valid two-symbol book passes.
+        check_codes(&[(0, 1), (1, 1)]).unwrap();
+        // Degenerate single-symbol book is exempt from completeness.
+        check_codes(&[(0, 1)]).unwrap();
     }
 
     #[test]

@@ -38,6 +38,8 @@
 //! assert_eq!(program.procs.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod error;
 pub mod eval;

@@ -632,7 +632,7 @@ mod tests {
         match &body[1] {
             hir::Stmt::Block(then_branch) => match &then_branch[1] {
                 hir::Stmt::Write(hir::Expr::Load(hir::VarRef::Local { slot })) => {
-                    assert_eq!(*slot, 1)
+                    assert_eq!(*slot, 1);
                 }
                 other => panic!("unexpected {other:?}"),
             },
@@ -640,7 +640,7 @@ mod tests {
         }
         match &body[2] {
             hir::Stmt::Write(hir::Expr::Load(hir::VarRef::Local { slot })) => {
-                assert_eq!(*slot, 0)
+                assert_eq!(*slot, 0);
             }
             other => panic!("unexpected {other:?}"),
         }

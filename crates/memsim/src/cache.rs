@@ -37,6 +37,20 @@ impl Geometry {
         Geometry::new(1, capacity)
     }
 
+    /// The smallest geometry of the given associativity holding at least
+    /// `capacity` entries, with a power-of-two set count (so the set hash
+    /// stays a mask). This is how the analyze plane's DTB pressure pass
+    /// turns a static working-set bound into a recommended geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn with_capacity(capacity: usize, ways: usize) -> Geometry {
+        assert!(ways > 0, "ways must be positive");
+        let sets = capacity.div_ceil(ways).max(1).next_power_of_two();
+        Geometry::new(sets, ways)
+    }
+
     /// Total entries.
     pub fn capacity(&self) -> usize {
         self.sets * self.ways

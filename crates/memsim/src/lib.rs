@@ -16,6 +16,8 @@
 //! assert_eq!(cache.access(0x1234), Access::Hit);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod hierarchy;
 pub mod workset;

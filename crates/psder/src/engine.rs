@@ -62,6 +62,10 @@ pub struct Engine {
     output: Vec<i64>,
     procs: Vec<ProcMeta>,
     max_depth: u32,
+    /// When set, the defensive malformed-state checks (operand-stack
+    /// underflow, slot range) take the cheap branch: a load-time verifier
+    /// proved them unreachable. See [`Engine::set_trusted`].
+    trusted: bool,
 }
 
 impl Engine {
@@ -86,7 +90,25 @@ impl Engine {
                 })
                 .collect(),
             max_depth,
+            trusted: false,
         }
+    }
+
+    /// Switches the engine's defensive malformed-state checks off: the
+    /// caller asserts that a load-time verifier proved operand-stack
+    /// underflow and out-of-range slots unreachable for the program this
+    /// engine executes (the analyze crate's `Verified` witness). Dynamic
+    /// traps — division by zero, array bounds, call depth — are still
+    /// raised. On an unverified malformed program the trusted engine
+    /// stays memory-safe but may read zeros where the checked engine
+    /// would trap.
+    pub fn set_trusted(&mut self, trusted: bool) {
+        self.trusted = trusted;
+    }
+
+    /// Whether the defensive checks are currently disabled.
+    pub fn is_trusted(&self) -> bool {
+        self.trusted
     }
 
     /// The program output so far.
@@ -117,21 +139,38 @@ impl Engine {
         self.regs[r as usize] = v;
     }
 
+    #[inline]
     fn pop(&mut self) -> Result<i64, Trap> {
-        self.stack
-            .pop()
-            .ok_or(Trap::Malformed("operand stack underflow"))
+        if self.trusted {
+            // Verified programs never underflow; the default is dead code.
+            Ok(self.stack.pop().unwrap_or_default())
+        } else {
+            self.stack
+                .pop()
+                .ok_or(Trap::Malformed("operand stack underflow"))
+        }
     }
 
     fn frame_base(&self) -> Result<usize, Trap> {
-        self.frames
-            .last()
-            .copied()
-            .ok_or(Trap::Malformed("no active frame"))
+        if self.trusted {
+            // The prelude pseudo-frame never pops, so a frame exists.
+            Ok(self.frames.last().copied().unwrap_or_default())
+        } else {
+            self.frames
+                .last()
+                .copied()
+                .ok_or(Trap::Malformed("no active frame"))
+        }
     }
 
+    #[inline]
     fn frame_slot(&mut self, slot: i64) -> Result<&mut i64, Trap> {
         let base = self.frame_base()?;
+        if self.trusted {
+            // Verified slot operands are in-range; keep Rust's bounds
+            // check but drop the trap construction.
+            return Ok(&mut self.slots[base + slot as usize]);
+        }
         if slot < 0 {
             return Err(Trap::Malformed("negative frame slot"));
         }
@@ -140,7 +179,11 @@ impl Engine {
             .ok_or(Trap::Malformed("frame slot out of range"))
     }
 
+    #[inline]
     fn global_slot(&mut self, slot: i64) -> Result<&mut i64, Trap> {
+        if self.trusted {
+            return Ok(&mut self.globals[slot as usize]);
+        }
         if slot < 0 {
             return Err(Trap::Malformed("negative global slot"));
         }

@@ -57,7 +57,11 @@ impl std::fmt::Display for MicroOp {
 impl std::fmt::Display for MicroWord {
     /// One horizontal word: its ops joined by `|` (parallel issue).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let parts: Vec<String> = self.ops().iter().map(|o| o.to_string()).collect();
+        let parts: Vec<String> = self
+            .ops()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         f.write_str(&parts.join(" | "))
     }
 }

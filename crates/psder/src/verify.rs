@@ -59,7 +59,11 @@ pub struct RoutineEffect {
 /// instruction's own inputs already on the stack), excluding call-argument
 /// consumption and excluding the value produced by a `Call` (pushed by the
 /// callee's `Return`, not by this sequence).
-fn expected_sequence_effect(inst: Inst) -> i32 {
+///
+/// This is the PSDER side of the cross-level contract the whole-image
+/// verifier checks: the analyze crate compares each opcode's *abstract DIR
+/// stack model* against this template effect, so it is public.
+pub fn expected_effect(inst: Inst) -> i32 {
     match inst.opcode() {
         // Consume their stack inputs, push one result.
         Opcode::Bin => -1,                                    // pops 2, pushes 1
@@ -169,11 +173,41 @@ pub fn check_all(lib: &RoutineLib) -> Result<(), Vec<BalanceError>> {
             target: 0,
         },
     ];
+    check_insts(lib, reps.into_iter())
+}
+
+/// Checks stack balance of the translation sequence of **every instruction
+/// actually present in `code`** — the whole-image generalization of
+/// [`check_all`], used as the analyze plane's cross-level consistency pass.
+/// Where [`check_all`] proves the template library sound on one
+/// representative per opcode, this proves it on the operand shapes the
+/// program really contains.
+///
+/// # Errors
+///
+/// Returns every violation found, one per distinct offending instruction.
+pub fn check_program(lib: &RoutineLib, code: &[Inst]) -> Result<(), Vec<BalanceError>> {
+    let mut seen: Vec<Inst> = Vec::new();
+    let distinct = code.iter().copied().filter(|&inst| {
+        if seen.contains(&inst) {
+            false
+        } else {
+            seen.push(inst);
+            true
+        }
+    });
+    check_insts(lib, distinct)
+}
+
+fn check_insts(
+    lib: &RoutineLib,
+    insts: impl Iterator<Item = Inst>,
+) -> Result<(), Vec<BalanceError>> {
     let mut errors = Vec::new();
-    for inst in reps {
+    for inst in insts {
         let sequence = translate(inst, 1);
         let got = sequence_effect(lib, &sequence);
-        let expected = expected_sequence_effect(inst);
+        let expected = expected_effect(inst);
         if got != expected {
             errors.push(BalanceError {
                 inst,
@@ -220,6 +254,17 @@ mod tests {
         assert_eq!(call.net, -1); // pops proc+next, pushes entry
         assert!(call.pops_args);
         assert_eq!(routine_effect(&lib, RoutineId::DirRet).net, 1);
+    }
+
+    #[test]
+    fn whole_programs_check_clean() {
+        let lib = RoutineLib::new();
+        for s in hlr::programs::ALL {
+            let p = dir::compiler::compile(&s.compile().unwrap());
+            check_program(&lib, &p.code).unwrap_or_else(|e| panic!("{}: {e:?}", s.name));
+            let (fused, _) = dir::fuse::fuse(&p);
+            check_program(&lib, &fused.code).unwrap_or_else(|e| panic!("{} fused: {e:?}", s.name));
+        }
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! outside it), so every layer from `uhm` down to the bench binaries can
 //! use it without cycles.
 
+#![warn(missing_docs)]
+
 pub mod event;
 pub mod json;
 pub mod report;
@@ -30,6 +32,9 @@ pub mod stats;
 
 pub use event::{Event, EventCounts, FaultKind, MissKind};
 pub use json::Json;
-pub use report::{PoolReport, RunReport, POOL_SCHEMA_VERSION, SCHEMA_VERSION};
+pub use report::{
+    AnalyzeReport, PoolReport, RunReport, ANALYZE_SCHEMA_VERSION, POOL_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+};
 pub use sink::{JsonlSink, NullSink, RingSink, TeeSink, TraceSink};
 pub use stats::{percentile_sorted, Percentiles};

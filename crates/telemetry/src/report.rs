@@ -34,6 +34,12 @@ pub const SCHEMA_VERSION: i64 = 1;
 /// the two report families unambiguous in mixed JSONL streams.
 pub const POOL_SCHEMA_VERSION: i64 = 2;
 
+/// Current schema version of [`AnalyzeReport`]. Static-verification runs
+/// are a third top-level shape (per-image verdict array + corpus
+/// aggregate), versioned above [`POOL_SCHEMA_VERSION`] so the three
+/// report families stay unambiguous in mixed JSONL streams.
+pub const ANALYZE_SCHEMA_VERSION: i64 = 3;
+
 /// One machine-readable run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -260,6 +266,105 @@ impl PoolReport {
     }
 }
 
+/// One machine-readable static-verification report (schema
+/// [`ANALYZE_SCHEMA_VERSION`]).
+///
+/// Where [`RunReport`] describes a dynamic run, an `AnalyzeReport`
+/// describes load-time verification of one or more encoded images: a
+/// per-image verdict array (name, scheme, diagnostic counts, diagnostics)
+/// and a corpus-level aggregate (images checked, clean count, totals).
+/// Both sections are free-form — the producing side (`raul analyze`, the
+/// analyze gate bench) fills the canonical shape; this type owns only
+/// versioning and round-tripping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeReport {
+    /// The emitting tool, e.g. `"raul analyze"` or `"analyze_gate"`.
+    pub tool: String,
+    /// Verification configuration (free-form object: schemes, corpus).
+    pub config: Json,
+    /// Per-image verdicts (free-form array of objects with `name`,
+    /// `scheme`, `clean`, `errors`, `warnings`, `notes`, `diagnostics`).
+    pub images: Json,
+    /// Corpus-level aggregate (free-form object: `images`, `clean`,
+    /// `errors`, `warnings`).
+    pub aggregate: Json,
+}
+
+impl AnalyzeReport {
+    /// Creates an analyze report from its three sections.
+    pub fn new(tool: &str, config: Json, images: Json, aggregate: Json) -> AnalyzeReport {
+        AnalyzeReport {
+            tool: tool.to_string(),
+            config,
+            images,
+            aggregate,
+        }
+    }
+
+    /// The report as a JSON value (with `schema_version` stamped in).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Json::Int(ANALYZE_SCHEMA_VERSION),
+            ),
+            ("tool".to_string(), Json::Str(self.tool.clone())),
+            ("config".to_string(), self.config.clone()),
+            ("images".to_string(), self.images.clone()),
+            ("aggregate".to_string(), self.aggregate.clone()),
+        ])
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstructs an analyze report from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `schema_version` is missing or not
+    /// [`ANALYZE_SCHEMA_VERSION`], or a required section is absent.
+    pub fn from_json(value: &Json) -> Result<AnalyzeReport, String> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing schema_version")?;
+        if version != ANALYZE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported analyze schema_version {version} (expected {ANALYZE_SCHEMA_VERSION})"
+            ));
+        }
+        let tool = value
+            .get("tool")
+            .and_then(Json::as_str)
+            .ok_or("missing tool")?
+            .to_string();
+        let section = |name: &str| -> Result<Json, String> {
+            value
+                .get(name)
+                .cloned()
+                .ok_or(format!("missing {name} section"))
+        };
+        Ok(AnalyzeReport {
+            tool,
+            config: section("config")?,
+            images: section("images")?,
+            aggregate: section("aggregate")?,
+        })
+    }
+
+    /// Parses an analyze report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON syntax errors and schema violations.
+    pub fn parse(text: &str) -> Result<AnalyzeReport, String> {
+        AnalyzeReport::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +485,53 @@ mod tests {
         // the version spaces are disjoint by construction.
         assert!(RunReport::from_json(&j).is_err());
         assert!(PoolReport::from_json(&sample().to_json()).is_err());
+    }
+
+    fn analyze_sample() -> AnalyzeReport {
+        AnalyzeReport::new(
+            "raul analyze",
+            Json::obj([("scheme", Json::from("huffman"))]),
+            Json::Arr(vec![Json::obj([
+                ("name", Json::from("sieve")),
+                ("scheme", Json::from("huffman")),
+                ("clean", Json::Bool(true)),
+                ("errors", Json::from(0i64)),
+                ("warnings", Json::from(1i64)),
+                ("notes", Json::from(0i64)),
+                (
+                    "diagnostics",
+                    Json::Arr(vec![Json::obj([
+                        ("code", Json::from("AN501")),
+                        ("severity", Json::from("warning")),
+                        ("message", Json::from("hot loop exceeds default DTB")),
+                    ])]),
+                ),
+            ])]),
+            Json::obj([
+                ("images", Json::from(1i64)),
+                ("clean", Json::from(1i64)),
+                ("errors", Json::from(0i64)),
+                ("warnings", Json::from(1i64)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn analyze_report_round_trips_through_text() {
+        let r = analyze_sample();
+        let back = AnalyzeReport::parse(&r.render()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn analyze_schema_version_is_distinct_and_checked() {
+        let j = analyze_sample().to_json();
+        assert_eq!(j.get("schema_version").and_then(Json::as_i64), Some(3));
+        // The three report families reject each other's versions.
+        assert!(RunReport::from_json(&j).is_err());
+        assert!(PoolReport::from_json(&j).is_err());
+        assert!(AnalyzeReport::from_json(&sample().to_json()).is_err());
+        assert!(AnalyzeReport::from_json(&pool_sample().to_json()).is_err());
     }
 
     #[test]

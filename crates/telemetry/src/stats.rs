@@ -114,8 +114,8 @@ mod tests {
         let samples: Vec<f64> = (0..257).map(|_| next() * 1e6).collect();
         let p = Percentiles::of(&samples);
         assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
-        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(p.p50 >= lo && p.p99 <= hi);
     }
 }

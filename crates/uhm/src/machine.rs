@@ -73,6 +73,11 @@ pub struct Machine {
     /// Shared read-only decode templates consulted before the per-run
     /// private cache. Host-side only; modeled costs are unaffected.
     shared_trans: Option<Arc<FrozenTransCache>>,
+    /// Whether this machine was constructed from an
+    /// [`analyze::Verified`] witness. Verified runs put the PSDER engine
+    /// on its trusted fast path (no per-access error construction) —
+    /// unless a fault plane is attached, which voids the static proofs.
+    verified: bool,
 }
 
 impl Machine {
@@ -100,7 +105,61 @@ impl Machine {
             faults: None,
             retry: RetryPolicy::default(),
             shared_trans: None,
+            verified: false,
         }
+    }
+
+    /// Creates a machine from a load-time verification witness with
+    /// default costs and limits (see [`Machine::load_with`]).
+    pub fn load(verified: &analyze::Verified<Image>) -> Machine {
+        Machine::load_with(verified, CostModel::default(), Limits::default())
+    }
+
+    /// Creates a machine from an [`analyze::Verified`] witness: the
+    /// machine runs the exact image and program the verifier proved, and
+    /// every run executes the PSDER engine on its trusted fast path — the
+    /// per-access underflow and frame checks the static analysis
+    /// discharged are skipped. Attaching a fault plane
+    /// ([`Machine::set_faults`]) re-enables the checked path for the
+    /// affected runs, since injected corruption voids the static proofs.
+    ///
+    /// ```
+    /// use dir::encode::SchemeKind;
+    /// use uhm::{Machine, Mode};
+    ///
+    /// let hir = hlr::compile("proc main() begin write 40 + 2; end")?;
+    /// let prog = dir::compiler::compile(&hir);
+    /// let verified = analyze::verify(&prog, SchemeKind::Huffman.encode(&prog)).unwrap();
+    /// let machine = Machine::load(&verified);
+    /// assert!(machine.is_verified());
+    /// assert_eq!(machine.run(&Mode::Interpreter).unwrap().output, vec![42]);
+    /// # Ok::<(), hlr::Error>(())
+    /// ```
+    pub fn load_with(
+        verified: &analyze::Verified<Image>,
+        costs: CostModel,
+        limits: Limits,
+    ) -> Machine {
+        Machine {
+            program: verified.program().clone(),
+            image: verified.get().clone(),
+            lib: RoutineLib::new(),
+            costs,
+            limits,
+            trace: false,
+            window: None,
+            faults: None,
+            retry: RetryPolicy::default(),
+            shared_trans: None,
+            verified: true,
+        }
+    }
+
+    /// Whether this machine was constructed from a verification witness
+    /// (and thus runs the engine's trusted fast path when no fault plane
+    /// is attached).
+    pub fn is_verified(&self) -> bool {
+        self.verified
     }
 
     /// Enables recording of the dynamic DIR-address trace in reports.
@@ -260,9 +319,16 @@ impl Machine {
                 d.enable_classification();
             }
         }
+        // The trusted fast path requires the static proofs to hold for the
+        // whole run: a fault plane can corrupt the level-2 stream or DTB
+        // lines into sequences the verifier never saw, so any injector —
+        // even the machine default being overridden here — keeps the
+        // checked path.
+        let mut engine = Engine::new(&self.program, self.limits.max_depth);
+        engine.set_trusted(self.verified && faults.is_none());
         let mut run = Run {
             machine: self,
-            engine: Engine::new(&self.program, self.limits.max_depth),
+            engine,
             metrics: Metrics {
                 trace: self.trace.then(Vec::new),
                 ..Metrics::default()
@@ -287,9 +353,9 @@ impl Machine {
         run.execute(mode)?;
         let mut metrics = run.metrics;
         metrics.faults = run.faults.as_ref().map(FaultInjector::stats);
-        metrics.dtb = run.dtb.as_ref().map(|d| d.stats());
-        metrics.dtb2 = run.dtb2.as_ref().map(|d| d.stats());
-        metrics.icache = run.icache.as_ref().map(|c| c.stats());
+        metrics.dtb = run.dtb.as_ref().map(super::dtb::Dtb::stats);
+        metrics.dtb2 = run.dtb2.as_ref().map(super::dtb::Dtb::stats);
+        metrics.icache = run.icache.as_ref().map(memsim::SetAssocCache::stats);
         if let Some(mut w) = run.window {
             w.close(&metrics, run.dtb.as_ref());
             metrics.windows = Some(w.samples);
@@ -1198,6 +1264,51 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn verified_machine_matches_unverified_exactly() {
+        // The trusted engine path must be invisible to everything
+        // observable: output and every modeled metric, in every mode.
+        for s in hlr::programs::ALL {
+            let p = compile(&s.compile().unwrap());
+            let verified = analyze::verify(&p, SchemeKind::Huffman.encode(&p)).unwrap();
+            let loaded = Machine::load(&verified);
+            assert!(loaded.is_verified());
+            let plain = Machine::new(&p, SchemeKind::Huffman);
+            assert!(!plain.is_verified());
+            for mode in modes() {
+                let a = loaded.run(&mode).unwrap();
+                let b = plain.run(&mode).unwrap();
+                assert_eq!(a.output, b.output, "{} {mode:?}", s.name);
+                assert_eq!(a.metrics, b.metrics, "{} {mode:?}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn verified_machine_still_traps_on_dynamic_errors() {
+        // Division by zero is not statically refutable; the trusted path
+        // must keep the dynamic traps.
+        let p = compile(&hlr::compile("proc main() begin write 1 / 0; end").unwrap());
+        let want = dir::exec::run(&p).unwrap_err();
+        let verified = analyze::verify(&p, SchemeKind::Packed.encode(&p)).unwrap();
+        let m = Machine::load(&verified);
+        for mode in modes() {
+            assert_eq!(m.run(&mode).unwrap_err(), want, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn fault_plane_disables_the_trusted_path_but_stays_correct() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let want = dir::exec::run(&p).unwrap();
+        let verified = analyze::verify(&p, SchemeKind::Huffman.encode(&p)).unwrap();
+        let mut m = Machine::load(&verified);
+        m.set_faults(Some(FaultConfig::only(0xFA, FaultKind::DtbWord, 0.01)));
+        let r = m.run(&Mode::Dtb(DtbConfig::with_capacity(64))).unwrap();
+        assert_eq!(r.output, want, "faulted verified run must recover");
+        assert!(r.metrics.recoveries > 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! raul run     <file> [options]          execute on a machine configuration
 //! raul disasm  <file> [--fold] [--fuse]  DIR assembler listing
 //! raul encode  <file> [--fuse]           static-size report per scheme
+//! raul analyze <file> [--json]           load-time whole-image verification
 //! raul profile <file>                    execution hot spots and coverage
 //! raul faults  <file> [options]          run under seeded fault injection
 //! raul pool    <file> [options]          run M tenant copies on N workers
@@ -32,6 +33,12 @@
 //! campaign whose seed is re-derived per tenant):
 //!   --workers N                          worker threads (default: 4)
 //!   --tenants M                          tenant copies of <file> (default: 2N)
+//!
+//! `analyze` verifies the encoded image (codec tables, stack discipline,
+//! branch containment, cross-level consistency, DTB pressure) without
+//! executing it; it honours --scheme, --fold and --fuse, prints the typed
+//! diagnostic report, and exits 1 when verification rejects the image.
+//! With --json it emits a versioned AnalyzeReport on stdout.
 //!
 //! `profile` also accepts --json. Invalid machine configurations exit
 //! with status 2; runtime traps and compile errors with status 1.
@@ -102,6 +109,7 @@ enum Command {
     Run,
     Disasm,
     Encode,
+    Analyze,
     Profile,
     Faults,
     Pool,
@@ -122,11 +130,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("run") => Command::Run,
         Some("disasm") => Command::Disasm,
         Some("encode") => Command::Encode,
+        Some("analyze") => Command::Analyze,
         Some("profile") => Command::Profile,
         Some("faults") => Command::Faults,
         Some("pool") => Command::Pool,
         Some(other) => return Err(format!("unknown command `{other}`")),
-        None => return Err("missing command (check|run|disasm|encode|profile|faults|pool)".into()),
+        None => {
+            return Err(
+                "missing command (check|run|disasm|encode|analyze|profile|faults|pool)".into(),
+            )
+        }
     };
     let path = it
         .next()
@@ -407,6 +420,47 @@ fn print_stats(m: &uhm::Metrics) {
     }
 }
 
+/// One per-image verdict entry of an [`telemetry::AnalyzeReport`]:
+/// identity, counts, and every diagnostic with its stable code.
+fn analysis_json(name: &str, report: &analyze::AnalysisReport) -> Json {
+    let diagnostics: Vec<Json> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("code", d.code.id().into()),
+                ("severity", d.severity().to_string().as_str().into()),
+                ("at", d.at.map_or(Json::Null, |a| Json::Int(i64::from(a)))),
+                (
+                    "region",
+                    d.region
+                        .as_deref()
+                        .map_or(Json::Null, |r| Json::Str(r.to_string())),
+                ),
+                ("message", d.message.as_str().into()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("name", name.into()),
+        ("scheme", report.scheme.as_str().into()),
+        ("clean", report.is_clean().into()),
+        (
+            "errors",
+            (report.count(analyze::Severity::Error) as i64).into(),
+        ),
+        (
+            "warnings",
+            (report.count(analyze::Severity::Warning) as i64).into(),
+        ),
+        (
+            "notes",
+            (report.count(analyze::Severity::Info) as i64).into(),
+        ),
+        ("diagnostics", Json::Arr(diagnostics)),
+    ])
+}
+
 fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
     match cli.command {
         Command::Check => {
@@ -497,6 +551,46 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
                     image.mean_decode_cost(),
                     image.side_table_bits
                 );
+            }
+            Ok(())
+        }
+        Command::Analyze => {
+            let program = build_program(cli, source)?;
+            let image = cli.scheme.encode(&program);
+            let report = analyze::analyze(&program, &image);
+            if cli.json {
+                let ar = telemetry::AnalyzeReport::new(
+                    "raul-analyze",
+                    Json::obj(vec![
+                        ("file", cli.path.as_str().into()),
+                        ("scheme", cli.scheme.label().into()),
+                        ("fold", cli.fold.into()),
+                        ("fuse", cli.fuse.into()),
+                    ]),
+                    Json::Arr(vec![analysis_json(&cli.path, &report)]),
+                    Json::obj(vec![
+                        ("images", 1i64.into()),
+                        ("clean", i64::from(report.is_clean()).into()),
+                        (
+                            "errors",
+                            (report.count(analyze::Severity::Error) as i64).into(),
+                        ),
+                        (
+                            "warnings",
+                            (report.count(analyze::Severity::Warning) as i64).into(),
+                        ),
+                    ]),
+                );
+                println!("{}", ar.render());
+            } else {
+                print!("{}", report.render());
+            }
+            if !report.is_clean() {
+                return Err(CliError::Run(format!(
+                    "verification rejected {} ({} errors)",
+                    cli.path,
+                    report.count(analyze::Severity::Error)
+                )));
             }
             Ok(())
         }
@@ -760,7 +854,9 @@ fn main() -> ExitCode {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("raul: {e}");
-            eprintln!("usage: raul <check|run|disasm|encode|profile|faults|pool> <file> [options]");
+            eprintln!(
+                "usage: raul <check|run|disasm|encode|analyze|profile|faults|pool> <file> [options]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -859,6 +955,32 @@ mod tests {
             let cli = parse_args(&args(cmd)).unwrap();
             execute(&cli, src).unwrap();
         }
+    }
+
+    #[test]
+    fn analyze_command_verifies_clean_source() {
+        let src = "proc main() begin int i; for i := 0 to 9 do write i * i; end";
+        for cmd in [
+            "analyze a.raul",
+            "analyze a.raul --scheme valuehuff --fuse",
+            "analyze a.raul --json",
+        ] {
+            let cli = parse_args(&args(cmd)).unwrap();
+            execute(&cli, src).unwrap();
+        }
+    }
+
+    #[test]
+    fn analyze_json_entry_has_the_canonical_shape() {
+        let src = "proc main() begin write 1; end";
+        let program = dir::compiler::compile(&hlr::compile(src).unwrap());
+        let image = SchemeKind::Packed.encode(&program);
+        let report = analyze::analyze(&program, &image);
+        let entry = analysis_json("t.raul", &report);
+        assert_eq!(entry.get("scheme").and_then(Json::as_str), Some("packed"));
+        assert_eq!(entry.get("clean"), Some(&Json::Bool(true)));
+        assert_eq!(entry.get("errors").and_then(Json::as_i64), Some(0));
+        assert!(matches!(entry.get("diagnostics"), Some(Json::Arr(_))));
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Analyze-plane integration tests: the load-time verifier accepts the
+//! whole sample corpus under every encoding scheme, rejects each
+//! known-bad fixture with the exact diagnostic code, and the `Verified`
+//! fast path is observably identical to the checked path — both at the
+//! DIR reference-executor level and through a fully loaded `Machine`.
+
+use analyze::{DiagCode, Severity};
+use dir::encode::{fixtures, SchemeKind};
+use dir::program::ProcInfo;
+use uhm::{DtbConfig, Machine, Mode};
+
+fn sample_programs() -> Vec<(&'static str, dir::Program)> {
+    hlr::programs::ALL
+        .iter()
+        .map(|s| {
+            (
+                s.name,
+                dir::compiler::compile(&s.compile().expect("samples compile")),
+            )
+        })
+        .collect()
+}
+
+/// Every compiler-produced image of every sample verifies clean under
+/// every encoding scheme: no error-severity diagnostic anywhere.
+#[test]
+fn corpus_is_clean_under_every_scheme() {
+    for (name, program) in sample_programs() {
+        for scheme in SchemeKind::all() {
+            let report = analyze::analyze(&program, &scheme.encode(&program));
+            assert!(
+                report.is_clean(),
+                "{name} under {scheme}:\n{}",
+                report.render()
+            );
+            assert_eq!(report.count(Severity::Error), 0, "{name} under {scheme}");
+        }
+    }
+}
+
+/// A minimal structurally well-formed program whose body starts with
+/// `bad` — the vehicle for defects no compiler output contains.
+fn bad_program(bad: dir::Inst) -> dir::Program {
+    dir::Program {
+        code: vec![
+            dir::Inst::Call(0),
+            dir::Inst::Halt,
+            bad,
+            dir::Inst::PushConst(0),
+            dir::Inst::Pop,
+            dir::Inst::Return,
+        ],
+        procs: vec![ProcInfo {
+            name: "main".into(),
+            entry: 2,
+            end: 6,
+            n_args: 0,
+            frame_size: 1,
+            returns_value: false,
+        }],
+        entry_proc: 0,
+        globals_size: 0,
+    }
+}
+
+/// Each defect class is rejected with its own diagnostic code, and
+/// `verify` refuses to mint a witness for it.
+#[test]
+fn negative_fixtures_carry_exact_diagnostic_codes() {
+    let cases = [
+        (DiagCode::StackUnderflow, bad_program(dir::Inst::Pop)),
+        (DiagCode::JumpOutOfRange, bad_program(dir::Inst::Jump(999))),
+        (
+            DiagCode::UninitializedLocal,
+            bad_program(dir::Inst::PushLocal(0)),
+        ),
+        (DiagCode::BadCallee, bad_program(dir::Inst::Call(7))),
+    ];
+    for (expect, program) in cases {
+        let image = SchemeKind::ByteAligned.encode(&program);
+        let report = analyze::analyze(&program, &image);
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == expect),
+            "expected {} in:\n{}",
+            expect.id(),
+            report.render()
+        );
+        assert!(!report.is_clean());
+        assert!(analyze::verify(&program, image).is_err());
+    }
+}
+
+/// Corrupted encoded images are stopped by the codec pass at load time —
+/// before any decode attempt could turn them into a mid-run trap.
+#[test]
+fn corrupt_images_fail_the_codec_pass() {
+    let program = sample_programs().remove(0).1;
+    for image in [
+        fixtures::truncated_codebook(&program),
+        fixtures::conflicting_codebook(&program),
+        fixtures::oversized_field_width(&program),
+    ] {
+        let report = analyze::analyze(&program, &image);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::CodecDefect));
+        assert!(analyze::verify(&program, image).is_err());
+    }
+}
+
+/// An image that decodes fine but encodes a *different* program is
+/// rejected: a witness always pins the image to the proved program.
+#[test]
+fn witness_refuses_a_mismatched_image() {
+    let programs = sample_programs();
+    let (_, a) = &programs[0];
+    let (_, b) = &programs[1];
+    let report = analyze::analyze(a, &SchemeKind::Packed.encode(b));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::ImageMismatch));
+    assert!(analyze::verify(a, SchemeKind::Packed.encode(b)).is_err());
+}
+
+/// The DIR-level trusted path produces bit-identical output and stats
+/// for every sample.
+#[test]
+fn verified_dir_execution_is_bit_identical() {
+    for (name, program) in sample_programs() {
+        let verified = analyze::verify(&program, SchemeKind::Huffman.encode(&program))
+            .unwrap_or_else(|r| panic!("{name} verifies:\n{}", r.render()));
+        let (want, want_stats) = dir::exec::run_with(&program, dir::exec::Limits::default(), false)
+            .expect("corpus is trap-free");
+        let (got, got_stats) =
+            analyze::run_verified(&verified, dir::exec::Limits::default()).unwrap();
+        assert_eq!(got, want, "{name}");
+        assert_eq!(got_stats.instructions, want_stats.instructions, "{name}");
+    }
+}
+
+/// A machine loaded from a witness runs every mode with output and
+/// metrics equal to an unverified machine on the same program.
+#[test]
+fn verified_machine_is_observably_identical() {
+    for (name, program) in sample_programs() {
+        let verified = analyze::verify(&program, SchemeKind::Huffman.encode(&program)).unwrap();
+        let loaded = Machine::load(&verified);
+        assert!(loaded.is_verified());
+        let plain = Machine::new(&program, SchemeKind::Huffman);
+        for mode in [
+            Mode::Interpreter,
+            Mode::Dtb(DtbConfig::with_capacity(64)),
+            Mode::TwoLevelDtb {
+                l1: DtbConfig::with_capacity(8),
+                l2: DtbConfig::with_capacity(256),
+            },
+        ] {
+            let a = loaded.run(&mode).unwrap();
+            let b = plain.run(&mode).unwrap();
+            assert_eq!(a.output, b.output, "{name} {mode:?}");
+            assert_eq!(a.metrics, b.metrics, "{name} {mode:?}");
+        }
+    }
+}

@@ -141,7 +141,7 @@ fn degree_four_is_near_best_for_typical_workloads() {
             let r = machine.run(&Mode::Dtb(cfg)).expect("runs");
             ratios.push(r.metrics.dtb.unwrap().hit_ratio());
         }
-        let best = ratios.iter().cloned().fold(0.0, f64::max);
+        let best = ratios.iter().copied().fold(0.0, f64::max);
         let degree4 = ratios[2];
         assert!(
             best - degree4 < 0.05,
