@@ -1,0 +1,233 @@
+//! Address-to-region mapping and call-stack reconstruction.
+//!
+//! Every attribution surface in this crate (counters, spans, flamegraphs)
+//! needs the same two primitives: "which procedure does DIR address `a`
+//! belong to?" answered in O(1), and "what does the procedure call stack
+//! look like right now?" reconstructed from nothing but the retire-address
+//! stream. They live here so all three surfaces agree exactly.
+
+use dir::program::Program;
+
+/// Precomputed DIR-address → region table for one program.
+///
+/// Region 0 is always the prelude (`<prelude>`); region `1 + i` is the
+/// `i`-th entry of the program's procedure table. Lookup is a single
+/// indexed load, cheap enough for the always-on counter plane.
+#[derive(Debug, Clone)]
+pub struct ProcMap {
+    region_of: Vec<u16>,
+    names: Vec<String>,
+}
+
+impl ProcMap {
+    /// Builds the map from a program's procedure table.
+    pub fn new(program: &Program) -> ProcMap {
+        let mut names = Vec::with_capacity(program.procs.len() + 1);
+        names.push("<prelude>".to_string());
+        let mut region_of = vec![0u16; program.len()];
+        for (i, p) in program.procs.iter().enumerate() {
+            let region = (i + 1) as u16;
+            names.push(p.name.clone());
+            for slot in region_of
+                .iter_mut()
+                .take(p.end as usize)
+                .skip(p.entry as usize)
+            {
+                *slot = region;
+            }
+        }
+        ProcMap { region_of, names }
+    }
+
+    /// The region index owning `addr` (0 = prelude). Out-of-range
+    /// addresses map to the prelude rather than panicking — the profiler
+    /// must never take down the run it observes.
+    pub fn region_of(&self, addr: u32) -> usize {
+        self.region_of
+            .get(addr as usize)
+            .copied()
+            .unwrap_or(0)
+            .into()
+    }
+
+    /// The display name of a region.
+    pub fn name(&self, region: usize) -> &str {
+        self.names.get(region).map_or("<unknown>", String::as_str)
+    }
+
+    /// Number of regions (procedures + the prelude).
+    pub fn regions(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// Reconstructs a procedure call stack from a retire-address stream.
+///
+/// The heuristic: when an instruction retires in region `r`,
+///
+/// * if the stack top is already `r`, execution stayed in the frame;
+/// * else if `r` is somewhere below the top, frames above it returned —
+///   pop down to `r`;
+/// * otherwise `r` is a fresh callee — push it.
+///
+/// This is exact for the DIR call discipline, because every transfer
+/// between procedures passes through the caller: the `Call` instruction
+/// retires at the caller's address before the callee's first instruction,
+/// and `Return` retires in the callee before control reappears in the
+/// caller. The one collapse is direct recursion — a region calling itself
+/// folds into a single frame, which is the conventional flamegraph
+/// treatment of recursive towers.
+#[derive(Debug, Clone, Default)]
+pub struct CallStack {
+    stack: Vec<usize>,
+}
+
+/// What [`CallStack::step`] did to the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackStep {
+    /// Frames popped (regions that returned).
+    pub pops: usize,
+    /// Whether a new frame was pushed.
+    pub pushed: bool,
+}
+
+impl CallStack {
+    /// Creates an empty stack.
+    pub fn new() -> CallStack {
+        CallStack::default()
+    }
+
+    /// Advances the stack to an instruction retiring in `region`.
+    pub fn step(&mut self, region: usize) -> StackStep {
+        if self.stack.last() == Some(&region) {
+            return StackStep {
+                pops: 0,
+                pushed: false,
+            };
+        }
+        if let Some(depth) = self.stack.iter().rposition(|&r| r == region) {
+            let pops = self.stack.len() - depth - 1;
+            self.stack.truncate(depth + 1);
+            return StackStep {
+                pops,
+                pushed: false,
+            };
+        }
+        self.stack.push(region);
+        StackStep {
+            pops: 0,
+            pushed: true,
+        }
+    }
+
+    /// The current frames, outermost first.
+    pub fn frames(&self) -> &[usize] {
+        &self.stack
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pops every remaining frame, returning how many there were (used to
+    /// close open spans at end of run).
+    pub fn unwind(&mut self) -> usize {
+        let n = self.stack.len();
+        self.stack.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dir::isa::{AluOp, Inst};
+    use dir::program::ProcInfo;
+
+    fn two_proc_program() -> Program {
+        Program {
+            code: vec![
+                Inst::Call(0),      // 0: prelude
+                Inst::Halt,         // 1
+                Inst::PushConst(1), // 2: main
+                Inst::Call(1),      // 3
+                Inst::Return,       // 4
+                Inst::PushConst(2), // 5: helper
+                Inst::Bin(AluOp::Add),
+                Inst::Return, // 7
+            ],
+            procs: vec![
+                ProcInfo {
+                    name: "main".into(),
+                    entry: 2,
+                    end: 5,
+                    n_args: 0,
+                    frame_size: 0,
+                    returns_value: false,
+                },
+                ProcInfo {
+                    name: "helper".into(),
+                    entry: 5,
+                    end: 8,
+                    n_args: 1,
+                    frame_size: 1,
+                    returns_value: true,
+                },
+            ],
+            entry_proc: 0,
+            globals_size: 0,
+        }
+    }
+
+    #[test]
+    fn map_partitions_the_address_space() {
+        let map = ProcMap::new(&two_proc_program());
+        assert_eq!(map.regions(), 3);
+        assert_eq!(map.name(0), "<prelude>");
+        assert_eq!(map.region_of(0), 0);
+        assert_eq!(map.region_of(1), 0);
+        assert_eq!(map.name(map.region_of(3)), "main");
+        assert_eq!(map.name(map.region_of(7)), "helper");
+        // Out-of-range addresses degrade to the prelude, never panic.
+        assert_eq!(map.region_of(10_000), 0);
+    }
+
+    #[test]
+    fn stack_follows_call_and_return() {
+        let mut s = CallStack::new();
+        // prelude → main → helper → back in main → prelude.
+        assert_eq!(
+            s.step(0),
+            StackStep {
+                pops: 0,
+                pushed: true
+            }
+        );
+        assert!(s.step(1).pushed);
+        assert!(s.step(2).pushed);
+        assert_eq!(s.frames(), &[0, 1, 2]);
+        let back = s.step(1);
+        assert_eq!(back.pops, 1);
+        assert!(!back.pushed);
+        assert_eq!(s.frames(), &[0, 1]);
+        let home = s.step(0);
+        assert_eq!(home.pops, 1);
+        assert_eq!(s.frames(), &[0]);
+        // Staying put does nothing.
+        assert_eq!(s.step(0).pops, 0);
+        assert_eq!(s.unwind(), 1);
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn recursion_folds_into_one_frame() {
+        let mut s = CallStack::new();
+        s.step(0);
+        s.step(1);
+        // Region 1 "calls itself": no new frame.
+        let again = s.step(1);
+        assert_eq!((again.pops, again.pushed), (0, false));
+        assert_eq!(s.depth(), 2);
+    }
+}

@@ -20,7 +20,7 @@ pub struct Profile {
 
 impl Profile {
     /// Builds a profile from a recorded DIR-address trace (see
-    /// [`Machine::set_trace`](crate::Machine::set_trace)).
+    /// [`Machine::set_trace`](uhm::Machine::set_trace)).
     pub fn from_trace(program: &Program, trace: &[u32]) -> Profile {
         let mut counts = vec![0u64; program.len()];
         for &addr in trace {
@@ -37,7 +37,9 @@ impl Profile {
         self.counts.iter().filter(|&&c| c > 0).count()
     }
 
-    /// The `n` hottest instructions as `(index, count)`, descending.
+    /// The `n` hottest instructions as `(index, count)`, descending by
+    /// count; ties break deterministically by ascending instruction
+    /// index, so the listing is stable run to run.
     pub fn hottest(&self, n: usize) -> Vec<(u32, u64)> {
         let mut pairs: Vec<(u32, u64)> = self
             .counts
@@ -88,8 +90,8 @@ impl Profile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DtbConfig, Machine, Mode};
     use dir::encode::SchemeKind;
+    use uhm::{DtbConfig, Machine, Mode};
 
     fn profile_of(src: &str) -> (Program, Profile) {
         let program = dir::compiler::compile(&hlr::compile(src).unwrap());
@@ -182,6 +184,20 @@ mod tests {
         for k in [0, 1, program.len()] {
             assert_eq!(p.coverage(k), 0.0, "coverage({k}) of empty trace");
         }
+    }
+
+    #[test]
+    fn hottest_breaks_count_ties_by_ascending_index() {
+        // Regression: `hottest` once depended on the (unstable) sort
+        // order for equal counts, so tied instructions could come back
+        // in any order and profile listings diffed across runs.
+        let p = Profile {
+            counts: vec![5, 7, 5, 7, 0, 5],
+            total: 29,
+        };
+        assert_eq!(p.hottest(10), vec![(1, 7), (3, 7), (0, 5), (2, 5), (5, 5)]);
+        // Truncation keeps the deterministic prefix.
+        assert_eq!(p.hottest(3), vec![(1, 7), (3, 7), (0, 5)]);
     }
 
     #[test]

@@ -75,6 +75,48 @@ impl FaultKind {
     }
 }
 
+/// Which execution tier retired a DIR instruction.
+///
+/// The tier is the profiling plane's cost axis: the same DIR instruction
+/// costs differently depending on whether INTERP interpreted it inline,
+/// dispatched a resident PSDER translation, or dispatched it with the
+/// defensive checks compiled out (the verified-image fast path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Interpreted inline (interpreter/icache mode, degraded addresses,
+    /// or an uncached-overflow translation).
+    Interp,
+    /// Dispatched from a resident PSDER translation with defensive
+    /// checks on.
+    Psder,
+    /// Dispatched from a resident PSDER translation with the verifier's
+    /// trusted fast path (checks proven unreachable at load time).
+    Trusted,
+}
+
+impl Tier {
+    /// Stable lower-case label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Interp => "interp",
+            Tier::Psder => "psder",
+            Tier::Trusted => "trusted",
+        }
+    }
+
+    /// Dense index for per-tier accumulation arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Interp => 0,
+            Tier::Psder => 1,
+            Tier::Trusted => 2,
+        }
+    }
+
+    /// Number of tiers (length of per-tier arrays).
+    pub const COUNT: usize = 3;
+}
+
 /// One trace event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
@@ -156,6 +198,29 @@ pub enum Event {
         /// DIR address now interpreted without translation.
         addr: u32,
     },
+    /// One DIR instruction retired, with its full modeled cost.
+    ///
+    /// Emitted exactly once per dynamic DIR instruction, after every
+    /// sub-event (fetch, decode, translate, routine) it caused. The
+    /// cycle delta is the instruction's share of the modeled
+    /// `CycleBreakdown` total, so summing `cycles` over all retires
+    /// reproduces the run's cycle count exactly — the invariant the
+    /// span tracer's modeled clock rests on.
+    Retire {
+        /// DIR address retired.
+        addr: u32,
+        /// Which tier executed it.
+        tier: Tier,
+        /// Modeled level-1 cycles this instruction accounted for.
+        cycles: u32,
+    },
+    /// A translation was written into a DTB slot (on-miss fill).
+    DtbFill {
+        /// DIR address now resident.
+        addr: u32,
+        /// Resident translations after the fill (occupancy timeline).
+        occupancy: u32,
+    },
 }
 
 impl Event {
@@ -174,6 +239,8 @@ impl Event {
             Event::Decode { .. } => "decode",
             Event::FaultInjected { .. } => "fault_injected",
             Event::Degraded { .. } => "degraded",
+            Event::Retire { .. } => "retire",
+            Event::DtbFill { .. } => "dtb_fill",
         }
     }
 
@@ -222,6 +289,15 @@ impl Event {
                 obj.push(("addr".into(), Json::from(addr as i64)));
             }
             Event::Degraded { addr } => obj.push(("addr".into(), Json::from(addr as i64))),
+            Event::Retire { addr, tier, cycles } => {
+                obj.push(("addr".into(), Json::from(addr as i64)));
+                obj.push(("tier".into(), Json::from(tier.label())));
+                obj.push(("cycles".into(), Json::from(cycles as i64)));
+            }
+            Event::DtbFill { addr, occupancy } => {
+                obj.push(("addr".into(), Json::from(addr as i64)));
+                obj.push(("occupancy".into(), Json::from(occupancy as i64)));
+            }
         }
         Json::Obj(obj)
     }
@@ -263,6 +339,10 @@ pub struct EventCounts {
     pub faults_injected: u64,
     /// `Degraded` events.
     pub degradations: u64,
+    /// `Retire` events.
+    pub retires: u64,
+    /// `DtbFill` events.
+    pub dtb_fills: u64,
 }
 
 impl EventCounts {
@@ -288,6 +368,8 @@ impl EventCounts {
             Event::Decode { .. } => self.decodes += 1,
             Event::FaultInjected { .. } => self.faults_injected += 1,
             Event::Degraded { .. } => self.degradations += 1,
+            Event::Retire { .. } => self.retires += 1,
+            Event::DtbFill { .. } => self.dtb_fills += 1,
         }
     }
 
@@ -304,6 +386,8 @@ impl EventCounts {
             + self.decodes
             + self.faults_injected
             + self.degradations
+            + self.retires
+            + self.dtb_fills
     }
 }
 
@@ -377,9 +461,60 @@ mod tests {
                 addr: 0,
             },
             Event::Degraded { addr: 0 },
+            Event::Retire {
+                addr: 0,
+                tier: Tier::Psder,
+                cycles: 9,
+            },
+            Event::DtbFill {
+                addr: 0,
+                occupancy: 1,
+            },
         ];
         let names: std::collections::HashSet<_> = events.iter().map(Event::name).collect();
         assert_eq!(names.len(), events.len());
+    }
+
+    #[test]
+    fn retire_and_fill_events_count_and_serialize() {
+        let mut c = EventCounts::default();
+        c.record(&Event::Retire {
+            addr: 4,
+            tier: Tier::Trusted,
+            cycles: 11,
+        });
+        c.record(&Event::DtbFill {
+            addr: 4,
+            occupancy: 3,
+        });
+        assert_eq!(c.retires, 1);
+        assert_eq!(c.dtb_fills, 1);
+        assert_eq!(c.total(), 2);
+        let j = Event::Retire {
+            addr: 4,
+            tier: Tier::Trusted,
+            cycles: 11,
+        }
+        .to_json();
+        assert_eq!(j.get("ev").and_then(Json::as_str), Some("retire"));
+        assert_eq!(j.get("tier").and_then(Json::as_str), Some("trusted"));
+        assert_eq!(j.get("cycles").and_then(Json::as_i64), Some(11));
+        let f = Event::DtbFill {
+            addr: 4,
+            occupancy: 3,
+        }
+        .to_json();
+        assert_eq!(f.get("occupancy").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn tier_labels_and_indices_are_distinct() {
+        let tiers = [Tier::Interp, Tier::Psder, Tier::Trusted];
+        let labels: std::collections::HashSet<_> = tiers.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), Tier::COUNT);
+        let indices: std::collections::HashSet<_> = tiers.iter().map(|t| t.index()).collect();
+        assert_eq!(indices.len(), Tier::COUNT);
+        assert!(tiers.iter().all(|t| t.index() < Tier::COUNT));
     }
 
     #[test]

@@ -40,6 +40,13 @@ pub const POOL_SCHEMA_VERSION: i64 = 2;
 /// report families stay unambiguous in mixed JSONL streams.
 pub const ANALYZE_SCHEMA_VERSION: i64 = 3;
 
+/// Current schema version of [`ProfileReport`]. Profiling runs are a
+/// fourth top-level shape (per-region/opcode/tier attribution plus
+/// optional pool aggregation), versioned above
+/// [`ANALYZE_SCHEMA_VERSION`] so all four report families stay
+/// unambiguous in mixed JSONL streams.
+pub const PROFILE_SCHEMA_VERSION: i64 = 4;
+
 /// One machine-readable run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -56,6 +63,10 @@ pub struct RunReport {
     pub windows: Option<Json>,
     /// Optional program output.
     pub output: Option<Json>,
+    /// Optional trace-sink health (ring `dropped`/`retained`, JSONL
+    /// `written`/`write_error`): surfaces silently dropped trace events
+    /// in the report itself.
+    pub trace_health: Option<Json>,
 }
 
 impl RunReport {
@@ -68,6 +79,7 @@ impl RunReport {
             derived,
             windows: None,
             output: None,
+            trace_health: None,
         }
     }
 
@@ -85,6 +97,9 @@ impl RunReport {
         }
         if let Some(o) = &self.output {
             pairs.push(("output".to_string(), o.clone()));
+        }
+        if let Some(t) = &self.trace_health {
+            pairs.push(("trace_health".to_string(), t.clone()));
         }
         Json::Obj(pairs)
     }
@@ -128,6 +143,7 @@ impl RunReport {
             derived: section("derived")?,
             windows: value.get("windows").cloned(),
             output: value.get("output").cloned(),
+            trace_health: value.get("trace_health").cloned(),
         })
     }
 
@@ -165,6 +181,9 @@ pub struct PoolReport {
     pub aggregate: Json,
     /// Per-tenant latency percentiles, in nanoseconds.
     pub latency: Percentiles,
+    /// Optional trace-sink health (dropped/retained/written counts per
+    /// tenant sink), mirroring [`RunReport::trace_health`].
+    pub trace_health: Option<Json>,
 }
 
 impl PoolReport {
@@ -182,12 +201,13 @@ impl PoolReport {
             tenants,
             aggregate,
             latency,
+            trace_health: None,
         }
     }
 
     /// The report as a JSON value (with `schema_version` stamped in).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("schema_version".to_string(), Json::Int(POOL_SCHEMA_VERSION)),
             ("tool".to_string(), Json::Str(self.tool.clone())),
             ("config".to_string(), self.config.clone()),
@@ -199,9 +219,14 @@ impl PoolReport {
                     ("p50", Json::from(self.latency.p50)),
                     ("p95", Json::from(self.latency.p95)),
                     ("p99", Json::from(self.latency.p99)),
+                    ("p999", Json::from(self.latency.p999)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(t) = &self.trace_health {
+            pairs.push(("trace_health".to_string(), t.clone()));
+        }
+        Json::Obj(pairs)
     }
 
     /// Serializes to one compact JSON line.
@@ -252,7 +277,14 @@ impl PoolReport {
                 p50: pct("p50")?,
                 p95: pct("p95")?,
                 p99: pct("p99")?,
+                // p999 was added after schema 2 shipped; adding a field
+                // is backward compatible, so old reports parse as 0.0.
+                p999: latency_obj
+                    .get("p999")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
             },
+            trace_health: value.get("trace_health").cloned(),
         })
     }
 
@@ -362,6 +394,123 @@ impl AnalyzeReport {
     /// Propagates JSON syntax errors and schema violations.
     pub fn parse(text: &str) -> Result<AnalyzeReport, String> {
         AnalyzeReport::from_json(&Json::parse(text)?)
+    }
+}
+
+/// One machine-readable profiling report (schema
+/// [`PROFILE_SCHEMA_VERSION`]).
+///
+/// Where [`RunReport`] carries a run's aggregate counters, a
+/// `ProfileReport` carries its *attribution*: per-DIR-region, per-opcode,
+/// and per-tier cycle/dispatch breakdowns, opcode-pair frequencies, and
+/// DTB occupancy/eviction timelines, plus an optional pool section
+/// (per-tenant latency histograms, worker utilization, queue depth). The
+/// `profile` and `aggregate` sections are free-form objects — the
+/// producing crate (`uhm-profile`) fills the canonical shape; this type
+/// owns only versioning and round-tripping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// The emitting tool, e.g. `"raul profile"` or `"profile_gate"`.
+    pub tool: String,
+    /// Profiling configuration (free-form object: workload, mode,
+    /// scheme, knobs).
+    pub config: Json,
+    /// The attribution payload (free-form object: `regions`, `opcodes`,
+    /// `tiers`, `pairs`, `dtb_timeline`, `hottest`, `coverage`).
+    pub profile: Json,
+    /// Run-level aggregates (free-form object: `instructions`,
+    /// `cycles`, `events`).
+    pub aggregate: Json,
+    /// Optional pool aggregation (per-tenant latency histograms, worker
+    /// utilization, queue-depth samples).
+    pub pool: Option<Json>,
+    /// Optional trace-sink health, mirroring [`RunReport::trace_health`].
+    pub trace_health: Option<Json>,
+}
+
+impl ProfileReport {
+    /// Creates a profile report with empty optional sections.
+    pub fn new(tool: &str, config: Json, profile: Json, aggregate: Json) -> ProfileReport {
+        ProfileReport {
+            tool: tool.to_string(),
+            config,
+            profile,
+            aggregate,
+            pool: None,
+            trace_health: None,
+        }
+    }
+
+    /// The report as a JSON value (with `schema_version` stamped in).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            (
+                "schema_version".to_string(),
+                Json::Int(PROFILE_SCHEMA_VERSION),
+            ),
+            ("tool".to_string(), Json::Str(self.tool.clone())),
+            ("config".to_string(), self.config.clone()),
+            ("profile".to_string(), self.profile.clone()),
+            ("aggregate".to_string(), self.aggregate.clone()),
+        ];
+        if let Some(p) = &self.pool {
+            pairs.push(("pool".to_string(), p.clone()));
+        }
+        if let Some(t) = &self.trace_health {
+            pairs.push(("trace_health".to_string(), t.clone()));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstructs a profile report from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `schema_version` is missing or not
+    /// [`PROFILE_SCHEMA_VERSION`], or a required section is absent.
+    pub fn from_json(value: &Json) -> Result<ProfileReport, String> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing schema_version")?;
+        if version != PROFILE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported profile schema_version {version} (expected {PROFILE_SCHEMA_VERSION})"
+            ));
+        }
+        let tool = value
+            .get("tool")
+            .and_then(Json::as_str)
+            .ok_or("missing tool")?
+            .to_string();
+        let section = |name: &str| -> Result<Json, String> {
+            value
+                .get(name)
+                .cloned()
+                .ok_or(format!("missing {name} section"))
+        };
+        Ok(ProfileReport {
+            tool,
+            config: section("config")?,
+            profile: section("profile")?,
+            aggregate: section("aggregate")?,
+            pool: value.get("pool").cloned(),
+            trace_health: value.get("trace_health").cloned(),
+        })
+    }
+
+    /// Parses a profile report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON syntax errors and schema violations.
+    pub fn parse(text: &str) -> Result<ProfileReport, String> {
+        ProfileReport::from_json(&Json::parse(text)?)
     }
 }
 
@@ -542,5 +691,113 @@ mod tests {
         }
         let err = PoolReport::from_json(&j).unwrap_err();
         assert!(err.contains("latency_ns"), "{err}");
+    }
+
+    #[test]
+    fn pool_report_parses_pre_p999_latency_sections() {
+        // Reports rendered before p99.9 existed lack the key; adding a
+        // field is backward compatible, so they still parse (as 0.0).
+        let mut j = pool_sample().to_json();
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "latency_ns" {
+                    if let Json::Obj(lat) = v {
+                        lat.retain(|(name, _)| name != "p999");
+                    }
+                }
+            }
+        }
+        let back = PoolReport::from_json(&j).unwrap();
+        assert_eq!(back.latency.p999, 0.0);
+        assert_eq!(back.latency.p99, pool_sample().latency.p99);
+    }
+
+    fn profile_sample() -> ProfileReport {
+        let mut r = ProfileReport::new(
+            "raul profile",
+            Json::obj([
+                ("workload", Json::from("queens")),
+                ("mode", Json::from("dtb")),
+            ]),
+            Json::obj([
+                (
+                    "tiers",
+                    Json::Arr(vec![Json::obj([
+                        ("tier", Json::from("psder")),
+                        ("dispatches", Json::from(900i64)),
+                        ("cycles", Json::from(5400i64)),
+                    ])]),
+                ),
+                (
+                    "regions",
+                    Json::Arr(vec![Json::obj([
+                        ("name", Json::from("main")),
+                        ("cycles", Json::from(5400i64)),
+                    ])]),
+                ),
+            ]),
+            Json::obj([
+                ("instructions", Json::from(900i64)),
+                ("cycles", Json::from(5400i64)),
+            ]),
+        );
+        r.pool = Some(Json::obj([("queue_depth_max", Json::from(4i64))]));
+        r.trace_health = Some(Json::obj([("events_dropped", Json::from(0i64))]));
+        r
+    }
+
+    #[test]
+    fn profile_report_round_trips_through_text() {
+        let r = profile_sample();
+        let back = ProfileReport::parse(&r.render()).unwrap();
+        assert_eq!(back, r);
+        // Optional sections stay optional.
+        let bare = ProfileReport::new("t", Json::Obj(vec![]), Json::Obj(vec![]), Json::Obj(vec![]));
+        let back = ProfileReport::parse(&bare.render()).unwrap();
+        assert_eq!(back.pool, None);
+        assert_eq!(back.trace_health, None);
+    }
+
+    #[test]
+    fn all_four_report_families_reject_each_other() {
+        let run = sample().to_json();
+        let pool = pool_sample().to_json();
+        let analyze = analyze_sample().to_json();
+        let profile = profile_sample().to_json();
+        assert_eq!(
+            profile.get("schema_version").and_then(Json::as_i64),
+            Some(4)
+        );
+
+        // Each family parses only its own version: 4 × 3 cross-rejections.
+        for other in [&pool, &analyze, &profile] {
+            assert!(RunReport::from_json(other).is_err());
+        }
+        for other in [&run, &analyze, &profile] {
+            assert!(PoolReport::from_json(other).is_err());
+        }
+        for other in [&run, &pool, &profile] {
+            assert!(AnalyzeReport::from_json(other).is_err());
+        }
+        for other in [&run, &pool, &analyze] {
+            let err = ProfileReport::from_json(other).unwrap_err();
+            assert!(err.contains("unsupported profile schema_version"), "{err}");
+        }
+    }
+
+    #[test]
+    fn trace_health_rides_along_on_run_and_pool_reports() {
+        let mut r = sample();
+        r.trace_health = Some(Json::obj([
+            ("events_dropped", Json::from(7i64)),
+            ("events_retained", Json::from(256i64)),
+        ]));
+        let back = RunReport::parse(&r.render()).unwrap();
+        assert_eq!(back.trace_health, r.trace_health);
+
+        let mut p = pool_sample();
+        p.trace_health = Some(Json::obj([("write_error", Json::from("disk full"))]));
+        let back = PoolReport::parse(&p.render()).unwrap();
+        assert_eq!(back.trace_health, p.trace_health);
     }
 }

@@ -17,6 +17,17 @@ pub trait TraceSink {
     /// [`NullSink`]), emitting code compiles out entirely.
     const ENABLED: bool = true;
 
+    /// Whether the machine should run the shadow three-C miss
+    /// classifier for this sink.
+    ///
+    /// The classifier fills the cold/capacity/conflict taxonomy in the
+    /// run's `DtbStats` — observable in the metrics — and costs a shadow
+    /// LRU probe per lookup. Diagnostic sinks (the flight-recorder ring,
+    /// JSONL dumps) want it; profiling sinks set this `false` so a
+    /// profiled run's metrics stay bit-identical to an untraced run and
+    /// the counter plane's overhead stays within its gate.
+    const CLASSIFY_MISSES: bool = true;
+
     /// Consumes one event.
     fn emit(&mut self, event: Event);
 }
@@ -161,6 +172,7 @@ pub struct TeeSink<'a, A: TraceSink, B: TraceSink>(pub &'a mut A, pub &'a mut B)
 
 impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<'_, A, B> {
     const ENABLED: bool = A::ENABLED || B::ENABLED;
+    const CLASSIFY_MISSES: bool = A::CLASSIFY_MISSES || B::CLASSIFY_MISSES;
 
     fn emit(&mut self, event: Event) {
         if A::ENABLED {

@@ -1,9 +1,17 @@
 //! Order statistics for latency aggregation.
 //!
-//! The pool report summarizes per-tenant latencies as p50/p95/p99; these
-//! helpers implement the one interpolation rule every surface shares so
-//! numbers are comparable across reports (and across PRs). Nothing here
+//! The pool report summarizes per-tenant latencies as p50/p95/p99/p99.9;
+//! these helpers implement the one interpolation rule every surface shares
+//! so numbers are comparable across reports (and across PRs). Nothing here
 //! is specific to latency — the functions work on any sample set.
+//!
+//! For pool-scale aggregation the exact-sample [`Percentiles`] is joined
+//! by [`LogHistogram`], a log-bucketed histogram whose shards merge
+//! exactly: the merge of per-worker histograms equals the histogram of
+//! the concatenated samples, bucket for bucket, so percentile estimates
+//! are identical whether aggregation happened centrally or incrementally.
+
+use crate::json::Json;
 
 /// Summary percentiles of a sample set, as used by the pool report.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -14,11 +22,13 @@ pub struct Percentiles {
     pub p95: f64,
     /// The 99th percentile.
     pub p99: f64,
+    /// The 99.9th percentile.
+    pub p999: f64,
 }
 
 impl Percentiles {
-    /// Computes p50/p95/p99 of `samples` (need not be sorted; empty
-    /// yields all zeros).
+    /// Computes p50/p95/p99/p99.9 of `samples` (need not be sorted;
+    /// empty yields all zeros).
     ///
     /// ```
     /// use telemetry::Percentiles;
@@ -26,6 +36,7 @@ impl Percentiles {
     /// let p = Percentiles::of(&[4.0, 1.0, 3.0, 2.0]);
     /// assert_eq!(p.p50, 2.5);
     /// assert!(p.p99 > p.p50);
+    /// assert!(p.p999 >= p.p99);
     /// assert_eq!(Percentiles::of(&[]), Percentiles::default());
     /// ```
     pub fn of(samples: &[f64]) -> Percentiles {
@@ -38,6 +49,7 @@ impl Percentiles {
             p50: percentile_sorted(&sorted, 50.0),
             p95: percentile_sorted(&sorted, 95.0),
             p99: percentile_sorted(&sorted, 99.0),
+            p999: percentile_sorted(&sorted, 99.9),
         }
     }
 }
@@ -58,6 +70,134 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     } else {
         let frac = rank - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Number of buckets in a [`LogHistogram`]: bucket 0 holds the value 0,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so 65 buckets cover
+/// the whole `u64` range.
+const LOG_BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of `u64` samples with exact merge.
+///
+/// Bucket boundaries are powers of two, fixed for every instance, so two
+/// histograms built from disjoint sample shards merge by bucket-wise
+/// addition into *exactly* the histogram of the concatenated samples —
+/// the property that makes per-worker latency aggregation order-
+/// independent. Percentile estimates interpolate linearly within the
+/// winning bucket, so they are deterministic functions of the bucket
+/// counts alone (and therefore also merge-stable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; LOG_BUCKETS],
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: [0; LOG_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// The bucket index of `value`: 0 for 0, else `ceil(log2(value+1))`.
+    fn bucket(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The half-open range `[lo, hi)` of bucket `i` (bucket 0 is `[0,1)`).
+    fn bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2))
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Adds every bucket of `other` into `self` (exact shard merge).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// Estimates the `p`-th percentile (0–100) by linear interpolation
+    /// within the bucket containing that rank. Empty yields 0.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * self.total as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (seen + c) as f64 >= rank {
+                let (lo, hi) = Self::bounds(i);
+                let into = (rank - seen as f64).max(0.0) / c as f64;
+                return lo as f64 + into * (hi - lo) as f64;
+            }
+            seen += c;
+        }
+        let (_, hi) = Self::bounds(LOG_BUCKETS - 1);
+        hi as f64
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)` triples, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bounds(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// The histogram as a JSON object: total plus an array of non-empty
+    /// `{lo, hi, count}` buckets (sparse, so small on skewed data).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets()
+            .map(|(lo, hi, count)| {
+                Json::obj([
+                    ("lo", Json::from(lo as i64)),
+                    ("hi", Json::from(hi.min(i64::MAX as u64) as i64)),
+                    ("count", Json::from(count as i64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("total", Json::from(self.total as i64)),
+            ("buckets", Json::Arr(buckets)),
+        ])
     }
 }
 
@@ -83,7 +223,7 @@ mod tests {
     #[test]
     fn single_sample_dominates_every_percentile() {
         let p = Percentiles::of(&[7.5]);
-        assert_eq!((p.p50, p.p95, p.p99), (7.5, 7.5, 7.5));
+        assert_eq!((p.p50, p.p95, p.p99, p.p999), (7.5, 7.5, 7.5, 7.5));
     }
 
     #[test]
@@ -113,9 +253,123 @@ mod tests {
         };
         let samples: Vec<f64> = (0..257).map(|_| next() * 1e6).collect();
         let p = Percentiles::of(&samples);
-        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.p999);
         let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        assert!(p.p50 >= lo && p.p99 <= hi);
+        assert!(p.p50 >= lo && p.p999 <= hi);
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn log_histogram_buckets_are_powers_of_two() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 9);
+        let buckets: Vec<(u64, u64, u64)> = h.buckets().collect();
+        // 0 → [0,1); 1 → [1,2); 2,3 → [2,4); 4,7 → [4,8); 8 → [8,16);
+        // 1023 → [512,1024); 1024 → [1024,2048).
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 4, 2),
+                (4, 8, 2),
+                (8, 16, 1),
+                (512, 1024, 1),
+                (1024, 2048, 1),
+            ]
+        );
+        // Every sample lies inside its bucket's half-open range.
+        for (lo, hi, _) in buckets {
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn merge_of_shards_equals_histogram_of_concatenation() {
+        // The satellite invariant: shard-and-merge must be exactly the
+        // same histogram as recording the concatenated samples.
+        let mut state = 1u64;
+        let samples: Vec<u64> = (0..10_000).map(|_| splitmix(&mut state) >> 40).collect();
+
+        let mut whole = LogHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+
+        for shards in [2usize, 3, 7] {
+            let mut merged = LogHistogram::new();
+            for chunk in samples.chunks(samples.len().div_ceil(shards)) {
+                let mut shard = LogHistogram::new();
+                for &s in chunk {
+                    shard.record(s);
+                }
+                merged.merge(&shard);
+            }
+            assert_eq!(merged, whole, "merge of {shards} shards diverged");
+            // Percentiles are functions of the counts, so they agree too.
+            for p in [50.0, 95.0, 99.0, 99.9] {
+                assert_eq!(merged.percentile(p), whole.percentile(p));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_empty_is_identity() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in [1u64, 5, 100] {
+            a.record(v);
+        }
+        for v in [2u64, 5, 1_000_000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut with_empty = a.clone();
+        with_empty.merge(&LogHistogram::new());
+        assert_eq!(with_empty, a);
+        assert_eq!(LogHistogram::new().percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn log_histogram_percentiles_bracket_the_samples() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p999 = h.percentile(99.9);
+        assert!((256.0..=1024.0).contains(&p50), "p50 = {p50}");
+        assert!((512.0..=2048.0).contains(&p999), "p99.9 = {p999}");
+        assert!(h.percentile(0.0) <= p50 && p50 <= p999);
+    }
+
+    #[test]
+    fn log_histogram_serializes_sparse_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(1 << 40);
+        let j = h.to_json();
+        assert_eq!(j.get("total").and_then(Json::as_i64), Some(3));
+        let Some(Json::Arr(buckets)) = j.get("buckets") else {
+            panic!("buckets array");
+        };
+        assert_eq!(buckets.len(), 2, "only non-empty buckets serialize");
+        assert_eq!(buckets[0].get("count").and_then(Json::as_i64), Some(2));
     }
 }

@@ -50,7 +50,6 @@ pub mod machine;
 pub mod metrics;
 pub mod model;
 pub mod pool;
-pub mod profile;
 pub mod report;
 pub mod sweep;
 pub mod window;

@@ -20,7 +20,7 @@ use psder::engine::{Engine, MicroEffect, ShortEffect};
 use psder::{FrozenTransCache, RoutineLib, ShortInstr};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use telemetry::{Event, FaultKind, MissKind, NullSink, TraceSink};
+use telemetry::{Event, FaultKind, MissKind, NullSink, Tier, TraceSink};
 
 use crate::config::{CostModel, Limits, RetryPolicy};
 use crate::dtb::{Dtb, DtbConfig, Handle};
@@ -276,9 +276,13 @@ impl Machine {
     /// Runs the program under `mode`, emitting typed trace events into
     /// `sink`. With [`NullSink`] (what [`Machine::run`] passes) the
     /// emission sites monomorphize to nothing, so tracing has no cost
-    /// when disabled. Enabled sinks additionally switch on the DTB miss
-    /// taxonomy, so `DtbMiss` events carry a cold/capacity/conflict
-    /// classification.
+    /// when disabled. Enabled sinks whose
+    /// [`CLASSIFY_MISSES`](TraceSink::CLASSIFY_MISSES) is `true` (the
+    /// default — diagnostic sinks like [`telemetry::RingSink`])
+    /// additionally switch on the DTB miss taxonomy, so `DtbMiss` events
+    /// carry a cold/capacity/conflict classification; profiling sinks
+    /// leave it off so their runs' metrics stay bit-identical to an
+    /// untraced run.
     ///
     /// # Errors
     ///
@@ -311,7 +315,12 @@ impl Machine {
             Mode::TwoLevelDtb { l2, .. } => Some(Dtb::new(*l2)),
             _ => None,
         };
-        if S::ENABLED {
+        // The shadow three-C classifier is observable (it fills the
+        // cold/capacity/conflict taxonomy in `DtbStats`) and costs a
+        // probe per lookup, so profiling sinks opt out via
+        // `CLASSIFY_MISSES` to keep profiled metrics bit-identical to an
+        // untraced run.
+        if S::ENABLED && S::CLASSIFY_MISSES {
             if let Some(d) = dtb.as_mut() {
                 d.enable_classification();
             }
@@ -349,6 +358,8 @@ impl Machine {
             degraded: HashSet::new(),
             fail_counts: HashMap::new(),
             trans: psder::TransCache::new(),
+            tier: Tier::Interp,
+            cycle_total: 0,
         };
         run.execute(mode)?;
         let mut metrics = run.metrics;
@@ -435,6 +446,15 @@ struct Run<'m, S: TraceSink> {
     /// as before, but repeated events reuse one shared sequence instead
     /// of rebuilding it.
     trans: psder::TransCache,
+    /// Which tier executed the instruction currently in flight. Only
+    /// maintained when the sink is enabled; consumed by the `Retire`
+    /// event at the end of each step.
+    tier: Tier,
+    /// Running copy of `metrics.cycles.total()`, maintained by
+    /// [`Run::charge`] only when the sink is enabled, so the per-retire
+    /// cycle delta is a register subtraction instead of re-summing the
+    /// whole [`CycleBreakdown`] on every instruction.
+    cycle_total: u64,
 }
 
 /// Where one DIR instruction's execution leads.
@@ -471,6 +491,18 @@ impl<'m, S: TraceSink> Run<'m, S> {
         &self.machine.costs
     }
 
+    /// Charges `v` modeled cycles to one [`CycleBreakdown`] component.
+    /// Every cycle-cost site routes through here so `cycle_total` stays
+    /// an exact running copy of `metrics.cycles.total()` whenever the
+    /// sink is enabled — the basis of the O(1) retire-delta computation.
+    #[inline]
+    fn charge(&mut self, component: impl FnOnce(&mut CycleBreakdown) -> &mut u64, v: u64) {
+        *component(&mut self.metrics.cycles) += v;
+        if S::ENABLED {
+            self.cycle_total += v;
+        }
+    }
+
     /// The host-side template for `(inst, next)`: the machine's shared
     /// frozen snapshot when it covers the pair, the run's private memo
     /// cache otherwise. Identical sequences either way — the split only
@@ -488,6 +520,9 @@ impl<'m, S: TraceSink> Run<'m, S> {
     /// the translation inline, bypassing every translation buffer. The
     /// interpreter mode's step, and the fallback degraded addresses take.
     fn interp_one(&mut self, pc: u32) -> Result<Next, Trap> {
+        if S::ENABLED {
+            self.tier = Tier::Interp;
+        }
         let inst = self.fetch_decode(pc)?;
         let sequence = self.translated(inst, pc + 1);
         self.run_inline(&sequence)
@@ -588,23 +623,27 @@ impl<'m, S: TraceSink> Run<'m, S> {
         let max_retries = self.machine.retry.max_fetch_retries;
         let words = self.machine.image.fetch_words(pc, word_bits);
         let step = self.metrics.instructions;
-        if let Some(inj) = self.faults.as_mut() {
+        if self.faults.is_some() {
             let mut dropped = 0u32;
-            while inj.roll(FaultKind::FetchDrop, step) {
+            while let Some(inj) = self.faults.as_mut() {
+                if dropped > max_retries || !inj.roll(FaultKind::FetchDrop, step) {
+                    break;
+                }
                 inj.note(FaultKind::FetchDrop);
                 dropped += 1;
                 self.metrics.fetch_retries += 1;
-                self.metrics.cycles.fetch_l2 += words as u64 * t2;
+                self.charge(|c| &mut c.fetch_l2, words as u64 * t2);
                 if S::ENABLED {
                     self.sink.emit(Event::FaultInjected {
                         kind: FaultKind::FetchDrop,
                         addr: pc,
                     });
                 }
-                if dropped > max_retries {
-                    return Err(Trap::FetchFailed { addr: pc });
-                }
             }
+            if dropped > max_retries {
+                return Err(Trap::FetchFailed { addr: pc });
+            }
+            let inj = self.faults.as_mut().expect("checked above");
             if inj.roll(FaultKind::DirBit, step) {
                 let image = &self.machine.image;
                 let start = image.offsets[pc as usize];
@@ -633,19 +672,17 @@ impl<'m, S: TraceSink> Run<'m, S> {
             Some(cache) => {
                 // Cache individual level-2 words of the instruction stream.
                 let first = image.offsets[pc as usize] / word_bits as u64;
+                let mut fetch = 0u64;
                 for w in 0..words as u64 {
-                    match cache.access(first + w) {
-                        Access::Hit => {
-                            self.metrics.cycles.fetch_cache += tau_d;
-                        }
-                        Access::Miss { .. } => {
-                            self.metrics.cycles.fetch_cache += t2;
-                        }
-                    }
+                    fetch += match cache.access(first + w) {
+                        Access::Hit => tau_d,
+                        Access::Miss { .. } => t2,
+                    };
                 }
+                self.charge(|c| &mut c.fetch_cache, fetch);
             }
             None => {
-                self.metrics.cycles.fetch_l2 += words as u64 * t2;
+                self.charge(|c| &mut c.fetch_l2, words as u64 * t2);
             }
         }
         if S::ENABLED {
@@ -657,8 +694,8 @@ impl<'m, S: TraceSink> Run<'m, S> {
         }
         .map_err(|_| Trap::CorruptDir { addr: pc })?;
         self.metrics.decoded += 1;
-        self.metrics.cycles.decode +=
-            self.costs().scaled_decode(decoded.cost as u64) * self.costs().mem.t1;
+        let decode_cost = self.costs().scaled_decode(decoded.cost as u64) * self.costs().mem.t1;
+        self.charge(|c| &mut c.decode, decode_cost);
         if S::ENABLED {
             self.sink.emit(Event::Decode {
                 addr: pc,
@@ -685,7 +722,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 for w in self.machine.lib.words(id) {
                     words += 1;
                     self.metrics.routine_words += 1;
-                    self.metrics.cycles.semantic += self.costs().mem.t1;
+                    self.charge(|c| &mut c.semantic, self.costs().mem.t1);
                     if self.engine.exec_word(w)? == MicroEffect::Halt {
                         if S::ENABLED {
                             self.sink.emit(Event::RoutineExit {
@@ -712,9 +749,12 @@ impl<'m, S: TraceSink> Run<'m, S> {
     /// and i-cache modes, or an uncacheable overflow): IU2 steering words
     /// execute from level-1 interpreter code at `t1` each.
     fn run_inline(&mut self, sequence: &[ShortInstr]) -> Result<Next, Trap> {
+        if S::ENABLED {
+            self.tier = Tier::Interp;
+        }
         for &word in sequence {
             self.metrics.short_words += 1;
-            self.metrics.cycles.steering += self.costs().mem.t1;
+            self.charge(|c| &mut c.steering, self.costs().mem.t1);
             if let Some(next) = self.exec_short(word)? {
                 return Ok(next);
             }
@@ -725,6 +765,10 @@ impl<'m, S: TraceSink> Run<'m, S> {
     fn execute(&mut self, mode: &Mode) -> Result<(), Trap> {
         let mut pc: u32 = 0;
         let mut steps: u64 = 0;
+        // Carried across iterations, with `cycle_total` maintained by
+        // `charge`, so the retire delta costs a register subtraction —
+        // the deltas still partition the run's cycle total exactly.
+        let mut cycles_before = if S::ENABLED { self.cycle_total } else { 0 };
         loop {
             steps += 1;
             if steps > self.machine.limits.max_steps {
@@ -743,6 +787,24 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 Mode::Dtb(_) => self.step_dtb(pc)?,
                 Mode::TwoLevelDtb { .. } => self.step_two_level(pc)?,
             };
+            if S::ENABLED {
+                // Emitted after every sub-event this instruction caused,
+                // carrying its full modeled cost: retire cycles sum to
+                // the run's cycle total exactly.
+                debug_assert_eq!(
+                    self.cycle_total,
+                    self.metrics.cycles.total(),
+                    "a cycle-cost site bypassed Run::charge"
+                );
+                let total = self.cycle_total;
+                let delta = total - cycles_before;
+                cycles_before = total;
+                self.sink.emit(Event::Retire {
+                    addr: pc,
+                    tier: self.tier,
+                    cycles: delta.min(u64::from(u32::MAX)) as u32,
+                });
+            }
             if let Some(w) = self.window.as_mut() {
                 if self.metrics.instructions - w.start >= w.every {
                     w.close(&self.metrics, self.dtb.as_ref());
@@ -766,7 +828,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
         }
         self.inject_dtb_faults();
         // INTERP presents the DIR address to the associative address array.
-        self.metrics.cycles.lookup += self.costs().mem.tau_d;
+        self.charge(|c| &mut c.lookup, self.costs().mem.tau_d);
         let looked = require(self.dtb.as_mut(), NO_DTB)?.lookup(pc);
         let mut recovered = false;
         let hit = match looked {
@@ -804,8 +866,8 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 let sequence = self.translated(inst, pc + 1);
                 let gen = sequence.len() as u64 * self.costs().gen_per_word;
                 let store = sequence.len() as u64 * self.costs().store_per_word;
-                self.metrics.cycles.generate += gen * self.costs().mem.t1;
-                self.metrics.cycles.store += store * self.costs().mem.t1;
+                self.charge(|c| &mut c.generate, gen * self.costs().mem.t1);
+                self.charge(|c| &mut c.store, store * self.costs().mem.t1);
                 if S::ENABLED {
                     self.sink.emit(Event::Translate {
                         addr: pc,
@@ -820,6 +882,11 @@ impl<'m, S: TraceSink> Run<'m, S> {
                             if let Some(victim) = dtb.last_evicted() {
                                 self.sink.emit(Event::Evict { addr: pc, victim });
                             }
+                            let occupancy = dtb.occupancy() as u32;
+                            self.sink.emit(Event::DtbFill {
+                                addr: pc,
+                                occupancy,
+                            });
                         }
                         h
                     }
@@ -832,11 +899,14 @@ impl<'m, S: TraceSink> Run<'m, S> {
         };
         // Execute the PSDER translation out of the buffer array, one short
         // word per τ_D.
+        if S::ENABLED {
+            self.tier = self.dispatch_tier();
+        }
         let len = require(self.dtb.as_ref(), NO_DTB)?.len(handle);
         for i in 0..len {
             let word = require(self.dtb.as_ref(), NO_DTB)?.word(handle, i);
             self.metrics.short_words += 1;
-            self.metrics.cycles.fetch_dtb += self.costs().mem.tau_d;
+            self.charge(|c| &mut c.fetch_dtb, self.costs().mem.tau_d);
             if let Some(next) = self.exec_short(word)? {
                 return Ok(next);
             }
@@ -857,7 +927,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
         }
         self.inject_dtb_faults();
         let (tau_d, tau2) = (self.costs().mem.tau_d, self.costs().tau_dtb2);
-        self.metrics.cycles.lookup += tau_d;
+        self.charge(|c| &mut c.lookup, tau_d);
         let looked = require(self.dtb.as_mut(), NO_DTB)?.lookup(pc);
         let mut recovered = false;
         let l1_handle = match looked {
@@ -889,7 +959,7 @@ impl<'m, S: TraceSink> Run<'m, S> {
                     self.sink.emit(Event::DtbMiss { addr: pc, kind });
                 }
                 // Probe the second-level store.
-                self.metrics.cycles.lookup2 += tau2;
+                self.charge(|c| &mut c.lookup2, tau2);
                 let l2_hit = require(self.dtb2.as_mut(), NO_DTB2)?.lookup(pc);
                 let sequence: Arc<[ShortInstr]> = match l2_hit {
                     Some(h2) => {
@@ -898,8 +968,8 @@ impl<'m, S: TraceSink> Run<'m, S> {
                         let dtb2 = require(self.dtb2.as_ref(), NO_DTB2)?;
                         let len = dtb2.len(h2);
                         let words: Vec<ShortInstr> = (0..len).map(|i| dtb2.word(h2, i)).collect();
-                        self.metrics.cycles.promote +=
-                            len as u64 * (tau2 + self.costs().store_per_word);
+                        let promote_cost = len as u64 * (tau2 + self.costs().store_per_word);
+                        self.charge(|c| &mut c.promote, promote_cost);
                         if S::ENABLED {
                             self.sink.emit(Event::Promote {
                                 addr: pc,
@@ -915,8 +985,8 @@ impl<'m, S: TraceSink> Run<'m, S> {
                         let sequence = self.translated(inst, pc + 1);
                         let gen = sequence.len() as u64 * self.costs().gen_per_word;
                         let store = sequence.len() as u64 * self.costs().store_per_word * 2; // stored at both levels
-                        self.metrics.cycles.generate += gen * self.costs().mem.t1;
-                        self.metrics.cycles.store += store * self.costs().mem.t1;
+                        self.charge(|c| &mut c.generate, gen * self.costs().mem.t1);
+                        self.charge(|c| &mut c.store, store * self.costs().mem.t1);
                         if S::ENABLED {
                             self.sink.emit(Event::Translate {
                                 addr: pc,
@@ -935,6 +1005,11 @@ impl<'m, S: TraceSink> Run<'m, S> {
                             if let Some(victim) = dtb.last_evicted() {
                                 self.sink.emit(Event::Evict { addr: pc, victim });
                             }
+                            let occupancy = dtb.occupancy() as u32;
+                            self.sink.emit(Event::DtbFill {
+                                addr: pc,
+                                occupancy,
+                            });
                         }
                         h
                     }
@@ -942,16 +1017,29 @@ impl<'m, S: TraceSink> Run<'m, S> {
                 }
             }
         };
+        if S::ENABLED {
+            self.tier = self.dispatch_tier();
+        }
         let len = require(self.dtb.as_ref(), NO_DTB)?.len(handle);
         for i in 0..len {
             let word = require(self.dtb.as_ref(), NO_DTB)?.word(handle, i);
             self.metrics.short_words += 1;
-            self.metrics.cycles.fetch_dtb += tau_d;
+            self.charge(|c| &mut c.fetch_dtb, tau_d);
             if let Some(next) = self.exec_short(word)? {
                 return Ok(next);
             }
         }
         Err(Trap::Malformed("translation ended without INTERP"))
+    }
+
+    /// The tier of a DTB-resident dispatch: `Trusted` when the engine is
+    /// on its verified fast path, `Psder` otherwise.
+    fn dispatch_tier(&self) -> Tier {
+        if self.engine.is_trusted() {
+            Tier::Trusted
+        } else {
+            Tier::Psder
+        }
     }
 }
 

@@ -38,7 +38,7 @@ use std::time::Instant;
 
 use dir::exec::Trap;
 use std::collections::VecDeque;
-use telemetry::{NullSink, Percentiles};
+use telemetry::{NullSink, Percentiles, TraceSink};
 
 use crate::fault::FaultConfig;
 use crate::machine::{Machine, Mode};
@@ -119,6 +119,10 @@ pub struct PoolRun {
     pub workers: usize,
     /// Number of tenants obtained by stealing from a sibling's deque.
     pub steals: u64,
+    /// Jobs still queued after each dequeue, in dequeue order — the
+    /// pool's queue-depth timeline. Schedule-dependent (like `steals`),
+    /// so purely observational: nothing deterministic may key off it.
+    pub queue_depth: Vec<u64>,
 }
 
 impl PoolRun {
@@ -127,9 +131,36 @@ impl PoolRun {
         self.results.iter().map(|r| r.latency_ns as f64).collect()
     }
 
-    /// p50/p95/p99 of the per-tenant latencies.
+    /// p50/p95/p99/p99.9 of the per-tenant latencies.
     pub fn latency_percentiles(&self) -> Percentiles {
         Percentiles::of(&self.latencies_ns())
+    }
+
+    /// Host nanoseconds each worker spent executing tenants (length =
+    /// `workers`), summed from per-tenant latencies.
+    pub fn worker_busy_ns(&self) -> Vec<u64> {
+        let mut busy = vec![0u64; self.workers];
+        for r in &self.results {
+            if let Some(b) = busy.get_mut(r.worker) {
+                *b += r.latency_ns;
+            }
+        }
+        busy
+    }
+
+    /// Per-worker utilization: busy time over pool wall-clock, in
+    /// `[0, 1]` (clamped; empty wall yields zeros).
+    pub fn worker_utilization(&self) -> Vec<f64> {
+        self.worker_busy_ns()
+            .iter()
+            .map(|&b| {
+                if self.wall_ns == 0 {
+                    0.0
+                } else {
+                    (b as f64 / self.wall_ns as f64).min(1.0)
+                }
+            })
+            .collect()
     }
 
     /// Number of tenants that completed without trap or panic.
@@ -250,6 +281,23 @@ impl MachinePool {
     /// Runs every tenant across the worker set and collects the results
     /// in tenant order.
     pub fn run(&self) -> PoolRun {
+        self.run_with_sinks(|_| NullSink).0
+    }
+
+    /// Runs like [`MachinePool::run`], but gives every tenant its own
+    /// trace sink built by `make_sink(tenant_index)`. The sinks are
+    /// returned in tenant (submission) order alongside the run, so
+    /// per-tenant profiles can be aggregated afterwards.
+    ///
+    /// The sink only observes — each tenant's event stream is a
+    /// deterministic function of that tenant alone, so outputs, traps
+    /// and modeled metrics remain bit-identical to [`MachinePool::run`]
+    /// (and to [`MachinePool::run_sequential`]) under any schedule.
+    pub fn run_with_sinks<S, F>(&self, make_sink: F) -> (PoolRun, Vec<S>)
+    where
+        S: TraceSink + Send,
+        F: Fn(usize) -> S + Sync,
+    {
         let workers = self.workers.min(self.tenants.len()).max(1);
         // Deal tenants round-robin onto per-worker deques.
         let deques: Vec<Mutex<VecDeque<usize>>> =
@@ -258,18 +306,27 @@ impl MachinePool {
             deques[i % workers].lock().unwrap().push_back(i);
         }
         let steals = AtomicU64::new(0);
+        let remaining = AtomicU64::new(self.tenants.len() as u64);
+        let depth_samples: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(self.tenants.len()));
 
         let started = Instant::now();
-        let mut collected: Vec<Vec<TenantResult>> = Vec::with_capacity(workers);
+        let mut collected: Vec<Vec<(TenantResult, S)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let deques = &deques;
                     let steals = &steals;
+                    let remaining = &remaining;
+                    let depth_samples = &depth_samples;
+                    let make_sink = &make_sink;
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         while let Some(idx) = next_job(w, deques, steals) {
-                            local.push(self.run_tenant(idx, w));
+                            let depth = remaining.fetch_sub(1, Ordering::Relaxed) - 1;
+                            depth_samples.lock().unwrap().push(depth);
+                            let mut sink = make_sink(idx);
+                            let result = self.run_tenant_with(idx, w, &mut sink);
+                            local.push((result, sink));
                         }
                         local
                     })
@@ -277,20 +334,25 @@ impl MachinePool {
                 .collect();
             for h in handles {
                 // Worker bodies never panic (tenant panics are caught
-                // inside run_tenant), so join cannot fail.
+                // inside run_tenant_with), so join cannot fail.
                 collected.push(h.join().expect("pool worker panicked"));
             }
         });
         let wall_ns = started.elapsed().as_nanos() as u64;
 
-        let mut results: Vec<TenantResult> = collected.into_iter().flatten().collect();
-        results.sort_by_key(|r| r.tenant);
-        PoolRun {
-            results,
-            wall_ns,
-            workers,
-            steals: steals.load(Ordering::Relaxed),
-        }
+        let mut pairs: Vec<(TenantResult, S)> = collected.into_iter().flatten().collect();
+        pairs.sort_by_key(|(r, _)| r.tenant);
+        let (results, sinks): (Vec<TenantResult>, Vec<S>) = pairs.into_iter().unzip();
+        (
+            PoolRun {
+                results,
+                wall_ns,
+                workers,
+                steals: steals.load(Ordering::Relaxed),
+                queue_depth: depth_samples.into_inner().unwrap(),
+            },
+            sinks,
+        )
     }
 
     /// Runs every tenant in submission order on the calling thread — the
@@ -300,17 +362,25 @@ impl MachinePool {
     pub fn run_sequential(&self) -> PoolRun {
         let started = Instant::now();
         let results: Vec<TenantResult> = (0..self.tenants.len())
-            .map(|i| self.run_tenant(i, 0))
+            .map(|i| self.run_tenant_with(i, 0, &mut NullSink))
             .collect();
         PoolRun {
             wall_ns: started.elapsed().as_nanos() as u64,
             results,
             workers: 1,
+            // Sequential dequeue order is submission order, so the
+            // queue simply drains: n-1, n-2, ..., 0.
+            queue_depth: (0..self.tenants.len() as u64).rev().collect(),
             steals: 0,
         }
     }
 
-    fn run_tenant(&self, idx: usize, worker: usize) -> TenantResult {
+    fn run_tenant_with<S: TraceSink>(
+        &self,
+        idx: usize,
+        worker: usize,
+        sink: &mut S,
+    ) -> TenantResult {
         let tenant = &self.tenants[idx];
         let faults = self.fault_base.map(|base| FaultConfig {
             seed: base.seed ^ idx as u64,
@@ -320,8 +390,8 @@ impl MachinePool {
         let run = catch_unwind(AssertUnwindSafe(|| match faults {
             Some(cfg) => tenant
                 .machine
-                .run_with_faults(&tenant.mode, &mut NullSink, Some(cfg)),
-            None => tenant.machine.run(&tenant.mode),
+                .run_with_faults(&tenant.mode, sink, Some(cfg)),
+            None => tenant.machine.run_with(&tenant.mode, sink),
         }));
         let latency_ns = started.elapsed().as_nanos() as u64;
         let outcome = match run {
@@ -549,6 +619,55 @@ mod tests {
         let run = sample_pool(2).run();
         let p = run.latency_percentiles();
         assert!(p.p50 > 0.0);
-        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.p999);
+    }
+
+    /// A counting sink with the profiling contract: no miss
+    /// classification, so metrics stay bit-identical to untraced runs.
+    struct CountSink(telemetry::EventCounts);
+
+    impl TraceSink for CountSink {
+        const CLASSIFY_MISSES: bool = false;
+
+        fn emit(&mut self, event: telemetry::Event) {
+            self.0.record(&event);
+        }
+    }
+
+    #[test]
+    fn per_tenant_sinks_observe_without_changing_results() {
+        let pool = sample_pool(3);
+        let plain = pool.run_sequential();
+        let (run, sinks) = pool.run_with_sinks(|_| CountSink(telemetry::EventCounts::default()));
+        // Observation is free: outputs, traps and modeled metrics are
+        // bit-identical to the unprofiled sequential reference.
+        assert_eq!(outcomes(&plain), outcomes(&run));
+        assert_eq!(sinks.len(), run.results.len());
+        // Sinks come back in tenant order: each saw exactly its
+        // tenant's retired instructions.
+        for (r, sink) in run.results.iter().zip(&sinks) {
+            let m = &r.outcome.report().unwrap().metrics;
+            assert_eq!(sink.0.retires, m.instructions);
+        }
+    }
+
+    #[test]
+    fn queue_depth_and_utilization_are_wired() {
+        let run = sample_pool(2).run();
+        assert_eq!(run.queue_depth.len(), run.results.len());
+        // The queue drains: the last dequeue leaves it empty.
+        assert_eq!(run.queue_depth.iter().min(), Some(&0));
+        assert!(run
+            .queue_depth
+            .iter()
+            .all(|&d| d < run.results.len() as u64));
+        let util = run.worker_utilization();
+        assert_eq!(util.len(), run.workers);
+        assert!(util.iter().all(|u| (0.0..=1.0).contains(u)));
+        assert!(util.iter().any(|&u| u > 0.0));
+        // Sequential reference records the drain in submission order.
+        let seq = sample_pool(2).run_sequential();
+        assert_eq!(seq.queue_depth.first(), Some(&6));
+        assert_eq!(seq.queue_depth.last(), Some(&0));
     }
 }

@@ -145,6 +145,32 @@ pub fn run_report(tool: &str, config: Json, metrics: &Metrics) -> RunReport {
     report
 }
 
+/// Serializes trace-sink health for a report's `trace_health` section:
+/// `ring` is the flight recorder's `(retained, dropped)` split, `file`
+/// the streaming sink's `(written, deferred write error)` status. Pass
+/// what the run used; absent sinks are simply omitted, and an all-`None`
+/// call yields an empty object (callers should then skip the section).
+pub fn trace_health_json(ring: Option<(u64, u64)>, file: Option<(u64, Option<String>)>) -> Json {
+    let mut fields = Vec::new();
+    if let Some((retained, dropped)) = ring {
+        fields.push((
+            "ring",
+            Json::obj(vec![
+                ("retained", (retained as i64).into()),
+                ("dropped", (dropped as i64).into()),
+            ]),
+        ));
+    }
+    if let Some((written, error)) = file {
+        let mut f = vec![("written", Json::from(written as i64))];
+        if let Some(e) = error {
+            f.push(("write_error", e.as_str().into()));
+        }
+        fields.push(("file", Json::obj(f)));
+    }
+    Json::obj(fields)
+}
+
 /// Serializes one tenant's result: identity, placement, latency, and —
 /// for completed tenants — the modeled instruction/cycle totals. Traps
 /// and panics carry a `detail` string instead.
@@ -178,6 +204,7 @@ pub fn tenant_json(r: &TenantResult) -> Json {
 /// latency percentiles.
 pub fn pool_report(tool: &str, config: Json, run: &PoolRun) -> PoolReport {
     let tenants = Json::Arr(run.results.iter().map(tenant_json).collect());
+    let utilization = run.worker_utilization();
     let aggregate = Json::obj(vec![
         ("wall_ns", (run.wall_ns as i64).into()),
         ("workers", (run.workers as i64).into()),
@@ -187,6 +214,14 @@ pub fn pool_report(tool: &str, config: Json, run: &PoolRun) -> PoolReport {
         ("instructions", run.total_instructions().into()),
         ("cycles", run.total_cycles().into()),
         ("minstr_per_sec", run.minstr_per_sec().into()),
+        (
+            "queue_depth_max",
+            (run.queue_depth.iter().copied().max().unwrap_or(0) as i64).into(),
+        ),
+        (
+            "utilization",
+            Json::Arr(utilization.iter().map(|&u| Json::from(u)).collect()),
+        ),
     ]);
     PoolReport::new(tool, config, tenants, aggregate, run.latency_percentiles())
 }

@@ -5,7 +5,7 @@
 //! Run with `cargo run --example profiler --release`.
 
 use dir::encode::SchemeKind;
-use uhm::profile::Profile;
+use profile::Profile;
 use uhm::{Machine, Mode};
 
 fn main() {

@@ -22,6 +22,10 @@
 //!   --json                               emit a versioned RunReport on stdout
 //!   --window N                           sample metrics every N instructions
 //!   --events FILE                        stream trace events as JSONL to FILE
+//!   --trace-out FILE                     write a Chrome trace_event JSON file
+//!                                        (load in Perfetto / chrome://tracing)
+//!   --flame-out FILE                     write collapsed stacks for
+//!                                        flamegraph.pl / speedscope
 //!
 //! faults options (plus the run options above):
 //!   --seed N                             injector seed (default: 0xFA01)
@@ -40,14 +44,24 @@
 //! diagnostic report, and exits 1 when verification rejects the image.
 //! With --json it emits a versioned AnalyzeReport on stdout.
 //!
-//! `profile` also accepts --json. Invalid machine configurations exit
-//! with status 2; runtime traps and compile errors with status 1.
+//! `profile` runs the program under the always-on counter plane and
+//! reports per-procedure / per-opcode / per-tier cycle attribution,
+//! opcode-pair frequencies and the coverage curve. It honours the run
+//! options (mode, scheme, DTB geometry), accepts --trace-out and
+//! --flame-out, and with --json emits a schema-v4 ProfileReport. Adding
+//! --tenants M [--workers N] also profiles a pool of M tenant copies and
+//! attaches the pool aggregation (mergeable per-worker latency
+//! histograms, utilization, queue depth) to the report.
+//!
+//! Invalid machine configurations exit with status 2; runtime traps and
+//! compile errors with status 1.
 //! ```
 
 use std::process::ExitCode;
 
 use dir::encode::{DecodeMode, SchemeKind};
-use telemetry::{Json, JsonlSink, RingSink, TeeSink};
+use profile::{CounterPlane, FlameBuilder, SpanTracer};
+use telemetry::{Event, Json, JsonlSink, RingSink, TeeSink, Tier, TraceSink};
 use uhm::{DtbConfig, FaultConfig, Machine, Mode, RetryPolicy};
 
 /// A CLI failure, split by exit status: configuration errors (bad
@@ -91,6 +105,8 @@ struct Cli {
     json: bool,
     window: Option<u64>,
     events: Option<String>,
+    trace_out: Option<String>,
+    flame_out: Option<String>,
     dtb_unit_words: Option<usize>,
     workers: usize,
     tenants: Option<usize>,
@@ -158,6 +174,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json: false,
         window: None,
         events: None,
+        trace_out: None,
+        flame_out: None,
         dtb_unit_words: None,
         workers: 4,
         tenants: None,
@@ -224,6 +242,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--events" => {
                 cli.events = Some(it.next().ok_or("missing --events value")?.clone());
+            }
+            "--trace-out" => {
+                cli.trace_out = Some(it.next().ok_or("missing --trace-out value")?.clone());
+            }
+            "--flame-out" => {
+                cli.flame_out = Some(it.next().ok_or("missing --flame-out value")?.clone());
             }
             "--dtb-unit-words" => {
                 cli.dtb_unit_words = Some(
@@ -376,6 +400,102 @@ fn run_config(cli: &Cli) -> Json {
     ])
 }
 
+/// The optional deep-profiling sinks a run can attach (`--trace-out`
+/// builds a [`SpanTracer`], `--flame-out` a [`FlameBuilder`]). Both keep
+/// `CLASSIFY_MISSES` off, so attaching them never changes the run's
+/// modeled metrics.
+struct ProfSinks {
+    tracer: Option<SpanTracer>,
+    flame: Option<FlameBuilder>,
+}
+
+impl ProfSinks {
+    fn new(cli: &Cli, program: &dir::Program) -> ProfSinks {
+        ProfSinks {
+            tracer: cli.trace_out.as_ref().map(|_| SpanTracer::new(program)),
+            flame: cli.flame_out.as_ref().map(|_| FlameBuilder::new(program)),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.tracer.is_some() || self.flame.is_some()
+    }
+
+    /// Span-tracer health as a `(retained, dropped)` pair, when tracing.
+    fn tracer_health(&self) -> Option<(u64, u64)> {
+        self.tracer.as_ref().map(|t| (t.len() as u64, t.dropped()))
+    }
+
+    /// Writes the requested artifact files and prints where they went.
+    fn write_artifacts(self, cli: &Cli) -> Result<(), CliError> {
+        if let (Some(path), Some(tracer)) = (&cli.trace_out, self.tracer) {
+            let dropped = tracer.dropped();
+            std::fs::write(path, tracer.finish())
+                .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+            eprintln!(
+                "trace: wrote {path} (Chrome trace_event JSON; load in Perfetto){}",
+                if dropped > 0 {
+                    format!(" — {dropped} events dropped at the cap")
+                } else {
+                    String::new()
+                }
+            );
+        }
+        if let (Some(path), Some(flame)) = (&cli.flame_out, self.flame) {
+            std::fs::write(path, flame.collapsed())
+                .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+            eprintln!(
+                "flamegraph: wrote {path} ({} stacks; feed to flamegraph.pl or speedscope)",
+                flame.stacks()
+            );
+        }
+        Ok(())
+    }
+}
+
+impl TraceSink for ProfSinks {
+    // Profiling observes; it must not switch on the shadow miss
+    // classifier and perturb the metrics it is attributing.
+    const CLASSIFY_MISSES: bool = false;
+
+    fn emit(&mut self, event: Event) {
+        if let Some(t) = &mut self.tracer {
+            t.emit(event);
+        }
+        if let Some(f) = &mut self.flame {
+            f.emit(event);
+        }
+    }
+}
+
+/// Merges per-tenant span traces into one multi-track Chrome trace_event
+/// document (each tenant is its own pid, so Perfetto shows one process
+/// track per tenant).
+fn merged_pool_trace(tracers: &mut [SpanTracer]) -> Json {
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for t in tracers.iter_mut() {
+        let doc = t.to_json();
+        if let Some(arr) = doc.get("traceEvents").and_then(Json::as_arr) {
+            events.extend(arr.iter().cloned());
+        }
+        dropped += t.dropped();
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", "ns".into()),
+        (
+            "otherData",
+            Json::obj(vec![
+                ("clock", "modeled-cycles".into()),
+                ("cycle_ts", "1us".into()),
+                ("tenant_tracks", (tracers.len() as u64).into()),
+                ("dropped_events", dropped.into()),
+            ]),
+        ),
+    ])
+}
+
 /// Prints the human-readable `--stats` block: totals, the
 /// IU1/IU2/memory cycle partition, and any DTB/i-cache ratios.
 fn print_stats(m: &uhm::Metrics) {
@@ -479,9 +599,12 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             machine.set_trace(false);
             machine.set_window(cli.window);
             let mode = machine_mode(cli)?;
+            let mut prof = ProfSinks::new(cli, &program);
             // Any observability flag switches to an enabled sink so the
             // miss taxonomy and event counts are collected.
             let traced = cli.json || cli.stats || cli.events.is_some();
+            let mut ring_health: Option<(u64, u64)> = None;
+            let mut file_health: Option<(u64, Option<String>)> = None;
             let report = if traced {
                 let mut ring = RingSink::new(4096);
                 let report = match &cli.events {
@@ -490,13 +613,24 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
                             .map_err(|e| format!("cannot create {path}: {e}"))?;
                         let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
                         let run = machine
-                            .run_with(&mode, &mut TeeSink(&mut ring, &mut jsonl))
+                            .run_with(
+                                &mode,
+                                &mut TeeSink(&mut TeeSink(&mut ring, &mut jsonl), &mut prof),
+                            )
                             .map_err(|t| format!("trap: {t}"))?;
-                        jsonl.finish().map_err(|e| format!("writing {path}: {e}"))?;
+                        let mut health = (jsonl.written(), None::<String>);
+                        if let Err(e) = jsonl.finish() {
+                            // Surfaced in the report's trace_health (and as
+                            // a warning) rather than failing the run: the
+                            // execution itself succeeded.
+                            eprintln!("raul: warning: writing {path}: {e}");
+                            health.1 = Some(e.to_string());
+                        }
+                        file_health = Some(health);
                         run
                     }
                     None => machine
-                        .run_with(&mode, &mut ring)
+                        .run_with(&mode, &mut TeeSink(&mut ring, &mut prof))
                         .map_err(|t| format!("trap: {t}"))?,
                 };
                 if cli.stats {
@@ -510,7 +644,12 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
                         c.translations
                     );
                 }
+                ring_health = Some((ring.len() as u64, ring.dropped()));
                 report
+            } else if prof.active() {
+                machine
+                    .run_with(&mode, &mut prof)
+                    .map_err(|t| format!("trap: {t}"))?
             } else {
                 machine.run(&mode).map_err(|t| format!("trap: {t}"))?
             };
@@ -519,6 +658,7 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
                 rr.output = Some(Json::Arr(
                     report.output.iter().map(|&v| Json::Int(v)).collect(),
                 ));
+                rr.trace_health = Some(uhm::report::trace_health_json(ring_health, file_health));
                 println!("{}", rr.render());
             } else {
                 for v in &report.output {
@@ -528,6 +668,7 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             if cli.stats {
                 print_stats(&report.metrics);
             }
+            prof.write_artifacts(cli)?;
             Ok(())
         }
         Command::Disasm => {
@@ -598,62 +739,131 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             let program = build_program(cli, source)?;
             let mut machine = Machine::new(&program, cli.scheme);
             machine.set_decoder(cli.decoder);
-            machine.set_trace(true);
-            let mut report = machine
-                .run(&Mode::Interpreter)
-                .map_err(|t| format!("trap: {t}"))?;
-            let trace = report.metrics.trace.take().expect("tracing enabled");
-            let profile = uhm::profile::Profile::from_trace(&program, &trace);
+            let mode = machine_mode(cli)?;
+            let mut plane = CounterPlane::new(&program);
+            let mut prof = ProfSinks::new(cli, &program);
+            let report = if prof.active() {
+                machine.run_with(&mode, &mut TeeSink(&mut plane, &mut prof))
+            } else {
+                machine.run_with(&mode, &mut plane)
+            }
+            .map_err(|t| format!("trap: {t}"))?;
+
+            // --tenants M additionally profiles M pooled copies of the
+            // same image and attaches the pool aggregation (mergeable
+            // per-worker latency histograms, utilization, queue depth).
+            let pool_section = match cli.tenants {
+                Some(tenants) => {
+                    let mut shared = Machine::new(&program, cli.scheme);
+                    shared.set_decoder(cli.decoder);
+                    shared.freeze_translations();
+                    let shared = std::sync::Arc::new(shared);
+                    let mut pool = uhm::MachinePool::new(cli.workers);
+                    for t in 0..tenants {
+                        pool.push(
+                            format!("tenant-{t}"),
+                            std::sync::Arc::clone(&shared),
+                            mode.clone(),
+                        );
+                    }
+                    Some(profile::pool_profile_json(&pool.run()))
+                }
+                None => None,
+            };
+            let trace_health = prof
+                .tracer_health()
+                .map(|rh| uhm::report::trace_health_json(Some(rh), None));
+
             if cli.json {
-                let procs: Vec<Json> = profile
-                    .by_procedure(&program)
-                    .into_iter()
-                    .map(|(name, count)| {
-                        Json::obj(vec![("name", name.into()), ("count", count.into())])
-                    })
-                    .collect();
-                let hottest: Vec<Json> = profile
-                    .hottest(10)
-                    .into_iter()
-                    .map(|(addr, count)| {
-                        Json::obj(vec![
-                            ("addr", addr.into()),
-                            ("count", count.into()),
-                            (
-                                "inst",
-                                dir::asm::format_inst(&program.code[addr as usize]).into(),
-                            ),
-                        ])
-                    })
-                    .collect();
-                let mut rr =
-                    uhm::report::run_report("raul-profile", run_config(cli), &report.metrics);
-                rr.output = Some(Json::obj(vec![
-                    ("static_instructions", (program.len() as u64).into()),
-                    ("dynamic_instructions", profile.total.into()),
-                    ("touched", (profile.touched() as u64).into()),
-                    ("by_procedure", Json::Arr(procs)),
-                    ("hottest", Json::Arr(hottest)),
-                ]));
-                println!("{}", rr.render());
+                let mut pr = profile::profile_report(
+                    "raul-profile",
+                    run_config(cli),
+                    &plane,
+                    &report.metrics,
+                );
+                pr.pool = pool_section;
+                pr.trace_health = trace_health;
+                println!("{}", pr.render());
+                prof.write_artifacts(cli)?;
                 return Ok(());
             }
+
+            let p = plane.profile();
             println!(
                 "{} static, {} dynamic, {} touched",
                 program.len(),
-                profile.total,
-                profile.touched()
+                p.total,
+                p.touched()
             );
-            for (name, count) in profile.by_procedure(&program) {
-                println!("{name:>16}: {count}");
+            let total_cycles = plane.cycles().max(1) as f64;
+            println!("by tier:");
+            for t in [Tier::Interp, Tier::Psder, Tier::Trusted] {
+                let a = plane.by_tier()[t.index()];
+                if a.retires == 0 {
+                    continue;
+                }
+                println!(
+                    "  {:>10}: {:>9} retires  {:>9} cycles ({:.1}%)",
+                    t.label(),
+                    a.retires,
+                    a.cycles,
+                    a.cycles as f64 / total_cycles * 100.0
+                );
+            }
+            println!("by procedure:");
+            for (name, a) in plane.by_region() {
+                if a.retires == 0 {
+                    continue;
+                }
+                println!(
+                    "  {name:>10}: {:>9} retires  {:>9} cycles ({:.1}%)",
+                    a.retires,
+                    a.cycles,
+                    a.cycles as f64 / total_cycles * 100.0
+                );
             }
             println!("hottest:");
-            for (addr, count) in profile.hottest(10) {
+            for (addr, count) in p.hottest(10) {
                 println!(
-                    "  {addr:>5} {count:>9}x  {}",
+                    "  {addr:>5} {count:>9}x {:>9} cycles  {}",
+                    plane.cycles_at(addr),
                     dir::asm::format_inst(&program.code[addr as usize])
                 );
             }
+            println!("hottest opcode pairs:");
+            for (from, to, count) in plane.hottest_pairs(8) {
+                println!(
+                    "  {:>10} -> {:<10} {count:>9}x",
+                    format!("{:?}", dir::isa::OPCODES[from]),
+                    format!("{:?}", dir::isa::OPCODES[to])
+                );
+            }
+            println!("coverage:");
+            for k in [4usize, 8, 16, 32, 64, 128] {
+                println!(
+                    "  hottest {k:>3} instructions cover {:>5.1}% of execution",
+                    100.0 * p.coverage(k)
+                );
+            }
+            if let Some(pool) = &pool_section {
+                let pct = pool.get("latency_percentiles_ns");
+                let get = |k: &str| {
+                    pct.and_then(|p| p.get(k))
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0)
+                };
+                println!(
+                    "pool: {}/{} tenants completed; latency p50/p95/p99/p99.9: \
+                     {:.0}/{:.0}/{:.0}/{:.0} ns",
+                    pool.get("completed").and_then(Json::as_i64).unwrap_or(0),
+                    pool.get("tenants").and_then(Json::as_i64).unwrap_or(0),
+                    get("p50"),
+                    get("p95"),
+                    get("p99"),
+                    get("p999")
+                );
+            }
+            prof.write_artifacts(cli)?;
             Ok(())
         }
         Command::Faults => {
@@ -787,17 +997,35 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             if faults_requested(cli) {
                 pool.set_faults(Some(fault_config(cli)));
             }
-            let run = pool.run();
+            // --trace-out gives each tenant its own span tracer; the
+            // tenant index becomes the trace pid so Perfetto shows one
+            // process track per tenant.
+            let (run, mut tracers) = if cli.trace_out.is_some() {
+                let (run, tracers) = pool.run_with_sinks(|tenant| {
+                    let mut t = SpanTracer::new(&program);
+                    t.set_track(tenant as u32 + 1, 1);
+                    t
+                });
+                (run, tracers)
+            } else {
+                (pool.run(), Vec::new())
+            };
             if cli.json {
                 let mut config = run_config(cli);
                 if let Json::Obj(fields) = &mut config {
                     fields.push(("workers".into(), (cli.workers as i64).into()));
                     fields.push(("tenants".into(), (tenants as i64).into()));
                 }
-                println!(
-                    "{}",
-                    uhm::report::pool_report("raul-pool", config, &run).render()
-                );
+                let mut pr = uhm::report::pool_report("raul-pool", config, &run);
+                if !tracers.is_empty() {
+                    let retained: u64 = tracers.iter().map(|t| t.len() as u64).sum();
+                    let dropped: u64 = tracers.iter().map(SpanTracer::dropped).sum();
+                    pr.trace_health = Some(uhm::report::trace_health_json(
+                        Some((retained, dropped)),
+                        None,
+                    ));
+                }
+                println!("{}", pr.render());
             } else {
                 for r in &run.results {
                     let detail = match &r.outcome {
@@ -829,11 +1057,21 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
                     run.steals
                 );
                 println!(
-                    "latency p50/p95/p99: {:.0}/{:.0}/{:.0} ns  aggregate: {:.2} Minstr/s",
+                    "latency p50/p95/p99/p99.9: {:.0}/{:.0}/{:.0}/{:.0} ns  aggregate: {:.2} Minstr/s",
                     p.p50,
                     p.p95,
                     p.p99,
+                    p.p999,
                     run.minstr_per_sec()
+                );
+            }
+            if let Some(path) = &cli.trace_out {
+                let doc = merged_pool_trace(&mut tracers);
+                std::fs::write(path, doc.render())
+                    .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+                eprintln!(
+                    "trace: wrote {path} ({} tenant tracks; load in Perfetto)",
+                    tracers.len()
                 );
             }
             if run.completed() < run.results.len() {
@@ -921,6 +1159,47 @@ mod tests {
             let cli = parse_args(&args(&format!("run p.raul --decoder {d}"))).unwrap();
             execute(&cli, src).unwrap();
         }
+    }
+
+    #[test]
+    fn parses_profiling_flags() {
+        let cli = parse_args(&args("run p.raul --trace-out t.json --flame-out f.txt")).unwrap();
+        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(cli.flame_out.as_deref(), Some("f.txt"));
+        assert!(parse_args(&args("run p.raul --trace-out")).is_err());
+        assert!(parse_args(&args("profile p.raul --flame-out")).is_err());
+    }
+
+    #[test]
+    fn profile_command_writes_trace_and_flame_artifacts() {
+        let dir = std::env::temp_dir().join(format!("raul-prof-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let flame = dir.join("flame.txt");
+        let cmd = format!(
+            "profile p.raul --trace-out {} --flame-out {}",
+            trace.display(),
+            flame.display()
+        );
+        let cli = parse_args(&args(&cmd)).unwrap();
+        let src = "proc main() begin int i; for i := 0 to 30 do write i * 2; end";
+        execute(&cli, src).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(!events.is_empty(), "trace document has events");
+        let collapsed = std::fs::read_to_string(&flame).unwrap();
+        assert!(
+            collapsed.lines().any(|l| l.contains("main")),
+            "collapsed stacks mention main:\n{collapsed}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_command_attaches_pool_aggregation() {
+        let cli = parse_args(&args("profile p.raul --tenants 3 --workers 2")).unwrap();
+        let src = "proc main() begin int i := 0; while i < 40 do i := i + 1; write i; end";
+        execute(&cli, src).unwrap();
     }
 
     #[test]

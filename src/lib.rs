@@ -12,7 +12,9 @@
 //!   semantic routines and the short-format IU2 instruction set;
 //! * [`memsim`] — the two-level memory hierarchy and set-associative caches;
 //! * [`uhm`] — the universal host machine with its dynamic translation
-//!   buffer, plus the Section 7 analytic model.
+//!   buffer, plus the Section 7 analytic model;
+//! * [`profile`] — the deep profiling plane: attribution counters, span
+//!   tracing with Perfetto export, flamegraphs and coverage profiles.
 //!
 //! The `examples/` directory of this package contains the runnable
 //! walkthroughs; `tests/` holds the cross-crate integration suite.
@@ -20,5 +22,6 @@
 pub use dir;
 pub use hlr;
 pub use memsim;
+pub use profile;
 pub use psder;
 pub use uhm;

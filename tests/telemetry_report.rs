@@ -1,12 +1,13 @@
 //! Telemetry end-to-end checks: ring-sink event counts must agree with the
 //! machine's own metrics, window samples must partition the run, and the
-//! `raul --json` surface must emit a schema-1 [`RunReport`] that round-trips
-//! through the parser.
+//! `raul --json` surfaces must emit versioned reports that round-trip
+//! through their parsers (`raul run` a schema-1 [`RunReport`],
+//! `raul profile` a schema-4 [`ProfileReport`]).
 
 use std::process::Command;
 
 use dir::encode::SchemeKind;
-use telemetry::{Json, RingSink, RunReport};
+use telemetry::{Json, ProfileReport, RingSink, RunReport};
 use uhm::{DtbConfig, Machine, Mode};
 
 fn sample_machine() -> (dir::program::Program, Mode) {
@@ -95,7 +96,7 @@ fn window_samples_partition_the_run() {
     }
 }
 
-fn raul_json(args: &[&str]) -> RunReport {
+fn raul_stdout(args: &[&str]) -> String {
     let out = Command::new(env!("CARGO_BIN_EXE_raul"))
         .args(args)
         .current_dir(env!("CARGO_MANIFEST_DIR"))
@@ -106,8 +107,11 @@ fn raul_json(args: &[&str]) -> RunReport {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let text = String::from_utf8(out.stdout).unwrap();
-    RunReport::parse(text.trim()).expect("stdout is one schema-1 RunReport")
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn raul_json(args: &[&str]) -> RunReport {
+    RunReport::parse(raul_stdout(args).trim()).expect("stdout is one schema-1 RunReport")
 }
 
 #[test]
@@ -133,6 +137,15 @@ fn raul_run_json_emits_a_round_trippable_report() {
     for p in ["time_per_instruction", "d", "g", "x", "s1", "s2"] {
         assert!(rr.derived.get(p).is_some(), "missing derived.{p}");
     }
+    // Trace-sink health rides along: the flight recorder's retained and
+    // dropped counts are surfaced in the report itself.
+    let ring = rr
+        .trace_health
+        .as_ref()
+        .and_then(|t| t.get("ring"))
+        .expect("trace_health.ring");
+    assert!(ring.get("retained").and_then(Json::as_i64).unwrap() > 0);
+    assert!(ring.get("dropped").and_then(Json::as_i64).unwrap() >= 0);
     // Round trip: render → parse is the identity.
     let back = RunReport::parse(&rr.render()).unwrap();
     assert_eq!(back, rr);
@@ -163,9 +176,47 @@ fn raul_run_json_with_window_attaches_samples() {
 
 #[test]
 fn raul_profile_json_round_trips() {
-    let rr = raul_json(&["profile", "examples/programs/sumloop.raul", "--json"]);
-    assert_eq!(rr.tool, "raul-profile");
-    let out = rr.output.clone().expect("profile payload");
-    assert!(out.get("hottest").is_some());
-    assert_eq!(RunReport::parse(&rr.render()).unwrap().output, Some(out));
+    let text = raul_stdout(&["profile", "examples/programs/sumloop.raul", "--json"]);
+    let pr = ProfileReport::parse(text.trim()).expect("stdout is one schema-4 ProfileReport");
+    assert_eq!(pr.tool, "raul-profile");
+    // The attribution payload carries every canonical section.
+    for k in [
+        "regions", "opcodes", "tiers", "pairs", "hottest", "coverage",
+    ] {
+        assert!(pr.profile.get(k).is_some(), "missing profile.{k}");
+    }
+    // The counter plane observed every retire (the retire invariant,
+    // end to end through the CLI).
+    let agg = |k: &str| pr.aggregate.get(k).and_then(Json::as_i64);
+    assert_eq!(agg("instructions"), agg("retires_observed"));
+    assert_eq!(agg("cycles"), agg("cycles_observed"));
+    // A profile report is not a run report: the schemas reject each other.
+    assert!(RunReport::parse(text.trim()).is_err());
+    // Round trip: render → parse is the identity.
+    let back = ProfileReport::parse(&pr.render()).unwrap();
+    assert_eq!(back, pr);
+}
+
+#[test]
+fn raul_profile_json_with_tenants_attaches_the_pool_section() {
+    let text = raul_stdout(&[
+        "profile",
+        "examples/programs/sumloop.raul",
+        "--tenants",
+        "4",
+        "--workers",
+        "2",
+        "--json",
+    ]);
+    let pr = ProfileReport::parse(text.trim()).unwrap();
+    let pool = pr.pool.as_ref().expect("pool section");
+    assert_eq!(pool.get("tenants").and_then(Json::as_i64), Some(4));
+    assert_eq!(pool.get("completed").and_then(Json::as_i64), Some(4));
+    // The merged latency histogram totals the tenant count.
+    assert_eq!(
+        pool.get("latency_ns")
+            .and_then(|h| h.get("total"))
+            .and_then(Json::as_i64),
+        Some(4)
+    );
 }
