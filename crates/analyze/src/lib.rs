@@ -55,7 +55,7 @@ mod consistency;
 pub use absint::RegionSummary;
 pub use callgraph::CallGraph;
 pub use diag::{DiagCode, Diagnostic, Severity};
-pub use pressure::{HotSpan, PressureReport, RegionPressure, DEFAULT_DTB_ENTRIES};
+pub use pressure::{bound, HotSpan, PressureReport, RegionPressure, DEFAULT_DTB_ENTRIES};
 pub use report::AnalysisReport;
 
 use dir::encode::Image;
@@ -279,6 +279,21 @@ mod tests {
         );
         let report = analyze(&p, &SchemeKind::ByteAligned.encode(&p));
         assert_eq!(report.callgraph.max_chain, Some(3)); // main -> mid -> leaf
+    }
+
+    #[test]
+    fn bound_matches_the_pressure_pass_without_diagnostics() {
+        let p = program(
+            "proc main() begin
+                int i; int acc;
+                for i := 0 to 99 do acc := acc + i;
+                write acc;
+             end",
+        );
+        let full = analyze(&p, &SchemeKind::ByteAligned.encode(&p));
+        let admission = bound(&p);
+        assert_eq!(admission, full.pressure);
+        assert!(admission.total_words > 0);
     }
 
     #[test]

@@ -65,6 +65,16 @@ pub struct PressureReport {
     pub fits_default: bool,
 }
 
+/// Computes the static DTB pressure bound of one program, with no
+/// diagnostics: the admission-control entry point. A pool supervisor
+/// calls this before admitting a tenant to reject programs whose
+/// translation working set exceeds its watermark, or to right-size the
+/// tenant's DTB to [`PressureReport::recommended`].
+pub fn bound(program: &Program) -> PressureReport {
+    let mut diags = Vec::new();
+    estimate(program, &mut diags)
+}
+
 /// Estimates DTB pressure, appending a [`DiagCode::DtbPressure`] warning
 /// when the hottest span cannot fit the default DTB.
 pub(crate) fn estimate(program: &Program, diags: &mut Vec<Diagnostic>) -> PressureReport {

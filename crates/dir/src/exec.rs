@@ -64,6 +64,14 @@ pub enum Trap {
     /// The machine's mode and its translation buffers disagree — a
     /// configuration bug reported as a trap instead of a panic.
     MisconfiguredMode(&'static str),
+    /// The run's modeled-cycle budget ("fuel") ran out: a host-level
+    /// preemption, not a guest fault. The supervised pool maps this to
+    /// a timed-out tenant outcome.
+    FuelExhausted,
+    /// The run's wall-clock deadline passed: a host-level preemption,
+    /// not a guest fault. Unlike [`Trap::FuelExhausted`] this depends on
+    /// host speed, so nothing deterministic may key off it.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for Trap {
@@ -86,6 +94,8 @@ impl std::fmt::Display for Trap {
                 )
             }
             Trap::MisconfiguredMode(what) => write!(f, "misconfigured machine mode: {what}"),
+            Trap::FuelExhausted => write!(f, "modeled-cycle budget exhausted"),
+            Trap::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
         }
     }
 }

@@ -351,6 +351,30 @@ impl FrozenTransCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// A deterministically corrupted copy: every template loses its
+    /// final short word — the `INTERP` terminator (or, for one-word
+    /// templates, the whole sequence). Dispatching any poisoned template
+    /// runs off its end, which the machine reports as a
+    /// `Malformed("… ended without INTERP")` trap at the *first*
+    /// instruction executed through the snapshot.
+    ///
+    /// This is the chaos plane's shared-artifact corruption: unlike a
+    /// random bit flip, truncation is guaranteed detectable (the engine
+    /// cannot silently mis-execute a too-short sequence into a clean
+    /// run), so campaigns can assert that corrupted artifacts are always
+    /// caught and recovered by re-translation, never absorbed.
+    pub fn poisoned(&self) -> FrozenTransCache {
+        let map = self
+            .map
+            .iter()
+            .map(|(&key, seq)| {
+                let truncated: Arc<[ShortInstr]> = seq[..seq.len().saturating_sub(1)].into();
+                (key, truncated)
+            })
+            .collect();
+        FrozenTransCache { map }
+    }
 }
 
 /// Superinstruction fusion: translates a straight-line run of DIR
@@ -627,6 +651,25 @@ mod tests {
         }
         // A pair outside the fall-through set is absent, not invented.
         assert!(frozen.get(Inst::PushConst(i64::MIN), 0).is_none());
+    }
+
+    #[test]
+    fn poisoned_snapshot_truncates_every_template() {
+        let hir = hlr::programs::FIB_ITER.compile().unwrap();
+        let p = dir::compiler::compile(&hir);
+        let frozen = FrozenTransCache::for_program(&p.code);
+        let poisoned = frozen.poisoned();
+        assert_eq!(poisoned.len(), frozen.len());
+        for (pc, &inst) in p.code.iter().enumerate() {
+            let next = pc as u32 + 1;
+            let clean = frozen.get(inst, next).unwrap();
+            let bad = poisoned.get(inst, next).unwrap();
+            assert_eq!(bad.len(), clean.len() - 1, "{inst:?}");
+            assert_eq!(&bad[..], &clean[..clean.len() - 1], "{inst:?}");
+            // The dropped word is the terminator, so no poisoned template
+            // can end a dispatch cleanly.
+            assert!(!matches!(bad.last(), Some(ShortInstr::Interp(_))));
+        }
     }
 
     #[test]

@@ -94,6 +94,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The value as a float (integers are coerced).
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -47,6 +47,13 @@ pub const ANALYZE_SCHEMA_VERSION: i64 = 3;
 /// unambiguous in mixed JSONL streams.
 pub const PROFILE_SCHEMA_VERSION: i64 = 4;
 
+/// Current schema version of [`ResilienceReport`]. Chaos campaigns and
+/// supervised pool runs are a fifth top-level shape (per-scenario array
+/// plus an aggregate outcome table and invariant verdicts), versioned
+/// above [`PROFILE_SCHEMA_VERSION`] so all five report families stay
+/// unambiguous in mixed JSONL streams.
+pub const RESILIENCE_SCHEMA_VERSION: i64 = 5;
+
 /// One machine-readable run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -514,6 +521,118 @@ impl ProfileReport {
     }
 }
 
+/// One machine-readable resilience report (schema
+/// [`RESILIENCE_SCHEMA_VERSION`]).
+///
+/// The output shape of chaos campaigns and supervised pool runs: a
+/// `scenarios` array (one entry per seeded chaos scenario, free-form —
+/// the producing bench fills the canonical shape), an `outcomes` object
+/// (the aggregate outcome table: completed / trapped / panicked /
+/// timed_out / shed / quarantined counts plus retries and worker
+/// crashes), and an `invariants` object recording the campaign's verdict
+/// on each asserted invariant (no lost tenants, full accounting,
+/// bit-identical survivors, bounded p99). This type owns only
+/// versioning and round-tripping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// The emitting tool, e.g. `"chaos_campaign"` or `"raul chaos"`.
+    pub tool: String,
+    /// Campaign configuration (free-form object: seeds, rates, policies,
+    /// worker counts).
+    pub config: Json,
+    /// Per-scenario results (free-form array).
+    pub scenarios: Json,
+    /// The aggregate outcome table (free-form object).
+    pub outcomes: Json,
+    /// Invariant verdicts (free-form object; `true` = held everywhere).
+    pub invariants: Json,
+}
+
+impl ResilienceReport {
+    /// Creates a resilience report.
+    pub fn new(
+        tool: &str,
+        config: Json,
+        scenarios: Json,
+        outcomes: Json,
+        invariants: Json,
+    ) -> ResilienceReport {
+        ResilienceReport {
+            tool: tool.to_string(),
+            config,
+            scenarios,
+            outcomes,
+            invariants,
+        }
+    }
+
+    /// The report as a JSON value (with `schema_version` stamped in).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Json::Int(RESILIENCE_SCHEMA_VERSION),
+            ),
+            ("tool".to_string(), Json::Str(self.tool.clone())),
+            ("config".to_string(), self.config.clone()),
+            ("scenarios".to_string(), self.scenarios.clone()),
+            ("outcomes".to_string(), self.outcomes.clone()),
+            ("invariants".to_string(), self.invariants.clone()),
+        ])
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstructs a resilience report from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `schema_version` is missing or not
+    /// [`RESILIENCE_SCHEMA_VERSION`], or a required section is absent.
+    pub fn from_json(value: &Json) -> Result<ResilienceReport, String> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing schema_version")?;
+        if version != RESILIENCE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported resilience schema_version {version} \
+                 (expected {RESILIENCE_SCHEMA_VERSION})"
+            ));
+        }
+        let tool = value
+            .get("tool")
+            .and_then(Json::as_str)
+            .ok_or("missing tool")?
+            .to_string();
+        let section = |name: &str| -> Result<Json, String> {
+            value
+                .get(name)
+                .cloned()
+                .ok_or(format!("missing {name} section"))
+        };
+        Ok(ResilienceReport {
+            tool,
+            config: section("config")?,
+            scenarios: section("scenarios")?,
+            outcomes: section("outcomes")?,
+            invariants: section("invariants")?,
+        })
+    }
+
+    /// Parses a resilience report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON syntax errors and schema violations.
+    pub fn parse(text: &str) -> Result<ResilienceReport, String> {
+        ResilienceReport::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,30 +877,115 @@ mod tests {
         assert_eq!(back.trace_health, None);
     }
 
+    fn resilience_sample() -> ResilienceReport {
+        ResilienceReport::new(
+            "chaos_campaign",
+            Json::obj([
+                ("scenarios", Json::from(128i64)),
+                ("tenants", Json::from(16i64)),
+                ("fuel", Json::from(2_000_000i64)),
+            ]),
+            Json::Arr(vec![Json::obj([
+                ("seed", Json::from(7i64)),
+                ("completed", Json::from(14i64)),
+                ("timed_out", Json::from(2i64)),
+            ])]),
+            Json::obj([
+                ("completed", Json::from(14i64)),
+                ("trapped", Json::from(0i64)),
+                ("panicked", Json::from(0i64)),
+                ("timed_out", Json::from(2i64)),
+                ("shed", Json::from(0i64)),
+                ("quarantined", Json::from(0i64)),
+                ("retries", Json::from(2i64)),
+                ("worker_crashes", Json::from(1i64)),
+            ]),
+            Json::obj([
+                ("no_lost_tenants", Json::Bool(true)),
+                ("full_accounting", Json::Bool(true)),
+                ("bit_identical_survivors", Json::Bool(true)),
+                ("p99_bounded", Json::Bool(true)),
+            ]),
+        )
+    }
+
     #[test]
-    fn all_four_report_families_reject_each_other() {
+    fn resilience_report_round_trips_and_rejects_other_versions() {
+        let r = resilience_sample();
+        let back = ResilienceReport::parse(&r.render()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(
+            back.to_json().get("schema_version").and_then(Json::as_i64),
+            Some(RESILIENCE_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            back.outcomes.get("timed_out").and_then(Json::as_i64),
+            Some(2)
+        );
+        assert_eq!(
+            back.invariants
+                .get("bit_identical_survivors")
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        // A doctored version is refused with the family's own message.
+        let mut doctored = r.to_json();
+        if let Json::Obj(pairs) = &mut doctored {
+            pairs[0].1 = Json::Int(4);
+        }
+        let err = ResilienceReport::from_json(&doctored).unwrap_err();
+        assert!(
+            err.contains("unsupported resilience schema_version 4"),
+            "{err}"
+        );
+        // Missing sections are named.
+        let bare = Json::obj([
+            ("schema_version", Json::Int(RESILIENCE_SCHEMA_VERSION)),
+            ("tool", Json::from("chaos_campaign")),
+            ("config", Json::obj([])),
+            ("scenarios", Json::Arr(vec![])),
+            ("outcomes", Json::obj([])),
+        ]);
+        let err = ResilienceReport::from_json(&bare).unwrap_err();
+        assert!(err.contains("missing invariants section"), "{err}");
+    }
+
+    #[test]
+    fn all_five_report_families_reject_each_other() {
         let run = sample().to_json();
         let pool = pool_sample().to_json();
         let analyze = analyze_sample().to_json();
         let profile = profile_sample().to_json();
+        let resilience = resilience_sample().to_json();
         assert_eq!(
             profile.get("schema_version").and_then(Json::as_i64),
             Some(4)
         );
+        assert_eq!(
+            resilience.get("schema_version").and_then(Json::as_i64),
+            Some(5)
+        );
 
-        // Each family parses only its own version: 4 × 3 cross-rejections.
-        for other in [&pool, &analyze, &profile] {
+        // Each family parses only its own version: 5 × 4 cross-rejections.
+        for other in [&pool, &analyze, &profile, &resilience] {
             assert!(RunReport::from_json(other).is_err());
         }
-        for other in [&run, &analyze, &profile] {
+        for other in [&run, &analyze, &profile, &resilience] {
             assert!(PoolReport::from_json(other).is_err());
         }
-        for other in [&run, &pool, &profile] {
+        for other in [&run, &pool, &profile, &resilience] {
             assert!(AnalyzeReport::from_json(other).is_err());
         }
-        for other in [&run, &pool, &analyze] {
+        for other in [&run, &pool, &analyze, &resilience] {
             let err = ProfileReport::from_json(other).unwrap_err();
             assert!(err.contains("unsupported profile schema_version"), "{err}");
+        }
+        for other in [&run, &pool, &analyze, &profile] {
+            let err = ResilienceReport::from_json(other).unwrap_err();
+            assert!(
+                err.contains("unsupported resilience schema_version"),
+                "{err}"
+            );
         }
     }
 

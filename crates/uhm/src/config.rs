@@ -77,6 +77,60 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Execution budget of a supervised run: a modeled-cycle allowance
+/// ("fuel") and/or a wall-clock deadline.
+///
+/// The budget is checked amortized — once every
+/// [`BUDGET_CHECK_INTERVAL`] retired DIR instructions — so the hot
+/// dispatch path carries no per-instruction cost. Fuel is measured in
+/// *modeled* cycles and therefore fires at a deterministic instruction
+/// for a given program and mode; the deadline depends on host speed and
+/// is strictly an availability backstop — nothing deterministic may key
+/// off it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Modeled-cycle allowance; the run ends in
+    /// [`Trap::FuelExhausted`](dir::exec::Trap) once the run's total
+    /// modeled cycles exceed it. `None` = unlimited.
+    pub fuel: Option<u64>,
+    /// Wall-clock allowance in nanoseconds, measured from run start; the
+    /// run ends in [`Trap::DeadlineExceeded`](dir::exec::Trap) once it
+    /// passes. `None` = unlimited.
+    pub deadline_ns: Option<u64>,
+}
+
+/// Retired instructions between budget checks: a power of two so the
+/// check condition compiles to a mask test.
+pub const BUDGET_CHECK_INTERVAL: u64 = 1024;
+
+impl Budget {
+    /// An unlimited budget (the default): no fuel bound, no deadline.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A fuel-only budget in modeled cycles.
+    pub fn fuel(cycles: u64) -> Budget {
+        Budget {
+            fuel: Some(cycles),
+            deadline_ns: None,
+        }
+    }
+
+    /// A deadline-only budget in wall-clock nanoseconds.
+    pub fn deadline_ns(ns: u64) -> Budget {
+        Budget {
+            fuel: None,
+            deadline_ns: Some(ns),
+        }
+    }
+
+    /// Whether neither bound is set (the budget can never fire).
+    pub fn is_unlimited(&self) -> bool {
+        self.fuel.is_none() && self.deadline_ns.is_none()
+    }
+}
+
 /// Resource limits for a machine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Limits {
@@ -107,6 +161,20 @@ mod tests {
         assert_eq!(c.mem.tau_d, 2);
         assert_eq!(c.word_bits, 32);
         assert_eq!(c.decode_scale_percent, 100);
+    }
+
+    #[test]
+    fn budget_constructors_set_exactly_one_bound() {
+        assert!(Budget::unlimited().is_unlimited());
+        let f = Budget::fuel(1_000_000);
+        assert_eq!(f.fuel, Some(1_000_000));
+        assert_eq!(f.deadline_ns, None);
+        assert!(!f.is_unlimited());
+        let d = Budget::deadline_ns(5_000_000);
+        assert_eq!(d.fuel, None);
+        assert_eq!(d.deadline_ns, Some(5_000_000));
+        assert!(!d.is_unlimited());
+        assert!(BUDGET_CHECK_INTERVAL.is_power_of_two());
     }
 
     #[test]

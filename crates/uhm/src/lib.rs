@@ -19,7 +19,11 @@
 //! * [`pool`] — the multi-tenant plane: a [`MachinePool`]
 //!   runs independent tenant programs across a work-stealing worker set,
 //!   sharing read-only decode artifacts while keeping every tenant's
-//!   results bit-identical to a sequential run.
+//!   results bit-identical to a sequential run;
+//! * [`resilience`] — the supervision policies around the pool: execution
+//!   budgets ([`Budget`]), seeded retry/backoff, per-image circuit
+//!   breakers, pressure-bound admission control, load shedding, and the
+//!   pool-level chaos plane.
 //!
 //! # Example
 //!
@@ -51,16 +55,20 @@ pub mod metrics;
 pub mod model;
 pub mod pool;
 pub mod report;
+pub mod resilience;
 pub mod sweep;
 pub mod window;
 
-pub use config::{CostModel, Limits, RetryPolicy};
+pub use config::{Budget, CostModel, Limits, RetryPolicy, BUDGET_CHECK_INTERVAL};
 pub use dtb::{Allocation, ConfigError, Dtb, DtbConfig, DtbStats, Replacement};
 pub use fault::{FaultConfig, FaultInjector, FaultStats};
-pub use machine::{Machine, Mode};
+pub use machine::{Machine, Mode, RunOptions, SharedArtifacts};
 pub use metrics::{CycleBreakdown, Metrics, Report};
 pub use model::Params;
 pub use pool::{MachinePool, PoolRun, PoolTenant, TenantOutcome, TenantResult};
+pub use resilience::{
+    AdmissionPolicy, BackoffPolicy, Breaker, BreakerPolicy, BreakerState, ChaosConfig, Supervisor,
+};
 pub use window::WindowSample;
 
 // Re-exported so downstream crates can drive `Machine::run_with` without

@@ -20,9 +20,10 @@ use psder::engine::{Engine, MicroEffect, ShortEffect};
 use psder::{FrozenTransCache, RoutineLib, ShortInstr};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 use telemetry::{Event, FaultKind, MissKind, NullSink, Tier, TraceSink};
 
-use crate::config::{CostModel, Limits, RetryPolicy};
+use crate::config::{Budget, CostModel, Limits, RetryPolicy, BUDGET_CHECK_INTERVAL};
 use crate::dtb::{Dtb, DtbConfig, Handle};
 use crate::fault::{FaultConfig, FaultInjector};
 use crate::metrics::{CycleBreakdown, Metrics, Report};
@@ -54,6 +55,39 @@ pub enum Mode {
     },
 }
 
+/// Which shared translation artifacts a run consults (see
+/// [`Machine::set_shared_translations`]). Host-side only in every
+/// variant: outputs, traps and modeled metrics are identical regardless,
+/// which is exactly why a supervised retry can switch variants after a
+/// suspected artifact corruption without losing bit-identical results.
+#[derive(Debug, Clone, Default)]
+pub enum SharedArtifacts {
+    /// Consult the machine's own frozen snapshot (the default).
+    #[default]
+    Machine,
+    /// Ignore any shared snapshot: rebuild templates in the run-private
+    /// cache. The supervised pool's recovery path after a poisoned
+    /// artifact.
+    Bypass,
+    /// Consult this snapshot instead of the machine's own — the chaos
+    /// plane's artifact-corruption injection point.
+    Override(Arc<FrozenTransCache>),
+}
+
+/// Per-run options for [`Machine::run_opts`]: everything a supervisor
+/// may vary between attempts without touching the shared machine.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// The fault plane for this run, taken verbatim (like
+    /// [`Machine::run_with_faults`]): `None` runs fault-free even when
+    /// the machine carries its own configuration.
+    pub faults: Option<FaultConfig>,
+    /// Budget override for this run (`None` = the machine's own budget).
+    pub budget: Option<Budget>,
+    /// Which shared translation artifacts to consult.
+    pub shared: SharedArtifacts,
+}
+
 /// A universal host machine bound to one encoded program.
 ///
 /// [`Machine::run`] takes `&self`, and every field is immutable run
@@ -70,6 +104,9 @@ pub struct Machine {
     window: Option<u64>,
     faults: Option<FaultConfig>,
     retry: RetryPolicy,
+    /// Default execution budget (fuel / wall-clock deadline) applied to
+    /// every run unless [`RunOptions::budget`] overrides it.
+    budget: Budget,
     /// Shared read-only decode templates consulted before the per-run
     /// private cache. Host-side only; modeled costs are unaffected.
     shared_trans: Option<Arc<FrozenTransCache>>,
@@ -104,6 +141,7 @@ impl Machine {
             window: None,
             faults: None,
             retry: RetryPolicy::default(),
+            budget: Budget::default(),
             shared_trans: None,
             verified: false,
         }
@@ -150,6 +188,7 @@ impl Machine {
             window: None,
             faults: None,
             retry: RetryPolicy::default(),
+            budget: Budget::default(),
             shared_trans: None,
             verified: true,
         }
@@ -187,10 +226,25 @@ impl Machine {
         self
     }
 
+    /// The fault plane this machine carries, if any. The supervised pool
+    /// reads it to re-seed fault streams across retry attempts.
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        self.faults
+    }
+
     /// Sets the fault-recovery policy (degradation threshold and fetch
     /// retry budget). Only consulted when a fault plane is attached.
     pub fn set_retry(&mut self, retry: RetryPolicy) -> &mut Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the default execution budget (fuel and/or wall-clock
+    /// deadline) for subsequent runs. The unlimited default keeps the
+    /// amortized budget check inert. Per-run overrides go through
+    /// [`RunOptions::budget`].
+    pub fn set_budget(&mut self, budget: Budget) -> &mut Self {
+        self.budget = budget;
         self
     }
 
@@ -306,6 +360,41 @@ impl Machine {
         sink: &mut S,
         faults: Option<FaultConfig>,
     ) -> Result<Report, Trap> {
+        self.run_opts(
+            mode,
+            sink,
+            RunOptions {
+                faults,
+                ..RunOptions::default()
+            },
+        )
+    }
+
+    /// The full supervised-run entry point: like
+    /// [`Machine::run_with_faults`], plus a per-run budget override and
+    /// control over which shared translation artifacts the run consults.
+    /// This is what the resilience layer drives — every retry attempt of
+    /// a pool tenant is one `run_opts` call with attempt-specific
+    /// options, while the machine itself stays shared and immutable.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`], plus
+    /// [`Trap::FuelExhausted`]/[`Trap::DeadlineExceeded`] when the
+    /// effective budget fires.
+    pub fn run_opts<S: TraceSink>(
+        &self,
+        mode: &Mode,
+        sink: &mut S,
+        opts: RunOptions,
+    ) -> Result<Report, Trap> {
+        let faults = opts.faults;
+        let budget = opts.budget.unwrap_or(self.budget);
+        let shared = match opts.shared {
+            SharedArtifacts::Machine => self.shared_trans.clone(),
+            SharedArtifacts::Bypass => None,
+            SharedArtifacts::Override(snapshot) => Some(snapshot),
+        };
         let mut dtb = match mode {
             Mode::Dtb(cfg) => Some(Dtb::new(*cfg)),
             Mode::TwoLevelDtb { l1, .. } => Some(Dtb::new(*l1)),
@@ -358,6 +447,11 @@ impl Machine {
             degraded: HashSet::new(),
             fail_counts: HashMap::new(),
             trans: psder::TransCache::new(),
+            shared,
+            fuel: budget.fuel,
+            deadline: budget
+                .deadline_ns
+                .map(|ns| Instant::now() + std::time::Duration::from_nanos(ns)),
             tier: Tier::Interp,
             cycle_total: 0,
         };
@@ -446,6 +540,15 @@ struct Run<'m, S: TraceSink> {
     /// as before, but repeated events reuse one shared sequence instead
     /// of rebuilding it.
     trans: psder::TransCache,
+    /// The shared template snapshot this run consults (already resolved
+    /// from [`RunOptions::shared`] against the machine's own snapshot).
+    shared: Option<Arc<FrozenTransCache>>,
+    /// Modeled-cycle allowance, compared against the run's cycle total
+    /// every [`BUDGET_CHECK_INTERVAL`] retires.
+    fuel: Option<u64>,
+    /// Absolute wall-clock deadline, checked on the same amortized
+    /// schedule as `fuel`.
+    deadline: Option<Instant>,
     /// Which tier executed the instruction currently in flight. Only
     /// maintained when the sink is enabled; consumed by the `Retire`
     /// event at the end of each step.
@@ -503,12 +606,12 @@ impl<'m, S: TraceSink> Run<'m, S> {
         }
     }
 
-    /// The host-side template for `(inst, next)`: the machine's shared
-    /// frozen snapshot when it covers the pair, the run's private memo
+    /// The host-side template for `(inst, next)`: the run's resolved
+    /// shared snapshot when it covers the pair, the run's private memo
     /// cache otherwise. Identical sequences either way — the split only
     /// decides which allocation is reused.
     fn translated(&mut self, inst: dir::Inst, next: u32) -> Arc<[ShortInstr]> {
-        if let Some(shared) = self.machine.shared_trans.as_deref() {
+        if let Some(shared) = self.shared.as_deref() {
             if let Some(sequence) = shared.get(inst, next) {
                 return sequence;
             }
@@ -773,6 +876,23 @@ impl<'m, S: TraceSink> Run<'m, S> {
             steps += 1;
             if steps > self.machine.limits.max_steps {
                 return Err(Trap::StepLimit);
+            }
+            // Amortized budget check: one mask test per instruction, the
+            // real work only every BUDGET_CHECK_INTERVAL retires — and
+            // only when a bound is actually set. Fuel is modeled cycles,
+            // so fuel preemption fires at a deterministic instruction;
+            // the deadline reads the host clock and is availability-only.
+            if steps & (BUDGET_CHECK_INTERVAL - 1) == 0 {
+                if let Some(fuel) = self.fuel {
+                    if self.metrics.cycles.total() > fuel {
+                        return Err(Trap::FuelExhausted);
+                    }
+                }
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() > deadline {
+                        return Err(Trap::DeadlineExceeded);
+                    }
+                }
             }
             self.metrics.instructions += 1;
             if let Some(t) = self.metrics.trace.as_mut() {
@@ -1199,6 +1319,102 @@ mod tests {
         for mode in modes() {
             assert_eq!(m.run(&mode).unwrap_err(), Trap::StepLimit, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn fuel_budget_preempts_runaway_programs_in_every_mode() {
+        let p = compile(&hlr::compile("proc main() begin while true do skip; end").unwrap());
+        let mut m = Machine::new(&p, SchemeKind::Packed);
+        m.set_budget(Budget::fuel(100_000));
+        for mode in modes() {
+            assert_eq!(m.run(&mode).unwrap_err(), Trap::FuelExhausted, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn deadline_budget_preempts_runaway_programs() {
+        let p = compile(&hlr::compile("proc main() begin while true do skip; end").unwrap());
+        let mut m = Machine::new(&p, SchemeKind::Packed);
+        // 1ms wall-clock: far below what an unbounded spin would take,
+        // far above the time to reach the first amortized check.
+        m.set_budget(Budget::deadline_ns(1_000_000));
+        assert_eq!(
+            m.run(&Mode::Interpreter).unwrap_err(),
+            Trap::DeadlineExceeded
+        );
+    }
+
+    #[test]
+    fn unfired_budget_is_invisible() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let mode = Mode::Dtb(DtbConfig::with_capacity(64));
+        let plain = Machine::new(&p, SchemeKind::Huffman).run(&mode).unwrap();
+        let mut m = Machine::new(&p, SchemeKind::Huffman);
+        m.set_budget(Budget {
+            fuel: Some(u64::MAX),
+            deadline_ns: Some(u64::MAX / 4),
+        });
+        let budgeted = m.run(&mode).unwrap();
+        assert_eq!(budgeted.output, plain.output);
+        assert_eq!(budgeted.metrics, plain.metrics);
+    }
+
+    #[test]
+    fn run_opts_budget_overrides_the_machine_budget() {
+        let p = compile(&hlr::programs::SIEVE.compile().unwrap());
+        let mut m = Machine::new(&p, SchemeKind::Packed);
+        m.set_budget(Budget::fuel(1));
+        assert_eq!(m.run(&Mode::Interpreter).unwrap_err(), Trap::FuelExhausted);
+        let r = m
+            .run_opts(
+                &Mode::Interpreter,
+                &mut NullSink,
+                RunOptions {
+                    budget: Some(Budget::unlimited()),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(r.metrics.instructions > 0);
+    }
+
+    #[test]
+    fn poisoned_artifacts_trap_and_bypass_recovers_bit_identically() {
+        let p = compile(&hlr::programs::FIB_ITER.compile().unwrap());
+        let mut m = Machine::new(&p, SchemeKind::Huffman);
+        m.freeze_translations();
+        let plain = m.run(&Mode::Interpreter).unwrap();
+        let poisoned = Arc::new(FrozenTransCache::for_program(&p.code).poisoned());
+        for mode in modes() {
+            let err = m
+                .run_opts(
+                    &mode,
+                    &mut NullSink,
+                    RunOptions {
+                        shared: SharedArtifacts::Override(Arc::clone(&poisoned)),
+                        ..RunOptions::default()
+                    },
+                )
+                .unwrap_err();
+            assert!(
+                matches!(err, Trap::Malformed(_)),
+                "poisoned artifacts must be caught, got {err:?} under {mode:?}"
+            );
+        }
+        // Bypassing shared artifacts rebuilds templates privately:
+        // host-side only, so the result is bit-identical to the shared run.
+        let bypass = m
+            .run_opts(
+                &Mode::Interpreter,
+                &mut NullSink,
+                RunOptions {
+                    shared: SharedArtifacts::Bypass,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(bypass.output, plain.output);
+        assert_eq!(bypass.metrics, plain.metrics);
     }
 
     #[test]

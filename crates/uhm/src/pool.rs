@@ -30,19 +30,62 @@
 //! summarized by [`PoolRun`]; `crate::report::pool_report` renders the
 //! schema-v2 [`telemetry::PoolReport`] consumed by `raul pool --json`
 //! and the `pool_throughput` bench (E16).
+//!
+//! # Supervision
+//!
+//! Attaching a [`Supervisor`] (and optionally a [`ChaosConfig`]) via
+//! [`MachinePool::set_supervisor`] / [`MachinePool::set_chaos`] switches
+//! tenants onto the *supervised* path, which wraps every run in the
+//! resilience layer of [`crate::resilience`]:
+//!
+//! - **Shedding** — tenants queued past the [`Supervisor::max_queue`]
+//!   watermark are rejected up front ([`TenantOutcome::Shed`]).
+//! - **Admission** — the static DTB pressure bound
+//!   ([`analyze::bound`]) rejects oversized programs or right-sizes an
+//!   undersized DTB before the first attempt.
+//! - **Budget** — every attempt runs under the supervisor's
+//!   [`Budget`](crate::config::Budget); fuel or deadline exhaustion is
+//!   reported as [`TenantOutcome::TimedOut`].
+//! - **Retry** — transient failures (fault-plane traps, panics,
+//!   timeouts) are re-run up to the [`BackoffPolicy`](crate::resilience::BackoffPolicy) attempt cap with
+//!   seeded, jittered exponential backoff. Backoff is *charged* to the
+//!   tenant's latency, not slept, so supervised campaigns stay fast.
+//!   Retries re-seed pool-level fault streams per attempt and bypass
+//!   shared translation artifacts (which may have caused the failure).
+//! - **Circuit breaking** — consecutive failures of one image first
+//!   degrade it to pure interpretation, then quarantine it
+//!   ([`TenantOutcome::Quarantined`]). The breaker bank is shared
+//!   mutable state keyed by image, so it is the one supervision feature
+//!   whose transitions are schedule-*sensitive* under work stealing;
+//!   campaigns that assert breaker walks pin `workers = 1`.
+//! - **Chaos** — worker crashes (the panic escapes the tenant's
+//!   isolation boundary and kills the worker thread), hung tenants
+//!   (an infinite-loop stand-in runs first; only a budget preempts it)
+//!   and corrupted shared artifacts (every decode template truncated)
+//!   are rolled statelessly per tenant index, so the injected set is
+//!   schedule-invariant. Tenants lost to a worker crash are recovered
+//!   by a post-join sweep: *no tenant is silently lost*.
+//!
+//! Per-tenant final outcomes on the supervised path are deterministic
+//! functions of `(tenant, seeds, policies)` — everything except breaker
+//! transitions and the observational fields (latency, steals, queue
+//! depth) replays exactly under any worker count.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dir::exec::Trap;
+use psder::FrozenTransCache;
 use std::collections::VecDeque;
 use telemetry::{NullSink, Percentiles, TraceSink};
 
 use crate::fault::FaultConfig;
-use crate::machine::{Machine, Mode};
+use crate::machine::{Machine, Mode, RunOptions, SharedArtifacts};
 use crate::metrics::Report;
+use crate::resilience::{Breaker, BreakerState, ChaosConfig, Supervisor};
 
 /// One guest of the pool: a named program bound to a machine and mode.
 ///
@@ -69,16 +112,33 @@ pub enum TenantOutcome {
     /// The host-side run panicked (host-level failure); the payload is
     /// the panic message. Other tenants are unaffected.
     Panicked(String),
+    /// The supervisor preempted the run: its modeled-cycle fuel or
+    /// wall-clock deadline ran out on the final attempt. The payload is
+    /// the budget trap ([`Trap::FuelExhausted`] or
+    /// [`Trap::DeadlineExceeded`]).
+    TimedOut(Trap),
+    /// The supervisor rejected the tenant before it ran — queue
+    /// watermark exceeded or admission control refused the program. The
+    /// payload says which.
+    Shed(String),
+    /// The tenant's image tripped its circuit breaker before this
+    /// tenant could run; the payload records the consecutive-failure
+    /// count that tripped it.
+    Quarantined(String),
 }
 
 impl TenantOutcome {
-    /// `"completed"`, `"trapped"` or `"panicked"` — the status string
-    /// used by the JSON report.
+    /// `"completed"`, `"trapped"`, `"panicked"`, `"timed_out"`,
+    /// `"shed"` or `"quarantined"` — the status string used by the JSON
+    /// report.
     pub fn status(&self) -> &'static str {
         match self {
             TenantOutcome::Completed(_) => "completed",
             TenantOutcome::Trapped(_) => "trapped",
             TenantOutcome::Panicked(_) => "panicked",
+            TenantOutcome::TimedOut(_) => "timed_out",
+            TenantOutcome::Shed(_) => "shed",
+            TenantOutcome::Quarantined(_) => "quarantined",
         }
     }
 
@@ -103,7 +163,15 @@ pub struct TenantResult {
     /// deterministic may key off it.
     pub worker: usize,
     /// Host wall-clock time of this tenant's run, in nanoseconds.
+    /// Supervised runs include all attempts plus the *charged* (never
+    /// slept) backoff delays.
     pub latency_ns: u64,
+    /// Execution attempts made (1 on the unsupervised path; 0 when the
+    /// tenant was shed or quarantined before running).
+    pub attempts: u32,
+    /// Total backoff delay charged to this tenant across retries, in
+    /// nanoseconds (0 unless the supervisor retried it).
+    pub backoff_ns: u64,
     /// How the run ended.
     pub outcome: TenantOutcome,
 }
@@ -123,6 +191,12 @@ pub struct PoolRun {
     /// pool's queue-depth timeline. Schedule-dependent (like `steals`),
     /// so purely observational: nothing deterministic may key off it.
     pub queue_depth: Vec<u64>,
+    /// Supervised retries across all tenants: the sum of
+    /// `attempts - 1` over tenants that ran at least once.
+    pub retries: u64,
+    /// Chaos-injected worker crashes whose tenants were recovered (one
+    /// per tenant whose crash injection fired).
+    pub worker_crashes: u64,
 }
 
 impl PoolRun {
@@ -165,9 +239,18 @@ impl PoolRun {
 
     /// Number of tenants that completed without trap or panic.
     pub fn completed(&self) -> usize {
+        self.outcome_count("completed")
+    }
+
+    /// Number of tenants whose outcome carries the given
+    /// [`TenantOutcome::status`] string (`"completed"`, `"trapped"`,
+    /// `"panicked"`, `"timed_out"`, `"shed"`, `"quarantined"`). The full
+    /// accounting invariant: the six counts always sum to
+    /// `results.len()`.
+    pub fn outcome_count(&self, status: &str) -> usize {
         self.results
             .iter()
-            .filter(|r| matches!(r.outcome, TenantOutcome::Completed(_)))
+            .filter(|r| r.outcome.status() == status)
             .count()
     }
 
@@ -230,6 +313,9 @@ pub struct MachinePool {
     tenants: Vec<PoolTenant>,
     workers: usize,
     fault_base: Option<FaultConfig>,
+    supervisor: Option<Supervisor>,
+    chaos: Option<ChaosConfig>,
+    schedule_seed: Option<u64>,
 }
 
 impl MachinePool {
@@ -240,6 +326,9 @@ impl MachinePool {
             tenants: Vec::new(),
             workers: workers.max(1),
             fault_base: None,
+            supervisor: None,
+            chaos: None,
+            schedule_seed: None,
         }
     }
 
@@ -265,6 +354,34 @@ impl MachinePool {
     /// each machine's own configuration in force.
     pub fn set_faults(&mut self, base: Option<FaultConfig>) -> &mut Self {
         self.fault_base = base;
+        self
+    }
+
+    /// Attaches a [`Supervisor`]: subsequent runs go through the
+    /// supervised path (shedding, admission, budget, retry, breaker; see
+    /// the module docs). `None` (the default) restores plain execution.
+    pub fn set_supervisor(&mut self, supervisor: Option<Supervisor>) -> &mut Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Attaches pool-level chaos injection. Chaos alone also engages the
+    /// supervised path (with default-supervisor semantics: unlimited
+    /// budget, default retry); pair it with a [`Supervisor`] carrying a
+    /// budget so hung tenants are preempted rather than running to the
+    /// step limit.
+    pub fn set_chaos(&mut self, chaos: Option<ChaosConfig>) -> &mut Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Pins the scheduling order. `Some(seed)` deals tenants in a seeded
+    /// permutation and disables work stealing, so the jobs each worker
+    /// executes — and therefore every schedule-dependent observable
+    /// (steals, per-worker assignment) — replay exactly. `None` (the
+    /// default) keeps the adaptive work-stealing schedule.
+    pub fn set_schedule_seed(&mut self, seed: Option<u64>) -> &mut Self {
+        self.schedule_seed = seed;
         self
     }
 
@@ -299,12 +416,17 @@ impl MachinePool {
         F: Fn(usize) -> S + Sync,
     {
         let workers = self.workers.min(self.tenants.len()).max(1);
-        // Deal tenants round-robin onto per-worker deques.
+        // Deal tenants onto per-worker deques: round-robin in submission
+        // order, or in a seeded permutation when the schedule is pinned.
         let deques: Vec<Mutex<VecDeque<usize>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (i, _) in self.tenants.iter().enumerate() {
-            deques[i % workers].lock().unwrap().push_back(i);
+        for (slot, idx) in self.deal_order().into_iter().enumerate() {
+            deques[slot % workers].lock().unwrap().push_back(idx);
         }
+        // Stealing trades determinism for load balance; a pinned
+        // schedule keeps every worker on its own deque.
+        let steal = self.schedule_seed.is_none();
+        let supervision = self.supervision();
         let steals = AtomicU64::new(0);
         let remaining = AtomicU64::new(self.tenants.len() as u64);
         let depth_samples: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(self.tenants.len()));
@@ -319,13 +441,28 @@ impl MachinePool {
                     let remaining = &remaining;
                     let depth_samples = &depth_samples;
                     let make_sink = &make_sink;
+                    let supervision = &supervision;
                     scope.spawn(move || {
                         let mut local = Vec::new();
-                        while let Some(idx) = next_job(w, deques, steals) {
+                        while let Some(idx) = next_job(w, deques, steals, steal) {
                             let depth = remaining.fetch_sub(1, Ordering::Relaxed) - 1;
                             depth_samples.lock().unwrap().push(depth);
+                            if let Some(sv) = supervision {
+                                // A chaos worker crash escapes the
+                                // tenant's isolation boundary: the
+                                // worker dies mid-job and every result
+                                // it held is lost until the recovery
+                                // sweep below re-runs the missing
+                                // tenants.
+                                if sv.chaos.crashes_worker(idx) {
+                                    panic!("chaos: injected worker crash on tenant {idx}");
+                                }
+                            }
                             let mut sink = make_sink(idx);
-                            let result = self.run_tenant_with(idx, w, &mut sink);
+                            let result = match supervision {
+                                Some(sv) => self.run_tenant_supervised(idx, w, &mut sink, sv),
+                                None => self.run_tenant_with(idx, w, &mut sink),
+                            };
                             local.push((result, sink));
                         }
                         local
@@ -333,23 +470,53 @@ impl MachinePool {
                 })
                 .collect();
             for h in handles {
-                // Worker bodies never panic (tenant panics are caught
-                // inside run_tenant_with), so join cannot fail.
-                collected.push(h.join().expect("pool worker panicked"));
+                // Unsupervised worker bodies never panic (tenant panics
+                // are caught inside run_tenant_with); under chaos a
+                // crashed worker's results are recovered below.
+                match h.join() {
+                    Ok(local) => collected.push(local),
+                    Err(_) => debug_assert!(
+                        supervision.is_some(),
+                        "worker panicked without chaos injection"
+                    ),
+                }
             }
         });
-        let wall_ns = started.elapsed().as_nanos() as u64;
 
         let mut pairs: Vec<(TenantResult, S)> = collected.into_iter().flatten().collect();
+        let mut worker_crashes = 0u64;
+        if let Some(sv) = &supervision {
+            // Recovery sweep: any tenant missing from the collected
+            // results rode a crashed worker (or sat in a dead worker's
+            // deque). Re-run each on the recovery lane (worker id =
+            // `workers`), counting the tenants whose own crash
+            // injection fired. Nothing is silently lost.
+            let mut have = vec![false; self.tenants.len()];
+            for (r, _) in &pairs {
+                have[r.tenant] = true;
+            }
+            for idx in (0..self.tenants.len()).filter(|&i| !have[i]) {
+                if sv.chaos.crashes_worker(idx) {
+                    worker_crashes += 1;
+                }
+                let mut sink = make_sink(idx);
+                let result = self.run_tenant_supervised(idx, workers, &mut sink, sv);
+                pairs.push((result, sink));
+            }
+        }
+        let wall_ns = started.elapsed().as_nanos() as u64;
+
         pairs.sort_by_key(|(r, _)| r.tenant);
         let (results, sinks): (Vec<TenantResult>, Vec<S>) = pairs.into_iter().unzip();
         (
             PoolRun {
+                retries: total_retries(&results),
                 results,
                 wall_ns,
                 workers,
                 steals: steals.load(Ordering::Relaxed),
                 queue_depth: depth_samples.into_inner().unwrap(),
+                worker_crashes,
             },
             sinks,
         )
@@ -358,21 +525,68 @@ impl MachinePool {
     /// Runs every tenant in submission order on the calling thread — the
     /// reference semantics the threaded [`MachinePool::run`] must match
     /// bit-for-bit (same outputs, traps, modeled metrics and fault
-    /// streams; only latencies and wall-clock differ).
+    /// streams; only latencies and wall-clock differ). Supervision and
+    /// chaos apply here too (a chaos worker crash is counted, then the
+    /// tenant recovered inline), so a sequential run is also the
+    /// reference for supervised outcomes.
     pub fn run_sequential(&self) -> PoolRun {
         let started = Instant::now();
+        let supervision = self.supervision();
+        let mut worker_crashes = 0u64;
         let results: Vec<TenantResult> = (0..self.tenants.len())
-            .map(|i| self.run_tenant_with(i, 0, &mut NullSink))
+            .map(|i| match &supervision {
+                Some(sv) => {
+                    if sv.chaos.crashes_worker(i) {
+                        worker_crashes += 1;
+                    }
+                    self.run_tenant_supervised(i, 0, &mut NullSink, sv)
+                }
+                None => self.run_tenant_with(i, 0, &mut NullSink),
+            })
             .collect();
         PoolRun {
             wall_ns: started.elapsed().as_nanos() as u64,
+            retries: total_retries(&results),
             results,
             workers: 1,
             // Sequential dequeue order is submission order, so the
             // queue simply drains: n-1, n-2, ..., 0.
             queue_depth: (0..self.tenants.len() as u64).rev().collect(),
             steals: 0,
+            worker_crashes,
         }
+    }
+
+    /// Submission indices in deal order: identity, or a seeded
+    /// Fisher–Yates permutation when the schedule is pinned.
+    fn deal_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.tenants.len()).collect();
+        if let Some(seed) = self.schedule_seed {
+            let mut rng = hlr::rng::Rng::new(seed);
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.range_usize(0, i + 1));
+            }
+        }
+        order
+    }
+
+    /// The per-run supervision context, if the supervised path is
+    /// engaged (a supervisor, chaos, or both are attached).
+    fn supervision(&self) -> Option<Supervision> {
+        if self.supervisor.is_none() && self.chaos.is_none() {
+            return None;
+        }
+        let chaos = self.chaos.unwrap_or(ChaosConfig::quiet(0));
+        Some(Supervision {
+            supervisor: self.supervisor.unwrap_or_default(),
+            hang: if chaos.hang_rate > 0.0 {
+                Some(Arc::new(hang_machine()))
+            } else {
+                None
+            },
+            chaos,
+            breakers: Mutex::new(HashMap::new()),
+        })
     }
 
     fn run_tenant_with<S: TraceSink>(
@@ -404,16 +618,321 @@ impl MachinePool {
             name: tenant.name.clone(),
             worker,
             latency_ns,
+            attempts: 1,
+            backoff_ns: 0,
             outcome,
+        }
+    }
+
+    /// The supervised tenant path: shedding → breaker gate → admission
+    /// → budgeted attempt loop with retry/backoff and chaos injection.
+    /// Every decision except breaker state is a pure function of
+    /// `(idx, seeds, policies)`, so supervised outcomes replay under
+    /// any schedule.
+    fn run_tenant_supervised<S: TraceSink>(
+        &self,
+        idx: usize,
+        worker: usize,
+        sink: &mut S,
+        sv: &Supervision,
+    ) -> TenantResult {
+        let tenant = &self.tenants[idx];
+        let sup = &sv.supervisor;
+        let done = |attempts: u32, backoff_ns: u64, latency_ns: u64, outcome| TenantResult {
+            tenant: idx,
+            name: tenant.name.clone(),
+            worker,
+            latency_ns,
+            attempts,
+            backoff_ns,
+            outcome,
+        };
+
+        // Load shedding: the backlog watermark is checked against the
+        // submission index — deterministic, unlike instantaneous queue
+        // depth, which depends on worker timing.
+        if let Some(watermark) = sup.max_queue {
+            if idx >= watermark {
+                return done(
+                    0,
+                    0,
+                    0,
+                    TenantOutcome::Shed(format!(
+                        "queue watermark {watermark} exceeded at depth {idx}"
+                    )),
+                );
+            }
+        }
+
+        // Admission control: reject or right-size from the static DTB
+        // pressure bound before spending any cycles on the tenant.
+        let mut mode = tenant.mode.clone();
+        let admission = &sup.admission;
+        if admission.max_pressure_words.is_some() || admission.right_size {
+            let bound = analyze::bound(tenant.machine.program());
+            if let Some(max_words) = admission.max_pressure_words {
+                if u64::from(bound.total_words) > max_words {
+                    return done(
+                        0,
+                        0,
+                        0,
+                        TenantOutcome::Shed(format!(
+                            "admission: program needs {} translation words, bound is {max_words}",
+                            bound.total_words
+                        )),
+                    );
+                }
+            }
+            if admission.right_size {
+                if let (Mode::Dtb(cfg), Some(hot)) = (&mode, &bound.hot) {
+                    if hot.insts as usize > cfg.geometry.capacity() {
+                        mode = Mode::Dtb(crate::dtb::DtbConfig::with_capacity(
+                            bound.recommended.capacity(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let key = Arc::as_ptr(&tenant.machine) as usize;
+        let schedule = sup.backoff.schedule(idx as u64);
+        let mut backoff_ns = 0u64;
+        let started = Instant::now();
+        let mut last = None;
+        let mut attempts = 0;
+        for attempt in 0..sup.backoff.attempts() {
+            // Breaker gate, re-read per attempt: another tenant of the
+            // same image may have tripped it since the last attempt.
+            let state = breaker_state(&sv.breakers, key);
+            if state == BreakerState::Quarantined {
+                let failures = breaker_failures(&sv.breakers, key);
+                return done(
+                    attempts,
+                    backoff_ns,
+                    elapsed_plus(started, backoff_ns),
+                    TenantOutcome::Quarantined(format!(
+                        "image quarantined after {failures} consecutive failures"
+                    )),
+                );
+            }
+            if attempt > 0 {
+                // Backoff is charged, not slept: campaigns replay the
+                // schedule without waiting it out.
+                backoff_ns += schedule.get(attempt as usize - 1).copied().unwrap_or(0);
+            }
+            attempts = attempt + 1;
+            let outcome = self.supervised_attempt(idx, attempt, state, &mode, sink, sv);
+            let verdict = classify(&outcome);
+            if verdict != Verdict::Transient || attempt + 1 == sup.backoff.attempts() {
+                record_breaker(&sv.breakers, key, &sup.breaker, verdict == Verdict::Success);
+                return done(
+                    attempts,
+                    backoff_ns,
+                    elapsed_plus(started, backoff_ns),
+                    outcome,
+                );
+            }
+            last = Some(outcome);
+        }
+        // Unreachable with attempts >= 1, but keep the compiler honest.
+        let outcome = last.unwrap_or(TenantOutcome::Panicked("no attempts made".into()));
+        record_breaker(&sv.breakers, key, &sup.breaker, false);
+        done(
+            attempts,
+            backoff_ns,
+            elapsed_plus(started, backoff_ns),
+            outcome,
+        )
+    }
+
+    /// One supervised attempt: resolves chaos injections, the effective
+    /// machine/mode, fault re-seeding and artifact trust for `attempt`,
+    /// then runs under the supervisor's budget.
+    fn supervised_attempt<S: TraceSink>(
+        &self,
+        idx: usize,
+        attempt: u32,
+        state: BreakerState,
+        mode: &Mode,
+        sink: &mut S,
+        sv: &Supervision,
+    ) -> TenantOutcome {
+        let tenant = &self.tenants[idx];
+        // Hung-tenant chaos: the first attempt runs an infinite-loop
+        // stand-in instead of the tenant's program. Only the budget can
+        // preempt it; the retry then runs the real program.
+        let hung = attempt == 0 && sv.chaos.hangs(idx);
+        let machine: &Machine = match (&hung, &sv.hang) {
+            (true, Some(hang)) => hang,
+            _ => &tenant.machine,
+        };
+        // A degraded image runs in pure interpretation: the cheapest
+        // mode, with no translation artifacts left to corrupt.
+        let mode = if state == BreakerState::Degraded || hung {
+            Mode::Interpreter
+        } else {
+            mode.clone()
+        };
+        // Pool-level fault streams are keyed by tenant (schedule-proof)
+        // and re-salted per retry so a retry sees a fresh stream; the
+        // first attempt matches the unsupervised path exactly.
+        let faults = if hung {
+            None
+        } else {
+            self.fault_base
+                .map(|base| FaultConfig {
+                    seed: base.seed ^ idx as u64,
+                    ..base
+                })
+                .or_else(|| tenant.machine.fault_config())
+                .map(|cfg| FaultConfig {
+                    seed: cfg.seed ^ (u64::from(attempt) << 32),
+                    ..cfg
+                })
+        };
+        // Shared-artifact trust: attempt 0 may see chaos-corrupted
+        // artifacts; retries bypass shared artifacts entirely (they may
+        // be what failed). Host-side only — modeled results never
+        // depend on which artifacts served the run.
+        let shared = if attempt == 0 && !hung && sv.chaos.corrupts_artifacts(idx) {
+            SharedArtifacts::Override(Arc::new(
+                FrozenTransCache::for_program(&tenant.machine.program().code).poisoned(),
+            ))
+        } else if attempt == 0 {
+            SharedArtifacts::Machine
+        } else {
+            SharedArtifacts::Bypass
+        };
+        let opts = RunOptions {
+            faults,
+            budget: Some(sv.supervisor.budget),
+            shared,
+        };
+        let run = catch_unwind(AssertUnwindSafe(|| machine.run_opts(&mode, sink, opts)));
+        match run {
+            Ok(Ok(report)) => TenantOutcome::Completed(Box::new(report)),
+            Ok(Err(trap @ (Trap::FuelExhausted | Trap::DeadlineExceeded))) => {
+                TenantOutcome::TimedOut(trap)
+            }
+            Ok(Err(trap)) => TenantOutcome::Trapped(trap),
+            Err(payload) => TenantOutcome::Panicked(panic_message(&payload)),
         }
     }
 }
 
+/// Per-run supervision context: the policies plus the shared mutable
+/// state (breaker bank, hang stand-in) one supervised run needs.
+struct Supervision {
+    supervisor: Supervisor,
+    chaos: ChaosConfig,
+    /// Infinite-loop stand-in machine for hung-tenant chaos, built once
+    /// per run (only when the hang rate is non-zero).
+    hang: Option<Arc<Machine>>,
+    /// Circuit breakers keyed by image identity (the `Arc<Machine>`
+    /// pointer): tenants sharing a machine share a breaker.
+    breakers: Mutex<HashMap<usize, Breaker>>,
+}
+
+/// How a supervised attempt's outcome steers the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Completed: final, closes the breaker.
+    Success,
+    /// Worth retrying: fault-plane traps (a fresh fault stream may
+    /// miss), malformed dispatch (shared artifacts may be corrupt —
+    /// retries bypass them), budget preemption (the first attempt may
+    /// have been a chaos hang) and host panics.
+    Transient,
+    /// Deterministic guest behavior (division by zero, bounds, limits):
+    /// retrying replays the same trap, so fail fast.
+    Permanent,
+}
+
+fn classify(outcome: &TenantOutcome) -> Verdict {
+    match outcome {
+        TenantOutcome::Completed(_) => Verdict::Success,
+        TenantOutcome::Panicked(_) | TenantOutcome::TimedOut(_) => Verdict::Transient,
+        TenantOutcome::Trapped(
+            Trap::FetchFailed { .. } | Trap::CorruptDir { .. } | Trap::Malformed(_),
+        ) => Verdict::Transient,
+        TenantOutcome::Trapped(_) => Verdict::Permanent,
+        // Shed/Quarantined are decided before attempts, never returned
+        // by an attempt.
+        TenantOutcome::Shed(_) | TenantOutcome::Quarantined(_) => Verdict::Permanent,
+    }
+}
+
+fn breaker_state(bank: &Mutex<HashMap<usize, Breaker>>, key: usize) -> BreakerState {
+    bank.lock()
+        .unwrap()
+        .get(&key)
+        .map(Breaker::state)
+        .unwrap_or_default()
+}
+
+fn breaker_failures(bank: &Mutex<HashMap<usize, Breaker>>, key: usize) -> u32 {
+    bank.lock()
+        .unwrap()
+        .get(&key)
+        .map(Breaker::failures)
+        .unwrap_or(0)
+}
+
+fn record_breaker(
+    bank: &Mutex<HashMap<usize, Breaker>>,
+    key: usize,
+    policy: &crate::resilience::BreakerPolicy,
+    success: bool,
+) {
+    let mut bank = bank.lock().unwrap();
+    let breaker = bank.entry(key).or_default();
+    if success {
+        breaker.record_success();
+    } else {
+        breaker.record_failure(policy);
+    }
+}
+
+/// Host wall-clock since `started` plus the charged (never slept)
+/// backoff, in nanoseconds.
+fn elapsed_plus(started: Instant, backoff_ns: u64) -> u64 {
+    (started.elapsed().as_nanos() as u64).saturating_add(backoff_ns)
+}
+
+/// Sum of `attempts - 1` over tenants that ran at least once.
+fn total_retries(results: &[TenantResult]) -> u64 {
+    results
+        .iter()
+        .map(|r| u64::from(r.attempts.saturating_sub(1)))
+        .sum()
+}
+
+/// The hung-tenant stand-in: an infinite loop with no output, compiled
+/// once per chaos run. Only a budget (or the step limit) ends it.
+fn hang_machine() -> Machine {
+    let hir =
+        hlr::compile("proc main() begin int i := 0; while i < 1 do begin i := i * 1; end end")
+            .expect("hang stand-in compiles");
+    Machine::new(
+        &dir::compiler::compile(&hir),
+        dir::encode::SchemeKind::Packed,
+    )
+}
+
 /// Pops the next tenant index for worker `w`: own deque from the front,
-/// else steal from the back of the first non-empty sibling.
-fn next_job(w: usize, deques: &[Mutex<VecDeque<usize>>], steals: &AtomicU64) -> Option<usize> {
+/// else (when `steal` — i.e. the schedule is not pinned) steal from the
+/// back of the first non-empty sibling.
+fn next_job(
+    w: usize,
+    deques: &[Mutex<VecDeque<usize>>],
+    steals: &AtomicU64,
+    steal: bool,
+) -> Option<usize> {
     if let Some(idx) = deques[w].lock().unwrap().pop_front() {
         return Some(idx);
+    }
+    if !steal {
+        return None;
     }
     for off in 1..deques.len() {
         let victim = (w + off) % deques.len();
@@ -649,6 +1168,293 @@ mod tests {
             let m = &r.outcome.report().unwrap().metrics;
             assert_eq!(sink.0.retires, m.instructions);
         }
+    }
+
+    fn quiet_hook<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(hook);
+        r
+    }
+
+    fn looping_machine() -> Arc<Machine> {
+        machine_for("proc main() begin int i := 0; while i < 1 do begin i := i * 1; end end")
+    }
+
+    fn plain_supervisor() -> crate::resilience::Supervisor {
+        // No admission right-sizing, so supervised completed outcomes
+        // stay bit-identical to the unsupervised path.
+        crate::resilience::Supervisor {
+            admission: crate::resilience::AdmissionPolicy {
+                max_pressure_words: None,
+                right_size: false,
+            },
+            ..crate::resilience::Supervisor::default()
+        }
+    }
+
+    #[test]
+    fn pool_run_edge_cases_yield_zeros_not_nan() {
+        // Regression: empty tenant lists and zero-wall-time runs must
+        // produce zeros, never NaN or a panic.
+        let empty = PoolRun {
+            results: vec![],
+            wall_ns: 0,
+            workers: 2,
+            steals: 0,
+            queue_depth: vec![],
+            retries: 0,
+            worker_crashes: 0,
+        };
+        let p = empty.latency_percentiles();
+        assert_eq!((p.p50, p.p95, p.p99, p.p999), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(empty.worker_utilization(), vec![0.0, 0.0]);
+        assert_eq!(empty.minstr_per_sec(), 0.0);
+        // Zero wall-clock with real results: utilization and throughput
+        // divide by wall time — must clamp to zero, not NaN/inf.
+        let mut run = sample_pool(2).run();
+        run.wall_ns = 0;
+        assert!(run.worker_utilization().iter().all(|u| *u == 0.0));
+        assert_eq!(run.minstr_per_sec(), 0.0);
+        assert!(run.latency_percentiles().p50.is_finite());
+    }
+
+    #[test]
+    fn supervised_chaos_off_matches_unsupervised_bit_for_bit() {
+        let mut pool = sample_pool(3);
+        let plain = pool.run();
+        pool.set_supervisor(Some(plain_supervisor()));
+        let supervised = pool.run();
+        assert_eq!(outcomes(&plain), outcomes(&supervised));
+        assert_eq!(supervised.retries, 0);
+        assert_eq!(supervised.worker_crashes, 0);
+        assert!(supervised.results.iter().all(|r| r.attempts == 1));
+    }
+
+    #[test]
+    fn shedding_rejects_tenants_past_the_watermark() {
+        let mut pool = sample_pool(2);
+        let mut sup = plain_supervisor();
+        sup.max_queue = Some(3);
+        pool.set_supervisor(Some(sup));
+        let run = pool.run();
+        assert_eq!(run.completed(), 3);
+        assert_eq!(run.outcome_count("shed"), 4);
+        for r in &run.results[3..] {
+            assert_eq!(r.attempts, 0);
+            match &r.outcome {
+                TenantOutcome::Shed(reason) => assert!(reason.contains("watermark")),
+                other => panic!("expected shed, got {other:?}"),
+            }
+        }
+        // Full accounting: every tenant has exactly one outcome.
+        let statuses = [
+            "completed",
+            "trapped",
+            "panicked",
+            "timed_out",
+            "shed",
+            "quarantined",
+        ];
+        let total: usize = statuses.iter().map(|s| run.outcome_count(s)).sum();
+        assert_eq!(total, run.results.len());
+    }
+
+    #[test]
+    fn fuel_budget_times_out_runaway_tenants() {
+        let mut pool = MachinePool::new(2);
+        pool.push("runaway", looping_machine(), Mode::Interpreter);
+        let mut sup = plain_supervisor();
+        sup.budget = crate::config::Budget::fuel(200_000);
+        pool.set_supervisor(Some(sup));
+        let run = pool.run();
+        let r = &run.results[0];
+        match r.outcome {
+            TenantOutcome::TimedOut(Trap::FuelExhausted) => {}
+            ref other => panic!("expected fuel timeout, got {other:?}"),
+        }
+        // A timeout looks like a hang, so every attempt is spent.
+        assert_eq!(r.attempts, sup.backoff.attempts());
+        assert_eq!(run.retries, u64::from(sup.backoff.attempts() - 1));
+        assert!(r.backoff_ns > 0, "backoff must be charged to latency");
+        assert!(r.latency_ns >= r.backoff_ns);
+    }
+
+    #[test]
+    fn hung_tenants_time_out_and_recover_on_retry() {
+        let mut pool = sample_pool(2);
+        let chaos_off = pool.run();
+        let mut sup = plain_supervisor();
+        sup.budget = crate::config::Budget::fuel(2_000_000);
+        pool.set_supervisor(Some(sup));
+        pool.set_chaos(Some(crate::resilience::ChaosConfig {
+            seed: 11,
+            worker_crash_rate: 0.0,
+            hang_rate: 1.0,
+            artifact_corruption_rate: 0.0,
+        }));
+        let run = pool.run();
+        // Every tenant hangs on attempt 0, is preempted by fuel, and
+        // completes its real program on the retry — bit-identically.
+        assert_eq!(outcomes(&chaos_off), outcomes(&run));
+        assert!(run.results.iter().all(|r| r.attempts == 2));
+        assert_eq!(run.retries, run.results.len() as u64);
+    }
+
+    #[test]
+    fn corrupted_shared_artifacts_are_caught_and_retried() {
+        let mut pool = sample_pool(2);
+        let chaos_off = pool.run();
+        pool.set_supervisor(Some(plain_supervisor()));
+        pool.set_chaos(Some(crate::resilience::ChaosConfig {
+            seed: 5,
+            worker_crash_rate: 0.0,
+            hang_rate: 0.0,
+            artifact_corruption_rate: 1.0,
+        }));
+        let run = pool.run();
+        // Poisoned templates trap as malformed dispatch, never as wrong
+        // output; the retry bypasses shared artifacts and recovers.
+        assert_eq!(outcomes(&chaos_off), outcomes(&run));
+        assert!(run.results.iter().all(|r| r.attempts == 2));
+    }
+
+    #[test]
+    fn worker_crashes_lose_no_tenants() {
+        let mut pool = sample_pool(3);
+        let chaos_off = pool.run();
+        pool.set_supervisor(Some(plain_supervisor()));
+        pool.set_chaos(Some(crate::resilience::ChaosConfig {
+            seed: 9,
+            worker_crash_rate: 1.0,
+            hang_rate: 0.0,
+            artifact_corruption_rate: 0.0,
+        }));
+        let run = quiet_hook(|| pool.run());
+        // Every worker dies on its first job; the recovery sweep re-runs
+        // every tenant. Nothing is lost, outcomes are bit-identical.
+        assert_eq!(outcomes(&chaos_off), outcomes(&run));
+        assert_eq!(run.worker_crashes, run.results.len() as u64);
+        // Recovered tenants run on the recovery lane past the last
+        // real worker id.
+        assert!(run.results.iter().all(|r| r.worker == run.workers));
+        // Sequential supervision counts the same crashes.
+        let seq = pool.run_sequential();
+        assert_eq!(outcomes(&seq), outcomes(&run));
+        assert_eq!(seq.worker_crashes, run.worker_crashes);
+    }
+
+    #[test]
+    fn breaker_degrades_then_quarantines_repeat_offenders() {
+        // One hopeless image (infinite recursion → DepthLimit, a
+        // permanent trap) shared by five tenants, single worker so the
+        // breaker walk is deterministic: 2 failures close→degrade,
+        // 3rd fails degraded → quarantine, remaining tenants never run.
+        let boom = machine_for(
+            "proc boom() -> int begin return boom(); end
+             proc main() begin write boom(); end",
+        );
+        let mut pool = MachinePool::new(1);
+        for t in 0..5 {
+            pool.push(format!("boom-{t}"), Arc::clone(&boom), Mode::Interpreter);
+        }
+        let mut sup = plain_supervisor();
+        sup.backoff.max_attempts = 1; // permanent traps are never retried anyway
+        sup.breaker = crate::resilience::BreakerPolicy {
+            degrade_after: 2,
+            quarantine_after: 3,
+        };
+        pool.set_supervisor(Some(sup));
+        let run = pool.run();
+        let statuses: Vec<&str> = run.results.iter().map(|r| r.outcome.status()).collect();
+        assert_eq!(
+            statuses,
+            vec![
+                "trapped",
+                "trapped",
+                "trapped",
+                "quarantined",
+                "quarantined"
+            ]
+        );
+        for r in &run.results[3..] {
+            assert_eq!(r.attempts, 0);
+            match &r.outcome {
+                TenantOutcome::Quarantined(reason) => {
+                    assert!(reason.contains("3 consecutive failures"), "{reason}");
+                }
+                other => panic!("expected quarantine, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn admission_rejects_oversized_programs_and_right_sizes_dtbs() {
+        // Rejection: a 1-word pressure bound refuses everything.
+        let mut pool = sample_pool(2);
+        let mut sup = plain_supervisor();
+        sup.admission.max_pressure_words = Some(1);
+        pool.set_supervisor(Some(sup));
+        let run = pool.run();
+        assert_eq!(run.outcome_count("shed"), run.results.len());
+        assert!(run.results.iter().all(|r| match &r.outcome {
+            TenantOutcome::Shed(reason) => reason.starts_with("admission:"),
+            _ => false,
+        }));
+
+        // Right-sizing: a 1-entry DTB thrashes a 400-iteration loop;
+        // admission grows it to the recommended geometry, so the
+        // supervised run sees strictly fewer DTB misses.
+        let m = machine_for(
+            "proc main() begin int i := 0; \
+             while i < 400 do begin write i; i := i + 1; end end",
+        );
+        let tiny = Mode::Dtb(DtbConfig::with_capacity(1));
+        let mut pool = MachinePool::new(1);
+        pool.push("thrash", Arc::clone(&m), tiny.clone());
+        let plain = pool.run();
+        let mut sup = plain_supervisor();
+        sup.admission.right_size = true;
+        pool.set_supervisor(Some(sup));
+        let sized = pool.run();
+        let misses = |run: &PoolRun| {
+            run.results[0]
+                .outcome
+                .report()
+                .unwrap()
+                .metrics
+                .dtb
+                .as_ref()
+                .unwrap()
+                .misses
+        };
+        assert_eq!(plain.completed(), 1);
+        assert_eq!(sized.completed(), 1);
+        assert!(
+            misses(&sized) < misses(&plain),
+            "right-sized DTB must miss less: {} vs {}",
+            misses(&sized),
+            misses(&plain)
+        );
+    }
+
+    #[test]
+    fn schedule_seed_pins_the_schedule() {
+        let mut pool = sample_pool(4);
+        let free = pool.run();
+        pool.set_schedule_seed(Some(0xC0FFEE));
+        let a = pool.run();
+        let b = pool.run();
+        // Outcomes are schedule-invariant either way...
+        assert_eq!(outcomes(&free), outcomes(&a));
+        // ...but a pinned schedule also replays every schedule-dependent
+        // observable: no steals, identical worker assignment.
+        assert_eq!(a.steals, 0);
+        assert_eq!(b.steals, 0);
+        let workers_of =
+            |run: &PoolRun| -> Vec<usize> { run.results.iter().map(|r| r.worker).collect() };
+        assert_eq!(workers_of(&a), workers_of(&b));
     }
 
     #[test]

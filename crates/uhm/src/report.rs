@@ -171,9 +171,10 @@ pub fn trace_health_json(ring: Option<(u64, u64)>, file: Option<(u64, Option<Str
     Json::obj(fields)
 }
 
-/// Serializes one tenant's result: identity, placement, latency, and —
-/// for completed tenants — the modeled instruction/cycle totals. Traps
-/// and panics carry a `detail` string instead.
+/// Serializes one tenant's result: identity, placement, latency,
+/// supervision counters, and — for completed tenants — the modeled
+/// instruction/cycle totals. Every non-completed outcome carries a
+/// `detail` string instead.
 pub fn tenant_json(r: &TenantResult) -> Json {
     let mut fields = vec![
         ("tenant", (r.tenant as i64).into()),
@@ -181,6 +182,8 @@ pub fn tenant_json(r: &TenantResult) -> Json {
         ("worker", (r.worker as i64).into()),
         ("status", r.outcome.status().into()),
         ("latency_ns", (r.latency_ns as i64).into()),
+        ("attempts", (r.attempts as i64).into()),
+        ("backoff_ns", (r.backoff_ns as i64).into()),
     ];
     match &r.outcome {
         TenantOutcome::Completed(report) => {
@@ -188,10 +191,12 @@ pub fn tenant_json(r: &TenantResult) -> Json {
             fields.push(("cycles", report.metrics.cycles.total().into()));
             fields.push(("output_len", (report.output.len() as i64).into()));
         }
-        TenantOutcome::Trapped(trap) => {
+        TenantOutcome::Trapped(trap) | TenantOutcome::TimedOut(trap) => {
             fields.push(("detail", format!("{trap:?}").as_str().into()));
         }
-        TenantOutcome::Panicked(msg) => {
+        TenantOutcome::Panicked(msg)
+        | TenantOutcome::Shed(msg)
+        | TenantOutcome::Quarantined(msg) => {
             fields.push(("detail", msg.as_str().into()));
         }
     }
@@ -210,6 +215,16 @@ pub fn pool_report(tool: &str, config: Json, run: &PoolRun) -> PoolReport {
         ("workers", (run.workers as i64).into()),
         ("tenants", (run.results.len() as i64).into()),
         ("completed", (run.completed() as i64).into()),
+        ("trapped", (run.outcome_count("trapped") as i64).into()),
+        ("panicked", (run.outcome_count("panicked") as i64).into()),
+        ("timed_out", (run.outcome_count("timed_out") as i64).into()),
+        ("shed", (run.outcome_count("shed") as i64).into()),
+        (
+            "quarantined",
+            (run.outcome_count("quarantined") as i64).into(),
+        ),
+        ("retries", (run.retries as i64).into()),
+        ("worker_crashes", (run.worker_crashes as i64).into()),
         ("steals", (run.steals as i64).into()),
         ("instructions", run.total_instructions().into()),
         ("cycles", run.total_cycles().into()),

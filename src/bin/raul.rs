@@ -9,6 +9,9 @@
 //! raul profile <file>                    execution hot spots and coverage
 //! raul faults  <file> [options]          run under seeded fault injection
 //! raul pool    <file> [options]          run M tenant copies on N workers
+//! raul chaos   <file> [options]          pool run under seeded chaos
+//!                                        (worker crashes, hangs, corrupted
+//!                                        shared artifacts) with supervision
 //!
 //! run options:
 //!   --mode interp|dtb|icache|two-level   (default: dtb)
@@ -38,6 +41,20 @@
 //!   --workers N                          worker threads (default: 4)
 //!   --tenants M                          tenant copies of <file> (default: 2N)
 //!
+//! supervision options (pool and chaos; any of them engages the
+//! supervised path):
+//!   --fuel N                             modeled-cycle budget per attempt
+//!   --deadline MS                        wall-clock deadline per attempt
+//!   --retry N                            attempts per tenant (default: 3)
+//!   --max-queue N                        shed tenants past this queue depth
+//!
+//! chaos options (plus pool + supervision options; `chaos` always runs
+//! supervised and defaults the fuel budget to 5M cycles so injected
+//! hangs are preempted):
+//!   --crash-rate P                       worker-crash probability (default 0.2)
+//!   --hang-rate P                        hung-tenant probability (default 0.2)
+//!   --corrupt-rate P                     shared-artifact corruption (default 0.2)
+//!
 //! `analyze` verifies the encoded image (codec tables, stack discipline,
 //! branch containment, cross-level consistency, DTB pressure) without
 //! executing it; it honours --scheme, --fold and --fuse, prints the typed
@@ -54,7 +71,9 @@
 //! histograms, utilization, queue depth) to the report.
 //!
 //! Invalid machine configurations exit with status 2; runtime traps and
-//! compile errors with status 1.
+//! compile errors with status 1. A pool (or chaos) run exits 1 only when
+//! a tenant *fails* — traps or panics; tenants that time out, are shed,
+//! or are quarantined are reported, supervised outcomes and exit 0.
 //! ```
 
 use std::process::ExitCode;
@@ -62,7 +81,8 @@ use std::process::ExitCode;
 use dir::encode::{DecodeMode, SchemeKind};
 use profile::{CounterPlane, FlameBuilder, SpanTracer};
 use telemetry::{Event, Json, JsonlSink, RingSink, TeeSink, Tier, TraceSink};
-use uhm::{DtbConfig, FaultConfig, Machine, Mode, RetryPolicy};
+use uhm::resilience::{ChaosConfig, Supervisor};
+use uhm::{Budget, DtbConfig, FaultConfig, Machine, Mode, RetryPolicy};
 
 /// A CLI failure, split by exit status: configuration errors (bad
 /// machine geometry) exit 2, runtime failures (compile errors, traps,
@@ -117,6 +137,13 @@ struct Cli {
     tag_rate: Option<f64>,
     drop_rate: Option<f64>,
     degrade_after: Option<u32>,
+    fuel: Option<u64>,
+    deadline_ms: Option<u64>,
+    retry: Option<u32>,
+    max_queue: Option<usize>,
+    crash_rate: Option<f64>,
+    hang_rate: Option<f64>,
+    corrupt_rate: Option<f64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +156,7 @@ enum Command {
     Profile,
     Faults,
     Pool,
+    Chaos,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,10 +178,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("profile") => Command::Profile,
         Some("faults") => Command::Faults,
         Some("pool") => Command::Pool,
+        Some("chaos") => Command::Chaos,
         Some(other) => return Err(format!("unknown command `{other}`")),
         None => {
             return Err(
-                "missing command (check|run|disasm|encode|analyze|profile|faults|pool)".into(),
+                "missing command (check|run|disasm|encode|analyze|profile|faults|pool|chaos)"
+                    .into(),
             )
         }
     };
@@ -186,6 +216,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         tag_rate: None,
         drop_rate: None,
         degrade_after: None,
+        fuel: None,
+        deadline_ms: None,
+        retry: None,
+        max_queue: None,
+        crash_rate: None,
+        hang_rate: None,
+        corrupt_rate: None,
     };
     fn rate_value(it: &mut std::slice::Iter<String>, flag: &str) -> Result<f64, String> {
         let p: f64 = it
@@ -295,6 +332,46 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .ok_or("bad --degrade-after value")?,
                 );
             }
+            "--fuel" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --fuel value")?;
+                if n == 0 {
+                    return Err("--fuel must be positive".into());
+                }
+                cli.fuel = Some(n);
+            }
+            "--deadline" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --deadline value (milliseconds)")?;
+                if ms == 0 {
+                    return Err("--deadline must be positive".into());
+                }
+                cli.deadline_ms = Some(ms);
+            }
+            "--retry" => {
+                let n: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --retry value")?;
+                if n == 0 {
+                    return Err("--retry must be positive (attempts, not extra tries)".into());
+                }
+                cli.retry = Some(n);
+            }
+            "--max-queue" => {
+                cli.max_queue = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("bad --max-queue value")?,
+                );
+            }
+            "--crash-rate" => cli.crash_rate = Some(rate_value(&mut it, "--crash-rate")?),
+            "--hang-rate" => cli.hang_rate = Some(rate_value(&mut it, "--hang-rate")?),
+            "--corrupt-rate" => cli.corrupt_rate = Some(rate_value(&mut it, "--corrupt-rate")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -362,6 +439,48 @@ fn faults_requested(cli: &Cli) -> bool {
         || cli.dtb_rate.is_some()
         || cli.tag_rate.is_some()
         || cli.drop_rate.is_some()
+}
+
+/// `true` when any supervision flag was given (the `chaos` command is
+/// always supervised, flags or not).
+fn supervision_requested(cli: &Cli) -> bool {
+    cli.command == Command::Chaos
+        || cli.fuel.is_some()
+        || cli.deadline_ms.is_some()
+        || cli.retry.is_some()
+        || cli.max_queue.is_some()
+}
+
+/// Builds the pool supervisor from the CLI flags. `chaos` defaults the
+/// fuel budget to 5M modeled cycles when no budget was given, so an
+/// injected hang is preempted instead of spinning to the step limit.
+fn supervisor_config(cli: &Cli) -> Supervisor {
+    let mut sup = Supervisor {
+        budget: Budget {
+            fuel: cli.fuel,
+            deadline_ns: cli.deadline_ms.map(|ms| ms.saturating_mul(1_000_000)),
+        },
+        max_queue: cli.max_queue,
+        ..Supervisor::default()
+    };
+    if cli.command == Command::Chaos && sup.budget.is_unlimited() {
+        sup.budget = Budget::fuel(5_000_000);
+    }
+    if let Some(attempts) = cli.retry {
+        sup.backoff.max_attempts = attempts;
+    }
+    sup.backoff.seed = cli.seed;
+    sup
+}
+
+/// Builds the chaos-injection plan for `raul chaos` from the rate flags.
+fn chaos_config(cli: &Cli) -> ChaosConfig {
+    ChaosConfig {
+        seed: cli.seed,
+        worker_crash_rate: cli.crash_rate.unwrap_or(0.2),
+        hang_rate: cli.hang_rate.unwrap_or(0.2),
+        artifact_corruption_rate: cli.corrupt_rate.unwrap_or(0.2),
+    }
 }
 
 /// Builds the fault-injection configuration from the CLI flags: `--rate`
@@ -976,7 +1095,7 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Pool => {
+        Command::Pool | Command::Chaos => {
             let program = build_program(cli, source)?;
             let mode = machine_mode(cli)?;
             let tenants = cli.tenants.unwrap_or(cli.workers * 2);
@@ -997,6 +1116,20 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             if faults_requested(cli) {
                 pool.set_faults(Some(fault_config(cli)));
             }
+            if supervision_requested(cli) {
+                pool.set_supervisor(Some(supervisor_config(cli)));
+            }
+            // Injected worker crashes panic by design; silence the
+            // default hook so the report, not the backtraces, is the
+            // command's output.
+            let quiet = if cli.command == Command::Chaos {
+                pool.set_chaos(Some(chaos_config(cli)));
+                let hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(|_| {}));
+                Some(hook)
+            } else {
+                None
+            };
             // --trace-out gives each tenant its own span tracer; the
             // tenant index becomes the trace pid so Perfetto shows one
             // process track per tenant.
@@ -1010,13 +1143,21 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             } else {
                 (pool.run(), Vec::new())
             };
+            if let Some(hook) = quiet {
+                std::panic::set_hook(hook);
+            }
             if cli.json {
                 let mut config = run_config(cli);
                 if let Json::Obj(fields) = &mut config {
                     fields.push(("workers".into(), (cli.workers as i64).into()));
                     fields.push(("tenants".into(), (tenants as i64).into()));
                 }
-                let mut pr = uhm::report::pool_report("raul-pool", config, &run);
+                let tool = if cli.command == Command::Chaos {
+                    "raul-chaos"
+                } else {
+                    "raul-pool"
+                };
+                let mut pr = uhm::report::pool_report(tool, config, &run);
                 if !tracers.is_empty() {
                     let retained: u64 = tracers.iter().map(|t| t.len() as u64).sum();
                     let dropped: u64 = tracers.iter().map(SpanTracer::dropped).sum();
@@ -1038,6 +1179,10 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
                         }
                         uhm::TenantOutcome::Trapped(trap) => format!("trap: {trap}"),
                         uhm::TenantOutcome::Panicked(msg) => format!("panic: {msg}"),
+                        uhm::TenantOutcome::TimedOut(trap) => format!("timed out: {trap}"),
+                        uhm::TenantOutcome::Shed(msg) | uhm::TenantOutcome::Quarantined(msg) => {
+                            msg.clone()
+                        }
                     };
                     println!(
                         "{:>12}  worker {}  {:>9} ns  {:>9}  {detail}",
@@ -1056,6 +1201,17 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
                     run.wall_ns,
                     run.steals
                 );
+                if supervision_requested(cli) {
+                    println!(
+                        "supervision: {} timed out, {} shed, {} quarantined, \
+                         {} retries, {} worker crashes",
+                        run.outcome_count("timed_out"),
+                        run.outcome_count("shed"),
+                        run.outcome_count("quarantined"),
+                        run.retries,
+                        run.worker_crashes
+                    );
+                }
                 println!(
                     "latency p50/p95/p99/p99.9: {:.0}/{:.0}/{:.0}/{:.0} ns  aggregate: {:.2} Minstr/s",
                     p.p50,
@@ -1074,10 +1230,13 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
                     tracers.len()
                 );
             }
-            if run.completed() < run.results.len() {
+            // Only *failures* fail the command: a timed-out, shed or
+            // quarantined tenant is the supervisor doing its job, and
+            // is reported (above) rather than escalated.
+            let failed = run.outcome_count("trapped") + run.outcome_count("panicked");
+            if failed > 0 {
                 return Err(CliError::Run(format!(
-                    "{} of {} tenants failed",
-                    run.results.len() - run.completed(),
+                    "{failed} of {} tenants failed",
                     run.results.len()
                 )));
             }
@@ -1093,7 +1252,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("raul: {e}");
             eprintln!(
-                "usage: raul <check|run|disasm|encode|analyze|profile|faults|pool> <file> [options]"
+                "usage: raul <check|run|disasm|encode|analyze|profile|faults|pool|chaos> <file> [options]"
             );
             return ExitCode::from(2);
         }
@@ -1332,6 +1491,68 @@ mod tests {
             let cli = parse_args(&args(cmd)).unwrap();
             execute(&cli, src).unwrap();
         }
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let cli = parse_args(&args(
+            "pool p.raul --fuel 1000000 --deadline 50 --retry 4 --max-queue 8",
+        ))
+        .unwrap();
+        assert_eq!(cli.fuel, Some(1_000_000));
+        assert_eq!(cli.deadline_ms, Some(50));
+        assert_eq!(cli.retry, Some(4));
+        assert_eq!(cli.max_queue, Some(8));
+        assert!(supervision_requested(&cli));
+        let sup = supervisor_config(&cli);
+        assert_eq!(sup.budget.fuel, Some(1_000_000));
+        assert_eq!(sup.budget.deadline_ns, Some(50_000_000));
+        assert_eq!(sup.backoff.max_attempts, 4);
+        assert_eq!(sup.max_queue, Some(8));
+        // A plain pool run stays on the unsupervised fast path.
+        assert!(!supervision_requested(
+            &parse_args(&args("pool p.raul")).unwrap()
+        ));
+        assert!(parse_args(&args("pool p.raul --fuel 0")).is_err());
+        assert!(parse_args(&args("pool p.raul --deadline 0")).is_err());
+        assert!(parse_args(&args("pool p.raul --retry 0")).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_command_with_defaults() {
+        let cli = parse_args(&args("chaos c.raul --seed 7 --crash-rate 0.5")).unwrap();
+        assert_eq!(cli.command, Command::Chaos);
+        // Chaos is always supervised, and defaults a fuel budget so
+        // injected hangs are preempted.
+        assert!(supervision_requested(&cli));
+        let sup = supervisor_config(&cli);
+        assert_eq!(sup.budget.fuel, Some(5_000_000));
+        let chaos = chaos_config(&cli);
+        assert_eq!(chaos.seed, 7);
+        assert_eq!(chaos.worker_crash_rate, 0.5);
+        assert_eq!(chaos.hang_rate, 0.2);
+        assert_eq!(chaos.artifact_corruption_rate, 0.2);
+        assert!(parse_args(&args("chaos c.raul --hang-rate 1.5")).is_err());
+    }
+
+    #[test]
+    fn supervised_pool_times_out_runaway_tenants_without_failing() {
+        // An infinite loop under a fuel budget is a supervised outcome
+        // (timed_out), not a CLI failure: the command exits 0.
+        let cli = parse_args(&args("pool p.raul --workers 2 --tenants 3 --fuel 200000")).unwrap();
+        let src = "proc main() begin int i := 0; while i < 1 do begin i := i * 1; end end";
+        execute(&cli, src).unwrap();
+    }
+
+    #[test]
+    fn chaos_command_runs_end_to_end() {
+        let cli = parse_args(&args(
+            "chaos c.raul --workers 2 --tenants 6 --seed 0xC0A5 \
+             --crash-rate 0.4 --hang-rate 0.4 --corrupt-rate 0.4",
+        ))
+        .unwrap();
+        let src = "proc main() begin int i := 0; while i < 60 do i := i + 1; write i; end";
+        execute(&cli, src).unwrap();
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //! machine's own metrics, window samples must partition the run, and the
 //! `raul --json` surfaces must emit versioned reports that round-trip
 //! through their parsers (`raul run` a schema-1 [`RunReport`],
-//! `raul profile` a schema-4 [`ProfileReport`]).
+//! `raul profile` a schema-4 [`ProfileReport`], `raul chaos` a schema-2
+//! [`PoolReport`] carrying the supervised outcome taxonomy).
 
 use std::process::Command;
 
 use dir::encode::SchemeKind;
-use telemetry::{Json, ProfileReport, RingSink, RunReport};
+use telemetry::{Json, PoolReport, ProfileReport, RingSink, RunReport};
 use uhm::{DtbConfig, Machine, Mode};
 
 fn sample_machine() -> (dir::program::Program, Mode) {
@@ -195,6 +196,38 @@ fn raul_profile_json_round_trips() {
     // Round trip: render → parse is the identity.
     let back = ProfileReport::parse(&pr.render()).unwrap();
     assert_eq!(back, pr);
+}
+
+#[test]
+fn raul_chaos_json_accounts_every_supervised_outcome() {
+    let text = raul_stdout(&[
+        "chaos",
+        "examples/programs/sumloop.raul",
+        "--tenants",
+        "6",
+        "--workers",
+        "2",
+        "--seed",
+        "0xC0A5",
+        "--crash-rate",
+        "0.5",
+        "--json",
+    ]);
+    let pr = PoolReport::parse(text.trim()).expect("stdout is one schema-2 PoolReport");
+    assert_eq!(pr.tool, "raul-chaos");
+    let agg = |k: &str| pr.aggregate.get(k).and_then(Json::as_i64).unwrap();
+    // The six-state outcome taxonomy partitions the tenants even with
+    // chaos injected — nothing is silently lost.
+    let accounted = agg("completed")
+        + agg("trapped")
+        + agg("panicked")
+        + agg("timed_out")
+        + agg("shed")
+        + agg("quarantined");
+    assert_eq!(accounted, agg("tenants"));
+    assert_eq!(pr.tenants.as_arr().unwrap().len(), 6);
+    // Supervision counters ride along.
+    assert!(agg("retries") >= 0 && agg("worker_crashes") >= 0);
 }
 
 #[test]
