@@ -25,6 +25,7 @@ use dir::encode::{fixtures, Image, SchemeKind};
 use dir::exec::Limits;
 use dir::program::Program;
 use telemetry::{AnalyzeReport, Json};
+use uhm_bench::corpus::encoded_corpus;
 use uhm_bench::workloads;
 
 /// One verified corpus entry, kept for the timing pass.
@@ -44,23 +45,20 @@ struct BadFixture {
 }
 
 fn corpus() -> Vec<CorpusEntry> {
-    let mut entries = Vec::new();
-    for w in workloads() {
-        for (tier, program) in [("base", &w.base), ("fused", &w.fused)] {
-            for scheme in SchemeKind::all() {
-                let image = scheme.encode(program);
-                let report = analyze::analyze(program, &image);
-                let verified = analyze::verify(program, image).ok();
-                entries.push(CorpusEntry {
-                    name: format!("{}/{tier}", w.name),
-                    scheme,
-                    report,
-                    verified,
-                });
+    encoded_corpus()
+        .into_iter()
+        .map(|entry| {
+            let name = entry.name();
+            let report = analyze::analyze(&entry.program, &entry.image);
+            let verified = analyze::verify(&entry.program, entry.image).ok();
+            CorpusEntry {
+                name,
+                scheme: entry.scheme,
+                report,
+                verified,
             }
-        }
-    }
-    entries
+        })
+        .collect()
 }
 
 fn bad_fixtures() -> Vec<BadFixture> {

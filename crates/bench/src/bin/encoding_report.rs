@@ -9,6 +9,7 @@
 use dir::encode::SchemeKind;
 use dir::stats::{ImageSummary, StaticStats};
 use telemetry::Json;
+use uhm_bench::corpus::tiers;
 use uhm_bench::{bench_report, json_flag, workloads};
 
 const SCHEMES: [SchemeKind; 5] = [
@@ -33,7 +34,7 @@ fn main() {
     let mut worst: f64 = 1.0;
     let mut best: f64 = 0.0;
     for w in workloads() {
-        for (tier, prog) in [("stack", &w.base), ("fused", &w.fused)] {
+        for (tier, prog) in tiers(&w) {
             let baseline = SchemeKind::ByteAligned.encode(prog).program_bits();
             let mut cells = Vec::new();
             let mut scheme_rows = Vec::new();

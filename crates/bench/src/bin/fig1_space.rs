@@ -18,6 +18,7 @@ use dir::encode::SchemeKind;
 use dir::program::Program;
 use telemetry::Json;
 use uhm::{Machine, Mode};
+use uhm_bench::corpus::tiers;
 use uhm_bench::{bench_report, json_flag, workloads};
 
 /// PSDER/DER footprint of a program: every instruction expanded to its
@@ -50,7 +51,8 @@ fn main() {
             );
         }
         let mut points = Vec::new();
-        for (level, prog) in [("fused", &w.fused), ("stack", &w.base)] {
+        // Higher semantic level first: the figure's vertical axis.
+        for (level, prog) in tiers(&w).into_iter().rev() {
             for scheme in SchemeKind::all() {
                 let image = scheme.encode(prog);
                 let machine = Machine::new(prog, scheme);

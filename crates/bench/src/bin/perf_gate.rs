@@ -25,7 +25,8 @@ use std::time::Instant;
 use dir::encode::{DecodeMode, Image, SchemeKind};
 use dir::program::Program;
 use telemetry::Json;
-use uhm_bench::{bench_report, json_flag, workloads};
+use uhm_bench::corpus::base_programs;
+use uhm_bench::{bench_report, json_flag};
 
 /// Committed reference speedups; `--smoke` fails when a measured
 /// table/tree ratio falls below `TOLERANCE` times the baseline.
@@ -292,7 +293,7 @@ fn smoke(programs: &[Program]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let programs: Vec<Program> = workloads().into_iter().map(|w| w.base).collect();
+    let programs: Vec<Program> = base_programs();
     if std::env::args().any(|a| a == "--smoke") {
         return smoke(&programs);
     }

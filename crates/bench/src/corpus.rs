@@ -1,0 +1,89 @@
+//! The shared encoded sample corpus.
+//!
+//! Several gate binaries used to rebuild the same nested loop — every
+//! sample workload, at both semantic tiers, under every encoding
+//! scheme — each with its own copy of the tier labels. This module is
+//! the single definition of that cross-product (and of the canonical
+//! tier labels `base`/`fused`), so the gates agree on what "the corpus"
+//! means and a new scheme or tier shows up in all of them at once.
+
+use dir::encode::{Image, SchemeKind};
+use dir::program::Program;
+
+use crate::{workloads, Workload};
+
+/// Canonical tier labels, in corpus order.
+pub const TIERS: [&str; 2] = ["base", "fused"];
+
+/// The two semantic tiers of one workload, labelled canonically.
+pub fn tiers(w: &Workload) -> [(&'static str, &Program); 2] {
+    [("base", &w.base), ("fused", &w.fused)]
+}
+
+/// One encoded corpus entry: a workload at one tier under one scheme.
+pub struct CorpusImage {
+    /// Sample name.
+    pub workload: &'static str,
+    /// Semantic tier label (`base` or `fused`).
+    pub tier: &'static str,
+    /// Encoding scheme the image uses.
+    pub scheme: SchemeKind,
+    /// The DIR program at this tier.
+    pub program: Program,
+    /// The encoded level-2 image.
+    pub image: Image,
+}
+
+impl CorpusImage {
+    /// `workload/tier`, the display name the gates print.
+    pub fn name(&self) -> String {
+        format!("{}/{}", self.workload, self.tier)
+    }
+}
+
+/// The full encoded corpus: every workload × tier × scheme.
+pub fn encoded_corpus() -> Vec<CorpusImage> {
+    let mut entries = Vec::new();
+    for w in workloads() {
+        for (tier, program) in tiers(&w) {
+            for scheme in SchemeKind::all() {
+                entries.push(CorpusImage {
+                    workload: w.name,
+                    tier,
+                    scheme,
+                    program: program.clone(),
+                    image: scheme.encode(program),
+                });
+            }
+        }
+    }
+    entries
+}
+
+/// Base-tier programs only, for gates that measure the unfused form.
+pub fn base_programs() -> Vec<Program> {
+    workloads().into_iter().map(|w| w.base).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_the_full_cross_product() {
+        let entries = encoded_corpus();
+        assert_eq!(
+            entries.len(),
+            workloads().len() * TIERS.len() * SchemeKind::all().len()
+        );
+        for e in &entries {
+            assert!(TIERS.contains(&e.tier));
+            assert_eq!(e.image.len(), e.program.code.len());
+        }
+    }
+
+    #[test]
+    fn base_programs_match_workload_count() {
+        assert_eq!(base_programs().len(), workloads().len());
+    }
+}

@@ -4,6 +4,7 @@
 //! (1978) — see DESIGN.md's experiment index — and prints a plain-text
 //! table to stdout. This library holds the workload plumbing they share.
 
+pub mod corpus;
 pub mod timing;
 
 use dir::encode::SchemeKind;

@@ -1,0 +1,595 @@
+//! Delta-debugging shrinker over the RAUL AST.
+//!
+//! Given a program on which some failure predicate holds (for the
+//! conformance plane: "the oracle reports a divergence"), the shrinker
+//! greedily applies source-level reductions — dropping procedures,
+//! declarations and statements, unwrapping control flow, replacing
+//! subexpressions by their operands or by literals — keeping a
+//! candidate only when the predicate *still* holds and the program got
+//! strictly smaller. Invalid candidates cost one predicate call and are
+//! rejected by it (the oracle refuses programs that fail semantic
+//! analysis), so no reduction here needs to preserve well-formedness.
+//!
+//! Progress is measured by the lexicographic pair (total AST nodes,
+//! non-literal nodes): literal substitutions that keep the node count
+//! still count as progress, and every accepted step decreases the pair,
+//! so the loop terminates without a fuel hack. `max_tests` bounds the
+//! predicate-call budget anyway, since each call runs the full oracle.
+
+use hlr::ast::{Block, Expr, Program, Stmt};
+use hlr::Span;
+
+/// Span attached to synthesized nodes; shrunk programs are re-rendered
+/// through the pretty printer, so positions are meaningless.
+const SPAN: Span = Span { start: 0, end: 0 };
+
+/// Counters describing one shrink run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Predicate invocations spent.
+    pub tests: usize,
+    /// Reductions accepted.
+    pub accepted: usize,
+}
+
+/// The size measure the shrinker decreases: `(nodes, non_literals)`,
+/// compared lexicographically.
+pub fn size(program: &Program) -> (u64, u64) {
+    fn expr_size(e: &Expr, nodes: &mut u64, hard: &mut u64) {
+        walk_expr(e, &mut |e| {
+            *nodes += 1;
+            if !matches!(e, Expr::Int(..) | Expr::Bool(..)) {
+                *hard += 1;
+            }
+        });
+    }
+    fn stmt_size(s: &Stmt, nodes: &mut u64, hard: &mut u64) {
+        *nodes += 1;
+        if !matches!(s, Stmt::Skip { .. }) {
+            *hard += 1;
+        }
+        match s {
+            Stmt::Block(b) => block_size(b, nodes, hard),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                expr_size(cond, nodes, hard);
+                stmt_size(then_branch, nodes, hard);
+                if let Some(e) = else_branch {
+                    stmt_size(e, nodes, hard);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                expr_size(cond, nodes, hard);
+                stmt_size(body, nodes, hard);
+            }
+            Stmt::For { from, to, body, .. } => {
+                expr_size(from, nodes, hard);
+                expr_size(to, nodes, hard);
+                stmt_size(body, nodes, hard);
+            }
+            _ => {
+                for e in stmt_exprs(s) {
+                    expr_size(e, nodes, hard);
+                }
+            }
+        }
+    }
+    // Declarations count too: dropping an (unused) local is progress the
+    // greedy loop must be allowed to take.
+    fn block_size(b: &Block, nodes: &mut u64, hard: &mut u64) {
+        for d in &b.decls {
+            *nodes += 1;
+            *hard += 1;
+            if let Some(init) = &d.init {
+                expr_size(init, nodes, hard);
+            }
+        }
+        for s in &b.stmts {
+            stmt_size(s, nodes, hard);
+        }
+    }
+    let mut nodes = 0u64;
+    let mut hard = 0u64;
+    for g in &program.globals {
+        nodes += 1;
+        hard += 1;
+        if let Some(init) = &g.init {
+            expr_size(init, &mut nodes, &mut hard);
+        }
+    }
+    for p in &program.procs {
+        nodes += 1 + p.params.len() as u64;
+        hard += 1 + p.params.len() as u64;
+        block_size(&p.body, &mut nodes, &mut hard);
+    }
+    (nodes, hard)
+}
+
+/// Shrinks `program` while `fails` holds, spending at most `max_tests`
+/// predicate calls. The caller must have established `fails(program)`
+/// already; the shrinker never re-tests the starting point.
+///
+/// Returns the smallest failing program found and the spend counters.
+pub fn shrink(
+    program: &Program,
+    max_tests: usize,
+    mut fails: impl FnMut(&Program) -> bool,
+) -> (Program, ShrinkStats) {
+    let mut current = program.clone();
+    let mut stats = ShrinkStats::default();
+    'outer: loop {
+        let bar = size(&current);
+        for candidate in candidates(&current) {
+            if stats.tests >= max_tests {
+                break 'outer;
+            }
+            if size(&candidate) >= bar {
+                continue;
+            }
+            stats.tests += 1;
+            if fails(&candidate) {
+                stats.accepted += 1;
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, stats)
+}
+
+/// All single-step reductions of `program`, in deterministic order:
+/// coarse passes (whole procedures, declarations, statements) before
+/// fine ones (control-flow unwrapping, expression substitution), so the
+/// greedy loop takes big bites first.
+fn candidates(program: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+
+    // Drop whole procedures (never `main` — sema requires it).
+    for i in 0..program.procs.len() {
+        if program.procs[i].name != "main" {
+            let mut c = program.clone();
+            c.procs.remove(i);
+            out.push(c);
+        }
+    }
+
+    // Drop global declarations.
+    for i in 0..program.globals.len() {
+        let mut c = program.clone();
+        c.globals.remove(i);
+        out.push(c);
+    }
+
+    // Drop one statement (every statement-vector slot, any nesting).
+    for site in 0.. {
+        let mut c = program.clone();
+        let mut hit = false;
+        let mut n = 0usize;
+        edit_stmt_vecs(&mut c, &mut |stmts, i| {
+            if n == site {
+                stmts.remove(i);
+                hit = true;
+            }
+            n += 1;
+            hit
+        });
+        if !hit {
+            break;
+        }
+        out.push(c);
+    }
+
+    // Drop one block-local declaration.
+    for site in 0.. {
+        let mut c = program.clone();
+        let mut hit = false;
+        let mut n = 0usize;
+        edit_decl_vecs(&mut c, &mut |decls, i| {
+            if n == site {
+                decls.remove(i);
+                hit = true;
+            }
+            n += 1;
+            hit
+        });
+        if !hit {
+            break;
+        }
+        out.push(c);
+    }
+
+    // Rewrite one statement in place (pre-order sites; several variants
+    // per site).
+    for site in 0.. {
+        let Some(original) = nth_stmt(program, site) else {
+            break;
+        };
+        for replacement in stmt_rewrites(&original) {
+            let mut c = program.clone();
+            set_nth_stmt(&mut c, site, replacement);
+            out.push(c);
+        }
+    }
+
+    // Rewrite one expression in place.
+    for site in 0.. {
+        let Some(original) = nth_expr(program, site) else {
+            break;
+        };
+        for replacement in expr_rewrites(&original) {
+            let mut c = program.clone();
+            set_nth_expr(&mut c, site, replacement);
+            out.push(c);
+        }
+    }
+
+    out
+}
+
+/// The in-place rewrites that might preserve a failure: unwrap control
+/// flow, drop an `else`, collapse to `skip`.
+fn stmt_rewrites(stmt: &Stmt) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    match stmt {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            out.push((**then_branch).clone());
+            if let Some(e) = else_branch {
+                out.push((**e).clone());
+                let mut keep = stmt.clone();
+                if let Stmt::If { else_branch, .. } = &mut keep {
+                    *else_branch = None;
+                }
+                out.push(keep);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::For { body, .. } => {
+            out.push((**body).clone());
+        }
+        Stmt::Block(b) if b.decls.is_empty() && b.stmts.len() == 1 => {
+            out.push(b.stmts[0].clone());
+        }
+        _ => {}
+    }
+    if !matches!(stmt, Stmt::Skip { .. }) {
+        out.push(Stmt::Skip { span: SPAN });
+    }
+    out
+}
+
+/// Expression reductions: hoist an operand, then literal substitutions
+/// of both types (the wrong-typed ones are rejected by sema via the
+/// predicate, which is cheaper than tracking types here).
+fn expr_rewrites(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match expr {
+        Expr::Binary { lhs, rhs, .. } => {
+            out.push((**lhs).clone());
+            out.push((**rhs).clone());
+        }
+        Expr::Unary { operand, .. } => out.push((**operand).clone()),
+        Expr::Index { index, .. } => out.push((**index).clone()),
+        Expr::Call { args, .. } => out.extend(args.iter().cloned()),
+        _ => {}
+    }
+    if !matches!(expr, Expr::Int(..) | Expr::Bool(..)) {
+        out.push(Expr::Int(0, SPAN));
+        out.push(Expr::Int(1, SPAN));
+        out.push(Expr::Bool(true, SPAN));
+        out.push(Expr::Bool(false, SPAN));
+    }
+    out
+}
+
+// ---- walkers ---------------------------------------------------------
+
+/// Calls `f(stmts, i)` for every statement-vector slot, depth-first.
+/// `f` returns `true` once it has edited; the walk stops there (indices
+/// into a vector being mutated must not advance past the edit).
+fn edit_stmt_vecs(program: &mut Program, f: &mut impl FnMut(&mut Vec<Stmt>, usize) -> bool) {
+    fn block(b: &mut Block, f: &mut impl FnMut(&mut Vec<Stmt>, usize) -> bool) -> bool {
+        let mut i = 0;
+        while i < b.stmts.len() {
+            if f(&mut b.stmts, i) {
+                return true;
+            }
+            if stmt(&mut b.stmts[i], f) {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+    fn stmt(s: &mut Stmt, f: &mut impl FnMut(&mut Vec<Stmt>, usize) -> bool) -> bool {
+        match s {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => stmt(then_branch, f) || else_branch.as_mut().is_some_and(|e| stmt(e, f)),
+            Stmt::While { body, .. } | Stmt::For { body, .. } => stmt(body, f),
+            Stmt::Block(b) => block(b, f),
+            _ => false,
+        }
+    }
+    for p in &mut program.procs {
+        if block(&mut p.body, f) {
+            return;
+        }
+    }
+}
+
+/// Calls `f(decls, i)` for every block-local declaration slot. Same
+/// stop-on-edit contract as [`edit_stmt_vecs`].
+fn edit_decl_vecs(
+    program: &mut Program,
+    f: &mut impl FnMut(&mut Vec<hlr::ast::VarDecl>, usize) -> bool,
+) {
+    fn block(
+        b: &mut Block,
+        f: &mut impl FnMut(&mut Vec<hlr::ast::VarDecl>, usize) -> bool,
+    ) -> bool {
+        let mut i = 0;
+        while i < b.decls.len() {
+            if f(&mut b.decls, i) {
+                return true;
+            }
+            i += 1;
+        }
+        for s in &mut b.stmts {
+            if stmt(s, f) {
+                return true;
+            }
+        }
+        false
+    }
+    fn stmt(s: &mut Stmt, f: &mut impl FnMut(&mut Vec<hlr::ast::VarDecl>, usize) -> bool) -> bool {
+        match s {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => stmt(then_branch, f) || else_branch.as_mut().is_some_and(|e| stmt(e, f)),
+            Stmt::While { body, .. } | Stmt::For { body, .. } => stmt(body, f),
+            Stmt::Block(b) => block(b, f),
+            _ => false,
+        }
+    }
+    for p in &mut program.procs {
+        if block(&mut p.body, f) {
+            return;
+        }
+    }
+}
+
+/// Visits every statement pre-order (vector slots *and* boxed children),
+/// applying `f`; stops when `f` returns `true`.
+fn edit_stmts(program: &mut Program, f: &mut impl FnMut(&mut Stmt) -> bool) {
+    fn stmt(s: &mut Stmt, f: &mut impl FnMut(&mut Stmt) -> bool) -> bool {
+        if f(s) {
+            return true;
+        }
+        match s {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => stmt(then_branch, f) || else_branch.as_mut().is_some_and(|e| stmt(e, f)),
+            Stmt::While { body, .. } | Stmt::For { body, .. } => stmt(body, f),
+            Stmt::Block(b) => b.stmts.iter_mut().any(|s| stmt(s, f)),
+            _ => false,
+        }
+    }
+    for p in &mut program.procs {
+        if p.body.stmts.iter_mut().any(|s| stmt(s, f)) {
+            return;
+        }
+    }
+}
+
+fn nth_stmt(program: &Program, site: usize) -> Option<Stmt> {
+    let mut c = program.clone();
+    let mut n = 0usize;
+    let mut found = None;
+    edit_stmts(&mut c, &mut |s| {
+        if n == site {
+            found = Some(s.clone());
+        }
+        n += 1;
+        found.is_some()
+    });
+    found
+}
+
+fn set_nth_stmt(program: &mut Program, site: usize, replacement: Stmt) {
+    let mut n = 0usize;
+    edit_stmts(program, &mut |s| {
+        if n == site {
+            *s = replacement.clone();
+            n += 1;
+            return true;
+        }
+        n += 1;
+        false
+    });
+}
+
+/// The direct subexpressions of a statement, in source order.
+fn stmt_exprs(stmt: &Stmt) -> Vec<&Expr> {
+    match stmt {
+        Stmt::Assign { value, .. } | Stmt::Write { value, .. } => vec![value],
+        Stmt::AssignIndexed { index, value, .. } => vec![index, value],
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => vec![cond],
+        Stmt::For { from, to, .. } => vec![from, to],
+        Stmt::Call { args, .. } => args.iter().collect(),
+        Stmt::Return { value, .. } => value.iter().collect(),
+        Stmt::Block(b) => b.decls.iter().filter_map(|d| d.init.as_ref()).collect(),
+        Stmt::Skip { .. } => Vec::new(),
+    }
+}
+
+fn stmt_exprs_mut(stmt: &mut Stmt) -> Vec<&mut Expr> {
+    match stmt {
+        Stmt::Assign { value, .. } | Stmt::Write { value, .. } => vec![value],
+        Stmt::AssignIndexed { index, value, .. } => vec![index, value],
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => vec![cond],
+        Stmt::For { from, to, .. } => vec![from, to],
+        Stmt::Call { args, .. } => args.iter_mut().collect(),
+        Stmt::Return { value, .. } => value.iter_mut().collect(),
+        Stmt::Block(b) => b.decls.iter_mut().filter_map(|d| d.init.as_mut()).collect(),
+        Stmt::Skip { .. } => Vec::new(),
+    }
+}
+
+fn walk_expr(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(expr);
+    match expr {
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Unary { operand, .. } => walk_expr(operand, f),
+        Expr::Index { index, .. } => walk_expr(index, f),
+        Expr::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, f)),
+        _ => {}
+    }
+}
+
+/// Visits every expression pre-order across the whole program
+/// (global initialisers, block-local initialisers, statement operands,
+/// nested subexpressions); stops when `f` returns `true`.
+fn edit_exprs(program: &mut Program, f: &mut impl FnMut(&mut Expr) -> bool) {
+    fn expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr) -> bool) -> bool {
+        if f(e) {
+            return true;
+        }
+        match e {
+            Expr::Binary { lhs, rhs, .. } => expr(lhs, f) || expr(rhs, f),
+            Expr::Unary { operand, .. } => expr(operand, f),
+            Expr::Index { index, .. } => expr(index, f),
+            Expr::Call { args, .. } => args.iter_mut().any(|a| expr(a, f)),
+            _ => false,
+        }
+    }
+    for g in &mut program.globals {
+        if let Some(init) = &mut g.init {
+            if expr(init, f) {
+                return;
+            }
+        }
+    }
+    let mut done = false;
+    edit_stmts(program, &mut |s| {
+        done = stmt_exprs_mut(s).into_iter().any(|e| expr(e, f));
+        done
+    });
+}
+
+fn nth_expr(program: &Program, site: usize) -> Option<Expr> {
+    let mut c = program.clone();
+    let mut n = 0usize;
+    let mut found = None;
+    edit_exprs(&mut c, &mut |e| {
+        if n == site {
+            found = Some(e.clone());
+        }
+        n += 1;
+        found.is_some()
+    });
+    found
+}
+
+fn set_nth_expr(program: &mut Program, site: usize, replacement: Expr) {
+    let mut n = 0usize;
+    edit_exprs(program, &mut |e| {
+        if n == site {
+            *e = replacement.clone();
+            n += 1;
+            return true;
+        }
+        n += 1;
+        false
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A predicate usable on arbitrary candidates: well-formed AND the
+    /// pretty-printed source still contains a `%`.
+    fn still_has_mod(p: &Program) -> bool {
+        hlr::sema::analyze(p).is_ok() && hlr::pretty::print(p).contains('%')
+    }
+
+    fn noisy_mod_program() -> Program {
+        let src = "int g := 4;\n\
+                   int arr[6];\n\
+                   proc helper(int a) -> int begin return a + 2; end\n\
+                   proc main() begin\n\
+                     int i; int acc := 0;\n\
+                     for i := 0 to 5 do begin\n\
+                       arr[i % 6] := helper(i) * g;\n\
+                       if arr[i % 6] > 4 then acc := acc + arr[i % 6];\n\
+                       else acc := acc - 1;\n\
+                     end\n\
+                     while acc > 0 do acc := acc - 3;\n\
+                     write acc; write g % 3;\n\
+                   end";
+        hlr::parser::parse(src).expect("fixture parses")
+    }
+
+    #[test]
+    fn shrinks_to_a_minimal_mod_program() {
+        let start = noisy_mod_program();
+        assert!(still_has_mod(&start));
+        let (small, stats) = shrink(&start, 20_000, still_has_mod);
+        assert!(still_has_mod(&small), "shrunk program must keep failing");
+        assert!(stats.accepted > 0, "no reduction accepted");
+        assert!(
+            size(&small) < size(&start),
+            "{:?} !< {:?}",
+            size(&small),
+            size(&start)
+        );
+        let text = hlr::pretty::print(&small);
+        assert!(
+            text.lines().count() <= 10,
+            "expected a tiny repro, got:\n{text}"
+        );
+        // The minimal shape is main + one statement keeping the `%`.
+        assert_eq!(small.procs.len(), 1);
+        assert!(small.globals.is_empty());
+    }
+
+    #[test]
+    fn shrink_respects_the_test_budget() {
+        let start = noisy_mod_program();
+        let (_, stats) = shrink(&start, 7, still_has_mod);
+        assert!(stats.tests <= 7);
+    }
+
+    #[test]
+    fn size_orders_literal_substitution_as_progress() {
+        let a = hlr::parser::parse("proc main() begin write 1 + 2; end").unwrap();
+        let b = hlr::parser::parse("proc main() begin write 3; end").unwrap();
+        assert!(size(&b) < size(&a));
+    }
+
+    #[test]
+    fn already_minimal_programs_are_fixpoints() {
+        let p = hlr::parser::parse("proc main() begin write 0 % 1; end").unwrap();
+        let (small, _) = shrink(&p, 20_000, still_has_mod);
+        let text = hlr::pretty::print(&small);
+        assert!(text.contains('%'), "{text}");
+        assert_eq!(small.procs.len(), 1);
+    }
+}

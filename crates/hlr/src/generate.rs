@@ -1,9 +1,12 @@
 //! Seeded random RAUL program generator.
 //!
 //! Used by property tests and benchmarks for *differential testing*: every
-//! generated program terminates and is trap-free **by construction**, so all
-//! execution engines (reference evaluator, pure DIR interpreter, DTB
-//! machine, i-cache machine) must produce identical output on it.
+//! generated program terminates **by construction**, so all execution
+//! engines (reference evaluator, pure DIR interpreter, DTB machine,
+//! i-cache machine) must produce identical output on it. With the default
+//! configuration programs are additionally trap-free; setting
+//! [`Config::trapping`] relaxes that so the conformance plane can check
+//! that every engine raises the *same* trap at the same point.
 //!
 //! Safety-by-construction rules:
 //!
@@ -11,9 +14,16 @@
 //!   whose counter is *protected* (never assigned inside the body);
 //! * procedure calls only target lower-numbered procedures, so the call
 //!   graph is a DAG and recursion is impossible;
-//! * `/` and `%` only appear with non-zero constant divisors;
-//! * array indices are either in-range constants or `i % len` with a
-//!   protected, non-negative loop counter `i`.
+//! * unless [`Config::trapping`] is set, `/` and `%` only appear with
+//!   non-zero constant divisors and array indices are in-range constants.
+//!
+//! The feature toggles ([`Config::arrays`], [`Config::calls`],
+//! [`Config::div_mod`], [`Config::max_loop_nesting`],
+//! [`Config::extra_writes`], [`Config::trapping`]) let a sweep steer the
+//! generator into structurally distinct regions of the program space —
+//! scalar-only straight-line code, call-heavy DAGs, deeply nested loops,
+//! write-heavy I/O programs — so coverage accounting can demand that each
+//! region is actually exercised.
 
 use crate::ast::*;
 use crate::rng::Rng;
@@ -21,7 +31,7 @@ use crate::types::Type;
 use crate::Span;
 
 /// Tuning knobs for the generator.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Config {
     /// Number of helper procedures besides `main`.
     pub n_procs: usize,
@@ -33,6 +43,23 @@ pub struct Config {
     pub max_stmt_depth: u32,
     /// Upper bound for loop trip counts.
     pub max_trip: u32,
+    /// Generate array reads and writes (the `garr` global). Off, no
+    /// `LoadArr*`/`StoreArr*` opcode ever appears in the compiled DIR.
+    pub arrays: bool,
+    /// Generate procedure calls (statement and expression position).
+    pub calls: bool,
+    /// Generate `/` and `%` operators.
+    pub div_mod: bool,
+    /// Maximum loop nesting depth; `0` disables loops entirely. Nesting
+    /// is additionally bounded by [`Config::max_stmt_depth`].
+    pub max_loop_nesting: u32,
+    /// Extra `write` statements appended to `main` (the I/O-volume knob).
+    pub extra_writes: u32,
+    /// Allow potentially-trapping constructs: variable divisors (may be
+    /// zero at runtime) and computed array indices (may be out of
+    /// range). Programs still terminate; they just may end in a trap,
+    /// which every engine must report identically.
+    pub trapping: bool,
 }
 
 impl Default for Config {
@@ -43,6 +70,12 @@ impl Default for Config {
             max_expr_depth: 3,
             max_stmt_depth: 3,
             max_trip: 6,
+            arrays: true,
+            calls: true,
+            div_mod: true,
+            max_loop_nesting: u32::MAX,
+            extra_writes: 0,
+            trapping: false,
         }
     }
 }
@@ -238,14 +271,23 @@ impl Gen {
             value: Expr::Var("g1".into(), SPAN),
             span: SPAN,
         });
-        body.stmts.push(Stmt::Write {
-            value: Expr::Index {
-                name: "garr".into(),
-                index: Box::new(Expr::Int(3, SPAN)),
+        if self.config.arrays {
+            body.stmts.push(Stmt::Write {
+                value: Expr::Index {
+                    name: "garr".into(),
+                    index: Box::new(Expr::Int(3, SPAN)),
+                    span: SPAN,
+                },
                 span: SPAN,
-            },
-            span: SPAN,
-        });
+            });
+        }
+        // The I/O-volume knob: extra observations of generated expressions.
+        for _ in 0..self.config.extra_writes {
+            body.stmts.push(Stmt::Write {
+                value: self.expr(&scope, sigs, Type::Int, 0),
+                span: SPAN,
+            });
+        }
         ProcDecl {
             name: "main".into(),
             params: Vec::new(),
@@ -298,6 +340,9 @@ impl Gen {
         } else {
             self.rng.range_usize(0, 9)
         };
+        // Loops beyond the configured nesting bound degrade to a leaf
+        // write, keeping the rng draw count per choice stable.
+        let loops_allowed = scope.loop_depth < self.config.max_loop_nesting;
         match choice {
             // Leaf statements.
             0 | 1 => {
@@ -313,9 +358,11 @@ impl Gen {
                     Stmt::Skip { span: SPAN }
                 }
             }
-            2 => {
-                // Array store with a safe constant index.
-                let index = Expr::Int(self.rng.range_i64(0, 8), SPAN);
+            2 if self.config.arrays => {
+                // Array store; the index is a safe constant unless the
+                // trapping profile asks for computed (possibly
+                // out-of-range) indices.
+                let index = self.array_index(scope, sigs);
                 let value = self.expr(scope, sigs, Type::Int, 0);
                 Stmt::AssignIndexed {
                     name: "garr".into(),
@@ -324,7 +371,7 @@ impl Gen {
                     span: SPAN,
                 }
             }
-            3 => Stmt::Write {
+            2 | 3 => Stmt::Write {
                 value: self.expr(scope, sigs, Type::Int, 0),
                 span: SPAN,
             },
@@ -344,7 +391,7 @@ impl Gen {
                     span: SPAN,
                 }
             }
-            6 => {
+            6 if loops_allowed => {
                 // Bounded for loop with a protected counter.
                 let var = self.fresh_name("i");
                 let trip = self.rng.range_u32(1, self.config.max_trip + 1) as i64;
@@ -375,7 +422,7 @@ impl Gen {
                     span: SPAN,
                 })
             }
-            7 => {
+            7 if loops_allowed => {
                 // Counted while loop: `int c := k; while c > 0 do { ...; c := c - 1; }`
                 let var = self.fresh_name("c");
                 let trip = self.rng.range_u32(1, self.config.max_trip + 1) as i64;
@@ -418,10 +465,15 @@ impl Gen {
                     span: SPAN,
                 })
             }
+            6 | 7 => Stmt::Write {
+                // Loop nesting bound reached: degrade to a leaf write.
+                value: self.expr(scope, sigs, Type::Int, 0),
+                span: SPAN,
+            },
             _ => {
                 // Call a lower-numbered procedure, if any exists; never
                 // inside a loop (keeps generated work bounded).
-                if scope.callable == 0 || scope.loop_depth > 0 {
+                if !self.config.calls || scope.callable == 0 || scope.loop_depth > 0 {
                     return Stmt::Skip { span: SPAN };
                 }
                 let target = self.rng.range_usize(0, scope.callable);
@@ -474,13 +526,21 @@ impl Gen {
                         0 => BinOp::Add,
                         1 => BinOp::Sub,
                         2 => BinOp::Mul,
-                        3 => BinOp::Div,
-                        _ => BinOp::Mod,
+                        3 if self.config.div_mod => BinOp::Div,
+                        3 => BinOp::Add,
+                        _ if self.config.div_mod => BinOp::Mod,
+                        _ => BinOp::Mul,
                     };
                     let lhs = Box::new(self.expr(scope, sigs, Type::Int, depth + 1));
                     let rhs = if matches!(op, BinOp::Div | BinOp::Mod) {
-                        // Non-zero constant divisor keeps the program trap-free.
-                        Box::new(Expr::Int(self.rng.range_i64(1, 20), SPAN))
+                        if self.config.trapping && self.rng.bool_with(0.4) {
+                            // A computed divisor that may be zero at
+                            // runtime: the trap-agreement probe.
+                            Box::new(self.expr(scope, sigs, Type::Int, depth + 1))
+                        } else {
+                            // Non-zero constant divisor keeps the program trap-free.
+                            Box::new(Expr::Int(self.rng.range_i64(1, 20), SPAN))
+                        }
                     } else {
                         Box::new(self.expr(scope, sigs, Type::Int, depth + 1))
                     };
@@ -496,18 +556,20 @@ impl Gen {
                     operand: Box::new(self.expr(scope, sigs, Type::Int, depth + 1)),
                     span: SPAN,
                 },
-                6 => {
-                    // Array read with a safe constant index.
+                6 if self.config.arrays => {
+                    // Array read; constant index unless trapping.
+                    let index = self.array_index(scope, sigs);
                     Expr::Index {
                         name: "garr".into(),
-                        index: Box::new(Expr::Int(self.rng.range_i64(0, 8), SPAN)),
+                        index: Box::new(index),
                         span: SPAN,
                     }
                 }
+                6 => self.leaf(scope, ty),
                 _ => {
                     // Call an int-returning lower procedure if possible;
                     // never inside a loop (keeps generated work bounded).
-                    if scope.loop_depth > 0 {
+                    if !self.config.calls || scope.loop_depth > 0 {
                         return self.leaf(scope, ty);
                     }
                     let candidates: Vec<usize> = (0..scope.callable)
@@ -568,6 +630,22 @@ impl Gen {
                 },
             },
             Type::IntArray(_) => unreachable!("arrays are never expression-typed"),
+        }
+    }
+
+    /// An index expression for the global array: a safe in-range constant
+    /// normally, or — under [`Config::trapping`] — sometimes a computed
+    /// expression that may land out of range at runtime.
+    fn array_index(&mut self, scope: &Scope, sigs: &[GSig]) -> Expr {
+        if self.config.trapping && self.rng.bool_with(0.3) {
+            self.expr(
+                scope,
+                sigs,
+                Type::Int,
+                self.config.max_expr_depth.saturating_sub(1),
+            )
+        } else {
+            Expr::Int(self.rng.range_i64(0, 8), SPAN)
         }
     }
 
@@ -646,5 +724,111 @@ mod tests {
         };
         let ast = program(3, &cfg);
         assert_eq!(ast.procs.len(), 7); // 6 helpers + main
+    }
+
+    #[test]
+    fn arrays_toggle_removes_indexing() {
+        let cfg = Config {
+            arrays: false,
+            ..Config::default()
+        };
+        for seed in 0..20 {
+            let text = crate::pretty::print(&program(seed, &cfg));
+            // The only occurrence is the (unreferenced) global declaration.
+            assert_eq!(text.matches("garr[").count(), 1, "seed {seed}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn calls_toggle_removes_calls() {
+        let cfg = Config {
+            calls: false,
+            ..Config::default()
+        };
+        for seed in 0..20 {
+            let text = crate::pretty::print(&program(seed, &cfg));
+            for p in 0..cfg.n_procs {
+                // Every `pN(` occurrence must be the procedure header
+                // itself, never a call site.
+                assert_eq!(
+                    text.matches(&format!("p{p}(")).count(),
+                    text.matches(&format!("proc p{p}(")).count(),
+                    "seed {seed}:\n{text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn div_mod_toggle_removes_division() {
+        let cfg = Config {
+            div_mod: false,
+            ..Config::default()
+        };
+        for seed in 0..20 {
+            let text = crate::pretty::print(&program(seed, &cfg));
+            assert!(
+                !text.contains(" / ") && !text.contains(" % "),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn loop_nesting_zero_removes_loops() {
+        let cfg = Config {
+            max_loop_nesting: 0,
+            ..Config::default()
+        };
+        for seed in 0..20 {
+            let text = crate::pretty::print(&program(seed, &cfg));
+            assert!(
+                !text.contains("for ") && !text.contains("while "),
+                "seed {seed}:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn extra_writes_raise_io_volume() {
+        let base = Config::default();
+        let heavy = Config {
+            extra_writes: 10,
+            ..base
+        };
+        let count = |cfg: &Config| {
+            crate::pretty::print(&program(11, cfg))
+                .matches("write ")
+                .count()
+        };
+        assert!(count(&heavy) >= count(&base) + 10);
+    }
+
+    #[test]
+    fn trapping_programs_still_terminate() {
+        let cfg = Config {
+            trapping: true,
+            ..Config::default()
+        };
+        let limits = eval::Limits {
+            max_steps: 20_000_000,
+            max_depth: 100,
+        };
+        let mut trapped = 0;
+        for seed in 0..60 {
+            let ast = program(seed, &cfg);
+            let hir =
+                sema::analyze(&ast).unwrap_or_else(|e| panic!("seed {seed}: sema failed: {e}"));
+            match eval::run_with_limits(&hir, limits) {
+                Ok(_) => {}
+                Err(eval::EvalError::DivByZero | eval::EvalError::IndexOutOfBounds { .. }) => {
+                    trapped += 1;
+                }
+                Err(e) => panic!("seed {seed}: unexpected limit trap {e}"),
+            }
+        }
+        // The profile must actually produce some trapping programs, or
+        // trap-class coverage would be vacuous.
+        assert!(trapped > 0, "no trapping program in 60 seeds");
     }
 }

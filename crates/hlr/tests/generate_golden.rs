@@ -1,0 +1,80 @@
+//! Cross-platform determinism pin for the program generator: a known
+//! `(seed, Config)` pair must produce *exactly* the committed program,
+//! byte for byte, on every platform and toolchain. The conformance
+//! sweep's coverage baseline and every seeded differential test depend
+//! on this — a silent generator drift would quietly re-seed them all.
+//!
+//! If the generator changes **intentionally**, regenerate the goldens
+//! by printing `hlr::pretty::print(&hlr::generate::program(seed, &cfg))`
+//! for each pair below into `tests/golden/`, and expect downstream
+//! coverage baselines (crates/bench/baselines/) to need re-measuring.
+
+use hlr::generate::Config;
+
+fn check(seed: u64, cfg: &Config, golden: &str) {
+    let ast = hlr::generate::program(seed, cfg);
+    let text = hlr::pretty::print(&ast);
+    assert_eq!(
+        text, golden,
+        "generator output for seed {seed:#x} drifted from the committed golden"
+    );
+    // Determinism within a process too: a second call must be identical.
+    let again = hlr::pretty::print(&hlr::generate::program(seed, cfg));
+    assert_eq!(
+        text, again,
+        "generator is not deterministic for seed {seed:#x}"
+    );
+}
+
+#[test]
+fn seed42_default_config_is_pinned() {
+    check(
+        42,
+        &Config::default(),
+        include_str!("golden/gen_seed42_default.raul"),
+    );
+}
+
+#[test]
+fn seed7_scalar_only_config_is_pinned() {
+    check(
+        7,
+        &Config {
+            arrays: false,
+            calls: false,
+            ..Config::default()
+        },
+        include_str!("golden/gen_seed7_scalar.raul"),
+    );
+}
+
+#[test]
+fn sweep_seed_trapping_config_is_pinned() {
+    check(
+        0xC0_4F0C,
+        &Config {
+            trapping: true,
+            ..Config::default()
+        },
+        include_str!("golden/gen_seedc04f0c_trapping.raul"),
+    );
+}
+
+#[test]
+fn pinned_programs_are_valid_and_trap_free() {
+    for (seed, cfg) in [
+        (42, Config::default()),
+        (
+            7,
+            Config {
+                arrays: false,
+                calls: false,
+                ..Config::default()
+            },
+        ),
+    ] {
+        let ast = hlr::generate::program(seed, &cfg);
+        let hir = hlr::sema::analyze(&ast).expect("pinned program passes sema");
+        hlr::eval::run(&hir).expect("pinned non-trapping program runs clean");
+    }
+}

@@ -142,6 +142,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -206,9 +207,15 @@ impl fmt::Display for Json {
     }
 }
 
+/// Maximum container nesting the parser accepts. Recursive descent uses
+/// the call stack, so unbounded nesting in hostile input would overflow
+/// it; no report the workspace emits nests deeper than a dozen levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -250,11 +257,26 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b'-') | Some(b'0'..=b'9') => self.number(),
             _ => Err(format!("unexpected input at byte {}", self.pos)),
         }
+    }
+
+    /// Runs one container parse with the depth limit enforced, so deeply
+    /// nested input errors out instead of exhausting the call stack.
+    fn nested(&mut self, f: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Json, String> {
@@ -485,5 +507,56 @@ mod tests {
     fn unicode_escapes_parse() {
         let v = Json::parse("\"a\\u0041\\u00e9\"").unwrap();
         assert_eq!(v.as_str(), Some("aAé"));
+    }
+
+    #[test]
+    fn escape_edge_cases() {
+        // Every simple escape, plus a lone surrogate mapping to U+FFFD.
+        let v = Json::parse("\"\\\"\\\\\\/\\n\\r\\t\\b\\f\\ud800\"").unwrap();
+        assert_eq!(v.as_str(), Some("\"\\/\n\r\t\u{8}\u{c}\u{FFFD}"));
+        // Truncated and malformed \u escapes are errors, not panics.
+        for bad in ["\"\\u12", "\"\\u12\"", "\"\\uzzzz\"", "\"\\q\"", "\"\\"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        for bad in [
+            "{",
+            "[1",
+            "\"abc",
+            "{\"a\":",
+            "{\"a\"",
+            "[",
+            "-",
+            "[{\"x\":[",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn as_bool_does_not_coerce() {
+        let v = Json::parse("{\"t\": true, \"n\": 1, \"s\": \"true\", \"z\": null}").unwrap();
+        assert_eq!(v.get("t").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("n").and_then(Json::as_bool), None);
+        assert_eq!(v.get("s").and_then(Json::as_bool), None);
+        assert_eq!(v.get("z").and_then(Json::as_bool), None);
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Within the limit: parses fine (64 levels of arrays).
+        let ok = format!("{}0{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&ok).is_ok());
+        // Past the limit: a clean error even for input deep enough to
+        // blow the call stack on an unguarded recursive parser.
+        let deep = format!("{}0{}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let deep_obj = "{\"a\":".repeat(100_000);
+        assert!(Json::parse(&deep_obj).is_err());
     }
 }

@@ -1,0 +1,132 @@
+//! Integration tests for the generative conformance plane: the honest
+//! cross-engine oracle over generated programs, the delta-debugging
+//! shrinker against an injected fault, and replay of every committed
+//! regression repro under `tests/golden/regressions/`.
+
+use std::path::PathBuf;
+
+use conformance::{run_case, shrink, CaseConfig, Injection};
+use hlr::generate::Config;
+
+fn regressions_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/regressions")
+}
+
+/// Strips `//` comment lines from a committed `.raul` repro; the RAUL
+/// grammar itself has no comments.
+fn strip_comments(source: &str) -> String {
+    source
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("//"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The noisy fixture the shrinker is demonstrated on: plenty of
+/// structure to strip away around the single `%` that triggers the
+/// injected fault.
+fn noisy_fixture() -> hlr::ast::Program {
+    let src = "int g := 4;\n\
+               proc scale(int a) -> int begin return a * 3; end\n\
+               proc main() begin\n\
+                 int i; int acc := 0;\n\
+                 for i := 1 to 6 do begin\n\
+                   acc := acc + scale(i) % 5;\n\
+                   if acc > 7 then write acc; else write 0 - acc;\n\
+                 end\n\
+                 write acc % 3;\n\
+               end";
+    hlr::parser::parse(src).expect("fixture parses")
+}
+
+#[test]
+fn honest_generated_batch_conforms() {
+    let cfg = CaseConfig::default();
+    for seed in 0..32u64 {
+        let ast = hlr::generate::program(seed, &Config::default());
+        let report = run_case(&ast, &cfg, Injection::None)
+            .unwrap_or_else(|e| panic!("seed {seed}: oracle refused the program: {e}"));
+        assert!(
+            report.conforms(),
+            "seed {seed} diverged: {:?}",
+            report.divergences
+        );
+    }
+}
+
+#[test]
+fn trapping_generated_batch_conforms() {
+    let cfg = CaseConfig::default();
+    let gen_cfg = Config {
+        trapping: true,
+        ..Config::default()
+    };
+    for seed in 100..120u64 {
+        let ast = hlr::generate::program(seed, &gen_cfg);
+        let report = run_case(&ast, &cfg, Injection::None)
+            .unwrap_or_else(|e| panic!("seed {seed}: oracle refused the program: {e}"));
+        assert!(
+            report.conforms(),
+            "seed {seed} diverged: {:?}",
+            report.divergences
+        );
+    }
+}
+
+#[test]
+fn injected_fault_shrinks_to_the_committed_golden() {
+    let cfg = CaseConfig::default();
+    let fails = |p: &hlr::ast::Program| {
+        run_case(p, &cfg, Injection::FlipOnMod)
+            .map(|r| !r.conforms())
+            .unwrap_or(false)
+    };
+    let start = noisy_fixture();
+    assert!(fails(&start), "fixture must diverge under injection");
+
+    let (small, stats) = shrink(&start, 2_000, fails);
+    assert!(stats.accepted > 0, "shrinker accepted nothing");
+    let text = hlr::pretty::print(&small);
+    assert!(
+        text.lines().count() <= 30,
+        "repro too large ({} lines):\n{text}",
+        text.lines().count()
+    );
+
+    let golden_path = regressions_dir().join("mod_injection.raul");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+    assert_eq!(
+        text.trim_end(),
+        strip_comments(&golden).trim_end(),
+        "shrunk repro drifted from the committed golden; if the shrinker \
+         changed intentionally, update tests/golden/regressions/mod_injection.raul"
+    );
+}
+
+#[test]
+fn committed_regressions_replay_clean() {
+    let cfg = CaseConfig::default();
+    let dir = regressions_dir();
+    let mut replayed = 0;
+    for entry in std::fs::read_dir(&dir).expect("regressions dir exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("raul") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let ast = hlr::parser::parse(&strip_comments(&source))
+            .unwrap_or_else(|e| panic!("{} does not parse: {e:?}", path.display()));
+        let report = run_case(&ast, &cfg, Injection::None)
+            .unwrap_or_else(|e| panic!("{}: oracle refused: {e}", path.display()));
+        assert!(
+            report.conforms(),
+            "{} still diverges: {:?}",
+            path.display(),
+            report.divergences
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "no .raul repros found in {}", dir.display());
+}
