@@ -1,8 +1,13 @@
 //! Shared helpers for the benchmark harness.
 //!
-//! Each binary under `src/bin/` regenerates one table or figure of Rau
-//! (1978) — see DESIGN.md's experiment index — and prints a plain-text
-//! table to stdout. This library holds the workload plumbing they share.
+//! Each binary under `src/bin/` either regenerates one table or figure
+//! of Rau (1978) or gates one of the cross-cutting planes
+//! (`fault_campaign`, `perf_gate`, `pool_throughput`, `analyze_gate`,
+//! `profile_gate`, `chaos_campaign`, `conformance_sweep`,
+//! `service_load`) against a committed baseline via `--smoke` — see
+//! DESIGN.md's experiment index. Every binary prints a plain-text
+//! table to stdout and the same data as a versioned report via
+//! `--json`. This library holds the workload plumbing they share.
 
 pub mod corpus;
 pub mod timing;

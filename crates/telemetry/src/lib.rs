@@ -33,8 +33,9 @@ pub mod stats;
 pub use event::{Event, EventCounts, FaultKind, MissKind, Tier};
 pub use json::Json;
 pub use report::{
-    AnalyzeReport, PoolReport, ProfileReport, ResilienceReport, RunReport, ANALYZE_SCHEMA_VERSION,
-    POOL_SCHEMA_VERSION, PROFILE_SCHEMA_VERSION, RESILIENCE_SCHEMA_VERSION, SCHEMA_VERSION,
+    AnalyzeReport, PoolReport, ProfileReport, ResilienceReport, RunReport, ServiceReport,
+    ANALYZE_SCHEMA_VERSION, POOL_SCHEMA_VERSION, PROFILE_SCHEMA_VERSION, RESILIENCE_SCHEMA_VERSION,
+    SCHEMA_VERSION, SERVICE_SCHEMA_VERSION,
 };
 pub use sink::{JsonlSink, NullSink, RingSink, TeeSink, TraceSink};
 pub use stats::{percentile_sorted, LogHistogram, Percentiles};

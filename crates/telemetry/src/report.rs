@@ -54,6 +54,13 @@ pub const PROFILE_SCHEMA_VERSION: i64 = 4;
 /// unambiguous in mixed JSONL streams.
 pub const RESILIENCE_SCHEMA_VERSION: i64 = 5;
 
+/// Current schema version of [`ServiceReport`]. Request-serving runs are
+/// a sixth top-level shape (a per-load-step trajectory of
+/// latency-under-load percentiles plus a request outcome table),
+/// versioned above [`RESILIENCE_SCHEMA_VERSION`] so all six report
+/// families stay unambiguous in mixed JSONL streams.
+pub const SERVICE_SCHEMA_VERSION: i64 = 6;
+
 /// One machine-readable run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -633,6 +640,123 @@ impl ResilienceReport {
     }
 }
 
+/// One machine-readable service report (schema
+/// [`SERVICE_SCHEMA_VERSION`]).
+///
+/// The output shape of request-serving runs (`raul serve`/`raul load`,
+/// the `service_load` bench): where [`PoolReport`] carries one batch's
+/// latency percentiles, a `ServiceReport` extends them into a
+/// *latency-under-load trajectory* — a `steps` array with one entry per
+/// open-loop arrival-rate step, each carrying its own
+/// p50/p95/p99/p99.9 latency (in **modeled cycles**, so the trajectory
+/// is deterministic and committable as a baseline) plus the step's
+/// request outcome table (completed / trapped / rejected / shed). The
+/// `aggregate` section totals the outcome table across steps; the
+/// optional `slo` section records the producing tool's verdicts on its
+/// service-level objectives (bounded p99, zero lost requests, full
+/// accounting). Sections are free-form — the producing crate
+/// (`uhm::report::service_report`) fills the canonical shape; this type
+/// owns only versioning and round-tripping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// The emitting tool, e.g. `"raul load"` or `"service_load"`.
+    pub tool: String,
+    /// Service configuration (free-form object: workers, watermark,
+    /// quota, admission bound, seed, request mix).
+    pub config: Json,
+    /// Per-load-step trajectory entries, in sweep order (free-form
+    /// array; each entry carries the step's arrival rate, outcome
+    /// counts, and `latency_cycles` percentiles).
+    pub steps: Json,
+    /// Cross-step aggregates (free-form object: total requests, the
+    /// outcome table, lost-request count).
+    pub aggregate: Json,
+    /// Optional SLO verdicts (free-form object; `true` = objective met).
+    pub slo: Option<Json>,
+}
+
+impl ServiceReport {
+    /// Creates a service report with an empty optional SLO section.
+    pub fn new(tool: &str, config: Json, steps: Json, aggregate: Json) -> ServiceReport {
+        ServiceReport {
+            tool: tool.to_string(),
+            config,
+            steps,
+            aggregate,
+            slo: None,
+        }
+    }
+
+    /// The report as a JSON value (with `schema_version` stamped in).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            (
+                "schema_version".to_string(),
+                Json::Int(SERVICE_SCHEMA_VERSION),
+            ),
+            ("tool".to_string(), Json::Str(self.tool.clone())),
+            ("config".to_string(), self.config.clone()),
+            ("steps".to_string(), self.steps.clone()),
+            ("aggregate".to_string(), self.aggregate.clone()),
+        ];
+        if let Some(s) = &self.slo {
+            pairs.push(("slo".to_string(), s.clone()));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstructs a service report from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `schema_version` is missing or not
+    /// [`SERVICE_SCHEMA_VERSION`], or a required section is absent.
+    pub fn from_json(value: &Json) -> Result<ServiceReport, String> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing schema_version")?;
+        if version != SERVICE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported service schema_version {version} \
+                 (expected {SERVICE_SCHEMA_VERSION})"
+            ));
+        }
+        let tool = value
+            .get("tool")
+            .and_then(Json::as_str)
+            .ok_or("missing tool")?
+            .to_string();
+        let section = |name: &str| -> Result<Json, String> {
+            value
+                .get(name)
+                .cloned()
+                .ok_or(format!("missing {name} section"))
+        };
+        Ok(ServiceReport {
+            tool,
+            config: section("config")?,
+            steps: section("steps")?,
+            aggregate: section("aggregate")?,
+            slo: value.get("slo").cloned(),
+        })
+    }
+
+    /// Parses a service report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON syntax errors and schema violations.
+    pub fn parse(text: &str) -> Result<ServiceReport, String> {
+        ServiceReport::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -950,13 +1074,86 @@ mod tests {
         assert!(err.contains("missing invariants section"), "{err}");
     }
 
+    fn service_sample() -> ServiceReport {
+        let mut r = ServiceReport::new(
+            "service_load",
+            Json::obj([
+                ("workers", Json::from(4i64)),
+                ("queue_watermark", Json::from(32i64)),
+                ("seed", Json::from(7i64)),
+            ]),
+            Json::Arr(vec![Json::obj([
+                ("rate_per_mcycle", Json::from(8i64)),
+                ("requests", Json::from(120i64)),
+                ("completed", Json::from(118i64)),
+                ("shed", Json::from(2i64)),
+                (
+                    "latency_cycles",
+                    Json::obj([
+                        ("p50", Json::from(41_000.0)),
+                        ("p95", Json::from(95_000.0)),
+                        ("p99", Json::from(140_000.0)),
+                        ("p999", Json::from(160_000.0)),
+                    ]),
+                ),
+            ])]),
+            Json::obj([
+                ("requests", Json::from(120i64)),
+                ("completed", Json::from(118i64)),
+                ("shed", Json::from(2i64)),
+                ("lost", Json::from(0i64)),
+            ]),
+        );
+        r.slo = Some(Json::obj([
+            ("zero_lost_requests", Json::Bool(true)),
+            ("p99_within_baseline", Json::Bool(true)),
+        ]));
+        r
+    }
+
     #[test]
-    fn all_five_report_families_reject_each_other() {
+    fn service_report_round_trips_and_rejects_other_versions() {
+        let r = service_sample();
+        let back = ServiceReport::parse(&r.render()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(
+            back.to_json().get("schema_version").and_then(Json::as_i64),
+            Some(SERVICE_SCHEMA_VERSION)
+        );
+        assert_eq!(back.aggregate.get("lost").and_then(Json::as_i64), Some(0));
+        // The optional SLO section stays optional.
+        let bare = ServiceReport::new("t", Json::obj([]), Json::Arr(vec![]), Json::obj([]));
+        let back = ServiceReport::parse(&bare.render()).unwrap();
+        assert_eq!(back.slo, None);
+        // A doctored version is refused with the family's own message.
+        let mut doctored = r.to_json();
+        if let Json::Obj(pairs) = &mut doctored {
+            pairs[0].1 = Json::Int(5);
+        }
+        let err = ServiceReport::from_json(&doctored).unwrap_err();
+        assert!(
+            err.contains("unsupported service schema_version 5"),
+            "{err}"
+        );
+        // Missing sections are named.
+        let bare = Json::obj([
+            ("schema_version", Json::Int(SERVICE_SCHEMA_VERSION)),
+            ("tool", Json::from("service_load")),
+            ("config", Json::obj([])),
+            ("steps", Json::Arr(vec![])),
+        ]);
+        let err = ServiceReport::from_json(&bare).unwrap_err();
+        assert!(err.contains("missing aggregate section"), "{err}");
+    }
+
+    #[test]
+    fn all_six_report_families_reject_each_other() {
         let run = sample().to_json();
         let pool = pool_sample().to_json();
         let analyze = analyze_sample().to_json();
         let profile = profile_sample().to_json();
         let resilience = resilience_sample().to_json();
+        let service = service_sample().to_json();
         assert_eq!(
             profile.get("schema_version").and_then(Json::as_i64),
             Some(4)
@@ -965,27 +1162,35 @@ mod tests {
             resilience.get("schema_version").and_then(Json::as_i64),
             Some(5)
         );
+        assert_eq!(
+            service.get("schema_version").and_then(Json::as_i64),
+            Some(6)
+        );
 
-        // Each family parses only its own version: 5 × 4 cross-rejections.
-        for other in [&pool, &analyze, &profile, &resilience] {
+        // Each family parses only its own version: 6 × 5 cross-rejections.
+        for other in [&pool, &analyze, &profile, &resilience, &service] {
             assert!(RunReport::from_json(other).is_err());
         }
-        for other in [&run, &analyze, &profile, &resilience] {
+        for other in [&run, &analyze, &profile, &resilience, &service] {
             assert!(PoolReport::from_json(other).is_err());
         }
-        for other in [&run, &pool, &profile, &resilience] {
+        for other in [&run, &pool, &profile, &resilience, &service] {
             assert!(AnalyzeReport::from_json(other).is_err());
         }
-        for other in [&run, &pool, &analyze, &resilience] {
+        for other in [&run, &pool, &analyze, &resilience, &service] {
             let err = ProfileReport::from_json(other).unwrap_err();
             assert!(err.contains("unsupported profile schema_version"), "{err}");
         }
-        for other in [&run, &pool, &analyze, &profile] {
+        for other in [&run, &pool, &analyze, &profile, &service] {
             let err = ResilienceReport::from_json(other).unwrap_err();
             assert!(
                 err.contains("unsupported resilience schema_version"),
                 "{err}"
             );
+        }
+        for other in [&run, &pool, &analyze, &profile, &resilience] {
+            let err = ServiceReport::from_json(other).unwrap_err();
+            assert!(err.contains("unsupported service schema_version"), "{err}");
         }
     }
 

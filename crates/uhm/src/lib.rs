@@ -23,7 +23,11 @@
 //! * [`resilience`] — the supervision policies around the pool: execution
 //!   budgets ([`Budget`]), seeded retry/backoff, per-image circuit
 //!   breakers, pressure-bound admission control, load shedding, and the
-//!   pool-level chaos plane.
+//!   pool-level chaos plane;
+//! * [`service`] — the request-serving plane over the pool: open-loop
+//!   arrivals on the modeled clock, static admission, per-tenant fair
+//!   queues with quotas and watermark backpressure, and the
+//!   deterministic latency-under-load trajectory ([`ServiceRun`]).
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@ pub mod model;
 pub mod pool;
 pub mod report;
 pub mod resilience;
+pub mod service;
 pub mod sweep;
 pub mod window;
 
@@ -68,6 +73,9 @@ pub use model::Params;
 pub use pool::{MachinePool, PoolRun, PoolTenant, TenantOutcome, TenantResult};
 pub use resilience::{
     AdmissionPolicy, BackoffPolicy, Breaker, BreakerPolicy, BreakerState, ChaosConfig, Supervisor,
+};
+pub use service::{
+    Request, RequestOutcome, RequestResult, Service, ServiceConfig, ServiceRun, StepRun,
 };
 pub use window::WindowSample;
 

@@ -285,6 +285,10 @@ impl Machine {
     /// assert_eq!(fresh.metrics, shared.metrics);
     /// # Ok::<(), hlr::Error>(())
     /// ```
+    ///
+    /// Both the pool ([`crate::pool::MachinePool`]) and the service
+    /// front-end ([`crate::service::Service`]) expect frozen machines,
+    /// so one read-only snapshot serves every worker and request.
     pub fn freeze_translations(&mut self) -> &mut Self {
         let frozen = FrozenTransCache::for_program(&self.program.code);
         self.set_shared_translations(Some(Arc::new(frozen)))

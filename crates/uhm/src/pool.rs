@@ -379,7 +379,9 @@ impl MachinePool {
     /// permutation and disables work stealing, so the jobs each worker
     /// executes — and therefore every schedule-dependent observable
     /// (steals, per-worker assignment) — replay exactly. `None` (the
-    /// default) keeps the adaptive work-stealing schedule.
+    /// default) keeps the adaptive work-stealing schedule. The service
+    /// plane ([`crate::service::Service`]) always pins this seed so a
+    /// served request mix replays bit-identically.
     pub fn set_schedule_seed(&mut self, seed: Option<u64>) -> &mut Self {
         self.schedule_seed = seed;
         self

@@ -9,12 +9,13 @@
 //! `s1`, `s2`) plus hit ratios. Consumers should dispatch on
 //! `schema_version` (currently [`telemetry::SCHEMA_VERSION`]).
 
-use telemetry::{Json, PoolReport, RunReport};
+use telemetry::{Json, Percentiles, PoolReport, RunReport, ServiceReport};
 
 use crate::dtb::DtbStats;
 use crate::fault::FaultStats;
 use crate::metrics::{CycleBreakdown, Metrics};
 use crate::pool::{PoolRun, TenantOutcome, TenantResult};
+use crate::service::{ServiceRun, StepRun};
 use crate::window::WindowSample;
 use memsim::CacheStats;
 
@@ -241,6 +242,66 @@ pub fn pool_report(tool: &str, config: Json, run: &PoolRun) -> PoolReport {
     PoolReport::new(tool, config, tenants, aggregate, run.latency_percentiles())
 }
 
+/// Serializes a percentile quadruple under the given unit label.
+fn percentiles_json(p: &Percentiles) -> Json {
+    Json::obj(vec![
+        ("p50", p.p50.into()),
+        ("p95", p.p95.into()),
+        ("p99", p.p99.into()),
+        ("p999", p.p999.into()),
+    ])
+}
+
+/// Serializes one load step of a service run: the arrival rate, the
+/// request outcome table, queue behavior, the step's modeled-latency
+/// percentiles (the deterministic trajectory point), and the host-side
+/// pool observables (wall-clock, throughput — never asserted against).
+pub fn step_json(s: &StepRun) -> Json {
+    Json::obj(vec![
+        ("rate_per_mcycle", (s.rate_per_mcycle as i64).into()),
+        ("requests", (s.results.len() as i64).into()),
+        ("completed", (s.outcome_count("completed") as i64).into()),
+        ("trapped", (s.outcome_count("trapped") as i64).into()),
+        ("panicked", (s.outcome_count("panicked") as i64).into()),
+        ("rejected", (s.outcome_count("rejected") as i64).into()),
+        ("shed", (s.outcome_count("shed") as i64).into()),
+        ("served", (s.served() as i64).into()),
+        ("lost", (s.lost() as i64).into()),
+        ("queue_peak", (s.queue_peak as i64).into()),
+        ("makespan_cycles", (s.makespan_cycles() as i64).into()),
+        ("latency_cycles", percentiles_json(&s.latency_percentiles())),
+        (
+            "host",
+            Json::obj(vec![
+                ("wall_ns", (s.pool.wall_ns as i64).into()),
+                ("minstr_per_sec", s.pool.minstr_per_sec().into()),
+                ("steals", (s.pool.steals as i64).into()),
+            ]),
+        ),
+    ])
+}
+
+/// Builds the canonical schema-v6 [`ServiceReport`] for a finished load
+/// sweep: one trajectory entry per step plus the cross-step outcome
+/// aggregate. The caller supplies `config` (free-form: policy knobs,
+/// request mix) and may attach SLO verdicts afterwards.
+pub fn service_report(tool: &str, config: Json, run: &ServiceRun) -> ServiceReport {
+    let steps = Json::Arr(run.steps.iter().map(step_json).collect());
+    let aggregate = Json::obj(vec![
+        ("steps", (run.steps.len() as i64).into()),
+        ("requests", (run.total_requests() as i64).into()),
+        ("completed", (run.outcome_count("completed") as i64).into()),
+        ("trapped", (run.outcome_count("trapped") as i64).into()),
+        ("panicked", (run.outcome_count("panicked") as i64).into()),
+        ("rejected", (run.outcome_count("rejected") as i64).into()),
+        ("shed", (run.outcome_count("shed") as i64).into()),
+        ("lost", (run.lost() as i64).into()),
+        ("workers", (run.workers as i64).into()),
+        ("seed", (run.seed as i64).into()),
+    ]);
+    ServiceReport::new(tool, config, steps, aggregate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +416,57 @@ mod tests {
         let w0 = &arr.as_arr().unwrap()[0];
         assert_eq!(w0.get("occupancy").unwrap().as_i64(), Some(7));
         assert_eq!(w0.get("hit_rate").unwrap().as_f64(), Some(0.8));
+    }
+
+    #[test]
+    fn service_report_round_trips_with_trajectory_and_aggregate() {
+        use crate::machine::{Machine, Mode};
+        use crate::service::{Service, ServiceConfig};
+        use dir::encode::SchemeKind;
+        use std::sync::Arc;
+
+        let hir = hlr::compile("proc main() begin write 3; end").unwrap();
+        let prog = dir::compiler::compile(&hir);
+        let machine = Arc::new(Machine::new(&prog, SchemeKind::Packed));
+        let mut service = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        for i in 0..4 {
+            service.submit(
+                format!("t{}", i % 2),
+                format!("r{i}"),
+                Arc::clone(&machine),
+                Mode::Interpreter,
+            );
+        }
+        let run = service.run_load(&[2, 50]);
+
+        let config = Json::obj(vec![("workers", 2i64.into())]);
+        let report = service_report("raul load", config, &run);
+        let back = ServiceReport::parse(&report.render()).unwrap();
+        assert_eq!(back, report);
+
+        let steps = back.steps.as_arr().unwrap();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(
+            steps[0].get("rate_per_mcycle").and_then(Json::as_i64),
+            Some(2)
+        );
+        assert_eq!(steps[0].get("completed").and_then(Json::as_i64), Some(4));
+        assert_eq!(steps[0].get("lost").and_then(Json::as_i64), Some(0));
+        assert!(
+            steps[1]
+                .get("latency_cycles")
+                .and_then(|l| l.get("p99"))
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let agg = &back.aggregate;
+        assert_eq!(agg.get("requests").and_then(Json::as_i64), Some(8));
+        assert_eq!(agg.get("completed").and_then(Json::as_i64), Some(8));
+        assert_eq!(agg.get("lost").and_then(Json::as_i64), Some(0));
     }
 
     #[test]

@@ -215,6 +215,12 @@ impl Breaker {
 /// pool computes its DTB pressure bound
 /// ([`analyze::bound`]) and either rejects it, admits it
 /// as-is, or right-sizes its DTB.
+///
+/// The same policy gates the service plane
+/// ([`crate::service::ServiceConfig::admission`]), where it fires
+/// before a request enters any queue — rejection there is *static*
+/// (`admission:` reasons), in contrast to the *dynamic* quota and
+/// watermark shedding decided at arrival time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionPolicy {
     /// Reject programs whose whole-program translation storage bound

@@ -12,6 +12,11 @@
 //! raul chaos   <file> [options]          pool run under seeded chaos
 //!                                        (worker crashes, hangs, corrupted
 //!                                        shared artifacts) with supervision
+//! raul serve   <file> [options]          one service step: open-loop arrivals
+//!                                        through admission, fair queues and
+//!                                        backpressure onto a machine pool
+//! raul load    <file> [options]          stepped arrival-rate sweep; prints
+//!                                        the latency-under-load trajectory
 //!
 //! run options:
 //!   --mode interp|dtb|icache|two-level   (default: dtb)
@@ -55,6 +60,24 @@
 //!   --hang-rate P                        hung-tenant probability (default 0.2)
 //!   --corrupt-rate P                     shared-artifact corruption (default 0.2)
 //!
+//! service options (`serve` and `load`; plus the run options and
+//! --workers / --tenants / --seed; arrivals, queueing and latency all
+//! live on the modeled clock, so every service run is bit-reproducible
+//! for a given seed):
+//!   --requests N                         requests per step (default: 4 x workers)
+//!   --arrival-rate R                     `serve` arrival rate, requests per
+//!                                        million modeled cycles (default: 8)
+//!   --rates A,B,C                        `load` sweep rates (default:
+//!                                        1,2,4,8,16,32,64)
+//!   --watermark N                        shed arrivals past this total backlog
+//!   --quota N                            shed arrivals past this per-tenant
+//!                                        backlog
+//!   --max-pressure W                     reject programs whose static DTB
+//!                                        pressure bound exceeds W words
+//!   --right-size                         shrink oversized DTB geometry to the
+//!                                        analyzer's recommendation instead of
+//!                                        thrashing
+//!
 //! `analyze` verifies the encoded image (codec tables, stack discipline,
 //! branch containment, cross-level consistency, DTB pressure) without
 //! executing it; it honours --scheme, --fold and --fuse, prints the typed
@@ -73,7 +96,10 @@
 //! Invalid machine configurations exit with status 2; runtime traps and
 //! compile errors with status 1. A pool (or chaos) run exits 1 only when
 //! a tenant *fails* — traps or panics; tenants that time out, are shed,
-//! or are quarantined are reported, supervised outcomes and exit 0.
+//! or are quarantined are reported, supervised outcomes and exit 0. The
+//! same policy governs `serve` and `load`: rejected and shed requests
+//! are the admission and backpressure policies doing their job (exit 0);
+//! only trapped or panicked requests fail the command.
 //! ```
 
 use std::process::ExitCode;
@@ -81,7 +107,8 @@ use std::process::ExitCode;
 use dir::encode::{DecodeMode, SchemeKind};
 use profile::{CounterPlane, FlameBuilder, SpanTracer};
 use telemetry::{Event, Json, JsonlSink, RingSink, TeeSink, Tier, TraceSink};
-use uhm::resilience::{ChaosConfig, Supervisor};
+use uhm::resilience::{AdmissionPolicy, ChaosConfig, Supervisor};
+use uhm::service::{Service, ServiceConfig, ServiceRun};
 use uhm::{Budget, DtbConfig, FaultConfig, Machine, Mode, RetryPolicy};
 
 /// A CLI failure, split by exit status: configuration errors (bad
@@ -144,6 +171,13 @@ struct Cli {
     crash_rate: Option<f64>,
     hang_rate: Option<f64>,
     corrupt_rate: Option<f64>,
+    requests: Option<usize>,
+    arrival_rate: u64,
+    rates: Option<Vec<u64>>,
+    watermark: Option<usize>,
+    quota: Option<usize>,
+    max_pressure: Option<u64>,
+    right_size: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +191,8 @@ enum Command {
     Faults,
     Pool,
     Chaos,
+    Serve,
+    Load,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,12 +215,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("faults") => Command::Faults,
         Some("pool") => Command::Pool,
         Some("chaos") => Command::Chaos,
+        Some("serve") => Command::Serve,
+        Some("load") => Command::Load,
         Some(other) => return Err(format!("unknown command `{other}`")),
         None => {
-            return Err(
-                "missing command (check|run|disasm|encode|analyze|profile|faults|pool|chaos)"
-                    .into(),
-            )
+            return Err("missing command \
+                 (check|run|disasm|encode|analyze|profile|faults|pool|chaos|serve|load)"
+                .into())
         }
     };
     let path = it
@@ -223,6 +260,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         crash_rate: None,
         hang_rate: None,
         corrupt_rate: None,
+        requests: None,
+        arrival_rate: 8,
+        rates: None,
+        watermark: None,
+        quota: None,
+        max_pressure: None,
+        right_size: false,
     };
     fn rate_value(it: &mut std::slice::Iter<String>, flag: &str) -> Result<f64, String> {
         let p: f64 = it
@@ -372,6 +416,60 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--crash-rate" => cli.crash_rate = Some(rate_value(&mut it, "--crash-rate")?),
             "--hang-rate" => cli.hang_rate = Some(rate_value(&mut it, "--hang-rate")?),
             "--corrupt-rate" => cli.corrupt_rate = Some(rate_value(&mut it, "--corrupt-rate")?),
+            "--requests" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --requests value")?;
+                if n == 0 {
+                    return Err("--requests must be positive".into());
+                }
+                cli.requests = Some(n);
+            }
+            "--arrival-rate" => {
+                let r: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --arrival-rate value")?;
+                if r == 0 {
+                    return Err("--arrival-rate must be positive (requests per Mcycle)".into());
+                }
+                cli.arrival_rate = r;
+            }
+            "--rates" => {
+                let list = it.next().ok_or("missing --rates value")?;
+                let rates: Vec<u64> = list
+                    .split(',')
+                    .map(|v| v.trim().parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("bad --rates value `{list}` (comma-separated)"))?;
+                if rates.is_empty() || rates.contains(&0) {
+                    return Err("--rates entries must be positive".into());
+                }
+                cli.rates = Some(rates);
+            }
+            "--watermark" => {
+                cli.watermark = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("bad --watermark value")?,
+                );
+            }
+            "--quota" => {
+                cli.quota = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("bad --quota value")?,
+                );
+            }
+            "--max-pressure" => {
+                cli.max_pressure = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("bad --max-pressure value")?,
+                );
+            }
+            "--right-size" => cli.right_size = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -698,6 +796,103 @@ fn analysis_json(name: &str, report: &analyze::AnalysisReport) -> Json {
         ),
         ("diagnostics", Json::Arr(diagnostics)),
     ])
+}
+
+/// Builds the service-plane configuration for `raul serve` / `raul load`
+/// from the CLI flags.
+fn service_config(cli: &Cli) -> ServiceConfig {
+    ServiceConfig {
+        workers: cli.workers,
+        admission: AdmissionPolicy {
+            max_pressure_words: cli.max_pressure,
+            right_size: cli.right_size,
+        },
+        queue_watermark: cli.watermark,
+        tenant_quota: cli.quota,
+        seed: cli.seed,
+    }
+}
+
+/// The arrival-rate schedule: a single `--arrival-rate` step for
+/// `serve`, the `--rates` sweep (or its default) for `load`.
+fn service_rates(cli: &Cli) -> Vec<u64> {
+    if cli.command == Command::Serve {
+        vec![cli.arrival_rate]
+    } else {
+        cli.rates
+            .clone()
+            .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32, 64])
+    }
+}
+
+/// Per-request detail for the single step of a `raul serve` run.
+fn print_serve_step(run: &ServiceRun) {
+    let step = &run.steps[0];
+    for r in &step.results {
+        let detail = match &r.outcome {
+            uhm::RequestOutcome::Completed(rep) => format!(
+                "{} instructions, {} cycles",
+                rep.metrics.instructions,
+                rep.metrics.cycles.total()
+            ),
+            uhm::RequestOutcome::Trapped(trap) => format!("trap: {trap}"),
+            uhm::RequestOutcome::Panicked(msg) => format!("panic: {msg}"),
+            uhm::RequestOutcome::Rejected(msg) | uhm::RequestOutcome::Shed(msg) => msg.clone(),
+        };
+        println!(
+            "{:>10} {:>10}  arrival {:>9}  latency {:>9}  {:>9}  {detail}",
+            r.tenant,
+            r.name,
+            r.arrival_cycle,
+            r.latency_cycles,
+            r.outcome.status()
+        );
+    }
+    let p = step.latency_percentiles();
+    println!(
+        "service: {}/{} completed at rate {}/Mcycle on {} workers \
+         (queue peak {}, {} rejected, {} shed, {} lost)",
+        step.outcome_count("completed"),
+        step.results.len(),
+        step.rate_per_mcycle,
+        run.workers,
+        step.queue_peak,
+        step.outcome_count("rejected"),
+        step.outcome_count("shed"),
+        step.lost()
+    );
+    println!(
+        "latency p50/p95/p99/p99.9: {:.0}/{:.0}/{:.0}/{:.0} cycles  \
+         makespan: {} cycles",
+        p.p50,
+        p.p95,
+        p.p99,
+        p.p999,
+        step.makespan_cycles()
+    );
+}
+
+/// The per-step trajectory table of a `raul load` sweep.
+fn print_load_trajectory(run: &ServiceRun) {
+    println!(
+        "{:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>11} {:>11} {:>11}",
+        "rate", "ok", "rej", "shed", "lost", "qpeak", "p50", "p95", "p99"
+    );
+    for s in &run.steps {
+        let p = s.latency_percentiles();
+        println!(
+            "{:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>11.0} {:>11.0} {:>11.0}",
+            s.rate_per_mcycle,
+            s.outcome_count("completed"),
+            s.outcome_count("rejected"),
+            s.outcome_count("shed"),
+            s.lost(),
+            s.queue_peak,
+            p.p50,
+            p.p95,
+            p.p99
+        );
+    }
 }
 
 fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
@@ -1242,6 +1437,64 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Serve | Command::Load => {
+            let program = build_program(cli, source)?;
+            let mode = machine_mode(cli)?;
+            let mut machine = Machine::new(&program, cli.scheme);
+            machine.set_decoder(cli.decoder);
+            machine.freeze_translations();
+            let machine = std::sync::Arc::new(machine);
+            let lanes = cli.tenants.unwrap_or(2);
+            let requests = cli.requests.unwrap_or(cli.workers * 4);
+            let mut service = Service::new(service_config(cli));
+            for i in 0..requests {
+                service.submit(
+                    format!("tenant-{}", i % lanes),
+                    format!("req-{i}"),
+                    std::sync::Arc::clone(&machine),
+                    mode.clone(),
+                );
+            }
+            let rates = service_rates(cli);
+            let run = service.run_load(&rates);
+            if cli.json {
+                let tool = if cli.command == Command::Serve {
+                    "raul-serve"
+                } else {
+                    "raul-load"
+                };
+                let mut config = run_config(cli);
+                if let Json::Obj(fields) = &mut config {
+                    fields.push(("workers".into(), (cli.workers as i64).into()));
+                    fields.push(("tenants".into(), (lanes as i64).into()));
+                    fields.push(("requests".into(), (requests as i64).into()));
+                    fields.push(("seed".into(), cli.seed.into()));
+                    fields.push((
+                        "rates_per_mcycle".into(),
+                        Json::Arr(rates.iter().map(|&r| (r as i64).into()).collect()),
+                    ));
+                }
+                println!(
+                    "{}",
+                    uhm::report::service_report(tool, config, &run).render()
+                );
+            } else if cli.command == Command::Serve {
+                print_serve_step(&run);
+            } else {
+                print_load_trajectory(&run);
+            }
+            // Mirrors the pool policy: rejected and shed requests are
+            // the admission and backpressure planes working as
+            // configured; only execution failures fail the command.
+            let failed = run.outcome_count("trapped") + run.outcome_count("panicked");
+            if failed > 0 {
+                return Err(CliError::Run(format!(
+                    "{failed} of {} requests failed",
+                    run.total_requests()
+                )));
+            }
+            Ok(())
+        }
     }
 }
 
@@ -1252,7 +1505,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("raul: {e}");
             eprintln!(
-                "usage: raul <check|run|disasm|encode|analyze|profile|faults|pool|chaos> <file> [options]"
+                "usage: raul <check|run|disasm|encode|analyze|profile|faults|pool|chaos|serve|load> <file> [options]"
             );
             return ExitCode::from(2);
         }
@@ -1558,6 +1811,88 @@ mod tests {
     #[test]
     fn pool_rejects_invalid_geometry_as_config_error() {
         let cli = parse_args(&args("pool g.raul --dtb-unit-words 2")).unwrap();
+        let err = execute(&cli, "proc main() begin write 1; end").unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err:?}");
+    }
+
+    #[test]
+    fn parses_service_flags() {
+        let cli = parse_args(&args(
+            "serve s.raul --workers 2 --tenants 3 --requests 12 --arrival-rate 40 \
+             --watermark 6 --quota 2 --max-pressure 4096 --right-size --seed 11",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.requests, Some(12));
+        assert_eq!(cli.arrival_rate, 40);
+        let sc = service_config(&cli);
+        assert_eq!(sc.workers, 2);
+        assert_eq!(sc.queue_watermark, Some(6));
+        assert_eq!(sc.tenant_quota, Some(2));
+        assert_eq!(sc.admission.max_pressure_words, Some(4096));
+        assert!(sc.admission.right_size);
+        assert_eq!(sc.seed, 11);
+        assert_eq!(service_rates(&cli), vec![40]);
+        assert!(parse_args(&args("serve s.raul --requests 0")).is_err());
+        assert!(parse_args(&args("serve s.raul --arrival-rate 0")).is_err());
+    }
+
+    #[test]
+    fn parses_load_rates() {
+        let cli = parse_args(&args("load l.raul --rates 2,8,32")).unwrap();
+        assert_eq!(cli.command, Command::Load);
+        assert_eq!(service_rates(&cli), vec![2, 8, 32]);
+        // The default sweep spans idle to overload.
+        let d = parse_args(&args("load l.raul")).unwrap();
+        assert_eq!(service_rates(&d), vec![1, 2, 4, 8, 16, 32, 64]);
+        assert!(parse_args(&args("load l.raul --rates 2,x")).is_err());
+        assert!(parse_args(&args("load l.raul --rates 2,0")).is_err());
+    }
+
+    #[test]
+    fn serve_command_runs_end_to_end() {
+        let src = "proc main() begin int i := 0; while i < 50 do i := i + 1; write i; end";
+        for cmd in [
+            "serve s.raul --workers 2 --tenants 3 --requests 9",
+            "serve s.raul --workers 2 --requests 8 --arrival-rate 1000 --watermark 3",
+        ] {
+            let cli = parse_args(&args(cmd)).unwrap();
+            execute(&cli, src).unwrap();
+        }
+    }
+
+    #[test]
+    fn load_command_runs_end_to_end() {
+        let cli = parse_args(&args(
+            "load l.raul --workers 2 --tenants 2 --requests 10 --rates 1,100,10000 --watermark 4",
+        ))
+        .unwrap();
+        let src = "proc main() begin int i := 0; while i < 50 do i := i + 1; write i; end";
+        execute(&cli, src).unwrap();
+    }
+
+    #[test]
+    fn serve_rejected_requests_are_policy_outcomes_not_failures() {
+        // A request rejected by static admission is reported and exits
+        // 0, exactly like a shed pool tenant.
+        let cli = parse_args(&args("serve s.raul --requests 4 --max-pressure 1")).unwrap();
+        let src = "proc main() begin int i := 0; while i < 50 do i := i + 1; write i; end";
+        execute(&cli, src).unwrap();
+    }
+
+    #[test]
+    fn serve_traps_fail_the_command() {
+        let cli = parse_args(&args("serve s.raul --requests 2")).unwrap();
+        let err = execute(&cli, "proc main() begin write 1 / 0; end").unwrap_err();
+        match err {
+            CliError::Run(m) => assert!(m.contains("failed"), "{m}"),
+            CliError::Config(m) => panic!("expected a runtime failure, got Config({m})"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_invalid_geometry_as_config_error() {
+        let cli = parse_args(&args("serve g.raul --dtb-unit-words 2")).unwrap();
         let err = execute(&cli, "proc main() begin write 1; end").unwrap_err();
         assert!(matches!(err, CliError::Config(_)), "{err:?}");
     }

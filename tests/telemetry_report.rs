@@ -3,12 +3,14 @@
 //! `raul --json` surfaces must emit versioned reports that round-trip
 //! through their parsers (`raul run` a schema-1 [`RunReport`],
 //! `raul profile` a schema-4 [`ProfileReport`], `raul chaos` a schema-2
-//! [`PoolReport`] carrying the supervised outcome taxonomy).
+//! [`PoolReport`] carrying the supervised outcome taxonomy, and
+//! `raul load` a schema-6 [`ServiceReport`] whose trajectory steps keep
+//! the five-state request accounting closed).
 
 use std::process::Command;
 
 use dir::encode::SchemeKind;
-use telemetry::{Json, PoolReport, ProfileReport, RingSink, RunReport};
+use telemetry::{Json, PoolReport, ProfileReport, RingSink, RunReport, ServiceReport};
 use uhm::{DtbConfig, Machine, Mode};
 
 fn sample_machine() -> (dir::program::Program, Mode) {
@@ -228,6 +230,49 @@ fn raul_chaos_json_accounts_every_supervised_outcome() {
     assert_eq!(pr.tenants.as_arr().unwrap().len(), 6);
     // Supervision counters ride along.
     assert!(agg("retries") >= 0 && agg("worker_crashes") >= 0);
+}
+
+#[test]
+fn raul_load_json_emits_a_round_trippable_service_report() {
+    let text = raul_stdout(&[
+        "load",
+        "examples/programs/sumloop.raul",
+        "--workers",
+        "2",
+        "--requests",
+        "8",
+        "--rates",
+        "1,5000",
+        "--watermark",
+        "4",
+        "--json",
+    ]);
+    let sr = ServiceReport::parse(text.trim()).expect("stdout is one schema-6 ServiceReport");
+    assert_eq!(sr.tool, "raul-load");
+    let steps = sr.steps.as_arr().expect("trajectory steps");
+    assert_eq!(steps.len(), 2, "one step per requested rate");
+    for step in steps {
+        let f = |k: &str| step.get(k).and_then(Json::as_i64).unwrap();
+        // The five-state request taxonomy partitions every step, and
+        // the zero-lost invariant holds end to end through the CLI.
+        assert_eq!(
+            f("completed") + f("trapped") + f("panicked") + f("rejected") + f("shed"),
+            f("requests")
+        );
+        assert_eq!(f("lost"), 0);
+        assert!(step.get("latency_cycles").is_some(), "modeled percentiles");
+        assert!(step.get("host").is_some(), "host observables ride along");
+    }
+    let agg = |k: &str| sr.aggregate.get(k).and_then(Json::as_i64).unwrap();
+    assert_eq!(agg("requests"), 16);
+    assert_eq!(agg("lost"), 0);
+    // A service report is not a run or pool report: the schema families
+    // reject each other in both directions.
+    assert!(RunReport::parse(text.trim()).is_err());
+    assert!(PoolReport::parse(text.trim()).is_err());
+    // Round trip: render → parse is the identity.
+    let back = ServiceReport::parse(&sr.render()).unwrap();
+    assert_eq!(back, sr);
 }
 
 #[test]
