@@ -4,7 +4,8 @@
 //! CLI key on), a fixed [`Severity`] derived from the code, an optional DIR
 //! address, and the owning region's name. Codes are grouped by pass:
 //! `AN1xx` codec validation, `AN2xx` abstract interpretation, `AN3xx` call
-//! graph, `AN4xx` cross-level consistency, `AN5xx` DTB pressure.
+//! graph, `AN4xx` cross-level consistency, `AN5xx` DTB pressure, `AN6xx`
+//! interprocedural dataflow.
 
 /// How bad a finding is. Only [`Severity::Error`] blocks verification;
 /// warnings and notes ride along in the report.
@@ -71,9 +72,44 @@ pub enum DiagCode {
     ModelMismatch,
     /// The hottest loop's translation working set exceeds the default DTB.
     DtbPressure,
+    /// Interval analysis proved a conditional branch is never taken.
+    BranchNeverTaken,
+    /// Interval analysis proved a conditional branch is always taken.
+    BranchAlwaysTaken,
+    /// Instructions no interprocedural path can reach.
+    UnreachableCode,
 }
 
 impl DiagCode {
+    /// Every diagnostic code, in id order. Tests iterate this to enforce
+    /// the `ANxyz` grammar and id uniqueness; keep it in sync when adding
+    /// codes (the exhaustive `match` in [`DiagCode::id`] makes the
+    /// compiler flag a missing arm, and the count test flags a missing
+    /// entry here).
+    pub const ALL: [DiagCode; 21] = [
+        DiagCode::CodecDefect,
+        DiagCode::ImageMismatch,
+        DiagCode::ImageUndecodable,
+        DiagCode::StackUnderflow,
+        DiagCode::StackImbalance,
+        DiagCode::ReturnImbalance,
+        DiagCode::JumpOutOfRange,
+        DiagCode::JumpCrossesProcedure,
+        DiagCode::UninitializedLocal,
+        DiagCode::MaybeUninitializedLocal,
+        DiagCode::SlotOutOfRange,
+        DiagCode::FallsThroughRegion,
+        DiagCode::BadCallee,
+        DiagCode::UnreachableProcedure,
+        DiagCode::RecursionDetected,
+        DiagCode::TemplateImbalance,
+        DiagCode::ModelMismatch,
+        DiagCode::DtbPressure,
+        DiagCode::BranchNeverTaken,
+        DiagCode::BranchAlwaysTaken,
+        DiagCode::UnreachableCode,
+    ];
+
     /// The stable `ANxxx` identifier.
     pub fn id(self) -> &'static str {
         match self {
@@ -95,6 +131,9 @@ impl DiagCode {
             DiagCode::TemplateImbalance => "AN401",
             DiagCode::ModelMismatch => "AN402",
             DiagCode::DtbPressure => "AN501",
+            DiagCode::BranchNeverTaken => "AN601",
+            DiagCode::BranchAlwaysTaken => "AN602",
+            DiagCode::UnreachableCode => "AN603",
         }
     }
 
@@ -117,8 +156,11 @@ impl DiagCode {
             | DiagCode::ModelMismatch => Severity::Error,
             DiagCode::MaybeUninitializedLocal
             | DiagCode::UnreachableProcedure
-            | DiagCode::DtbPressure => Severity::Warning,
-            DiagCode::RecursionDetected => Severity::Info,
+            | DiagCode::DtbPressure
+            | DiagCode::UnreachableCode => Severity::Warning,
+            DiagCode::RecursionDetected
+            | DiagCode::BranchNeverTaken
+            | DiagCode::BranchAlwaysTaken => Severity::Info,
         }
     }
 }
@@ -195,33 +237,32 @@ mod tests {
 
     #[test]
     fn codes_have_unique_ids_and_fixed_severities() {
-        let all = [
-            DiagCode::CodecDefect,
-            DiagCode::ImageMismatch,
-            DiagCode::ImageUndecodable,
-            DiagCode::StackUnderflow,
-            DiagCode::StackImbalance,
-            DiagCode::ReturnImbalance,
-            DiagCode::JumpOutOfRange,
-            DiagCode::JumpCrossesProcedure,
-            DiagCode::UninitializedLocal,
-            DiagCode::MaybeUninitializedLocal,
-            DiagCode::SlotOutOfRange,
-            DiagCode::FallsThroughRegion,
-            DiagCode::BadCallee,
-            DiagCode::UnreachableProcedure,
-            DiagCode::RecursionDetected,
-            DiagCode::TemplateImbalance,
-            DiagCode::ModelMismatch,
-            DiagCode::DtbPressure,
-        ];
-        let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
+        let mut ids: Vec<&str> = DiagCode::ALL.iter().map(|c| c.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), all.len(), "duplicate diagnostic ids");
+        assert_eq!(ids.len(), DiagCode::ALL.len(), "duplicate diagnostic ids");
         assert_eq!(DiagCode::StackUnderflow.severity(), Severity::Error);
         assert_eq!(DiagCode::DtbPressure.severity(), Severity::Warning);
         assert_eq!(DiagCode::RecursionDetected.severity(), Severity::Info);
+        assert_eq!(DiagCode::UnreachableCode.severity(), Severity::Warning);
+        assert_eq!(DiagCode::BranchNeverTaken.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn every_code_matches_the_anxyz_grammar() {
+        for code in DiagCode::ALL {
+            let id = code.id();
+            assert_eq!(id.len(), 5, "{id}: ids are exactly AN + 3 digits");
+            assert!(id.starts_with("AN"), "{id}: ids start with AN");
+            let digits = &id[2..];
+            assert!(
+                digits.chars().all(|c| c.is_ascii_digit()),
+                "{id}: suffix must be numeric"
+            );
+            // The leading digit names the owning pass (1..=6 today); a
+            // zero would collide with nothing and means a typo.
+            assert!(!digits.starts_with('0'), "{id}: pass digit must be nonzero");
+        }
     }
 
     #[test]

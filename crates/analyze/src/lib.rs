@@ -7,7 +7,7 @@
 //! the invariants **once, statically, before execution**, then let the hot
 //! interpreter and engine drop their per-instruction defensive checks.
 //!
-//! [`analyze`] runs four passes over an encoded [`Image`] and its
+//! [`analyze`] runs six passes over an encoded [`Image`] and its
 //! [`Program`]:
 //!
 //! 1. **Codec validation** — decoder-side tables (canonical-Huffman
@@ -23,12 +23,22 @@
 //!    routine library ([`psder::verify::check_program`]).
 //! 4. **DTB pressure** — a static translation working-set bound per region
 //!    and per loop body, with a recommended DTB geometry ([`pressure`]).
+//! 5. **Interprocedural dataflow** — interval value ranges and constant
+//!    propagation over each region's CFG, joined across call edges via
+//!    argument/return summaries, discharging *per-site* facts (divisor
+//!    nonzero, index in bounds, decided branches, unreachable code) into
+//!    a [`SiteFacts`] bitmap ([`dataflow`]). Facts are only computed for
+//!    images that are clean after passes 1–4.
+//! 6. **Region formation** — natural-loop detection with nesting depths,
+//!    ranking hot-region candidates and their fact coverage
+//!    ([`regionform`]).
 //!
 //! [`verify`] turns a clean analysis into a [`Verified`] witness, the only
 //! way to reach the trusted fast paths ([`dir::exec::run_trusted_with`],
 //! `psder::Engine::set_trusted`, `uhm::Machine::load`). The witness owns
-//! both the image *and* the program it was proved against, so the fast
-//! path cannot be reached with a mismatched pair.
+//! the image, the program it was proved against, *and* the per-site fact
+//! bitmap, so neither the whole-image fast path nor per-site check
+//! elision can be reached with a mismatched pair.
 //!
 //! ```
 //! use dir::encode::SchemeKind;
@@ -46,23 +56,28 @@
 
 pub mod absint;
 pub mod callgraph;
+pub mod dataflow;
 pub mod diag;
 pub mod pressure;
+pub mod regionform;
 pub mod report;
 
 mod consistency;
 
 pub use absint::RegionSummary;
 pub use callgraph::CallGraph;
+pub use dataflow::{FactsReport, Interval, RegionFacts};
 pub use diag::{DiagCode, Diagnostic, Severity};
 pub use pressure::{bound, HotSpan, PressureReport, RegionPressure, DEFAULT_DTB_ENTRIES};
+pub use regionform::RegionCandidate;
 pub use report::AnalysisReport;
 
 use dir::encode::Image;
 use dir::exec::{ExecStats, Limits, Trap};
+use dir::facts::SiteFacts;
 use dir::program::Program;
 
-/// Runs all four analysis passes over `image` and the `program` it claims
+/// Runs all six analysis passes over `image` and the `program` it claims
 /// to encode, returning the full typed report (never failing: defects are
 /// diagnostics, not errors).
 pub fn analyze(program: &Program, image: &Image) -> AnalysisReport {
@@ -101,12 +116,32 @@ pub fn analyze(program: &Program, image: &Image) -> AnalysisReport {
     // Pass 4: DTB pressure.
     let pressure = pressure::estimate(program, &mut diags);
 
+    // Pass 5: interprocedural dataflow. Facts are only discharged for
+    // images that are clean so far — everything the pass assumes (depth
+    // consistency, slot ranges, branch containment, decode pinning) is
+    // exactly what passes 1–4 prove.
+    let clean_so_far = !diags.iter().any(|d| d.severity() == Severity::Error);
+    let (site_facts, facts) = if clean_so_far {
+        dataflow::analyze(program, &mut diags)
+    } else {
+        (
+            SiteFacts::empty(program.code.len() as u32),
+            FactsReport::default(),
+        )
+    };
+
+    // Pass 6: loop-nesting region formation over the discharged facts.
+    let hot_regions = regionform::form(program, &site_facts);
+
     AnalysisReport {
         scheme: image.kind.label().to_string(),
         insts: program.code.len(),
         regions,
         callgraph,
         pressure,
+        site_facts,
+        facts,
+        hot_regions,
         diagnostics: diags,
     }
 }
@@ -119,6 +154,7 @@ pub fn analyze(program: &Program, image: &Image) -> AnalysisReport {
 pub struct Verified<T> {
     value: T,
     program: Program,
+    facts: SiteFacts,
 }
 
 impl<T> Verified<T> {
@@ -130,6 +166,14 @@ impl<T> Verified<T> {
     /// The program the proofs are about.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The per-site fact bitmap the dataflow pass discharged: the license
+    /// for per-instruction check elision when whole-image trusted mode is
+    /// unavailable (for example under fault injection, where facts are
+    /// voided exactly like `TRUSTED`).
+    pub fn facts(&self) -> &SiteFacts {
+        &self.facts
     }
 }
 
@@ -146,6 +190,7 @@ pub fn verify(program: &Program, image: Image) -> Result<Verified<Image>, Box<An
         Ok(Verified {
             value: image,
             program: program.clone(),
+            facts: report.site_facts,
         })
     } else {
         Err(Box::new(report))

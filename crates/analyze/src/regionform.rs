@@ -1,0 +1,202 @@
+//! Pass 6: loop-nesting region formation and hot-region ranking.
+//!
+//! The dataflow pass proves *facts per site*; this pass decides *where
+//! those facts pay off*. It detects natural loops the same way the DTB
+//! pressure pass does — a backward branch inside a procedure region forms
+//! the span `[target, branch]` — computes each span's nesting depth, and
+//! ranks the spans as hot-region candidates: deepest nesting first (the
+//! innermost loop dominates dynamic instruction count), then tightest
+//! span. Each candidate carries its guard-site discharge counts from the
+//! [`SiteFacts`] bitmap, so `raul analyze --regions` (and the report
+//! render) can show at a glance which loops run fully unguarded and which
+//! still pay for checks.
+
+use dir::facts::SiteFacts;
+use dir::isa::Inst;
+use dir::program::Program;
+
+use crate::absint;
+
+/// One ranked hot-region candidate: a natural-loop span with its nesting
+/// depth and per-site fact coverage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionCandidate {
+    /// Name of the owning procedure region (`<prelude>` possible but rare).
+    pub region: String,
+    /// First instruction of the span (the back-edge target).
+    pub start: u32,
+    /// One past the back edge.
+    pub end: u32,
+    /// Loop nesting depth: 1 for an outermost loop, +1 per enclosing loop.
+    pub depth: u32,
+    /// Static instructions in the span.
+    pub insts: u32,
+    /// `Div`/`Mod` sites inside the span.
+    pub div_sites: u32,
+    /// Of those, sites with a discharged nonzero-divisor fact.
+    pub div_proved: u32,
+    /// Array-access sites inside the span.
+    pub idx_sites: u32,
+    /// Of those, sites with a discharged in-bounds fact.
+    pub idx_proved: u32,
+}
+
+impl RegionCandidate {
+    /// Guard sites of either kind inside the span.
+    #[must_use]
+    pub fn sites(&self) -> u32 {
+        self.div_sites + self.idx_sites
+    }
+
+    /// Discharged guard sites of either kind.
+    #[must_use]
+    pub fn proved(&self) -> u32 {
+        self.div_proved + self.idx_proved
+    }
+
+    /// Fraction of guard sites discharged, in `[0, 1]`; `1.0` for a span
+    /// with no guard sites (nothing left to pay for).
+    #[must_use]
+    pub fn discharge(&self) -> f64 {
+        if self.sites() == 0 {
+            1.0
+        } else {
+            f64::from(self.proved()) / f64::from(self.sites())
+        }
+    }
+}
+
+/// Detects natural-loop spans, computes nesting, and ranks the candidates
+/// (depth descending, then span size ascending, then address).
+pub(crate) fn form(program: &Program, facts: &SiteFacts) -> Vec<RegionCandidate> {
+    // (region name, span start, span end) for every backward branch.
+    let mut spans: Vec<(String, u32, u32)> = Vec::new();
+    for r in absint::regions(program) {
+        let lo = r.start as usize;
+        let hi = (r.end as usize).min(program.code.len());
+        for (i, inst) in program.code[lo..hi].iter().enumerate() {
+            let addr = (lo + i) as u32;
+            if let Some(t) = inst.target() {
+                if t <= addr && t >= r.start {
+                    spans.push((r.name.clone(), t, addr + 1));
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<RegionCandidate> = spans
+        .iter()
+        .map(|(name, start, end)| {
+            // Nesting: 1 + the number of *other* spans strictly containing
+            // this one. Identical spans (two back edges to one head) tie
+            // rather than nest.
+            let depth = 1 + spans
+                .iter()
+                .filter(|(_, s, e)| (*s <= *start && *end <= *e) && !(*s == *start && *e == *end))
+                .count() as u32;
+            let mut c = RegionCandidate {
+                region: name.clone(),
+                start: *start,
+                end: *end,
+                depth,
+                insts: end - start,
+                div_sites: 0,
+                div_proved: 0,
+                idx_sites: 0,
+                idx_proved: 0,
+            };
+            for addr in *start..*end {
+                let Some(inst) = program.code.get(addr as usize) else {
+                    continue;
+                };
+                let divides = match *inst {
+                    Inst::Bin(op)
+                    | Inst::BinLocals { op, .. }
+                    | Inst::CmpConstBr { op, .. }
+                    | Inst::CmpLocalsBr { op, .. } => op.traps_on_zero(),
+                    _ => false,
+                };
+                if divides {
+                    c.div_sites += 1;
+                    if facts.div_ok(addr) {
+                        c.div_proved += 1;
+                    }
+                }
+                if matches!(
+                    inst,
+                    Inst::LoadArrLocal { .. }
+                        | Inst::LoadArrGlobal { .. }
+                        | Inst::StoreArrLocal { .. }
+                        | Inst::StoreArrGlobal { .. }
+                ) {
+                    c.idx_sites += 1;
+                    if facts.idx_ok(addr) {
+                        c.idx_proved += 1;
+                    }
+                }
+            }
+            c
+        })
+        .collect();
+
+    out.sort_by(|a, b| {
+        b.depth
+            .cmp(&a.depth)
+            .then(a.insts.cmp(&b.insts))
+            .then(a.start.cmp(&b.start))
+    });
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dir::compiler::compile;
+
+    fn candidates(src: &str) -> Vec<RegionCandidate> {
+        let program = compile(&hlr::compile(src).unwrap());
+        let mut diags = Vec::new();
+        let (facts, _) = crate::dataflow::analyze(&program, &mut diags);
+        form(&program, &facts)
+    }
+
+    #[test]
+    fn straight_line_code_has_no_candidates() {
+        assert!(candidates("proc main() begin write 1 + 2; end").is_empty());
+    }
+
+    #[test]
+    fn nested_loops_rank_innermost_first() {
+        let cs = candidates(
+            "proc main() begin
+                int i; int j; int acc;
+                for i := 0 to 9 do
+                    for j := 0 to 9 do
+                        acc := acc + i * j;
+                write acc;
+            end",
+        );
+        assert!(cs.len() >= 2, "two loops expected: {cs:?}");
+        assert!(cs[0].depth > cs[cs.len() - 1].depth);
+        // The inner loop span is contained in the outer one.
+        let (inner, outer) = (&cs[0], &cs[cs.len() - 1]);
+        assert!(outer.start <= inner.start && inner.end <= outer.end);
+    }
+
+    #[test]
+    fn discharge_counts_cover_the_span_sites() {
+        let cs = candidates(
+            "proc main() begin
+                int a[8]; int i;
+                for i := 0 to 7 do a[i] := a[i] + 1;
+                write a[0];
+            end",
+        );
+        assert!(!cs.is_empty());
+        let hot = &cs[0];
+        assert!(hot.idx_sites >= 2, "load + store inside the loop: {hot:?}");
+        assert!(hot.proved() <= hot.sites());
+        assert!(hot.discharge() >= 0.0 && hot.discharge() <= 1.0);
+    }
+}

@@ -2,10 +2,13 @@
 
 use crate::absint::RegionSummary;
 use crate::callgraph::CallGraph;
+use crate::dataflow::FactsReport;
 use crate::diag::{Diagnostic, Severity};
 use crate::pressure::PressureReport;
+use crate::regionform::RegionCandidate;
+use dir::facts::SiteFacts;
 
-/// Everything the four passes found and proved about one image.
+/// Everything the six passes found and proved about one image.
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
     /// Scheme label of the analyzed image.
@@ -18,6 +21,13 @@ pub struct AnalysisReport {
     pub callgraph: CallGraph,
     /// The DTB pressure estimate.
     pub pressure: PressureReport,
+    /// The per-site check-elision bitmap the dataflow pass discharged
+    /// (empty when passes 1–4 found errors).
+    pub site_facts: SiteFacts,
+    /// Fact coverage: site and discharge counts, per pass and per region.
+    pub facts: FactsReport,
+    /// Ranked hot-region (natural-loop) candidates with fact coverage.
+    pub hot_regions: Vec<RegionCandidate>,
     /// Every finding, in pass order.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -99,6 +109,37 @@ impl AnalysisReport {
                         "exceeds default"
                     },
                     self.pressure.total_words
+                ),
+            );
+        }
+        push(
+            &mut out,
+            format!(
+                "facts: div {}/{} proved, idx {}/{} proved, {} depth-exact; \
+                 {} never-taken, {} always-taken, {} unreachable",
+                self.facts.div_proved,
+                self.facts.div_sites,
+                self.facts.idx_proved,
+                self.facts.idx_sites,
+                self.facts.depth_exact,
+                self.facts.branches_never,
+                self.facts.branches_always,
+                self.facts.unreachable_insts
+            ),
+        );
+        for (i, c) in self.hot_regions.iter().enumerate().take(8) {
+            push(
+                &mut out,
+                format!(
+                    "hot region #{}: {} [{}..{}] depth {}, {} insts, {}/{} sites proved",
+                    i + 1,
+                    c.region,
+                    c.start,
+                    c.end,
+                    c.depth,
+                    c.insts,
+                    c.proved(),
+                    c.sites()
                 ),
             );
         }

@@ -1,0 +1,262 @@
+//! **E22 — the elide gate (per-site check elision):** runs the
+//! interprocedural dataflow pass over the full encoded corpus, gates the
+//! fact-coverage ratios against a committed baseline, audits every
+//! elided site dynamically (the guard is still evaluated; a guard that
+//! would have fired refutes the static proof), checks that per-site
+//! elided execution is bit-identical — outputs AND modeled stats — to
+//! checked execution, and times checked vs per-site-elided vs
+//! fully-trusted interpretation.
+//!
+//! Run with `cargo run -p uhm-bench --release --bin elide_gate`.
+//! With `--json`, emits a versioned AnalyzeReport (schema 7): one fact
+//! row per corpus image plus the aggregate discharge ratios and timing.
+//! With `--smoke`, exits non-zero if (a) any audit guard fires, (b) any
+//! sited run diverges from the checked run, or (c) a fact-coverage
+//! ratio falls below its committed floor. The floors are *exact* gates,
+//! not tolerance-scaled: static fact counts are deterministic, so any
+//! drop is a real regression in the dataflow pass. Timing is reported
+//! but never gates.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use analyze::FactsReport;
+use dir::exec::Limits;
+use dir::program::Program;
+use telemetry::{AnalyzeReport, Json};
+use uhm_bench::corpus::encoded_corpus;
+use uhm_bench::workloads;
+
+/// Committed fact-coverage floors (the `aggregate` object of a previous
+/// `--json` run, pruned to the gated keys).
+const BASELINE: &str = include_str!("../../baselines/elide_gate.json");
+
+/// One analyzed corpus image with its fact coverage and audit verdict.
+struct Row {
+    name: String,
+    facts: FactsReport,
+    hot_regions: usize,
+    audit_sound: bool,
+    sited_identical: bool,
+}
+
+/// Dataflow + audit sweep over every encoded corpus image.
+fn sweep() -> Vec<Row> {
+    encoded_corpus()
+        .into_iter()
+        .map(|entry| {
+            let name = format!("{}/{}", entry.name(), entry.scheme.label());
+            let report = analyze::analyze(&entry.program, &entry.image);
+            let (audit_sound, sited_identical) = audit(&entry.program, &report.site_facts);
+            Row {
+                name,
+                facts: report.facts,
+                hot_regions: report.hot_regions.len(),
+                audit_sound,
+                sited_identical,
+            }
+        })
+        .collect()
+}
+
+/// Runs one program checked, sited and audited. Returns
+/// `(audit_sound, sited_identical)` where `sited_identical` covers both
+/// outputs and the full modeled [`dir::exec::ExecStats`].
+fn audit(program: &Program, facts: &dir::facts::SiteFacts) -> (bool, bool) {
+    let checked = dir::exec::run_with(program, Limits::default(), false);
+    let sited = dir::exec::run_sited_with(program, facts, Limits::default(), false);
+    let (audited, verdict) = dir::exec::run_audit_with(program, facts, Limits::default(), false);
+    (verdict.is_sound() && audited == checked, sited == checked)
+}
+
+/// Times one call of `f`, returning elapsed ns.
+fn time<T>(mut f: impl FnMut() -> T) -> u64 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_nanos() as u64
+}
+
+/// Interleaved min-of-N timing of checked vs per-site-elided vs trusted
+/// interpretation over the base-tier workloads, as in `analyze_gate`.
+fn timing() -> (u64, u64, u64) {
+    const ROUNDS: usize = 7;
+    let (mut checked_ns, mut sited_ns, mut trusted_ns) = (0, 0, 0);
+    for w in workloads() {
+        let verified = analyze::verify(
+            &w.base,
+            dir::encode::SchemeKind::ByteAligned.encode(&w.base),
+        )
+        .expect("corpus verifies clean");
+        let facts = verified.facts().clone();
+        let (mut c, mut s, mut t) = (u64::MAX, u64::MAX, u64::MAX);
+        for _ in 0..ROUNDS {
+            c = c.min(time(|| dir::exec::run(&w.base).unwrap()));
+            s = s.min(time(|| {
+                dir::exec::run_sited_with(&w.base, &facts, Limits::default(), false).unwrap()
+            }));
+            t = t.min(time(|| {
+                analyze::run_verified(&verified, Limits::default()).unwrap()
+            }));
+        }
+        checked_ns += c;
+        sited_ns += s;
+        trusted_ns += t;
+    }
+    (checked_ns, sited_ns, trusted_ns)
+}
+
+/// A safe ratio: `proved / sites`, 1.0 when there are no sites.
+fn ratio(proved: u32, sites: u32) -> f64 {
+    if sites == 0 {
+        1.0
+    } else {
+        proved as f64 / sites as f64
+    }
+}
+
+fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let rows = sweep();
+    let mut total = FactsReport::default();
+    for r in &rows {
+        total.div_sites += r.facts.div_sites;
+        total.div_proved += r.facts.div_proved;
+        total.idx_sites += r.facts.idx_sites;
+        total.idx_proved += r.facts.idx_proved;
+        total.depth_exact += r.facts.depth_exact;
+        total.branches_never += r.facts.branches_never;
+        total.branches_always += r.facts.branches_always;
+        total.unreachable_insts += r.facts.unreachable_insts;
+    }
+    let div_ratio = ratio(total.div_proved, total.div_sites);
+    let idx_ratio = ratio(total.idx_proved, total.idx_sites);
+    let unsound = rows.iter().filter(|r| !r.audit_sound).count();
+    let diverged = rows.iter().filter(|r| !r.sited_identical).count();
+
+    let (checked_ns, sited_ns, trusted_ns) = timing();
+    let sited_speedup = checked_ns as f64 / sited_ns.max(1) as f64;
+    let trusted_speedup = checked_ns as f64 / trusted_ns.max(1) as f64;
+
+    // Gate the deterministic fact counts against the committed floors.
+    let baseline = Json::parse(BASELINE.trim()).expect("committed baseline parses");
+    let mut violations: Vec<String> = Vec::new();
+    let mut gate = |key: &str, measured: f64| {
+        if let Some(want) = baseline.get(key).and_then(Json::as_f64) {
+            if measured < want {
+                violations.push(format!(
+                    "fact-coverage regression: {key} = {measured:.4}, baseline floor {want:.4}"
+                ));
+            }
+        }
+    };
+    gate("div_ratio", div_ratio);
+    gate("idx_ratio", idx_ratio);
+    gate("div_proved", total.div_proved as f64);
+    gate("idx_proved", total.idx_proved as f64);
+    gate("depth_exact", total.depth_exact as f64);
+
+    let pass = unsound == 0 && diverged == 0 && violations.is_empty();
+
+    if json {
+        let images: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", r.name.as_str().into()),
+                    ("div_sites", (r.facts.div_sites as i64).into()),
+                    ("div_proved", (r.facts.div_proved as i64).into()),
+                    ("idx_sites", (r.facts.idx_sites as i64).into()),
+                    ("idx_proved", (r.facts.idx_proved as i64).into()),
+                    ("depth_exact", (r.facts.depth_exact as i64).into()),
+                    ("hot_regions", (r.hot_regions as i64).into()),
+                    ("audit_sound", r.audit_sound.into()),
+                    ("sited_identical", r.sited_identical.into()),
+                ])
+            })
+            .collect();
+        let report = AnalyzeReport::new(
+            "elide_gate",
+            Json::obj(vec![("images", (rows.len() as i64).into())]),
+            Json::Arr(images),
+            Json::obj(vec![
+                ("div_sites", (total.div_sites as i64).into()),
+                ("div_proved", (total.div_proved as i64).into()),
+                ("div_ratio", div_ratio.into()),
+                ("idx_sites", (total.idx_sites as i64).into()),
+                ("idx_proved", (total.idx_proved as i64).into()),
+                ("idx_ratio", idx_ratio.into()),
+                ("depth_exact", (total.depth_exact as i64).into()),
+                ("branches_never", (total.branches_never as i64).into()),
+                ("branches_always", (total.branches_always as i64).into()),
+                ("unreachable_insts", (total.unreachable_insts as i64).into()),
+                ("audit_unsound", (unsound as i64).into()),
+                ("sited_diverged", (diverged as i64).into()),
+                ("checked_ns", (checked_ns as i64).into()),
+                ("sited_ns", (sited_ns as i64).into()),
+                ("trusted_ns", (trusted_ns as i64).into()),
+                ("sited_speedup", sited_speedup.into()),
+                ("trusted_speedup", trusted_speedup.into()),
+                ("pass", pass.into()),
+            ]),
+        );
+        println!("{}", report.render());
+    } else {
+        println!(
+            "elide gate: {} corpus images | div {}/{} proved ({:.1}%), idx {}/{} proved ({:.1}%), \
+             {} depth-exact",
+            rows.len(),
+            total.div_proved,
+            total.div_sites,
+            div_ratio * 100.0,
+            total.idx_proved,
+            total.idx_sites,
+            idx_ratio * 100.0,
+            total.depth_exact
+        );
+        println!(
+            "audit: {} unsound, {} sited-diverged ({} never-taken, {} always-taken, {} \
+             unreachable facts)",
+            unsound, diverged, total.branches_never, total.branches_always, total.unreachable_insts
+        );
+        println!(
+            "timing: checked {:.1} ms | sited {:.1} ms ({:.2}x) | trusted {:.1} ms ({:.2}x)",
+            checked_ns as f64 / 1e6,
+            sited_ns as f64 / 1e6,
+            sited_speedup,
+            trusted_ns as f64 / 1e6,
+            trusted_speedup
+        );
+        for r in rows.iter().filter(|r| !r.audit_sound || !r.sited_identical) {
+            println!(
+                "  FAILED {}: audit_sound={} sited_identical={}",
+                r.name, r.audit_sound, r.sited_identical
+            );
+        }
+        for v in &violations {
+            println!("  {v}");
+        }
+    }
+
+    if smoke && !pass {
+        eprintln!(
+            "elide smoke FAIL: {unsound} unsound, {diverged} diverged, {} floor violations",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if smoke {
+        println!(
+            "elide smoke PASS: div {:.1}%, idx {:.1}%, audit clean, sited path {:.2}x",
+            div_ratio * 100.0,
+            idx_ratio * 100.0,
+            sited_speedup
+        );
+    }
+    ExitCode::SUCCESS
+}

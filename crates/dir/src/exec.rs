@@ -5,7 +5,8 @@
 //! compiler against the HLR evaluator and the UHM against the DIR. All
 //! three must agree exactly, traps included.
 
-use crate::isa::Inst;
+use crate::facts::SiteFacts;
+use crate::isa::{AluOp, Inst};
 use crate::program::Program;
 
 /// Resource limits for execution.
@@ -148,7 +149,7 @@ pub fn run_with(
     limits: Limits,
     trace: bool,
 ) -> Result<(Vec<i64>, ExecStats), Trap> {
-    run_mode::<false>(program, limits, trace)
+    run_policy(program, Checked, limits, trace).0
 }
 
 /// Runs a *statically verified* program, dropping the executor's defensive
@@ -171,14 +172,162 @@ pub fn run_trusted_with(
     limits: Limits,
     trace: bool,
 ) -> Result<(Vec<i64>, ExecStats), Trap> {
-    run_mode::<true>(program, limits, trace)
+    run_policy(program, Trusted, limits, trace).0
 }
 
-fn run_mode<const TRUSTED: bool>(
+/// Runs a program with *per-site* check elision: every defensive check
+/// stays on (unlike [`run_trusted_with`]), but at each address whose
+/// [`SiteFacts`] bit is set the corresponding dynamic guard — divide-by-
+/// zero or array bounds — is skipped. Outputs and [`ExecStats`] are
+/// bit-identical to [`run_with`] whenever the facts are sound; soundness
+/// is the fact producer's obligation, enforced dynamically by
+/// [`run_audit_with`].
+///
+/// # Errors
+///
+/// Returns a [`Trap`] on runtime errors or exhausted limits.
+pub fn run_sited_with(
     program: &Program,
+    facts: &SiteFacts,
     limits: Limits,
     trace: bool,
 ) -> Result<(Vec<i64>, ExecStats), Trap> {
+    run_policy(program, Elide(facts), limits, trace).0
+}
+
+/// Runs a program in *audit* mode: checked semantics throughout, but at
+/// every site the facts claim elidable the guard is still evaluated and a
+/// firing guard is recorded in the returned [`SiteAudit`] before trapping
+/// normally. The run therefore behaves exactly like [`run_with`]; a
+/// non-empty audit is a static-analysis soundness divergence.
+pub fn run_audit_with(
+    program: &Program,
+    facts: &SiteFacts,
+    limits: Limits,
+    trace: bool,
+) -> (Result<(Vec<i64>, ExecStats), Trap>, SiteAudit) {
+    let (result, policy) = run_policy(
+        program,
+        Audit {
+            facts,
+            log: SiteAudit::default(),
+        },
+        limits,
+        trace,
+    );
+    (result, policy.log)
+}
+
+/// Soundness violations observed by [`run_audit_with`]: elided checks
+/// whose guard would have fired anyway.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteAudit {
+    /// Proved-nonzero divisor sites where the divisor was zero.
+    pub div_violations: u64,
+    /// Proved-in-bounds index sites where the index was out of range.
+    pub idx_violations: u64,
+    /// DIR addresses of the violating sites, in dynamic order.
+    pub sites: Vec<u32>,
+}
+
+impl SiteAudit {
+    /// True when no elided guard fired — the facts were dynamically sound
+    /// on this run.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.div_violations == 0 && self.idx_violations == 0
+    }
+}
+
+/// How the executor treats its dynamic and defensive checks. Each policy
+/// monomorphizes [`State::run`] so the existing checked and trusted paths
+/// carry zero new work; the per-site paths pay one bitmap probe at the
+/// guarded opcodes only.
+trait SitePolicy {
+    /// Drop the defensive malformed-program checks (the old whole-image
+    /// trusted mode).
+    const TRUSTED: bool;
+    /// Consult per-site facts before evaluating dynamic guards.
+    const ELIDES: bool;
+    /// Keep evaluating elided guards and record firings.
+    const AUDIT: bool;
+
+    fn div_ok(&self, _pc: u32) -> bool {
+        false
+    }
+    fn idx_ok(&self, _pc: u32) -> bool {
+        false
+    }
+    fn record(&mut self, _pc: u32, _div: bool) {}
+}
+
+/// Full checked execution (the semantic reference).
+struct Checked;
+
+impl SitePolicy for Checked {
+    const TRUSTED: bool = false;
+    const ELIDES: bool = false;
+    const AUDIT: bool = false;
+}
+
+/// Whole-image trusted execution behind a verification witness.
+struct Trusted;
+
+impl SitePolicy for Trusted {
+    const TRUSTED: bool = true;
+    const ELIDES: bool = false;
+    const AUDIT: bool = false;
+}
+
+/// Per-site elision driven by a [`SiteFacts`] bitmap.
+struct Elide<'f>(&'f SiteFacts);
+
+impl SitePolicy for Elide<'_> {
+    const TRUSTED: bool = false;
+    const ELIDES: bool = true;
+    const AUDIT: bool = false;
+
+    fn div_ok(&self, pc: u32) -> bool {
+        self.0.div_ok(pc)
+    }
+    fn idx_ok(&self, pc: u32) -> bool {
+        self.0.idx_ok(pc)
+    }
+}
+
+/// Checked execution that logs every elided guard that fires.
+struct Audit<'f> {
+    facts: &'f SiteFacts,
+    log: SiteAudit,
+}
+
+impl SitePolicy for Audit<'_> {
+    const TRUSTED: bool = false;
+    const ELIDES: bool = true;
+    const AUDIT: bool = true;
+
+    fn div_ok(&self, pc: u32) -> bool {
+        self.facts.div_ok(pc)
+    }
+    fn idx_ok(&self, pc: u32) -> bool {
+        self.facts.idx_ok(pc)
+    }
+    fn record(&mut self, pc: u32, div: bool) {
+        if div {
+            self.log.div_violations += 1;
+        } else {
+            self.log.idx_violations += 1;
+        }
+        self.log.sites.push(pc);
+    }
+}
+
+fn run_policy<P: SitePolicy>(
+    program: &Program,
+    policy: P,
+    limits: Limits,
+    trace: bool,
+) -> (Result<(Vec<i64>, ExecStats), Trap>, P) {
     let mut st = State {
         program,
         pc: 0,
@@ -195,9 +344,16 @@ fn run_mode<const TRUSTED: bool>(
             ..ExecStats::default()
         },
         limits,
+        policy,
     };
-    st.run::<TRUSTED>()?;
-    Ok((st.output, st.stats))
+    let result = st.run();
+    let State {
+        output,
+        stats,
+        policy,
+        ..
+    } = st;
+    (result.map(|()| (output, stats)), policy)
 }
 
 struct Frame {
@@ -207,7 +363,7 @@ struct Frame {
     ret_pc: u32,
 }
 
-struct State<'p> {
+struct State<'p, P: SitePolicy> {
     program: &'p Program,
     pc: u32,
     stack: Vec<i64>,
@@ -218,16 +374,17 @@ struct State<'p> {
     output: Vec<i64>,
     stats: ExecStats,
     limits: Limits,
+    policy: P,
 }
 
-impl<'p> State<'p> {
+impl<'p, P: SitePolicy> State<'p, P> {
     /// Pops the operand stack. The untrusted instantiation reports
     /// underflow as a trap; the trusted one relies on the verifier's
     /// no-underflow proof and compiles to a bare pop (the default is dead
     /// code on verified programs, kept only so the signature stays safe).
     #[inline]
-    fn pop<const TRUSTED: bool>(&mut self) -> Result<i64, Trap> {
-        if TRUSTED {
+    fn pop(&mut self) -> Result<i64, Trap> {
+        if P::TRUSTED {
             Ok(self.stack.pop().unwrap_or_default())
         } else {
             self.stack
@@ -253,9 +410,40 @@ impl<'p> State<'p> {
         }
     }
 
-    fn run<const TRUSTED: bool>(&mut self) -> Result<(), Trap> {
+    /// ALU application with the policy's per-site divisor elision. In
+    /// audit mode the zero guard is still evaluated at elided sites and a
+    /// firing is recorded before trapping with checked semantics.
+    #[inline]
+    fn alu(&mut self, op: AluOp, a: i64, b: i64) -> Result<i64, Trap> {
+        if P::ELIDES && op.traps_on_zero() && self.policy.div_ok(self.pc) {
+            if P::AUDIT && b == 0 {
+                self.policy.record(self.pc, true);
+                return Err(Trap::DivByZero);
+            }
+            return Ok(op.apply_unchecked(a, b));
+        }
+        op.apply(a, b).map_err(|_| Trap::DivByZero)
+    }
+
+    /// Array-index check with the policy's per-site bounds elision. An
+    /// elided site uses the index directly (Rust's own slice check keeps
+    /// the executor memory-safe on a broken proof); audit mode still
+    /// evaluates the guard and records a firing.
+    #[inline]
+    fn index(&mut self, index: i64, len: u32) -> Result<usize, Trap> {
+        if P::ELIDES && self.policy.idx_ok(self.pc) {
+            if P::AUDIT && (index < 0 || index >= len as i64) {
+                self.policy.record(self.pc, false);
+                return Err(Trap::IndexOutOfBounds { index, len });
+            }
+            return Ok(index as usize);
+        }
+        Self::check_index(index, len)
+    }
+
+    fn run(&mut self) -> Result<(), Trap> {
         loop {
-            let inst = if TRUSTED {
+            let inst = if P::TRUSTED {
                 // The verifier proved every reachable pc in range; plain
                 // indexing keeps Rust's bounds check but drops the trap
                 // construction from the hot loop.
@@ -284,58 +472,62 @@ impl<'p> State<'p> {
                 }
                 Inst::PushGlobal(s) => self.stack.push(self.globals[s as usize]),
                 Inst::StoreLocal(s) => {
-                    let v = self.pop::<TRUSTED>()?;
+                    let v = self.pop()?;
                     *self.local(s) = v;
                 }
                 Inst::StoreGlobal(s) => {
-                    let v = self.pop::<TRUSTED>()?;
+                    let v = self.pop()?;
                     self.globals[s as usize] = v;
                 }
                 Inst::LoadArrLocal { base, len } => {
-                    let idx = Self::check_index(self.pop::<TRUSTED>()?, len)?;
+                    let i = self.pop()?;
+                    let idx = self.index(i, len)?;
                     let fb = self.frame_base();
                     self.stack.push(self.slots[fb + base as usize + idx]);
                 }
                 Inst::LoadArrGlobal { base, len } => {
-                    let idx = Self::check_index(self.pop::<TRUSTED>()?, len)?;
+                    let i = self.pop()?;
+                    let idx = self.index(i, len)?;
                     self.stack.push(self.globals[base as usize + idx]);
                 }
                 Inst::StoreArrLocal { base, len } => {
-                    let v = self.pop::<TRUSTED>()?;
-                    let idx = Self::check_index(self.pop::<TRUSTED>()?, len)?;
+                    let v = self.pop()?;
+                    let i = self.pop()?;
+                    let idx = self.index(i, len)?;
                     let fb = self.frame_base();
                     self.slots[fb + base as usize + idx] = v;
                 }
                 Inst::StoreArrGlobal { base, len } => {
-                    let v = self.pop::<TRUSTED>()?;
-                    let idx = Self::check_index(self.pop::<TRUSTED>()?, len)?;
+                    let v = self.pop()?;
+                    let i = self.pop()?;
+                    let idx = self.index(i, len)?;
                     self.globals[base as usize + idx] = v;
                 }
                 Inst::Pop => {
-                    self.pop::<TRUSTED>()?;
+                    self.pop()?;
                 }
                 Inst::Bin(op) => {
-                    let b = self.pop::<TRUSTED>()?;
-                    let a = self.pop::<TRUSTED>()?;
-                    let r = op.apply(a, b).map_err(|_| Trap::DivByZero)?;
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    let r = self.alu(op, a, b)?;
                     self.stack.push(r);
                 }
                 Inst::Neg => {
-                    let v = self.pop::<TRUSTED>()?;
+                    let v = self.pop()?;
                     self.stack.push(v.wrapping_neg());
                 }
                 Inst::Not => {
-                    let v = self.pop::<TRUSTED>()?;
+                    let v = self.pop()?;
                     self.stack.push((v == 0) as i64);
                 }
                 Inst::Jump(t) => next = t,
                 Inst::JumpIfFalse(t) => {
-                    if self.pop::<TRUSTED>()? == 0 {
+                    if self.pop()? == 0 {
                         next = t;
                     }
                 }
                 Inst::JumpIfTrue(t) => {
-                    if self.pop::<TRUSTED>()? != 0 {
+                    if self.pop()? != 0 {
                         next = t;
                     }
                 }
@@ -348,14 +540,14 @@ impl<'p> State<'p> {
                     self.slots.resize(base + info.frame_size as usize, 0);
                     // Arguments were pushed left-to-right; pop right-to-left.
                     for i in (0..info.n_args).rev() {
-                        let v = self.pop::<TRUSTED>()?;
+                        let v = self.pop()?;
                         self.slots[base + i as usize] = v;
                     }
                     self.frames.push(Frame { base, ret_pc: next });
                     next = info.entry;
                 }
                 Inst::Return => {
-                    let frame = if TRUSTED {
+                    let frame = if P::TRUSTED {
                         // The verifier proved Return only occurs inside a
                         // procedure body, where a frame always exists.
                         self.frames.pop().expect("verified return has a frame")
@@ -364,7 +556,7 @@ impl<'p> State<'p> {
                             .pop()
                             .ok_or(Trap::Malformed("return without frame"))?
                     };
-                    if !TRUSTED && frame.ret_pc == u32::MAX {
+                    if !P::TRUSTED && frame.ret_pc == u32::MAX {
                         return Err(Trap::Malformed("return from prelude"));
                     }
                     self.slots.truncate(frame.base);
@@ -372,14 +564,14 @@ impl<'p> State<'p> {
                 }
                 Inst::Halt => return Ok(()),
                 Inst::Write => {
-                    let v = self.pop::<TRUSTED>()?;
+                    let v = self.pop()?;
                     self.output.push(v);
                 }
                 Inst::BinLocals { op, a, b, dst } => {
                     let fb = self.frame_base();
                     let va = self.slots[fb + a as usize];
                     let vb = self.slots[fb + b as usize];
-                    let r = op.apply(va, vb).map_err(|_| Trap::DivByZero)?;
+                    let r = self.alu(op, va, vb)?;
                     self.slots[fb + dst as usize] = r;
                 }
                 Inst::IncLocal { slot, imm } => {
@@ -396,7 +588,7 @@ impl<'p> State<'p> {
                     target,
                 } => {
                     let v = *self.local(slot);
-                    let r = op.apply(v, imm).map_err(|_| Trap::DivByZero)?;
+                    let r = self.alu(op, v, imm)?;
                     if r == 0 {
                         next = target;
                     }
@@ -405,7 +597,7 @@ impl<'p> State<'p> {
                     let fb = self.frame_base();
                     let va = self.slots[fb + a as usize];
                     let vb = self.slots[fb + b as usize];
-                    let r = op.apply(va, vb).map_err(|_| Trap::DivByZero)?;
+                    let r = self.alu(op, va, vb)?;
                     if r == 0 {
                         next = target;
                     }

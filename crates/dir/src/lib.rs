@@ -13,8 +13,9 @@
 //! Supporting modules: [`isa`] (instructions and their field schemas),
 //! [`program`] (the flat code array + procedure table), [`exec`] (the
 //! semantic reference executor), [`bitstream`] and [`huffman`] (encoding
-//! machinery), [`stats`] (static statistics) and [`formats`] (the Table 1
-//! format-equivalence demonstration).
+//! machinery), [`stats`] (static statistics), [`formats`] (the Table 1
+//! format-equivalence demonstration) and [`facts`] (per-site check-elision
+//! bitmaps consumed by the executors).
 //!
 //! # Example
 //!
@@ -38,6 +39,7 @@ pub mod cfg;
 pub mod compiler;
 pub mod encode;
 pub mod exec;
+pub mod facts;
 pub mod formats;
 pub mod fuse;
 pub mod huffman;
@@ -46,5 +48,6 @@ pub mod program;
 pub mod stats;
 
 pub use encode::DecodeMode;
+pub use facts::SiteFacts;
 pub use isa::{AluOp, Inst, Opcode};
 pub use program::{ProcInfo, Program};

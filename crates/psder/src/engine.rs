@@ -66,6 +66,19 @@ pub struct Engine {
     /// underflow, slot range) take the cheap branch: a load-time verifier
     /// proved them unreachable. See [`Engine::set_trusted`].
     trusted: bool,
+    /// Per-site elision flags for the DIR instruction currently being
+    /// executed: the caller (the machine's dispatch loop or the PSDER
+    /// interpreter) sets these from a `SiteFacts` bitmap before handing
+    /// the instruction's translation to the engine. See
+    /// [`Engine::set_site_elide`].
+    site_elide_div: bool,
+    site_elide_idx: bool,
+    /// Auditor mode: elided guards are still evaluated; a firing guard
+    /// increments [`Engine::site_violations`] and traps with checked
+    /// semantics.
+    audit: bool,
+    /// Elided guards that fired while auditing (soundness divergences).
+    site_violations: u64,
 }
 
 impl Engine {
@@ -91,6 +104,10 @@ impl Engine {
                 .collect(),
             max_depth,
             trusted: false,
+            site_elide_div: false,
+            site_elide_idx: false,
+            audit: false,
+            site_violations: 0,
         }
     }
 
@@ -109,6 +126,35 @@ impl Engine {
     /// Whether the defensive checks are currently disabled.
     pub fn is_trusted(&self) -> bool {
         self.trusted
+    }
+
+    /// Sets the per-site elision flags for the DIR instruction whose
+    /// translation is about to execute: `div` elides the divide-by-zero
+    /// guard of any ALU op in the sequence, `idx` elides the
+    /// `CheckIdx` bounds guard. Callers derive both bits from a
+    /// `SiteFacts` bitmap (`facts.div_ok(pc)` / `facts.idx_ok(pc)`);
+    /// soundness is the fact producer's obligation. The flags are
+    /// orthogonal to [`Engine::set_trusted`] and do not change the
+    /// modeled cost of the translation — elided micro-ops are still
+    /// dispatched, only their guard comparison is skipped.
+    #[inline]
+    pub fn set_site_elide(&mut self, div: bool, idx: bool) {
+        self.site_elide_div = div;
+        self.site_elide_idx = idx;
+    }
+
+    /// Switches auditor mode on: elided guards are still evaluated, and a
+    /// firing guard is counted in [`Engine::site_violations`] before
+    /// trapping exactly as checked execution would. With auditing on, the
+    /// engine's behavior is bit-identical to checked execution.
+    pub fn set_audit(&mut self, audit: bool) {
+        self.audit = audit;
+    }
+
+    /// Number of elided guards that fired while auditing. Nonzero means
+    /// the site facts were unsound for this run.
+    pub fn site_violations(&self) -> u64 {
+        self.site_violations
     }
 
     /// The program output so far.
@@ -247,9 +293,16 @@ impl Engine {
                 }
                 MicroOp::Push(r) => self.stack.push(self.reg(r)),
                 MicroOp::Alu { op, a, b, dst } => {
-                    let v = op
-                        .apply(self.reg(a), self.reg(b))
-                        .map_err(|_| Trap::DivByZero)?;
+                    let (va, vb) = (self.reg(a), self.reg(b));
+                    let v = if self.site_elide_div && op.traps_on_zero() {
+                        if self.audit && vb == 0 {
+                            self.site_violations += 1;
+                            return Err(Trap::DivByZero);
+                        }
+                        op.apply_unchecked(va, vb)
+                    } else {
+                        op.apply(va, vb).map_err(|_| Trap::DivByZero)?
+                    };
                     self.set_reg(dst, v);
                 }
                 MicroOp::NegOp { src, dst } => self.set_reg(dst, self.reg(src).wrapping_neg()),
@@ -268,9 +321,17 @@ impl Engine {
                     self.set_reg(dst, v);
                 }
                 MicroOp::CheckIdx { idx, len } => {
+                    if self.site_elide_idx && !self.audit {
+                        // Guard discharged statically; the micro-op is
+                        // still dispatched so modeled costs are unchanged.
+                        continue;
+                    }
                     let index = self.reg(idx);
                     let len = self.reg(len);
                     if index < 0 || index >= len {
+                        if self.site_elide_idx {
+                            self.site_violations += 1;
+                        }
                         return Err(Trap::IndexOutOfBounds {
                             index,
                             len: len as u32,

@@ -38,7 +38,14 @@ pub const POOL_SCHEMA_VERSION: i64 = 2;
 /// are a third top-level shape (per-image verdict array + corpus
 /// aggregate), versioned above [`POOL_SCHEMA_VERSION`] so the three
 /// report families stay unambiguous in mixed JSONL streams.
-pub const ANALYZE_SCHEMA_VERSION: i64 = 3;
+///
+/// Version 7 (the dataflow plane): per-image verdicts gained `facts`
+/// (per-pass fact counts and per-procedure discharge ratios) and
+/// `hot_regions` sections, and the aggregate gained corpus-wide fact
+/// coverage. The version leapfrogs the other report families so every
+/// consumer written against versions 3–6 rejects the new documents
+/// loudly instead of silently missing the fact sections.
+pub const ANALYZE_SCHEMA_VERSION: i64 = 7;
 
 /// Current schema version of [`ProfileReport`]. Profiling runs are a
 /// fourth top-level shape (per-region/opcode/tier attribution plus
@@ -918,12 +925,28 @@ mod tests {
     #[test]
     fn analyze_schema_version_is_distinct_and_checked() {
         let j = analyze_sample().to_json();
-        assert_eq!(j.get("schema_version").and_then(Json::as_i64), Some(3));
+        assert_eq!(j.get("schema_version").and_then(Json::as_i64), Some(7));
         // The three report families reject each other's versions.
         assert!(RunReport::from_json(&j).is_err());
         assert!(PoolReport::from_json(&j).is_err());
         assert!(AnalyzeReport::from_json(&sample().to_json()).is_err());
         assert!(AnalyzeReport::from_json(&pool_sample().to_json()).is_err());
+    }
+
+    #[test]
+    fn analyze_v7_rejects_pre_facts_version_3_documents() {
+        // A document stamped with the pre-dataflow analyze version (3)
+        // must be rejected: its verdicts carry no fact sections, and a
+        // silent parse would read absent coverage as zero.
+        let mut doctored = analyze_sample().to_json();
+        if let Json::Obj(pairs) = &mut doctored {
+            pairs[0].1 = Json::Int(3);
+        }
+        let err = AnalyzeReport::from_json(&doctored).unwrap_err();
+        assert!(
+            err.contains("unsupported analyze schema_version 3 (expected 7)"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1147,13 +1170,22 @@ mod tests {
     }
 
     #[test]
-    fn all_six_report_families_reject_each_other() {
+    fn all_report_families_reject_each_other_seven_ways() {
         let run = sample().to_json();
         let pool = pool_sample().to_json();
         let analyze = analyze_sample().to_json();
         let profile = profile_sample().to_json();
         let resilience = resilience_sample().to_json();
         let service = service_sample().to_json();
+        // Seventh shape in the stream: a legacy pre-facts analyze
+        // document (version 3). Nobody parses it any more.
+        let legacy_analyze = {
+            let mut j = analyze_sample().to_json();
+            if let Json::Obj(pairs) = &mut j {
+                pairs[0].1 = Json::Int(3);
+            }
+            j
+        };
         assert_eq!(
             profile.get("schema_version").and_then(Json::as_i64),
             Some(4)
@@ -1167,28 +1199,65 @@ mod tests {
             Some(6)
         );
 
-        // Each family parses only its own version: 6 × 5 cross-rejections.
-        for other in [&pool, &analyze, &profile, &resilience, &service] {
+        // Each family parses only its own version: 6 families × 6 foreign
+        // shapes (the five other families plus the legacy v3 analyze
+        // document) — seven-way disambiguation in one JSONL stream.
+        for other in [
+            &pool,
+            &analyze,
+            &profile,
+            &resilience,
+            &service,
+            &legacy_analyze,
+        ] {
             assert!(RunReport::from_json(other).is_err());
         }
-        for other in [&run, &analyze, &profile, &resilience, &service] {
+        for other in [
+            &run,
+            &analyze,
+            &profile,
+            &resilience,
+            &service,
+            &legacy_analyze,
+        ] {
             assert!(PoolReport::from_json(other).is_err());
         }
-        for other in [&run, &pool, &profile, &resilience, &service] {
+        for other in [
+            &run,
+            &pool,
+            &profile,
+            &resilience,
+            &service,
+            &legacy_analyze,
+        ] {
             assert!(AnalyzeReport::from_json(other).is_err());
         }
-        for other in [&run, &pool, &analyze, &resilience, &service] {
+        for other in [
+            &run,
+            &pool,
+            &analyze,
+            &resilience,
+            &service,
+            &legacy_analyze,
+        ] {
             let err = ProfileReport::from_json(other).unwrap_err();
             assert!(err.contains("unsupported profile schema_version"), "{err}");
         }
-        for other in [&run, &pool, &analyze, &profile, &service] {
+        for other in [&run, &pool, &analyze, &profile, &service, &legacy_analyze] {
             let err = ResilienceReport::from_json(other).unwrap_err();
             assert!(
                 err.contains("unsupported resilience schema_version"),
                 "{err}"
             );
         }
-        for other in [&run, &pool, &analyze, &profile, &resilience] {
+        for other in [
+            &run,
+            &pool,
+            &analyze,
+            &profile,
+            &resilience,
+            &legacy_analyze,
+        ] {
             let err = ServiceReport::from_json(other).unwrap_err();
             assert!(err.contains("unsupported service schema_version"), "{err}");
         }

@@ -14,6 +14,7 @@
 
 use dir::encode::{DecodeMode, Image, SchemeKind};
 use dir::exec::Trap;
+use dir::facts::SiteFacts;
 use dir::program::Program;
 use memsim::{Access, Geometry, SetAssocCache};
 use psder::engine::{Engine, MicroEffect, ShortEffect};
@@ -115,6 +116,11 @@ pub struct Machine {
     /// on its trusted fast path (no per-access error construction) —
     /// unless a fault plane is attached, which voids the static proofs.
     verified: bool,
+    /// Per-site check-elision facts from the dataflow pass, carried by
+    /// the witness. Consulted per instruction even when whole-image
+    /// trusted mode is off; voided by a fault plane exactly like
+    /// `verified`.
+    facts: Option<Arc<SiteFacts>>,
 }
 
 impl Machine {
@@ -144,6 +150,7 @@ impl Machine {
             budget: Budget::default(),
             shared_trans: None,
             verified: false,
+            facts: None,
         }
     }
 
@@ -191,6 +198,7 @@ impl Machine {
             budget: Budget::default(),
             shared_trans: None,
             verified: true,
+            facts: (!verified.facts().is_empty()).then(|| Arc::new(verified.facts().clone())),
         }
     }
 
@@ -199,6 +207,25 @@ impl Machine {
     /// is attached).
     pub fn is_verified(&self) -> bool {
         self.verified
+    }
+
+    /// Attaches (or clears) a per-site fact bitmap for individual check
+    /// elision. [`Machine::load`]/[`Machine::load_with`] install the
+    /// witness's facts automatically; this override exists so a machine
+    /// built without a witness can still elide proved sites — the
+    /// configuration the `elide_gate` bench measures — and so the
+    /// conformance auditor can swap bitmaps. Outputs and all modeled
+    /// metrics are bit-identical to checked execution when the facts are
+    /// sound; a fault plane voids them for the affected runs exactly as
+    /// it voids whole-image trusted mode.
+    pub fn set_site_facts(&mut self, facts: Option<Arc<SiteFacts>>) -> &mut Self {
+        self.facts = facts;
+        self
+    }
+
+    /// The per-site fact bitmap consulted by fault-free runs, if any.
+    pub fn site_facts(&self) -> Option<&SiteFacts> {
+        self.facts.as_deref()
     }
 
     /// Enables recording of the dynamic DIR-address trace in reports.
@@ -428,9 +455,18 @@ impl Machine {
         // checked path.
         let mut engine = Engine::new(&self.program, self.limits.max_depth);
         engine.set_trusted(self.verified && faults.is_none());
+        // Per-site facts are voided by an injector for the same reason as
+        // whole-image trust: corruption can rewrite the very sites the
+        // dataflow pass proved.
+        let site_facts = if faults.is_none() {
+            self.facts.clone()
+        } else {
+            None
+        };
         let mut run = Run {
             machine: self,
             engine,
+            site_facts,
             metrics: Metrics {
                 trace: self.trace.then(Vec::new),
                 ..Metrics::default()
@@ -524,6 +560,9 @@ impl WindowState {
 struct Run<'m, S: TraceSink> {
     machine: &'m Machine,
     engine: Engine,
+    /// Per-site elision bitmap for this run (`None` when a fault plane is
+    /// attached). Consulted once per retired DIR instruction.
+    site_facts: Option<Arc<SiteFacts>>,
     metrics: Metrics,
     dtb: Option<Dtb>,
     dtb2: Option<Dtb>,
@@ -904,6 +943,9 @@ impl<'m, S: TraceSink> Run<'m, S> {
             }
             if pc as usize >= self.machine.image.len() {
                 return Err(Trap::Malformed("pc out of range"));
+            }
+            if let Some(f) = self.site_facts.as_deref() {
+                self.engine.set_site_elide(f.div_ok(pc), f.idx_ok(pc));
             }
 
             let next = match mode {

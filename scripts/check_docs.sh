@@ -8,7 +8,10 @@
 #      exists on disk,
 #   4. every `--bin <name>` in a command example is a real binary,
 #   5. every long `--flag` mentioned in the docs appears in the rust
-#      sources (so renamed/removed CLI flags can't linger in prose).
+#      sources (so renamed/removed CLI flags can't linger in prose),
+#   6. every analyzer diagnostic code defined in
+#      crates/analyze/src/diag.rs is documented in README.md or
+#      ARCHITECTURE.md (new ANxyz codes must land with their table row).
 #
 # Usage: scripts/check_docs.sh [extra-docs...]
 # Exits non-zero listing every stale reference found.
@@ -108,6 +111,17 @@ for doc in "${DOCS[@]}"; do
         fi
     done < <(grep -oP -- '--[a-z][a-z0-9-]+(?![a-z0-9:/-])' "$doc" | sort -u)
 done
+
+# --- 6: analyzer diagnostic codes must be documented ------------------
+# The single source of truth is the `id()` table in diag.rs; every code
+# string it returns must appear somewhere in README or ARCHITECTURE.
+while IFS= read -r code; do
+    [ -n "$code" ] || continue
+    if ! grep -q "$code" README.md ARCHITECTURE.md; then
+        err "crates/analyze/src/diag.rs" \
+            "diagnostic code $code is not documented in README.md or ARCHITECTURE.md"
+    fi
+done < <(grep -oE '"AN[0-9]{3}"' crates/analyze/src/diag.rs | tr -d '"' | sort -u)
 
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED" >&2

@@ -79,10 +79,14 @@
 //!                                        thrashing
 //!
 //! `analyze` verifies the encoded image (codec tables, stack discipline,
-//! branch containment, cross-level consistency, DTB pressure) without
-//! executing it; it honours --scheme, --fold and --fuse, prints the typed
-//! diagnostic report, and exits 1 when verification rejects the image.
-//! With --json it emits a versioned AnalyzeReport on stdout.
+//! branch containment, cross-level consistency, DTB pressure, dataflow
+//! fact discharge) without executing it; it honours --scheme, --fold and
+//! --fuse, prints the typed diagnostic report, and exits 1 when
+//! verification rejects the image. --facts adds the per-region
+//! check-elision fact table, --regions the full ranked hot-region
+//! (natural-loop) table, and --deny-warnings makes a clean-but-warned
+//! image exit 1 (a clean image with no warnings still exits 0).
+//! With --json it emits a versioned AnalyzeReport (schema 7) on stdout.
 //!
 //! `profile` runs the program under the always-on counter plane and
 //! reports per-procedure / per-opcode / per-tier cycle attribution,
@@ -178,6 +182,9 @@ struct Cli {
     quota: Option<usize>,
     max_pressure: Option<u64>,
     right_size: bool,
+    facts: bool,
+    regions: bool,
+    deny_warnings: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -267,6 +274,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         quota: None,
         max_pressure: None,
         right_size: false,
+        facts: false,
+        regions: false,
+        deny_warnings: false,
     };
     fn rate_value(it: &mut std::slice::Iter<String>, flag: &str) -> Result<f64, String> {
         let p: f64 = it
@@ -309,6 +319,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--fold" => cli.fold = true,
             "--fuse" => cli.fuse = true,
+            "--facts" => cli.facts = true,
+            "--regions" => cli.regions = true,
+            "--deny-warnings" => cli.deny_warnings = true,
             "--stats" => cli.stats = true,
             "--json" => cli.json = true,
             "--window" => {
@@ -758,8 +771,44 @@ fn print_stats(m: &uhm::Metrics) {
 }
 
 /// One per-image verdict entry of an [`telemetry::AnalyzeReport`]:
-/// identity, counts, and every diagnostic with its stable code.
+/// identity, counts, the dataflow fact coverage, the ranked hot-region
+/// table, and every diagnostic with its stable code.
 fn analysis_json(name: &str, report: &analyze::AnalysisReport) -> Json {
+    let facts = Json::obj(vec![
+        ("div_sites", (report.facts.div_sites as i64).into()),
+        ("div_proved", (report.facts.div_proved as i64).into()),
+        ("idx_sites", (report.facts.idx_sites as i64).into()),
+        ("idx_proved", (report.facts.idx_proved as i64).into()),
+        ("depth_exact", (report.facts.depth_exact as i64).into()),
+        (
+            "branches_never",
+            (report.facts.branches_never as i64).into(),
+        ),
+        (
+            "branches_always",
+            (report.facts.branches_always as i64).into(),
+        ),
+        (
+            "unreachable_insts",
+            (report.facts.unreachable_insts as i64).into(),
+        ),
+    ]);
+    let hot_regions: Vec<Json> = report
+        .hot_regions
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("region", c.region.as_str().into()),
+                ("start", i64::from(c.start).into()),
+                ("end", i64::from(c.end).into()),
+                ("depth", (c.depth as i64).into()),
+                ("insts", (c.insts as i64).into()),
+                ("sites", (c.sites() as i64).into()),
+                ("proved", (c.proved() as i64).into()),
+                ("discharge", c.discharge().into()),
+            ])
+        })
+        .collect();
     let diagnostics: Vec<Json> = report
         .diagnostics
         .iter()
@@ -794,6 +843,8 @@ fn analysis_json(name: &str, report: &analyze::AnalysisReport) -> Json {
             "notes",
             (report.count(analyze::Severity::Info) as i64).into(),
         ),
+        ("facts", facts),
+        ("hot_regions", Json::Arr(hot_regions)),
         ("diagnostics", Json::Arr(diagnostics)),
     ])
 }
@@ -1039,12 +1090,51 @@ fn execute(cli: &Cli, source: &str) -> Result<(), CliError> {
                 println!("{}", ar.render());
             } else {
                 print!("{}", report.render());
+                if cli.facts {
+                    println!("per-region facts:");
+                    for r in &report.facts.per_region {
+                        println!(
+                            "  {:<12} {} div {}/{}, idx {}/{}",
+                            r.name,
+                            if r.analyzed { "analyzed" } else { "skipped " },
+                            r.div_proved,
+                            r.div_sites,
+                            r.idx_proved,
+                            r.idx_sites
+                        );
+                    }
+                }
+                if cli.regions {
+                    println!("hot regions ({} candidates):", report.hot_regions.len());
+                    for (i, c) in report.hot_regions.iter().enumerate() {
+                        println!(
+                            "  #{:<3} {:<12} [{:>4}..{:>4}] depth {}, {} insts, \
+                             {}/{} sites proved ({:.0}% discharged)",
+                            i + 1,
+                            c.region,
+                            c.start,
+                            c.end,
+                            c.depth,
+                            c.insts,
+                            c.proved(),
+                            c.sites(),
+                            c.discharge() * 100.0
+                        );
+                    }
+                }
             }
             if !report.is_clean() {
                 return Err(CliError::Run(format!(
                     "verification rejected {} ({} errors)",
                     cli.path,
                     report.count(analyze::Severity::Error)
+                )));
+            }
+            let warnings = report.count(analyze::Severity::Warning);
+            if cli.deny_warnings && warnings > 0 {
+                return Err(CliError::Run(format!(
+                    "--deny-warnings: {} verified clean but carries {} warnings",
+                    cli.path, warnings
                 )));
             }
             Ok(())
@@ -1672,6 +1762,34 @@ mod tests {
         assert_eq!(entry.get("clean"), Some(&Json::Bool(true)));
         assert_eq!(entry.get("errors").and_then(Json::as_i64), Some(0));
         assert!(matches!(entry.get("diagnostics"), Some(Json::Arr(_))));
+        // Schema-v7 additions: fact coverage and the hot-region table.
+        let facts = entry.get("facts").expect("facts section present");
+        assert!(facts.get("depth_exact").and_then(Json::as_i64).unwrap() > 0);
+        assert!(matches!(entry.get("hot_regions"), Some(Json::Arr(_))));
+    }
+
+    #[test]
+    fn analyze_facts_and_regions_flags_parse_and_execute() {
+        let cli = parse_args(&args("analyze a.raul --facts --regions")).unwrap();
+        assert!(cli.facts && cli.regions && !cli.deny_warnings);
+        let src = "proc main() begin int i; int a[4]; \
+                   for i := 0 to 3 do a[i] := i; write a[2]; end";
+        execute(&cli, src).unwrap();
+    }
+
+    #[test]
+    fn deny_warnings_fails_a_clean_but_warned_image() {
+        // An unreachable procedure verifies clean (AN301 is a warning),
+        // so plain analyze exits 0 but --deny-warnings exits 1.
+        let src = "proc unused() begin write 1; end \
+                   proc main() begin write 42; end";
+        let plain = parse_args(&args("analyze w.raul")).unwrap();
+        execute(&plain, src).unwrap();
+        let deny = parse_args(&args("analyze w.raul --deny-warnings")).unwrap();
+        let err = execute(&deny, src).unwrap_err();
+        assert!(err.message().contains("--deny-warnings"), "{err:?}");
+        // A warning-free image still passes under --deny-warnings.
+        execute(&deny, "proc main() begin write 7; end").unwrap();
     }
 
     #[test]

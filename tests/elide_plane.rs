@@ -1,0 +1,137 @@
+//! Elide-plane integration tests: per-site check elision driven by the
+//! dataflow pass's fact bitmap is observably identical to checked
+//! execution — outputs AND modeled metrics — across every encoding
+//! scheme and both decoder planes; the audit mode (guards still
+//! evaluated at elided sites) never sees a guard fire over the sample
+//! corpus; and an attached fault injector voids site facts exactly as
+//! it voids whole-image trust.
+
+use dir::encode::{DecodeMode, SchemeKind};
+use dir::exec::Limits;
+use std::sync::Arc;
+use uhm::{CostModel, DtbConfig, FaultConfig, Machine, Mode};
+
+fn sample_programs() -> Vec<(&'static str, dir::Program)> {
+    hlr::programs::ALL
+        .iter()
+        .map(|s| {
+            (
+                s.name,
+                dir::compiler::compile(&s.compile().expect("samples compile")),
+            )
+        })
+        .collect()
+}
+
+/// Per-site elision at the DIR and PSDER levels is bit-identical to
+/// checked execution, outputs and stats, for every sample and scheme.
+#[test]
+fn sited_level_engines_are_bit_identical() {
+    for (name, program) in sample_programs() {
+        for scheme in SchemeKind::all() {
+            let verified = analyze::verify(&program, scheme.encode(&program))
+                .unwrap_or_else(|r| panic!("{name} verifies under {scheme}:\n{}", r.render()));
+            let facts = verified.facts();
+            let checked = dir::exec::run_with(&program, Limits::default(), false);
+            let sited = dir::exec::run_sited_with(&program, facts, Limits::default(), false);
+            assert_eq!(sited, checked, "{name} under {scheme}: dir sited");
+            assert_eq!(
+                psder::interp::run_sited_with(&program, facts, psder::interp::Limits::default()),
+                psder::interp::run(&program),
+                "{name} under {scheme}: psder sited"
+            );
+        }
+    }
+}
+
+/// Audit mode evaluates the guard at every elided site: no guard fires
+/// anywhere in the corpus, and the audited run equals the checked run.
+#[test]
+fn audit_mode_finds_no_unsound_site() {
+    for (name, program) in sample_programs() {
+        let verified = analyze::verify(&program, SchemeKind::ByteAligned.encode(&program))
+            .expect("corpus verifies clean");
+        let facts = verified.facts();
+        let checked = dir::exec::run_with(&program, Limits::default(), false);
+        let (audited, verdict) =
+            dir::exec::run_audit_with(&program, facts, Limits::default(), false);
+        assert!(
+            verdict.is_sound(),
+            "{name}: elided guards fired: {verdict:?}"
+        );
+        assert_eq!(audited, checked, "{name}: dir audit");
+        let (audited, fired) =
+            psder::interp::run_audit_with(&program, facts, psder::interp::Limits::default());
+        assert_eq!(fired, 0, "{name}: psder elided guards fired");
+        assert_eq!(audited, psder::interp::run(&program), "{name}: psder audit");
+    }
+}
+
+/// A machine consulting the fact bitmap per retired instruction matches
+/// a plain checked machine in output and every modeled metric, across
+/// all six schemes, both decoders and every machine mode.
+#[test]
+fn sited_machine_is_observably_identical() {
+    for (name, program) in sample_programs() {
+        for scheme in SchemeKind::all() {
+            let verified =
+                analyze::verify(&program, scheme.encode(&program)).expect("corpus verifies clean");
+            let facts = Arc::new(verified.facts().clone());
+            for decoder in [DecodeMode::Tree, DecodeMode::Table] {
+                let mut sited = Machine::new(&program, scheme);
+                sited
+                    .set_decoder(decoder)
+                    .set_site_facts(Some(Arc::clone(&facts)));
+                let mut plain = Machine::new(&program, scheme);
+                plain.set_decoder(decoder);
+                for mode in [Mode::Interpreter, Mode::Dtb(DtbConfig::with_capacity(64))] {
+                    let a = sited.run(&mode).unwrap();
+                    let b = plain.run(&mode).unwrap();
+                    assert_eq!(a.output, b.output, "{name} {scheme} {decoder:?} {mode:?}");
+                    assert_eq!(a.metrics, b.metrics, "{name} {scheme} {decoder:?} {mode:?}");
+                }
+            }
+        }
+    }
+}
+
+/// An attached fault injector voids site facts exactly as it voids
+/// whole-image trust: under an identical seeded fault plan — inert or
+/// aggressive DIR corruption — a machine carrying the fact bitmap is
+/// bit-identical (output, metrics, fault totals, recoveries, traps) to
+/// a machine with no facts at all.
+#[test]
+fn faults_void_site_facts_like_trusted() {
+    let limits = uhm::Limits {
+        max_steps: 2_000_000,
+        ..uhm::Limits::default()
+    };
+    let plans = [
+        FaultConfig::inert(7),
+        FaultConfig::only(0xE11D, telemetry::FaultKind::DirBit, 1e-3),
+        FaultConfig::only(0xE11D, telemetry::FaultKind::DtbWord, 1e-2),
+    ];
+    for (name, program) in sample_programs() {
+        let verified = analyze::verify(&program, SchemeKind::Huffman.encode(&program))
+            .expect("corpus verifies clean");
+        let facts = Arc::new(verified.facts().clone());
+        for plan in &plans {
+            let mut sited =
+                Machine::with(&program, SchemeKind::Huffman, CostModel::default(), limits);
+            sited.set_site_facts(Some(Arc::clone(&facts)));
+            sited.set_faults(Some(*plan));
+            let mut plain =
+                Machine::with(&program, SchemeKind::Huffman, CostModel::default(), limits);
+            plain.set_faults(Some(*plan));
+            let mode = Mode::Dtb(DtbConfig::with_capacity(64));
+            match (sited.run(&mode), plain.run(&mode)) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.output, b.output, "{name} under {plan:?}");
+                    assert_eq!(a.metrics, b.metrics, "{name} under {plan:?}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{name} under {plan:?}"),
+                (a, b) => panic!("{name} under {plan:?}: sited {a:?} vs plain {b:?}"),
+            }
+        }
+    }
+}
